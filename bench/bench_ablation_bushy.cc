@@ -1,0 +1,82 @@
+// Ablation for the paper's first §6 future-work item: "one has a richer
+// plan space when considering bushy plans for both our first and second
+// phases." Compares phase 2 of Wireframe in three configurations on all
+// ten Table-1 queries:
+//   - pipelined left-deep defactorization (the prototype's design),
+//   - pipelined + chord filters (cyclic only),
+//   - bushy hash-join tree chosen by the subset DP over exact AG stats.
+//
+// Usage: bench_ablation_bushy [--scale=1.0] [--timeout=30]
+
+#include <iostream>
+
+#include "catalog/catalog.h"
+#include "core/wireframe.h"
+#include "datagen/yago_like.h"
+#include "query/parser.h"
+#include "util/flags.h"
+#include "util/table_printer.h"
+
+using namespace wireframe;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const double timeout = flags.GetDouble("timeout", 30.0);
+  YagoLikeConfig config;
+  config.scale = flags.GetDouble("scale", 1.0);
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+
+  std::cout << "=== Ablation: bushy vs pipelined defactorization (§6) ===\n";
+  Database db = MakeYagoLike(config);
+  Catalog catalog = Catalog::Build(db.store());
+  std::cout << "data: " << db.store().NumTriples() << " triples\n\n";
+
+  struct Mode {
+    const char* name;
+    WireframeOptions options;
+  };
+  Mode modes[3];
+  modes[0].name = "pipelined";
+  modes[0].options.chords_in_phase2 = false;
+  modes[1].name = "pipelined+chords";
+  modes[1].options.chords_in_phase2 = true;
+  modes[2].name = "bushy";
+  modes[2].options.bushy_phase2 = true;
+
+  TablePrinter table({"#", "mode", "phase2 (s)", "work", "|Embeddings|"});
+  std::vector<std::string> texts = Table1Queries();
+  for (size_t i = 0; i < texts.size(); ++i) {
+    auto q = SparqlParser::ParseAndBind(texts[i], db);
+    if (!q.ok()) return 1;
+    uint64_t reference = 0;
+    for (const Mode& mode : modes) {
+      WireframeEngine engine(mode.options);
+      CountingSink sink;
+      EngineOptions run;
+      run.deadline = Deadline::AfterSeconds(timeout);
+      auto detail = engine.RunDetailed(db, catalog, *q, run, &sink);
+      if (!detail.ok()) {
+        table.AddRow({std::to_string(i + 1), mode.name,
+                      TablePrinter::Timeout(), "", ""});
+        continue;
+      }
+      if (reference == 0) {
+        reference = detail->phase2_stats.emitted;
+      } else if (reference != detail->phase2_stats.emitted) {
+        std::cerr << "BUG: phase-2 modes disagree on query " << (i + 1)
+                  << "\n";
+        return 1;
+      }
+      table.AddRow(
+          {std::to_string(i + 1), mode.name,
+           TablePrinter::FormatSeconds(detail->phase2_seconds),
+           TablePrinter::FormatCount(detail->phase2_stats.extensions),
+           TablePrinter::FormatCount(detail->phase2_stats.emitted)});
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "('work' = tuple extensions (pipelined) / materialized rows\n"
+               " (bushy); pipelined over the iAG is already output-optimal\n"
+               " for acyclic CQs — bushy pays where intermediates shrink)\n";
+  return 0;
+}

@@ -1,0 +1,169 @@
+// Component microbenchmarks (google-benchmark): the storage, catalog,
+// burnback, and defactorization primitives whose costs the paper's edge
+// walk model abstracts.
+
+#include <benchmark/benchmark.h>
+
+#include "catalog/catalog.h"
+#include "core/answer_graph.h"
+#include "core/burnback.h"
+#include "core/defactorizer.h"
+#include "core/wireframe.h"
+#include "datagen/synthetic.h"
+#include "datagen/yago_like.h"
+#include "query/parser.h"
+#include "query/templates.h"
+#include "util/random.h"
+
+namespace wireframe {
+namespace {
+
+const Database& SharedYago() {
+  static Database* db = [] {
+    YagoLikeConfig config;
+    config.scale = 0.05;
+    config.seed = 42;
+    return new Database(MakeYagoLike(config));
+  }();
+  return *db;
+}
+
+const Catalog& SharedCatalog() {
+  static Catalog* cat = new Catalog(Catalog::Build(SharedYago().store()));
+  return *cat;
+}
+
+void BM_TripleStoreBuild(benchmark::State& state) {
+  const uint32_t nodes = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    Database db = MakeRandomGraph(nodes, 8, nodes * 8ull, 7);
+    benchmark::DoNotOptimize(db.store().NumTriples());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 8);
+}
+BENCHMARK(BM_TripleStoreBuild)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_OutNeighborLookup(benchmark::State& state) {
+  const Database& db = SharedYago();
+  const LabelId p = *db.LabelOf("actedIn");
+  auto subjects = db.store().DistinctSubjects(p);
+  size_t i = 0;
+  for (auto _ : state) {
+    auto span = db.store().OutNeighbors(p, subjects[i++ % subjects.size()]);
+    benchmark::DoNotOptimize(span.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OutNeighborLookup);
+
+void BM_HasTriple(benchmark::State& state) {
+  const Database& db = SharedYago();
+  const LabelId p = *db.LabelOf("linksTo");
+  auto subjects = db.store().DistinctSubjects(p);
+  size_t i = 0;
+  for (auto _ : state) {
+    const NodeId s = subjects[i++ % subjects.size()];
+    benchmark::DoNotOptimize(
+        db.store().HasTriple(s, p, static_cast<NodeId>(i % 1000)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HasTriple);
+
+void BM_CatalogBuild(benchmark::State& state) {
+  const Database& db = SharedYago();
+  for (auto _ : state) {
+    Catalog cat = Catalog::Build(db.store());
+    benchmark::DoNotOptimize(cat.num_labels());
+  }
+  state.SetItemsProcessed(state.iterations() * db.store().NumTriples());
+}
+BENCHMARK(BM_CatalogBuild)->Unit(benchmark::kMillisecond);
+
+void BM_PairSetAdd(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    PairSet set;
+    for (uint32_t i = 0; i < n; ++i) {
+      set.Add(i % 997, i % 1009);
+    }
+    benchmark::DoNotOptimize(set.Size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PairSetAdd)->Arg(1000)->Arg(100000);
+
+void BM_BurnbackCascade(benchmark::State& state) {
+  const uint32_t fan = static_cast<uint32_t>(state.range(0));
+  QueryGraph q = ChainTemplate(2).Instantiate({0, 1});
+  for (auto _ : state) {
+    state.PauseTiming();
+    AnswerGraph ag(q);
+    for (uint32_t i = 0; i < fan; ++i) ag.Set(0).Add(i, 1000000);
+    ag.MarkMaterialized(0);
+    ag.Set(1).Add(1000000, 2000000);
+    ag.MarkMaterialized(1);
+    state.ResumeTiming();
+    Burnback bb(&ag);
+    bb.KillNode(q.FindVar("v2"), 2000000);
+    benchmark::DoNotOptimize(bb.pairs_erased());
+  }
+  state.SetItemsProcessed(state.iterations() * (fan + 2));
+}
+BENCHMARK(BM_BurnbackCascade)->Arg(100)->Arg(10000);
+
+void BM_Defactorize(benchmark::State& state) {
+  const uint32_t fan = static_cast<uint32_t>(state.range(0));
+  QueryGraph q = ChainTemplate(2).Instantiate({0, 1});
+  AnswerGraph ag(q);
+  for (uint32_t i = 0; i < fan; ++i) ag.Set(0).Add(i, 1000000);
+  for (uint32_t i = 0; i < fan; ++i) ag.Set(1).Add(1000000, 2000000 + i);
+  ag.MarkMaterialized(0);
+  ag.MarkMaterialized(1);
+  EmbeddingPlan plan;
+  plan.join_order = {0, 1};
+  Defactorizer defac(q, ag);
+  for (auto _ : state) {
+    CountingSink sink;
+    auto n = defac.Emit(plan, &sink, DefactorizerOptions{});
+    benchmark::DoNotOptimize(n.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * fan * fan);
+}
+BENCHMARK(BM_Defactorize)->Arg(32)->Arg(256);
+
+void BM_WireframeEndToEnd(benchmark::State& state) {
+  const Database& db = SharedYago();
+  const Catalog& cat = SharedCatalog();
+  auto q = SparqlParser::ParseAndBind(Table1Queries()[1], db);
+  if (!q.ok()) {
+    state.SkipWithError("bind failed");
+    return;
+  }
+  WireframeEngine engine;
+  for (auto _ : state) {
+    CountingSink sink;
+    auto stats = engine.Run(db, cat, *q, EngineOptions{}, &sink);
+    if (!stats.ok()) {
+      state.SkipWithError("run failed");
+      return;
+    }
+    benchmark::DoNotOptimize(sink.count());
+  }
+}
+BENCHMARK(BM_WireframeEndToEnd)->Unit(benchmark::kMillisecond);
+
+void BM_SparqlParse(benchmark::State& state) {
+  const std::string text = Table1Queries()[1];
+  for (auto _ : state) {
+    auto parsed = SparqlParser::Parse(text);
+    benchmark::DoNotOptimize(parsed.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SparqlParse);
+
+}  // namespace
+}  // namespace wireframe
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// Cardinality-estimation quality: the planners run on the catalog's
+// 1-/2-gram model (paper §4); this bench measures how close the modeled
+// per-step extension sizes come to the sizes the generator actually
+// materializes, as q-errors (max(est/actual, actual/est)) over the ten
+// Table-1 queries.
+//
+// Usage: bench_estimator_quality [--scale=0.5]
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "catalog/estimator.h"
+#include "core/generator.h"
+#include "datagen/yago_like.h"
+#include "planner/cost_model.h"
+#include "planner/edgifier.h"
+#include "query/parser.h"
+#include "util/flags.h"
+#include "util/table_printer.h"
+
+using namespace wireframe;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  YagoLikeConfig config;
+  config.scale = flags.GetDouble("scale", 0.5);
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+
+  std::cout << "=== Cardinality model quality (planner 2-grams) ===\n";
+  Database db = MakeYagoLike(config);
+  Catalog catalog = Catalog::Build(db.store());
+  std::cout << "data: " << db.store().NumTriples() << " triples\n\n";
+
+  TablePrinter table(
+      {"#", "steps", "q-error median", "q-error max", "est |AG|", "real |AG|"});
+  std::vector<std::string> texts = Table1Queries();
+  for (size_t i = 0; i < texts.size(); ++i) {
+    auto q = SparqlParser::ParseAndBind(texts[i], db);
+    if (!q.ok()) return 1;
+    CardinalityEstimator est(catalog);
+    Edgifier edgifier(*q, est);
+    auto plan = edgifier.PlanEdgeOrder();
+    if (!plan.ok()) return 1;
+
+    // Modeled per-step sizes.
+    PlanCost modeled = SimulateAgPlan(*q, est, plan->edge_order);
+
+    // Actual per-step sizes (pre-burnback adds), via the trace hook.
+    std::vector<double> actual;
+    GeneratorOptions options;
+    options.trace = [&](const GeneratorTraceStep& step) {
+      if (step.kind == GeneratorTraceStep::Kind::kExtension) {
+        actual.push_back(static_cast<double>(step.pairs_added));
+      }
+    };
+    AgGenerator gen(db, catalog);
+    auto result = gen.Generate(*q, *plan, options);
+    if (!result.ok()) return 1;
+
+    std::vector<double> qerrors;
+    for (size_t s = 0; s < actual.size() && s < modeled.step_edges.size();
+         ++s) {
+      const double est_size = std::max(modeled.step_edges[s], 1.0);
+      const double act_size = std::max(actual[s], 1.0);
+      qerrors.push_back(std::max(est_size / act_size, act_size / est_size));
+    }
+    std::sort(qerrors.begin(), qerrors.end());
+    const double median =
+        qerrors.empty() ? 0.0 : qerrors[qerrors.size() / 2];
+    const double worst = qerrors.empty() ? 0.0 : qerrors.back();
+
+    char med[32], mx[32];
+    std::snprintf(med, sizeof(med), "%.2f", median);
+    std::snprintf(mx, sizeof(mx), "%.2f", worst);
+    table.AddRow({std::to_string(i + 1), std::to_string(qerrors.size()),
+                  med, mx,
+                  TablePrinter::FormatCount(
+                      static_cast<uint64_t>(modeled.ag_edges)),
+                  TablePrinter::FormatCount(
+                      result->ag->TotalQueryEdgePairs() +
+                      result->pairs_burned)});
+  }
+  table.Print(std::cout);
+  std::cout << "(q-error = max(est/actual, actual/est) per extension step;\n"
+               " 'real |AG|' counts pre-burnback adds, the quantity the\n"
+               " model predicts. Zipf-correlated data keeps q-errors above\n"
+               " 1 — the classic estimation gap cost-based planners face)\n";
+  return 0;
+}

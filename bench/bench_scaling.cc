@@ -1,0 +1,78 @@
+// Scaling sweep (implicit in the paper's title: *large* graphs): WF vs
+// the baseline regimes as the YAGO-like graph grows. The answer-graph
+// method's advantage should widen with scale because baselines pay per
+// embedding (or per materialized intermediate) while WF's phase 1 pays
+// per answer-graph edge.
+//
+// Usage: bench_scaling [--scales=0.05,0.1,0.2,0.4] [--timeout=30]
+//                      [--query=2]
+
+#include <iostream>
+#include <sstream>
+
+#include "benchlib/harness.h"
+#include "catalog/catalog.h"
+#include "datagen/yago_like.h"
+#include "query/parser.h"
+#include "util/flags.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+using namespace wireframe;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const double timeout = flags.GetDouble("timeout", 30.0);
+  const size_t query_index =
+      static_cast<size_t>(flags.GetInt("query", 2)) - 1;
+
+  std::vector<double> scales;
+  {
+    std::stringstream ss(flags.GetString("scales", "0.05,0.1,0.2,0.4"));
+    std::string item;
+    while (std::getline(ss, item, ',')) scales.push_back(std::atof(item.c_str()));
+  }
+
+  std::cout << "=== Scaling: Table-1 query " << (query_index + 1)
+            << " vs graph size ===\n\n";
+
+  TablePrinter table({"scale", "triples", "WF (s)", "PG (s)", "VT (s)",
+                      "NJ (s)", "|AG|", "|Embeddings|"});
+  for (double scale : scales) {
+    YagoLikeConfig config;
+    config.scale = scale;
+    config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+    Database db = MakeYagoLike(config);
+    Catalog catalog = Catalog::Build(db.store());
+    auto q = SparqlParser::ParseAndBind(Table1Queries()[query_index], db);
+    if (!q.ok()) return 1;
+
+    BenchConfig bench;
+    bench.timeout_seconds = timeout;
+    bench.repetitions = 2;
+    Table1Harness harness(db, catalog, bench);
+
+    auto cell = [&](const char* name) {
+      BenchCell c = harness.RunCell(*q, name);
+      return std::pair<std::string, BenchCell>(
+          c.ok ? TablePrinter::FormatSeconds(c.seconds)
+               : TablePrinter::Timeout(),
+          c);
+    };
+    auto [wf_text, wf] = cell("WF");
+    auto [pg_text, pg] = cell("PG");
+    auto [vt_text, vt] = cell("VT");
+    auto [nj_text, nj] = cell("NJ");
+
+    char scale_text[32];
+    std::snprintf(scale_text, sizeof(scale_text), "%.2f", scale);
+    table.AddRow({scale_text,
+                  TablePrinter::FormatCount(db.store().NumTriples()),
+                  wf_text, pg_text, vt_text, nj_text,
+                  wf.ok ? TablePrinter::FormatCount(wf.stats.ag_pairs) : "?",
+                  wf.ok ? TablePrinter::FormatCount(wf.stats.output_tuples)
+                        : "?"});
+  }
+  table.Print(std::cout);
+  return 0;
+}

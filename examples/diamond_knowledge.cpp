@@ -1,0 +1,91 @@
+// Cyclic (diamond) queries on the YAGO-like graph: the paper's CQ_D
+// workload (Fig. 4). Shows the three cyclic configurations:
+//   - node burnback only            (spurious edges may remain),
+//   - + triangulation (chords)      (the paper's experimental setup),
+//   - + edge burnback               (ideal answer graph; paper §4/§6).
+//
+// Usage: diamond_knowledge [--scale=0.1] [--seed=42] [--query=6..10]
+
+#include <iostream>
+
+#include "catalog/catalog.h"
+#include "core/wireframe.h"
+#include "datagen/yago_like.h"
+#include "query/parser.h"
+#include "util/flags.h"
+#include "util/timer.h"
+
+using namespace wireframe;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  YagoLikeConfig config;
+  config.scale = flags.GetDouble("scale", 0.1);
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  const size_t query_index =
+      static_cast<size_t>(flags.GetInt("query", 8)) - 1;
+  if (query_index < 5 || query_index >= 10) {
+    std::cerr << "--query must be 6..10 (diamond rows of Table 1)\n";
+    return 1;
+  }
+
+  std::cout << "generating YAGO-like graph (scale " << config.scale
+            << ") ...\n";
+  YagoLikeInfo info;
+  Database db = MakeYagoLike(config, &info);
+  Catalog catalog = Catalog::Build(db.store());
+  std::cout << "  " << db.store().NumTriples() << " triples\n\n";
+
+  const std::string text = Table1Queries()[query_index];
+  std::cout << "diamond query " << (query_index + 1) << " ("
+            << Table1RowLabel(query_index) << "):\n  " << text << "\n\n";
+  auto query = SparqlParser::ParseAndBind(text, db);
+  if (!query.ok()) {
+    std::cerr << query.status().ToString() << "\n";
+    return 1;
+  }
+
+  struct Mode {
+    const char* name;
+    WireframeOptions options;
+  };
+  Mode modes[3];
+  modes[0].name = "node burnback only";
+  modes[0].options.triangulate = false;
+  modes[1].name = "chordified (paper's experiments)";
+  modes[1].options.triangulate = true;
+  modes[2].name = "chordified + edge burnback (ideal AG)";
+  modes[2].options.triangulate = true;
+  modes[2].options.edge_burnback = true;
+
+  uint64_t embeddings = 0;
+  for (const Mode& mode : modes) {
+    WireframeEngine engine(mode.options);
+    CountingSink sink;
+    EngineOptions run_options;
+    run_options.deadline = Deadline::AfterSeconds(120);
+    auto detail =
+        engine.RunDetailed(db, catalog, *query, run_options, &sink);
+    if (!detail.ok()) {
+      std::cout << mode.name << ": " << detail.status().ToString() << "\n";
+      continue;
+    }
+    if (embeddings == 0) {
+      embeddings = detail->stats.output_tuples;
+    } else if (embeddings != detail->stats.output_tuples) {
+      std::cerr << "BUG: modes disagree on the embedding count!\n";
+      return 1;
+    }
+    std::cout << mode.name << ":\n";
+    std::cout << "  |AG| = " << detail->stats.ag_pairs
+              << "  (chord pairs: " << detail->chord_pairs << ")\n";
+    std::cout << "  phase1 " << detail->phase1_seconds << " s, phase2 "
+              << detail->phase2_seconds << " s, total "
+              << detail->stats.seconds << " s\n";
+    std::cout << "  pairs burned back: " << detail->pairs_burned << "\n\n";
+  }
+  std::cout << "|embeddings| = " << embeddings
+            << " (identical in every mode — the AG is an evaluation\n"
+               "artifact; only its tightness changes)\n";
+  return 0;
+}

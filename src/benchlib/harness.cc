@@ -1,0 +1,84 @@
+#include "benchlib/harness.h"
+
+#include <ostream>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace wireframe {
+
+BenchCell Table1Harness::RunCell(const QueryGraph& query,
+                                 const std::string& engine_name) {
+  BenchCell cell;
+  std::unique_ptr<Engine> engine = MakeEngine(engine_name);
+  WF_CHECK(engine != nullptr) << "unknown engine " << engine_name;
+
+  double total_seconds = 0.0;
+  int timed_runs = 0;
+  for (int rep = 0; rep < std::max(1, config_.repetitions); ++rep) {
+    EngineOptions options;
+    options.deadline = Deadline::AfterSeconds(config_.timeout_seconds);
+    CountingSink sink;
+    Stopwatch watch;
+    Result<EngineStats> result =
+        engine->Run(*db_, *catalog_, query, options, &sink);
+    const double elapsed = watch.ElapsedSeconds();
+    if (!result.ok()) {
+      cell.ok = false;
+      cell.timed_out = result.status().IsTimedOut() ||
+                       result.status().code() == StatusCode::kOutOfRange;
+      cell.error = result.status().ToString();
+      return cell;  // no point repeating a timed-out/failed run
+    }
+    cell.stats = result.value();
+    // Warm-cache averaging: skip the first (cold) run when we have more.
+    if (rep > 0 || config_.repetitions == 1) {
+      total_seconds += elapsed;
+      ++timed_runs;
+    }
+  }
+  cell.ok = true;
+  cell.seconds = total_seconds / std::max(1, timed_runs);
+  return cell;
+}
+
+void Table1Harness::RunSuite(const std::vector<BenchQuery>& queries,
+                             std::ostream& os) {
+  std::vector<std::string> header = {"#", "Query"};
+  for (const std::string& e : config_.engines) header.push_back(e);
+  header.push_back("|AG|");
+  header.push_back("|Embeddings|");
+  TablePrinter table(std::move(header));
+
+  for (const BenchQuery& bq : queries) {
+    std::vector<std::string> row = {bq.id, bq.label};
+    uint64_t ag_pairs = 0;
+    uint64_t embeddings = 0;
+    bool have_wf = false;
+    for (const std::string& engine_name : config_.engines) {
+      BenchCell cell = RunCell(bq.query, engine_name);
+      if (!cell.ok) {
+        row.push_back(TablePrinter::Timeout());
+        if (config_.verbose) {
+          os << "  [" << engine_name << " @ " << bq.id << "] "
+             << cell.error << "\n";
+        }
+        continue;
+      }
+      row.push_back(TablePrinter::FormatSeconds(cell.seconds));
+      if (engine_name == "WF") {
+        ag_pairs = cell.stats.ag_pairs;
+        embeddings = cell.stats.output_tuples;
+        have_wf = true;
+      } else if (!have_wf && cell.stats.output_tuples > embeddings) {
+        embeddings = cell.stats.output_tuples;
+      }
+    }
+    row.push_back(have_wf ? TablePrinter::FormatCount(ag_pairs) : "?");
+    row.push_back(TablePrinter::FormatCount(embeddings));
+    table.AddRow(std::move(row));
+  }
+  table.Print(os);
+}
+
+}  // namespace wireframe

@@ -1,0 +1,71 @@
+#ifndef WIREFRAME_BENCHLIB_HARNESS_H_
+#define WIREFRAME_BENCHLIB_HARNESS_H_
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "exec/engine.h"
+#include "query/query_graph.h"
+#include "storage/database.h"
+#include "util/table_printer.h"
+
+namespace wireframe {
+
+/// One query of a bench suite.
+struct BenchQuery {
+  std::string id;       // row label, e.g. "1"
+  std::string label;    // predicate list, paper style
+  QueryGraph query;
+};
+
+/// Configuration of a Table-1-style run.
+struct BenchConfig {
+  /// Engines to run, in column order (paper: PG, WF, VT, MD, NJ).
+  std::vector<std::string> engines = {"PG", "WF", "VT", "MD", "NJ"};
+  /// Per-query, per-engine wall-clock budget in seconds (the paper uses
+  /// 300; laptop-scale data needs less).
+  double timeout_seconds = 60.0;
+  /// Runs per engine; the reported time averages the warm runs (the paper
+  /// runs five and averages the last four). Slow engines that time out or
+  /// blow the memory budget are not re-run.
+  int repetitions = 2;
+  /// Print per-query phase diagnostics for WF.
+  bool verbose = false;
+};
+
+/// Result of one (query, engine) cell.
+struct BenchCell {
+  bool ok = false;
+  bool timed_out = false;
+  std::string error;
+  double seconds = 0.0;
+  EngineStats stats;
+};
+
+/// Runs every configured engine on every query and renders the paper's
+/// Table 1 layout: per-system time (or '*'), |AG| and |Embeddings| taken
+/// from the Wireframe run.
+class Table1Harness {
+ public:
+  Table1Harness(const Database& db, const Catalog& catalog,
+                BenchConfig config)
+      : db_(&db), catalog_(&catalog), config_(std::move(config)) {}
+
+  /// Evaluates one cell (averaging warm repetitions).
+  BenchCell RunCell(const QueryGraph& query, const std::string& engine_name);
+
+  /// Runs the whole suite and prints the table to `os`.
+  void RunSuite(const std::vector<BenchQuery>& queries, std::ostream& os);
+
+ private:
+  const Database* db_;
+  const Catalog* catalog_;
+  BenchConfig config_;
+};
+
+}  // namespace wireframe
+
+#endif  // WIREFRAME_BENCHLIB_HARNESS_H_

@@ -1,0 +1,85 @@
+#include "catalog/catalog.h"
+
+#include <algorithm>
+
+namespace wireframe {
+
+namespace {
+
+/// One fact: node `v` appears `count` times as the `slot` endpoint
+/// (slot = label*2 + end).
+struct EndpointFact {
+  NodeId node;
+  uint32_t slot;
+  uint32_t count;
+};
+
+}  // namespace
+
+Catalog Catalog::Build(const TripleStore& store) {
+  Catalog cat;
+  cat.num_labels_ = store.NumPredicates();
+  cat.num_nodes_ = store.NumNodes();
+  cat.num_triples_ = store.NumTriples();
+  cat.num_slots_ = cat.num_labels_ * 2;
+
+  cat.edge_count_.assign(cat.num_labels_, 0);
+  cat.distinct_.assign(cat.num_slots_, 0);
+  cat.join_count_.assign(static_cast<size_t>(cat.num_slots_) * cat.num_slots_,
+                         0);
+  cat.matched_.assign(static_cast<size_t>(cat.num_slots_) * cat.num_slots_, 0);
+  cat.shared_.assign(static_cast<size_t>(cat.num_slots_) * cat.num_slots_, 0);
+
+  // Collect (node, slot, count) facts from the CSR group structure.
+  std::vector<EndpointFact> facts;
+  for (LabelId p = 0; p < cat.num_labels_; ++p) {
+    cat.edge_count_[p] = store.PredicateCardinality(p);
+    auto subjects = store.DistinctSubjects(p);
+    auto objects = store.DistinctObjects(p);
+    cat.distinct_[p * 2 + 0] = subjects.size();
+    cat.distinct_[p * 2 + 1] = objects.size();
+    for (NodeId s : subjects) {
+      facts.push_back(
+          {s, p * 2 + 0,
+           static_cast<uint32_t>(store.OutNeighbors(p, s).size())});
+    }
+    for (NodeId o : objects) {
+      facts.push_back(
+          {o, p * 2 + 1,
+           static_cast<uint32_t>(store.InNeighbors(p, o).size())});
+    }
+  }
+
+  std::sort(facts.begin(), facts.end(),
+            [](const EndpointFact& a, const EndpointFact& b) {
+              if (a.node != b.node) return a.node < b.node;
+              return a.slot < b.slot;
+            });
+
+  // For each node, accumulate all pairwise slot statistics.
+  const size_t stride = cat.num_slots_;
+  size_t i = 0;
+  while (i < facts.size()) {
+    size_t j = i;
+    while (j < facts.size() && facts[j].node == facts[i].node) ++j;
+    for (size_t a = i; a < j; ++a) {
+      for (size_t b = i; b < j; ++b) {
+        const size_t cell = facts[a].slot * stride + facts[b].slot;
+        cat.join_count_[cell] +=
+            static_cast<uint64_t>(facts[a].count) * facts[b].count;
+        cat.matched_[cell] += facts[a].count;
+        cat.shared_[cell] += 1;
+      }
+    }
+    i = j;
+  }
+  return cat;
+}
+
+uint64_t Catalog::MemoryBytes() const {
+  return (edge_count_.size() + distinct_.size() + join_count_.size() +
+          matched_.size() + shared_.size()) *
+         sizeof(uint64_t);
+}
+
+}  // namespace wireframe

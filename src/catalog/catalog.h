@@ -1,0 +1,98 @@
+#ifndef WIREFRAME_CATALOG_CATALOG_H_
+#define WIREFRAME_CATALOG_CATALOG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/triple_store.h"
+#include "util/common.h"
+
+namespace wireframe {
+
+/// Which endpoint of a predicate's edge set a statistic refers to.
+enum class End : uint8_t { kSubject = 0, kObject = 1 };
+
+/// Offline edge-label statistics, the paper's "catalog consisting of 1-gram
+/// and 2-gram edge-label statistics computed offline" (§4). Built once per
+/// database; all queries share it.
+///
+/// 1-grams, per label p:
+///   - EdgeCount(p): number of p-edges
+///   - DistinctCount(p, end): distinct subjects/objects of p
+///
+/// 2-grams, per (label p, end ep) x (label q, end eq):
+///   - JoinCount:     Σ_v cnt_p^ep(v) · cnt_q^eq(v)  — cardinality of the
+///     equi-join of the two edge sets on those endpoints
+///   - MatchedEdges:  Σ_{v shared} cnt_p^ep(v)       — how many p-edges
+///     survive a semijoin against q's eq endpoint
+///   - SharedDistinct: |vals_p^ep ∩ vals_q^eq|
+///
+/// These are exact (not sampled): the build makes one pass that groups all
+/// (node, label, end, count) facts by node and accumulates pairwise
+/// products per node. Cost is Σ_v profile(v)², small in practice because
+/// few labels touch any one node.
+class Catalog {
+ public:
+  /// Computes all statistics for `store`.
+  static Catalog Build(const TripleStore& store);
+
+  Catalog(Catalog&&) = default;
+  Catalog& operator=(Catalog&&) = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  uint32_t num_labels() const { return num_labels_; }
+  uint32_t num_nodes() const { return num_nodes_; }
+  uint64_t num_triples() const { return num_triples_; }
+
+  /// 1-gram: |p|.
+  uint64_t EdgeCount(LabelId p) const { return edge_count_[p]; }
+  /// 1-gram: number of distinct subject/object nodes of p.
+  uint64_t DistinctCount(LabelId p, End end) const {
+    return distinct_[Slot(p, end)];
+  }
+  /// Mean out-degree (end=kSubject) or in-degree (end=kObject) among nodes
+  /// that have at least one incident p-edge on that end.
+  double AvgDegree(LabelId p, End end) const {
+    uint64_t d = DistinctCount(p, end);
+    return d == 0 ? 0.0 : static_cast<double>(EdgeCount(p)) / d;
+  }
+
+  /// 2-gram: Σ_v cnt_p^ep(v)·cnt_q^eq(v).
+  uint64_t JoinCount(LabelId p, End ep, LabelId q, End eq) const {
+    return join_count_[Slot(p, ep) * num_slots_ + Slot(q, eq)];
+  }
+  /// 2-gram: p-edges whose ep endpoint also appears as the eq endpoint of
+  /// some q-edge (semijoin survivor count).
+  uint64_t MatchedEdges(LabelId p, End ep, LabelId q, End eq) const {
+    return matched_[Slot(p, ep) * num_slots_ + Slot(q, eq)];
+  }
+  /// 2-gram: |distinct ep values of p ∩ distinct eq values of q|.
+  uint64_t SharedDistinct(LabelId p, End ep, LabelId q, End eq) const {
+    return shared_[Slot(p, ep) * num_slots_ + Slot(q, eq)];
+  }
+
+  /// Approximate in-memory footprint (bytes), for reporting.
+  uint64_t MemoryBytes() const;
+
+ private:
+  Catalog() = default;
+
+  uint32_t Slot(LabelId p, End end) const {
+    return p * 2 + static_cast<uint32_t>(end);
+  }
+
+  uint32_t num_labels_ = 0;
+  uint32_t num_nodes_ = 0;
+  uint64_t num_triples_ = 0;
+  uint32_t num_slots_ = 0;
+  std::vector<uint64_t> edge_count_;   // [labels]
+  std::vector<uint64_t> distinct_;     // [slots]
+  std::vector<uint64_t> join_count_;   // [slots x slots]
+  std::vector<uint64_t> matched_;      // [slots x slots]
+  std::vector<uint64_t> shared_;       // [slots x slots]
+};
+
+}  // namespace wireframe
+
+#endif  // WIREFRAME_CATALOG_CATALOG_H_

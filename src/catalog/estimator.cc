@@ -1,0 +1,77 @@
+#include "catalog/estimator.h"
+
+#include <algorithm>
+
+namespace wireframe {
+
+namespace {
+double SafeDiv(double a, double b) { return b <= 0 ? 0.0 : a / b; }
+}  // namespace
+
+double CardinalityEstimator::SurvivalRatio(LabelId p, End end,
+                                           const VarEstimate& v) const {
+  const Catalog& cat = *catalog_;
+  const double total = static_cast<double>(cat.EdgeCount(p));
+  if (total <= 0) return 0.0;
+  if (!v.bound) return 1.0;
+
+  if (v.anchor_label != kInvalidLabel) {
+    // Exact semijoin survivor fraction against the full anchor set ...
+    const double base =
+        SafeDiv(static_cast<double>(
+                    cat.MatchedEdges(p, end, v.anchor_label, v.anchor_end)),
+                total);
+    // ... scaled by how much of the anchor's distinct set is still alive.
+    const double anchor_size = static_cast<double>(
+        cat.DistinctCount(v.anchor_label, v.anchor_end));
+    const double alive = std::min(1.0, SafeDiv(v.candidates, anchor_size));
+    return base * alive;
+  }
+  // No anchor: assume candidates are drawn uniformly from p's own
+  // distinct endpoint values (containment of value sets).
+  const double distinct = static_cast<double>(cat.DistinctCount(p, end));
+  return std::min(1.0, SafeDiv(v.candidates, distinct));
+}
+
+ExtensionEstimate CardinalityEstimator::EstimateExtension(
+    LabelId p, const VarEstimate& src, const VarEstimate& dst) const {
+  const Catalog& cat = *catalog_;
+  ExtensionEstimate est;
+  const double total = static_cast<double>(cat.EdgeCount(p));
+  if (total <= 0) return est;
+
+  const double ratio_s = SurvivalRatio(p, End::kSubject, src);
+  const double ratio_o = SurvivalRatio(p, End::kObject, dst);
+  est.matched_edges = total * ratio_s * ratio_o;
+
+  if (!src.bound && !dst.bound) {
+    est.probes = 1.0;  // one full scan of the label
+  } else if (src.bound && dst.bound) {
+    est.probes = std::min(src.candidates, dst.candidates);
+  } else {
+    est.probes = src.bound ? src.candidates : dst.candidates;
+  }
+
+  // Distinct endpoints among the surviving edges, assuming survivors keep
+  // the label's average degree.
+  const double frac = SafeDiv(est.matched_edges, total);
+  const double surv_src =
+      static_cast<double>(cat.DistinctCount(p, End::kSubject)) * frac;
+  const double surv_dst =
+      static_cast<double>(cat.DistinctCount(p, End::kObject)) * frac;
+  est.new_src_candidates =
+      src.bound ? std::min(src.candidates, surv_src) : surv_src;
+  est.new_dst_candidates =
+      dst.bound ? std::min(dst.candidates, surv_dst) : surv_dst;
+  return est;
+}
+
+double CardinalityEstimator::JoinFanout(LabelId from_label, End from_end,
+                                        LabelId to_label, End to_end) const {
+  const Catalog& cat = *catalog_;
+  return SafeDiv(
+      static_cast<double>(cat.JoinCount(from_label, from_end, to_label, to_end)),
+      static_cast<double>(cat.DistinctCount(from_label, from_end)));
+}
+
+}  // namespace wireframe

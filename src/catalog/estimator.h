@@ -1,0 +1,70 @@
+#ifndef WIREFRAME_CATALOG_ESTIMATOR_H_
+#define WIREFRAME_CATALOG_ESTIMATOR_H_
+
+#include "catalog/catalog.h"
+#include "util/common.h"
+
+namespace wireframe {
+
+/// Planner-side estimate of one query variable's state while simulating a
+/// plan prefix: how many candidate nodes remain, and which (label, end)
+/// statistic anchors that estimate so 2-grams can be applied to the next
+/// extension touching the variable.
+struct VarEstimate {
+  bool bound = false;
+  double candidates = 0.0;
+  /// The label/end whose distinct-value set the candidate set descends
+  /// from; kInvalidLabel when the variable is bound by other means.
+  LabelId anchor_label = kInvalidLabel;
+  End anchor_end = End::kSubject;
+
+  static VarEstimate Unbound() { return {}; }
+};
+
+/// Result of simulating one edge-extension step.
+struct ExtensionEstimate {
+  /// Edges of the extended label expected to enter the answer graph.
+  double matched_edges = 0.0;
+  /// Index probes performed (one per candidate on the probing side, or a
+  /// single scan when neither side is bound).
+  double probes = 0.0;
+  /// Post-extension candidate estimates for the two endpoints.
+  double new_src_candidates = 0.0;
+  double new_dst_candidates = 0.0;
+};
+
+/// Cardinality model over the 1-gram/2-gram catalog.
+///
+/// The model makes the classic System-R-style independence and containment
+/// assumptions, sharpened by 2-grams: when a variable's candidate set
+/// descends from the distinct values of a known (label, end), the fraction
+/// of the next label's edges that survive the semijoin is taken from the
+/// exact MatchedEdges 2-gram and scaled linearly by how much of the anchor
+/// set is still alive.
+class CardinalityEstimator {
+ public:
+  explicit CardinalityEstimator(const Catalog& catalog) : catalog_(&catalog) {}
+
+  /// Simulates extending edge ?src --p--> ?dst from the given var states.
+  ExtensionEstimate EstimateExtension(LabelId p, const VarEstimate& src,
+                                      const VarEstimate& dst) const;
+
+  /// Estimated embeddings of a full join of the plan's edges (used by the
+  /// embedding planner's greedy ordering and by tests); multiplies the
+  /// join-count ratios along edges. Exposed mainly for diagnostics.
+  double JoinFanout(LabelId from_label, End from_end, LabelId to_label,
+                    End to_end) const;
+
+  const Catalog& catalog() const { return *catalog_; }
+
+ private:
+  /// Fraction of p's `end` endpoint edges surviving a semijoin with the
+  /// anchor of `v`, scaled by the anchor's remaining fraction.
+  double SurvivalRatio(LabelId p, End end, const VarEstimate& v) const;
+
+  const Catalog* catalog_;
+};
+
+}  // namespace wireframe
+
+#endif  // WIREFRAME_CATALOG_ESTIMATOR_H_

@@ -1,0 +1,158 @@
+#include "core/answer_graph.h"
+
+#include <algorithm>
+#include <iterator>
+
+#include "util/logging.h"
+
+namespace wireframe {
+
+bool PairSet::Add(NodeId u, NodeId v) {
+  if (!live_.Insert(PackPair(u, v))) return false;
+  fwd_[u].push_back(v);
+  bwd_[v].push_back(u);
+  if (++src_count_[u] == 1) ++distinct_src_;
+  if (++dst_count_[v] == 1) ++distinct_dst_;
+  return true;
+}
+
+bool PairSet::Erase(NodeId u, NodeId v) {
+  if (!live_.Erase(PackPair(u, v))) return false;
+  compact_ = false;
+  uint32_t* su = src_count_.Find(u);
+  WF_DCHECK(su != nullptr && *su > 0);
+  if (--*su == 0) --distinct_src_;
+  uint32_t* dv = dst_count_.Find(v);
+  WF_DCHECK(dv != nullptr && *dv > 0);
+  if (--*dv == 0) --distinct_dst_;
+  return true;
+}
+
+void PairSet::Compact() {
+  if (compact_) return;
+  fwd_.EraseIf([&](NodeId u, std::vector<NodeId>& targets) {
+    size_t keep = 0;
+    for (NodeId v : targets) {
+      if (Contains(u, v)) targets[keep++] = v;
+    }
+    targets.resize(keep);
+    return keep == 0;
+  });
+  bwd_.EraseIf([&](NodeId v, std::vector<NodeId>& sources) {
+    size_t keep = 0;
+    for (NodeId u : sources) {
+      if (Contains(u, v)) sources[keep++] = u;
+    }
+    sources.resize(keep);
+    return keep == 0;
+  });
+  src_count_.EraseIf([](NodeId, uint32_t& count) { return count == 0; });
+  dst_count_.EraseIf([](NodeId, uint32_t& count) { return count == 0; });
+  compact_ = true;
+}
+
+uint32_t PairSet::SrcCount(NodeId u) const {
+  const uint32_t* count = src_count_.Find(u);
+  return count == nullptr ? 0 : *count;
+}
+
+uint32_t PairSet::DstCount(NodeId v) const {
+  const uint32_t* count = dst_count_.Find(v);
+  return count == nullptr ? 0 : *count;
+}
+
+AnswerGraph::AnswerGraph(const QueryGraph& query)
+    : num_query_edges_(query.NumEdges()) {
+  incident_.resize(query.NumVars());
+  sets_.resize(query.NumEdges());
+  materialized_.assign(query.NumEdges(), false);
+  src_var_.resize(query.NumEdges());
+  dst_var_.resize(query.NumEdges());
+  for (uint32_t e = 0; e < query.NumEdges(); ++e) {
+    const QueryEdge& qe = query.Edge(e);
+    src_var_[e] = qe.src;
+    dst_var_[e] = qe.dst;
+    incident_[qe.src].push_back(e);
+    incident_[qe.dst].push_back(e);
+  }
+}
+
+uint32_t AnswerGraph::AddChordSlot(VarId u, VarId v) {
+  WF_CHECK(u < incident_.size() && v < incident_.size());
+  const uint32_t index = static_cast<uint32_t>(sets_.size());
+  sets_.emplace_back();
+  materialized_.push_back(false);
+  src_var_.push_back(u);
+  dst_var_.push_back(v);
+  incident_[u].push_back(index);
+  incident_[v].push_back(index);
+  return index;
+}
+
+void AnswerGraph::MarkMaterialized(uint32_t index) {
+  WF_CHECK(index < sets_.size());
+  materialized_[index] = true;
+}
+
+bool AnswerGraph::IsTouched(VarId v) const {
+  for (uint32_t e : incident_[v]) {
+    if (materialized_[e]) return true;
+  }
+  return false;
+}
+
+uint32_t AnswerGraph::CountAt(uint32_t index, VarId v, NodeId c) const {
+  WF_DCHECK(src_var_[index] == v || dst_var_[index] == v);
+  if (src_var_[index] == v) return sets_[index].SrcCount(c);
+  return sets_[index].DstCount(c);
+}
+
+bool AnswerGraph::IsAlive(VarId v, NodeId c) const {
+  bool touched = false;
+  for (uint32_t e : incident_[v]) {
+    if (!materialized_[e]) continue;
+    touched = true;
+    if (CountAt(e, v, c) == 0) return false;
+  }
+  return touched;
+}
+
+uint32_t AnswerGraph::PilotSet(VarId v) const {
+  uint32_t best = UINT32_MAX;
+  uint64_t best_count = UINT64_MAX;
+  for (uint32_t e : incident_[v]) {
+    if (!materialized_[e]) continue;
+    const uint64_t count = src_var_[e] == v ? sets_[e].DistinctSrcCount()
+                                            : sets_[e].DistinctDstCount();
+    if (count < best_count) {
+      best_count = count;
+      best = e;
+    }
+  }
+  WF_CHECK(best != UINT32_MAX) << "ForEachCandidate on untouched variable";
+  return best;
+}
+
+uint64_t AnswerGraph::CandidateCount(VarId v) const {
+  uint64_t n = 0;
+  ForEachCandidate(v, [&](NodeId) { ++n; });
+  return n;
+}
+
+uint64_t AnswerGraph::TotalQueryEdgePairs() const {
+  uint64_t total = 0;
+  for (uint32_t e = 0; e < num_query_edges_; ++e) total += sets_[e].Size();
+  return total;
+}
+
+std::vector<AgEdgeStats> AnswerGraph::Stats() const {
+  std::vector<AgEdgeStats> stats(num_query_edges_);
+  for (uint32_t e = 0; e < num_query_edges_; ++e) {
+    stats[e].pairs = sets_[e].Size();
+    stats[e].distinct_src = sets_[e].DistinctSrcCount();
+    stats[e].distinct_dst = sets_[e].DistinctDstCount();
+  }
+  return stats;
+}
+
+}  // namespace wireframe

@@ -1,0 +1,226 @@
+#ifndef WIREFRAME_CORE_ANSWER_GRAPH_H_
+#define WIREFRAME_CORE_ANSWER_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "planner/embedding_planner.h"
+#include "query/query_graph.h"
+#include "util/common.h"
+#include "util/flat_hash.h"
+#include "util/hash.h"
+
+namespace wireframe {
+
+/// The materialization of one query edge (or chord): a dynamic set of data
+/// node pairs with per-endpoint live counters and adjacency.
+///
+/// Pairs can be deleted individually (edge burnback) or wholesale per
+/// endpoint node (node burnback); adjacency lists are append-only and
+/// filtered against the live-pair set on iteration, which keeps deletion
+/// O(1) per pair at the cost of a membership probe during scans — the
+/// classic tombstone trade-off, chosen because burnback deletes in bulk
+/// and never re-inserts. Compact() drops the tombstones once generation
+/// finishes so defactorization iterates clean arrays.
+///
+/// All indexes are flat open-addressing tables (util/flat_hash.h); the
+/// node-pair insert path is the inner loop of answer-graph generation.
+class PairSet {
+ public:
+  PairSet() = default;
+
+  /// Inserts (u, v); returns false if already present. Must not be called
+  /// for a pair that was previously erased (adjacency lists would then
+  /// hold duplicates); generation never does.
+  bool Add(NodeId u, NodeId v);
+
+  /// True iff (u, v) is live.
+  bool Contains(NodeId u, NodeId v) const {
+    return live_.Contains(PackPair(u, v));
+  }
+
+  /// Deletes (u, v); returns false if it was not live.
+  bool Erase(NodeId u, NodeId v);
+
+  /// Rebuilds the adjacency lists without tombstones. After compaction —
+  /// and until the next Erase — iteration skips the per-pair liveness
+  /// probe, which makes defactorization a pure array scan. Called on
+  /// every edge set when answer-graph generation finishes.
+  void Compact();
+
+  /// True iff iteration currently needs no liveness filtering.
+  bool IsCompact() const { return compact_; }
+
+  /// Number of live pairs.
+  uint64_t Size() const { return live_.Size(); }
+
+  /// Live pairs with source u / target v.
+  uint32_t SrcCount(NodeId u) const;
+  uint32_t DstCount(NodeId v) const;
+
+  /// Distinct live sources / targets.
+  uint64_t DistinctSrcCount() const { return distinct_src_; }
+  uint64_t DistinctDstCount() const { return distinct_dst_; }
+
+  /// Invokes fn(v) for every live pair (u, v). The underlying list may
+  /// contain tombstones; fn is only called for live pairs.
+  template <typename Fn>
+  void ForEachFwd(NodeId u, Fn&& fn) const {
+    const std::vector<NodeId>* targets = fwd_.Find(u);
+    if (targets == nullptr) return;
+    if (compact_) {
+      for (NodeId v : *targets) fn(v);
+      return;
+    }
+    for (NodeId v : *targets) {
+      if (Contains(u, v)) fn(v);
+    }
+  }
+
+  /// Invokes fn(u) for every live pair (u, v).
+  template <typename Fn>
+  void ForEachBwd(NodeId v, Fn&& fn) const {
+    const std::vector<NodeId>* sources = bwd_.Find(v);
+    if (sources == nullptr) return;
+    if (compact_) {
+      for (NodeId u : *sources) fn(u);
+      return;
+    }
+    for (NodeId u : *sources) {
+      if (Contains(u, v)) fn(u);
+    }
+  }
+
+  /// Invokes fn(u, v) for every live pair.
+  template <typename Fn>
+  void ForEachPair(Fn&& fn) const {
+    live_.ForEach([&](uint64_t key) {
+      auto [u, v] = UnpackPair(key);
+      fn(u, v);
+    });
+  }
+
+  /// Invokes fn(u) for every distinct live source.
+  template <typename Fn>
+  void ForEachSrc(Fn&& fn) const {
+    src_count_.ForEach([&](NodeId u, const uint32_t& count) {
+      if (count > 0) fn(u);
+    });
+  }
+  /// Invokes fn(v) for every distinct live target.
+  template <typename Fn>
+  void ForEachDst(Fn&& fn) const {
+    dst_count_.ForEach([&](NodeId v, const uint32_t& count) {
+      if (count > 0) fn(v);
+    });
+  }
+
+ private:
+  PairKeySet live_;
+  NodeMap<std::vector<NodeId>> fwd_;
+  NodeMap<std::vector<NodeId>> bwd_;
+  NodeMap<uint32_t> src_count_;
+  NodeMap<uint32_t> dst_count_;
+  uint64_t distinct_src_ = 0;
+  uint64_t distinct_dst_ = 0;
+  /// True while the adjacency lists are tombstone-free (empty set, or
+  /// freshly compacted with no erase since).
+  bool compact_ = true;
+};
+
+/// The factorized answer set (paper §2): for every query edge — and every
+/// chord, for cyclic queries — the set of data-graph node pairs that can
+/// still participate in an embedding.
+///
+/// Edge sets are indexed 0..NumEdges-1 for query edges and NumEdges.. for
+/// chords. A variable is "touched" once at least one incident edge set has
+/// been materialized; its candidate set is then the set of nodes alive at
+/// that variable. Aliveness is derived, not stored: node c is alive at var
+/// v iff every *materialized* edge set incident to v contains a live pair
+/// with c on v's side. Burnback (core/burnback.h) maintains this
+/// invariant by cascading deletions.
+class AnswerGraph {
+ public:
+  /// Creates empty edge sets for the query's edges; chords are registered
+  /// afterwards via AddChordSlot (they behave like unlabeled query edges).
+  explicit AnswerGraph(const QueryGraph& query);
+
+  /// Registers a chord between u and v; returns its edge-set index.
+  uint32_t AddChordSlot(VarId u, VarId v);
+
+  uint32_t NumEdgeSets() const {
+    return static_cast<uint32_t>(sets_.size());
+  }
+  uint32_t NumQueryEdges() const { return num_query_edges_; }
+  uint32_t NumVars() const {
+    return static_cast<uint32_t>(incident_.size());
+  }
+
+  PairSet& Set(uint32_t index) { return sets_[index]; }
+  const PairSet& Set(uint32_t index) const { return sets_[index]; }
+
+  /// Endpoints of edge-set `index` (query edge direction, or chord (u,v)).
+  VarId SrcVar(uint32_t index) const { return src_var_[index]; }
+  VarId DstVar(uint32_t index) const { return dst_var_[index]; }
+
+  /// Marks an edge set materialized (it now constrains its endpoints).
+  void MarkMaterialized(uint32_t index);
+  bool IsMaterialized(uint32_t index) const { return materialized_[index]; }
+
+  /// Edge sets incident to variable v (both query edges and chords).
+  const std::vector<uint32_t>& IncidentSets(VarId v) const {
+    return incident_[v];
+  }
+
+  /// True iff any incident edge set of v is materialized.
+  bool IsTouched(VarId v) const;
+
+  /// True iff node c is alive at variable v (see class comment). Only
+  /// meaningful for touched variables.
+  bool IsAlive(VarId v, NodeId c) const;
+
+  /// Number of live pairs incident to (v, c) in edge set `index`.
+  uint32_t CountAt(uint32_t index, VarId v, NodeId c) const;
+
+  /// Invokes fn(c) for every node alive at v. Iterates the materialized
+  /// incident set with the fewest distinct nodes on v's side and filters
+  /// by IsAlive. Requires IsTouched(v).
+  template <typename Fn>
+  void ForEachCandidate(VarId v, Fn&& fn) const {
+    const uint32_t pilot = PilotSet(v);
+    const PairSet& set = sets_[pilot];
+    auto visit = [&](NodeId c) {
+      if (IsAlive(v, c)) fn(c);
+    };
+    if (src_var_[pilot] == v) {
+      set.ForEachSrc(visit);
+    } else {
+      set.ForEachDst(visit);
+    }
+  }
+
+  /// Number of nodes alive at v (linear scan; diagnostics and tests).
+  uint64_t CandidateCount(VarId v) const;
+
+  /// Total live pairs across the query edges (|AG| as the paper reports
+  /// it; chords are bookkeeping, not part of the answer graph proper).
+  uint64_t TotalQueryEdgePairs() const;
+
+  /// Exact per-edge statistics for the embedding planner.
+  std::vector<AgEdgeStats> Stats() const;
+
+ private:
+  /// The materialized incident set of v with fewest distinct nodes at v.
+  uint32_t PilotSet(VarId v) const;
+
+  uint32_t num_query_edges_ = 0;
+  std::vector<PairSet> sets_;
+  std::vector<VarId> src_var_;
+  std::vector<VarId> dst_var_;
+  std::vector<bool> materialized_;
+  std::vector<std::vector<uint32_t>> incident_;
+};
+
+}  // namespace wireframe
+
+#endif  // WIREFRAME_CORE_ANSWER_GRAPH_H_

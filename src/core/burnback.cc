@@ -1,0 +1,114 @@
+#include "core/burnback.h"
+
+#include "util/logging.h"
+
+namespace wireframe {
+
+bool Burnback::AliveExcept(VarId v, NodeId c, uint32_t except) const {
+  bool touched = false;
+  for (uint32_t f : ag_->IncidentSets(v)) {
+    if (f == except || !ag_->IsMaterialized(f)) continue;
+    touched = true;
+    if (ag_->CountAt(f, v, c) == 0) return false;
+  }
+  return touched;
+}
+
+void Burnback::KillOne(VarId v, NodeId c) {
+  for (uint32_t f : ag_->IncidentSets(v)) {
+    if (!ag_->IsMaterialized(f)) continue;
+    PairSet& set = ag_->Set(f);
+    const bool at_src = ag_->SrcVar(f) == v;
+    const VarId other = at_src ? ag_->DstVar(f) : ag_->SrcVar(f);
+
+    scratch_.clear();
+    if (at_src) {
+      set.ForEachFwd(c, [&](NodeId w) { scratch_.push_back(w); });
+    } else {
+      set.ForEachBwd(c, [&](NodeId w) { scratch_.push_back(w); });
+    }
+    for (NodeId w : scratch_) {
+      const bool erased = at_src ? set.Erase(c, w) : set.Erase(w, c);
+      WF_DCHECK(erased);
+      ++pairs_erased_;
+      if (ag_->CountAt(f, other, w) == 0) worklist_.push_back({other, w});
+    }
+  }
+}
+
+void Burnback::Drain() {
+  // scratch_ is reused inside KillOne, so the worklist drives the loop.
+  while (!worklist_.empty()) {
+    Death d = worklist_.back();
+    worklist_.pop_back();
+    KillOne(d.var, d.node);
+  }
+}
+
+uint64_t Burnback::KillNode(VarId v, NodeId c) {
+  const uint64_t before = pairs_erased_;
+  KillOne(v, c);
+  Drain();
+  return pairs_erased_ - before;
+}
+
+uint64_t Burnback::ErasePair(uint32_t index, NodeId u, NodeId v) {
+  const uint64_t before = pairs_erased_;
+  PairSet& set = ag_->Set(index);
+  if (!set.Erase(u, v)) return 0;
+  ++pairs_erased_;
+  if (ag_->CountAt(index, ag_->SrcVar(index), u) == 0) {
+    worklist_.push_back({ag_->SrcVar(index), u});
+  }
+  if (ag_->CountAt(index, ag_->DstVar(index), v) == 0) {
+    worklist_.push_back({ag_->DstVar(index), v});
+  }
+  Drain();
+  return pairs_erased_ - before;
+}
+
+uint64_t Burnback::PruneAfterExtension(uint32_t index, bool src_was_touched,
+                                       bool dst_was_touched) {
+  const uint64_t before = pairs_erased_;
+  const VarId endpoints[2] = {ag_->SrcVar(index), ag_->DstVar(index)};
+  const bool was_touched[2] = {src_was_touched, dst_was_touched};
+
+  for (int side = 0; side < 2; ++side) {
+    if (!was_touched[side]) continue;
+    const VarId v = endpoints[side];
+
+    // Pilot: smallest materialized incident set other than `index`.
+    uint32_t pilot = UINT32_MAX;
+    uint64_t pilot_size = UINT64_MAX;
+    for (uint32_t f : ag_->IncidentSets(v)) {
+      if (f == index || !ag_->IsMaterialized(f)) continue;
+      const PairSet& set = ag_->Set(f);
+      const uint64_t size = ag_->SrcVar(f) == v ? set.DistinctSrcCount()
+                                                : set.DistinctDstCount();
+      if (size < pilot_size) {
+        pilot_size = size;
+        pilot = f;
+      }
+    }
+    if (pilot == UINT32_MAX) continue;  // var was not actually constrained
+
+    // Collect the fallen first: KillOne mutates the sets being scanned.
+    std::vector<NodeId> fallen;
+    const PairSet& pilot_set = ag_->Set(pilot);
+    auto consider = [&](NodeId c) {
+      if (ag_->CountAt(index, v, c) == 0 && AliveExcept(v, c, index)) {
+        fallen.push_back(c);
+      }
+    };
+    if (ag_->SrcVar(pilot) == v) {
+      pilot_set.ForEachSrc(consider);
+    } else {
+      pilot_set.ForEachDst(consider);
+    }
+    for (NodeId c : fallen) KillOne(v, c);
+    Drain();
+  }
+  return pairs_erased_ - before;
+}
+
+}  // namespace wireframe

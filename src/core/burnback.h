@@ -1,0 +1,69 @@
+#ifndef WIREFRAME_CORE_BURNBACK_H_
+#define WIREFRAME_CORE_BURNBACK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/answer_graph.h"
+
+namespace wireframe {
+
+/// Cascading node burnback (paper §3): "nodes in the AG that failed to
+/// extend are removed. This 'node burnback' cascades."
+///
+/// A node dies at a variable as soon as any materialized incident edge set
+/// holds no live pair for it; killing it erases its incident pairs from
+/// every materialized incident set, which may starve neighbor nodes at the
+/// opposite variables — a worklist drains the cascade to fixpoint. The
+/// fixpoint is exactly arc consistency over the materialized edge sets
+/// (tests certify this against a naive oracle).
+///
+/// Cost accounting: every erased pair was added by an earlier edge walk,
+/// so burnback is amortized into extension cost (paper §4); the class
+/// still counts erased pairs for diagnostics.
+class Burnback {
+ public:
+  explicit Burnback(AnswerGraph* ag) : ag_(ag) {}
+
+  /// Kills node c at variable v and drains the cascade. Returns the
+  /// number of pairs erased (cascade included).
+  uint64_t KillNode(VarId v, NodeId c);
+
+  /// Erases one pair from edge set `index` (edge burnback's entry point)
+  /// and drains any resulting node deaths. Returns pairs erased.
+  uint64_t ErasePair(uint32_t index, NodeId u, NodeId v);
+
+  /// After materializing edge set `index`: kills every previously-alive
+  /// endpoint candidate that failed to extend into `index`, then drains.
+  /// `src_was_touched` / `dst_was_touched` say whether the endpoint vars
+  /// were already constrained before this extension (freshly touched
+  /// variables need no pruning: the new set defines their candidates).
+  uint64_t PruneAfterExtension(uint32_t index, bool src_was_touched,
+                               bool dst_was_touched);
+
+  /// Total pairs erased through this Burnback instance.
+  uint64_t pairs_erased() const { return pairs_erased_; }
+
+ private:
+  struct Death {
+    VarId var;
+    NodeId node;
+  };
+
+  /// Erases all pairs incident to (v, c), queueing starved neighbors.
+  void KillOne(VarId v, NodeId c);
+  void Drain();
+
+  /// True iff c is alive at v considering all materialized incident sets
+  /// except `except` (UINT32_MAX to consider all).
+  bool AliveExcept(VarId v, NodeId c, uint32_t except) const;
+
+  AnswerGraph* ag_;
+  std::vector<Death> worklist_;
+  std::vector<NodeId> scratch_;
+  uint64_t pairs_erased_ = 0;
+};
+
+}  // namespace wireframe
+
+#endif  // WIREFRAME_CORE_BURNBACK_H_

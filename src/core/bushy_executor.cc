@@ -1,0 +1,158 @@
+#include "core/bushy_executor.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace wireframe {
+
+namespace {
+
+/// A materialized intermediate: flat row-major storage over a schema of
+/// variables.
+struct Relation {
+  std::vector<VarId> schema;
+  std::vector<NodeId> cells;  // rows.size() * schema.size()
+
+  size_t Width() const { return schema.size(); }
+  size_t NumRows() const {
+    return schema.empty() ? 0 : cells.size() / schema.size();
+  }
+  const NodeId* Row(size_t r) const { return cells.data() + r * Width(); }
+
+  int ColumnOf(VarId v) const {
+    for (size_t i = 0; i < schema.size(); ++i) {
+      if (schema[i] == v) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+/// Hashes the values of `cols` within one row.
+uint64_t HashKey(const NodeId* row, const std::vector<int>& cols) {
+  uint64_t h = 1469598103934665603ull;
+  for (int c : cols) h = Mix64(h ^ row[c]);
+  return h;
+}
+
+bool KeysEqual(const NodeId* a, const std::vector<int>& acols,
+               const NodeId* b, const std::vector<int>& bcols) {
+  for (size_t i = 0; i < acols.size(); ++i) {
+    if (a[acols[i]] != b[bcols[i]]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<DefactorizerStats> BushyExecutor::Emit(
+    const BushyPlan& plan, Sink* sink,
+    const BushyExecutorOptions& options) const {
+  DefactorizerStats stats;
+  uint64_t total_cells = 0;
+
+  auto materialize = [&](auto&& self,
+                         int index) -> Result<Relation> {
+    const BushyPlan::Node& node = plan.nodes[index];
+    Relation out;
+    if (node.IsLeaf()) {
+      const QueryEdge& qe = query_->Edge(node.edge);
+      out.schema = {qe.src, qe.dst};
+      const PairSet& set = ag_->Set(node.edge);
+      out.cells.reserve(set.Size() * 2);
+      set.ForEachPair([&](NodeId u, NodeId v) {
+        out.cells.push_back(u);
+        out.cells.push_back(v);
+      });
+      stats.extensions += set.Size();
+      total_cells += out.cells.size();
+    } else {
+      WF_ASSIGN_OR_RETURN(Relation left, self(self, node.left));
+      WF_ASSIGN_OR_RETURN(Relation right, self(self, node.right));
+      if (options.deadline.Expired()) {
+        return Status::TimedOut("bushy join");
+      }
+
+      // Join columns: variables present on both sides.
+      std::vector<int> lcols, rcols;
+      for (size_t i = 0; i < left.schema.size(); ++i) {
+        const int rc = right.ColumnOf(left.schema[i]);
+        if (rc >= 0) {
+          lcols.push_back(static_cast<int>(i));
+          rcols.push_back(rc);
+        }
+      }
+      WF_CHECK(!lcols.empty()) << "bushy plan produced a cross product";
+
+      // Build on the smaller side.
+      const bool build_left = left.NumRows() <= right.NumRows();
+      const Relation& build = build_left ? left : right;
+      const Relation& probe = build_left ? right : left;
+      const std::vector<int>& bcols = build_left ? lcols : rcols;
+      const std::vector<int>& pcols = build_left ? rcols : lcols;
+
+      std::unordered_multimap<uint64_t, size_t> table;
+      table.reserve(build.NumRows());
+      for (size_t r = 0; r < build.NumRows(); ++r) {
+        table.emplace(HashKey(build.Row(r), bcols), r);
+      }
+
+      // Output schema: probe side columns + build-only columns.
+      out.schema = probe.schema;
+      std::vector<int> extra_cols;  // build columns not in the join key
+      for (size_t i = 0; i < build.schema.size(); ++i) {
+        if (probe.ColumnOf(build.schema[i]) < 0) {
+          out.schema.push_back(build.schema[i]);
+          extra_cols.push_back(static_cast<int>(i));
+        }
+      }
+
+      uint32_t tick = 0;
+      for (size_t r = 0; r < probe.NumRows(); ++r) {
+        if (++tick % 4096 == 0 && options.deadline.Expired()) {
+          return Status::TimedOut("bushy join");
+        }
+        const NodeId* prow = probe.Row(r);
+        auto [begin, end] = table.equal_range(HashKey(prow, pcols));
+        for (auto it = begin; it != end; ++it) {
+          const NodeId* brow = build.Row(it->second);
+          if (!KeysEqual(prow, pcols, brow, bcols)) continue;
+          for (size_t c = 0; c < probe.Width(); ++c) {
+            out.cells.push_back(prow[c]);
+          }
+          for (int c : extra_cols) out.cells.push_back(brow[c]);
+          ++stats.extensions;
+        }
+        if (out.cells.size() + total_cells > options.max_cells) {
+          return Status::OutOfRange(
+              "bushy intermediate exceeded the memory budget");
+        }
+      }
+      total_cells += out.cells.size();
+    }
+    return out;
+  };
+
+  if (plan.root < 0) return Status::InvalidArgument("empty bushy plan");
+  WF_ASSIGN_OR_RETURN(Relation result, materialize(materialize, plan.root));
+
+  // Emit rows as full bindings.
+  std::vector<NodeId> binding(query_->NumVars(), kInvalidNode);
+  std::vector<int> var_to_col(query_->NumVars(), -1);
+  for (size_t c = 0; c < result.schema.size(); ++c) {
+    var_to_col[result.schema[c]] = static_cast<int>(c);
+  }
+  for (size_t r = 0; r < result.NumRows(); ++r) {
+    const NodeId* row = result.Row(r);
+    for (VarId v = 0; v < query_->NumVars(); ++v) {
+      binding[v] = var_to_col[v] >= 0 ? row[var_to_col[v]] : kInvalidNode;
+    }
+    ++stats.emitted;
+    if (!sink->Emit(binding)) break;
+  }
+  return stats;
+}
+
+}  // namespace wireframe

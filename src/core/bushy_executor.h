@@ -1,0 +1,45 @@
+#ifndef WIREFRAME_CORE_BUSHY_EXECUTOR_H_
+#define WIREFRAME_CORE_BUSHY_EXECUTOR_H_
+
+#include "core/answer_graph.h"
+#include "core/defactorizer.h"
+#include "exec/sink.h"
+#include "planner/bushy_planner.h"
+#include "query/query_graph.h"
+#include "util/result.h"
+#include "util/timer.h"
+
+namespace wireframe {
+
+/// Options for bushy execution.
+struct BushyExecutorOptions {
+  Deadline deadline;
+  /// Intermediate-memory budget in binding cells (rows x width); exceeding
+  /// it aborts with OutOfRange, mirroring the materializing baselines.
+  uint64_t max_cells = 400ull << 20;
+};
+
+/// Executes a BushyPlan over the answer graph: leaves scan AG edge sets,
+/// inner nodes hash-join their children on the shared variables, fully
+/// materializing each intermediate (that is what distinguishes the bushy
+/// plan space from the pipelined left-deep Defactorizer; the DP's job is
+/// to keep those intermediates small).
+class BushyExecutor {
+ public:
+  BushyExecutor(const QueryGraph& query, const AnswerGraph& ag)
+      : query_(&query), ag_(&ag) {}
+
+  /// Runs the plan, emitting every embedding to `sink`. The stats reuse
+  /// DefactorizerStats: `extensions` counts materialized intermediate
+  /// rows (the bushy analogue of tuple-extension work).
+  Result<DefactorizerStats> Emit(const BushyPlan& plan, Sink* sink,
+                                 const BushyExecutorOptions& options) const;
+
+ private:
+  const QueryGraph* query_;
+  const AnswerGraph* ag_;
+};
+
+}  // namespace wireframe
+
+#endif  // WIREFRAME_CORE_BUSHY_EXECUTOR_H_

@@ -1,0 +1,237 @@
+#include "core/chords.h"
+
+#include <unordered_set>
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace wireframe {
+
+namespace {
+
+/// Iterates partners of `node` (sitting at var `from`) across slot `slot`
+/// of `ag`, i.e. all y with an oriented live pair (node@from, y@other).
+template <typename Fn>
+void ForEachPartner(const AnswerGraph& ag, uint32_t slot, VarId from,
+                    NodeId node, Fn&& fn) {
+  const PairSet& set = ag.Set(slot);
+  if (ag.SrcVar(slot) == from) {
+    set.ForEachFwd(node, fn);
+  } else {
+    WF_DCHECK(ag.DstVar(slot) == from);
+    set.ForEachBwd(node, fn);
+  }
+}
+
+/// True iff slot holds the oriented pair (x@from_var, y@other_var).
+bool ContainsOriented(const AnswerGraph& ag, uint32_t slot, VarId from_var,
+                      NodeId x, NodeId y) {
+  const PairSet& set = ag.Set(slot);
+  return ag.SrcVar(slot) == from_var ? set.Contains(x, y)
+                                     : set.Contains(y, x);
+}
+
+/// Invokes fn(a, b) for every live pair of `slot`, reoriented so `a` sits
+/// at var `u`.
+template <typename Fn>
+void ForEachOrientedPair(const AnswerGraph& ag, uint32_t slot, VarId u,
+                         Fn&& fn) {
+  const bool straight = ag.SrcVar(slot) == u;
+  ag.Set(slot).ForEachPair([&](NodeId x, NodeId y) {
+    if (straight) {
+      fn(x, y);
+    } else {
+      fn(y, x);
+    }
+  });
+}
+
+}  // namespace
+
+uint32_t ChordEvaluator::SlotOf(const TriangleSide& side) const {
+  if (side.is_chord) {
+    WF_CHECK(side.index < chord_slots_.size());
+    return chord_slots_[side.index];
+  }
+  return side.index;
+}
+
+void ChordEvaluator::RegisterChordSlots() {
+  WF_CHECK(chord_slots_.empty()) << "RegisterChordSlots called twice";
+  for (const Chord& chord : chordification_->chords) {
+    chord_slots_.push_back(ag_->AddChordSlot(chord.u, chord.v));
+  }
+}
+
+ChordEvaluator::ResolvedTriangle ChordEvaluator::Resolve(
+    const Triangle& tri, uint32_t uv_slot) const {
+  ResolvedTriangle r;
+  r.uv_slot = uv_slot;
+  r.uw_slot = SlotOf(tri.side_uw);
+  r.wv_slot = SlotOf(tri.side_wv);
+  r.w = tri.apex;
+  // u is side_uw's endpoint other than the apex; v likewise for side_wv.
+  r.u = ag_->SrcVar(r.uw_slot) == tri.apex ? ag_->DstVar(r.uw_slot)
+                                           : ag_->SrcVar(r.uw_slot);
+  r.v = ag_->SrcVar(r.wv_slot) == tri.apex ? ag_->DstVar(r.wv_slot)
+                                           : ag_->SrcVar(r.wv_slot);
+  // Sanity: the closing side must connect u and v.
+  WF_DCHECK((ag_->SrcVar(uv_slot) == r.u && ag_->DstVar(uv_slot) == r.v) ||
+            (ag_->SrcVar(uv_slot) == r.v && ag_->DstVar(uv_slot) == r.u));
+  return r;
+}
+
+std::vector<ChordEvaluator::ResolvedTriangle> ChordEvaluator::AllTriangles()
+    const {
+  std::vector<ResolvedTriangle> out;
+  for (size_t c = 0; c < chordification_->chords.size(); ++c) {
+    for (const Triangle& tri : chordification_->chords[c].triangles) {
+      out.push_back(Resolve(tri, chord_slots_[c]));
+    }
+  }
+  for (size_t t = 0; t < chordification_->base_triangles.size(); ++t) {
+    out.push_back(Resolve(chordification_->base_triangles[t],
+                          chordification_->base_triangle_closing_edge[t]));
+  }
+  return out;
+}
+
+Status ChordEvaluator::MaterializeChords(const Deadline& deadline,
+                                         uint64_t* walks) {
+  WF_CHECK(chord_slots_.size() == chordification_->chords.size())
+      << "RegisterChordSlots must run first";
+
+  // Innermost chords first: the chord vector is built in DP-tree preorder,
+  // so reverse order guarantees a chord's own-triangle sides (query edges
+  // or deeper chords) are already materialized.
+  for (size_t c = chordification_->chords.size(); c-- > 0;) {
+    const Chord& chord = chordification_->chords[c];
+    const uint32_t slot = chord_slots_[c];
+
+    std::unordered_set<uint64_t, Hash64> pairs;
+    bool first_triangle = true;
+    for (const Triangle& tri : chord.triangles) {
+      if (!ag_->IsMaterialized(SlotOf(tri.side_uw)) ||
+          !ag_->IsMaterialized(SlotOf(tri.side_wv))) {
+        // Parent triangles reference sibling chords materialized later;
+        // their constraint is enforced by edge burnback instead.
+        continue;
+      }
+      ResolvedTriangle r = Resolve(tri, slot);
+      // Orient so `a` ranges over chord.u and `b` over chord.v.
+      const bool chord_straight = r.u == chord.u;
+      if (first_triangle) {
+        // Join side_uw ⋈ side_wv on the apex.
+        ForEachOrientedPair(*ag_, r.uw_slot, r.u, [&](NodeId a, NodeId w) {
+          ForEachPartner(*ag_, r.wv_slot, r.w, w, [&](NodeId b) {
+            ++*walks;
+            pairs.insert(chord_straight ? PackPair(a, b) : PackPair(b, a));
+          });
+        });
+        first_triangle = false;
+      } else {
+        // Intersect with this triangle's join.
+        std::unordered_set<uint64_t, Hash64> kept;
+        for (uint64_t key : pairs) {
+          auto [x, y] = UnpackPair(key);
+          const NodeId a = chord_straight ? x : y;
+          const NodeId b = chord_straight ? y : x;
+          bool supported = false;
+          ForEachPartner(*ag_, r.uw_slot, r.u, a, [&](NodeId w) {
+            ++*walks;
+            if (!supported &&
+                ContainsOriented(*ag_, r.wv_slot, r.w, w, b)) {
+              supported = true;
+            }
+          });
+          if (supported) kept.insert(key);
+        }
+        pairs = std::move(kept);
+      }
+      if (deadline.Expired()) return Status::TimedOut("chord materialization");
+    }
+    WF_CHECK(!first_triangle)
+        << "chord " << c << " had no materializable triangle";
+
+    PairSet& set = ag_->Set(slot);
+    for (uint64_t key : pairs) {
+      auto [a, b] = UnpackPair(key);
+      set.Add(a, b);
+    }
+    ag_->MarkMaterialized(slot);
+    // Chords constrain node sets too: burn back endpoints that lost all
+    // support (both endpoints were necessarily touched already).
+    burnback_->PruneAfterExtension(slot, /*src_was_touched=*/true,
+                                   /*dst_was_touched=*/true);
+    if (deadline.Expired()) return Status::TimedOut("chord materialization");
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> ChordEvaluator::RunEdgeBurnback(const Deadline& deadline) {
+  const std::vector<ResolvedTriangle> triangles = AllTriangles();
+  uint64_t erased_total = 0;
+
+  // Pair deletions cascade both through node burnback (inside ErasePair)
+  // and across triangles (a deleted pair may strand a pair of another
+  // triangle), so iterate whole passes until quiescent.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const ResolvedTriangle& t : triangles) {
+      if (deadline.Expired()) return Status::TimedOut("edge burnback");
+
+      // Each side must be witnessed by the other two.
+      struct Doomed {
+        uint32_t slot;
+        NodeId x, y;  // native orientation of the slot
+      };
+      std::vector<Doomed> doomed;
+
+      // Closing side (u,v): witness ∃w (a,w)∈uw ∧ (w,b)∈wv.
+      ForEachOrientedPair(*ag_, t.uv_slot, t.u, [&](NodeId a, NodeId b) {
+        bool ok = false;
+        ForEachPartner(*ag_, t.uw_slot, t.u, a, [&](NodeId w) {
+          if (!ok && ContainsOriented(*ag_, t.wv_slot, t.w, w, b)) ok = true;
+        });
+        if (!ok) {
+          const bool straight = ag_->SrcVar(t.uv_slot) == t.u;
+          doomed.push_back({t.uv_slot, straight ? a : b, straight ? b : a});
+        }
+      });
+      // Side (u,w): witness ∃b (w,b)∈wv ∧ (a,b)∈uv.
+      ForEachOrientedPair(*ag_, t.uw_slot, t.u, [&](NodeId a, NodeId w) {
+        bool ok = false;
+        ForEachPartner(*ag_, t.wv_slot, t.w, w, [&](NodeId b) {
+          if (!ok && ContainsOriented(*ag_, t.uv_slot, t.u, a, b)) ok = true;
+        });
+        if (!ok) {
+          const bool straight = ag_->SrcVar(t.uw_slot) == t.u;
+          doomed.push_back({t.uw_slot, straight ? a : w, straight ? w : a});
+        }
+      });
+      // Side (w,v): witness ∃a (a,w)∈uw ∧ (a,b)∈uv.
+      ForEachOrientedPair(*ag_, t.wv_slot, t.w, [&](NodeId w, NodeId b) {
+        bool ok = false;
+        ForEachPartner(*ag_, t.uw_slot, t.w, w, [&](NodeId a) {
+          if (!ok && ContainsOriented(*ag_, t.uv_slot, t.u, a, b)) ok = true;
+        });
+        if (!ok) {
+          const bool straight = ag_->SrcVar(t.wv_slot) == t.w;
+          doomed.push_back({t.wv_slot, straight ? w : b, straight ? b : w});
+        }
+      });
+
+      for (const Doomed& d : doomed) {
+        const uint64_t erased = burnback_->ErasePair(d.slot, d.x, d.y);
+        if (erased > 0) {
+          erased_total += erased;
+          changed = true;
+        }
+      }
+    }
+  }
+  return erased_total;
+}
+
+}  // namespace wireframe

@@ -1,0 +1,150 @@
+#include "core/defactorizer.h"
+
+#include "util/logging.h"
+
+namespace wireframe {
+
+namespace {
+
+/// Recursive enumeration state shared across frames.
+struct EmitContext {
+  const QueryGraph* query;
+  const AnswerGraph* ag;
+  const std::vector<uint32_t>* order;
+  /// chord_checks[d]: chord slots whose endpoints are both bound once the
+  /// edge at depth d has been joined.
+  const std::vector<std::vector<uint32_t>>* chord_checks;
+  Sink* sink;
+  const Deadline* deadline;
+  std::vector<NodeId> binding;
+  DefactorizerStats stats;
+  uint32_t tick = 0;
+  bool stop = false;       // sink asked to stop (not an error)
+  bool timed_out = false;
+
+  bool DeadlineHit() {
+    if (++tick % 4096 != 0) return false;
+    if (deadline->Expired()) {
+      timed_out = true;
+      stop = true;
+    }
+    return timed_out;
+  }
+};
+
+/// True iff every chord becoming checkable at this depth accepts the
+/// current binding.
+bool ChordsAccept(EmitContext& ctx, size_t depth) {
+  for (uint32_t slot : (*ctx.chord_checks)[depth]) {
+    const NodeId u = ctx.binding[ctx.ag->SrcVar(slot)];
+    const NodeId v = ctx.binding[ctx.ag->DstVar(slot)];
+    if (!ctx.ag->Set(slot).Contains(u, v)) {
+      ++ctx.stats.chord_rejections;
+      return false;
+    }
+  }
+  return true;
+}
+
+void EmitStep(EmitContext& ctx, size_t depth) {
+  if (ctx.stop) return;
+  if (depth == ctx.order->size()) {
+    ++ctx.stats.emitted;
+    if (!ctx.sink->Emit(ctx.binding)) ctx.stop = true;
+    return;
+  }
+  const uint32_t e = (*ctx.order)[depth];
+  const QueryEdge& qe = ctx.query->Edge(e);
+  const PairSet& set = ctx.ag->Set(e);
+  NodeId& src_slot = ctx.binding[qe.src];
+  NodeId& dst_slot = ctx.binding[qe.dst];
+  const bool src_bound = src_slot != kInvalidNode;
+  const bool dst_bound = dst_slot != kInvalidNode;
+
+  if (ctx.DeadlineHit()) return;
+
+  if (src_bound && dst_bound) {
+    ++ctx.stats.extensions;
+    if (set.Contains(src_slot, dst_slot) && ChordsAccept(ctx, depth)) {
+      EmitStep(ctx, depth + 1);
+    }
+    return;
+  }
+  if (src_bound) {
+    set.ForEachFwd(src_slot, [&](NodeId v) {
+      if (ctx.stop) return;
+      ++ctx.stats.extensions;
+      dst_slot = v;
+      if (ChordsAccept(ctx, depth)) EmitStep(ctx, depth + 1);
+      dst_slot = kInvalidNode;
+    });
+    return;
+  }
+  if (dst_bound) {
+    set.ForEachBwd(dst_slot, [&](NodeId u) {
+      if (ctx.stop) return;
+      ++ctx.stats.extensions;
+      src_slot = u;
+      if (ChordsAccept(ctx, depth)) EmitStep(ctx, depth + 1);
+      src_slot = kInvalidNode;
+    });
+    return;
+  }
+  // Neither endpoint bound: only legal for the first edge of a connected
+  // plan; enumerate the whole edge set.
+  WF_DCHECK(depth == 0) << "disconnected embedding plan";
+  set.ForEachPair([&](NodeId u, NodeId v) {
+    if (ctx.stop) return;
+    ++ctx.stats.extensions;
+    src_slot = u;
+    dst_slot = v;
+    if (ChordsAccept(ctx, depth)) EmitStep(ctx, depth + 1);
+    src_slot = kInvalidNode;
+    dst_slot = kInvalidNode;
+  });
+}
+
+}  // namespace
+
+Result<DefactorizerStats> Defactorizer::Emit(
+    const EmbeddingPlan& plan, Sink* sink,
+    const DefactorizerOptions& options) const {
+  WF_CHECK(plan.join_order.size() == query_->NumEdges())
+      << "embedding plan must cover every query edge";
+
+  // Precompute which materialized chords become checkable at each depth:
+  // the first step after which both endpoint variables are bound.
+  std::vector<std::vector<uint32_t>> chord_checks(plan.join_order.size());
+  if (options.use_chords) {
+    std::vector<bool> bound(query_->NumVars(), false);
+    for (size_t d = 0; d < plan.join_order.size(); ++d) {
+      const QueryEdge& qe = query_->Edge(plan.join_order[d]);
+      bound[qe.src] = true;
+      bound[qe.dst] = true;
+      for (uint32_t slot = ag_->NumQueryEdges(); slot < ag_->NumEdgeSets();
+           ++slot) {
+        if (!ag_->IsMaterialized(slot)) continue;
+        if (!bound[ag_->SrcVar(slot)] || !bound[ag_->DstVar(slot)]) continue;
+        bool already = false;
+        for (size_t earlier = 0; earlier < d && !already; ++earlier) {
+          for (uint32_t s : chord_checks[earlier]) already |= s == slot;
+        }
+        if (!already) chord_checks[d].push_back(slot);
+      }
+    }
+  }
+
+  EmitContext ctx;
+  ctx.query = query_;
+  ctx.ag = ag_;
+  ctx.order = &plan.join_order;
+  ctx.chord_checks = &chord_checks;
+  ctx.sink = sink;
+  ctx.deadline = &options.deadline;
+  ctx.binding.assign(query_->NumVars(), kInvalidNode);
+  EmitStep(ctx, 0);
+  if (ctx.timed_out) return Status::TimedOut("embedding generation");
+  return ctx.stats;
+}
+
+}  // namespace wireframe

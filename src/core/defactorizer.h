@@ -1,0 +1,65 @@
+#ifndef WIREFRAME_CORE_DEFACTORIZER_H_
+#define WIREFRAME_CORE_DEFACTORIZER_H_
+
+#include "core/answer_graph.h"
+#include "exec/sink.h"
+#include "planner/plan.h"
+#include "query/query_graph.h"
+#include "util/result.h"
+#include "util/timer.h"
+
+namespace wireframe {
+
+/// Phase-2 options.
+struct DefactorizerOptions {
+  Deadline deadline;
+  /// Use materialized chord pair sets as early filters: as soon as both
+  /// endpoints of a chord are bound, a binding not in the chord set is
+  /// abandoned. Sound (chord sets are supersets of the embedding
+  /// projections) and realizes §6's promise that "triangulation promises
+  /// to reduce [embedding-generation cost] significantly" — the chord
+  /// check cuts dead branches that a non-ideal AG would otherwise explore
+  /// to the end. No effect on acyclic queries (no chords).
+  bool use_chords = true;
+};
+
+/// Phase-2 counters.
+struct DefactorizerStats {
+  /// Embeddings emitted to the sink.
+  uint64_t emitted = 0;
+  /// Tuple-extension steps performed (binding attempts across all
+  /// depths); over an ideal AG this is proportional to emitted.
+  uint64_t extensions = 0;
+  /// Branches cut by a chord filter before reaching full depth.
+  uint64_t chord_rejections = 0;
+};
+
+/// Embedding generation (paper §3): joins the answer graph's edge sets in
+/// the embedding plan's order to enumerate the CQ's embedding tuples.
+///
+/// Execution is pipelined (depth-first): each tuple is extended edge by
+/// edge without materializing intermediates, so for an acyclic CQ over the
+/// ideal AG the work is proportional to the output — no partial tuple is
+/// ever abandoned, which is the paper's "no k-ary tuple is ever eliminated
+/// during a join" guarantee. For cyclic CQs over non-ideal AGs some
+/// branches die; the embedding planner's join order and the chord filters
+/// minimize that.
+class Defactorizer {
+ public:
+  Defactorizer(const QueryGraph& query, const AnswerGraph& ag)
+      : query_(&query), ag_(&ag) {}
+
+  /// Enumerates all embeddings in `plan.join_order`, emitting each full
+  /// binding to `sink`. Returns counters (or TimedOut). Stops early, with
+  /// OK, when the sink declines more rows.
+  Result<DefactorizerStats> Emit(const EmbeddingPlan& plan, Sink* sink,
+                                 const DefactorizerOptions& options) const;
+
+ private:
+  const QueryGraph* query_;
+  const AnswerGraph* ag_;
+};
+
+}  // namespace wireframe
+
+#endif  // WIREFRAME_CORE_DEFACTORIZER_H_

@@ -1,0 +1,191 @@
+#include "core/generator.h"
+
+#include <algorithm>
+
+#include "core/burnback.h"
+#include "core/chords.h"
+#include "util/logging.h"
+
+namespace wireframe {
+
+namespace {
+
+/// Extension probes check the deadline on this cadence to stay cheap.
+constexpr uint32_t kDeadlineStride = 4096;
+
+}  // namespace
+
+Result<GeneratorResult> AgGenerator::Generate(
+    const QueryGraph& query, const AgPlan& plan,
+    const GeneratorOptions& options) const {
+  WF_CHECK(plan.edge_order.size() == query.NumEdges())
+      << "plan must cover every query edge exactly once";
+  const TripleStore& store = db_->store();
+
+  GeneratorResult result;
+  result.ag = std::make_unique<AnswerGraph>(query);
+  AnswerGraph& ag = *result.ag;
+  Burnback burnback(&ag);
+
+  // Chord slots are registered up front (unmaterialized slots are inert)
+  // so the chord evaluator and node burnback share one AnswerGraph.
+  const bool use_chords =
+      options.triangulate && !plan.chords.empty();
+  Chordification chordification;
+  chordification.chords = plan.chords;
+  chordification.base_triangles = plan.base_triangles;
+  chordification.base_triangle_closing_edge = plan.base_triangle_closing_edge;
+  ChordEvaluator chord_eval(chordification, &ag, &burnback);
+  if (use_chords || !plan.base_triangles.empty()) {
+    chord_eval.RegisterChordSlots();
+  }
+
+  uint32_t probe_tick = 0;
+  auto deadline_hit = [&]() -> bool {
+    if (++probe_tick % kDeadlineStride != 0) return false;
+    return options.deadline.Expired();
+  };
+
+  // Lookahead filter support: for a node landing on a fresh variable v
+  // via edge e, every other not-yet-materialized query edge incident to v
+  // must have at least one matching data edge at that node.
+  std::vector<bool> query_edge_done(query.NumEdges(), false);
+  auto passes_lookahead = [&](VarId v, NodeId node,
+                              uint32_t via_edge) -> bool {
+    if (!options.lookahead) return true;
+    for (uint32_t f : query.IncidentEdges(v)) {
+      if (f == via_edge || query_edge_done[f]) continue;
+      const QueryEdge& qf = query.Edge(f);
+      if (qf.label >= store.NumPredicates()) return false;
+      ++result.edge_walks;  // the existence probe is an index lookup
+      if (qf.src == v) {
+        if (store.OutNeighbors(qf.label, node).empty()) return false;
+      } else {
+        if (store.InNeighbors(qf.label, node).empty()) return false;
+      }
+    }
+    return true;
+  };
+
+  // --- Edge extension + node burnback, one query edge at a time. ---
+  for (uint32_t e : plan.edge_order) {
+    const QueryEdge& qe = query.Edge(e);
+    const LabelId p = qe.label;
+    PairSet& set = ag.Set(e);
+    const bool src_touched = ag.IsTouched(qe.src);
+    const bool dst_touched = ag.IsTouched(qe.dst);
+    bool timed_out = false;
+
+    if (p >= store.NumPredicates()) {
+      // Label exists in the dictionary but has no triples: the edge set
+      // stays empty and burnback below wipes the constrained endpoints.
+    } else if (!src_touched && !dst_touched) {
+      // Cold start: the whole labeled edge set enters the AG.
+      store.ForEachEdge(p, [&](NodeId s, NodeId o) {
+        ++result.edge_walks;
+        if (passes_lookahead(qe.src, s, e) &&
+            passes_lookahead(qe.dst, o, e)) {
+          set.Add(s, o);
+        }
+      });
+    } else if (src_touched && !dst_touched) {
+      ag.ForEachCandidate(qe.src, [&](NodeId u) {
+        if (timed_out || (timed_out = deadline_hit())) return;
+        ++result.edge_walks;  // one index probe
+        for (NodeId o : store.OutNeighbors(p, u)) {
+          ++result.edge_walks;
+          if (passes_lookahead(qe.dst, o, e)) set.Add(u, o);
+        }
+      });
+    } else if (!src_touched && dst_touched) {
+      ag.ForEachCandidate(qe.dst, [&](NodeId w) {
+        if (timed_out || (timed_out = deadline_hit())) return;
+        ++result.edge_walks;
+        for (NodeId s : store.InNeighbors(p, w)) {
+          ++result.edge_walks;
+          if (passes_lookahead(qe.src, s, e)) set.Add(s, w);
+        }
+      });
+    } else {
+      // Both constrained: probe from the side with fewer candidates and
+      // filter the far endpoint by aliveness.
+      const uint64_t src_cand = ag.CandidateCount(qe.src);
+      const uint64_t dst_cand = ag.CandidateCount(qe.dst);
+      if (src_cand <= dst_cand) {
+        ag.ForEachCandidate(qe.src, [&](NodeId u) {
+          if (timed_out || (timed_out = deadline_hit())) return;
+          ++result.edge_walks;
+          for (NodeId o : store.OutNeighbors(p, u)) {
+            ++result.edge_walks;
+            if (ag.IsAlive(qe.dst, o)) set.Add(u, o);
+          }
+        });
+      } else {
+        ag.ForEachCandidate(qe.dst, [&](NodeId w) {
+          if (timed_out || (timed_out = deadline_hit())) return;
+          ++result.edge_walks;
+          for (NodeId s : store.InNeighbors(p, w)) {
+            ++result.edge_walks;
+            if (ag.IsAlive(qe.src, s)) set.Add(s, w);
+          }
+        });
+      }
+    }
+    if (timed_out) return Status::TimedOut("answer-graph generation");
+
+    const uint64_t added = set.Size();
+    ag.MarkMaterialized(e);
+    query_edge_done[e] = true;
+    const uint64_t burned =
+        burnback.PruneAfterExtension(e, src_touched, dst_touched);
+    result.pairs_burned += burned;
+
+    if (options.trace) {
+      options.trace({GeneratorTraceStep::Kind::kExtension, e, added, burned,
+                     ag.TotalQueryEdgePairs()});
+    }
+    if (options.deadline.Expired()) {
+      return Status::TimedOut("answer-graph generation");
+    }
+  }
+
+  // --- Chord materialization (cyclic queries). ---
+  if (use_chords) {
+    result.used_chords = true;
+    uint64_t walks = 0;
+    Status st = chord_eval.MaterializeChords(options.deadline, &walks);
+    if (!st.ok()) return st;
+    result.edge_walks += walks;
+    for (size_t c = 0; c < plan.chords.size(); ++c) {
+      result.chord_pairs += ag.Set(chord_eval.ChordSlot(
+                                       static_cast<uint32_t>(c)))
+                                .Size();
+      if (options.trace) {
+        options.trace(
+            {GeneratorTraceStep::Kind::kChord, static_cast<uint32_t>(c),
+             ag.Set(chord_eval.ChordSlot(static_cast<uint32_t>(c))).Size(),
+             0, ag.TotalQueryEdgePairs()});
+      }
+    }
+  }
+
+  // --- Optional edge burnback down to the ideal AG. ---
+  if (options.edge_burnback &&
+      (use_chords || !plan.base_triangles.empty())) {
+    WF_ASSIGN_OR_RETURN(uint64_t erased,
+                        chord_eval.RunEdgeBurnback(options.deadline));
+    result.pairs_burned += erased;
+    if (options.trace) {
+      options.trace({GeneratorTraceStep::Kind::kEdgeBurnback, 0, 0, erased,
+                     ag.TotalQueryEdgePairs()});
+    }
+  }
+
+  // Generation is over: drop tombstones so phase 2 iterates clean arrays.
+  for (uint32_t s = 0; s < ag.NumEdgeSets(); ++s) {
+    ag.Set(s).Compact();
+  }
+  return result;
+}
+
+}  // namespace wireframe

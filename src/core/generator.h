@@ -1,0 +1,87 @@
+#ifndef WIREFRAME_CORE_GENERATOR_H_
+#define WIREFRAME_CORE_GENERATOR_H_
+
+#include <functional>
+#include <memory>
+
+#include "catalog/catalog.h"
+#include "core/answer_graph.h"
+#include "planner/plan.h"
+#include "planner/triangulator.h"
+#include "query/query_graph.h"
+#include "storage/database.h"
+#include "util/result.h"
+#include "util/timer.h"
+
+namespace wireframe {
+
+/// One observable step of answer-graph generation, for tracing (the
+/// Fig. 2 walkthrough bench prints these) and diagnostics.
+struct GeneratorTraceStep {
+  enum class Kind { kExtension, kChord, kEdgeBurnback };
+  Kind kind = Kind::kExtension;
+  /// Query-edge index (kExtension) or chord index (kChord); unused for
+  /// kEdgeBurnback.
+  uint32_t index = 0;
+  uint64_t pairs_added = 0;
+  uint64_t pairs_burned = 0;
+  /// |AG| over query edges after the step.
+  uint64_t ag_size_after = 0;
+};
+
+/// Phase-1 configuration.
+struct GeneratorOptions {
+  /// Chordify cycles and materialize chords (cyclic queries only).
+  bool triangulate = true;
+  /// Run the edge-burnback fixpoint after chord materialization. The
+  /// paper's experiments leave this off ("our evaluation over cyclic CQs
+  /// is without edge burnback"); on, the AG is ideal even for cyclic CQs.
+  bool edge_burnback = false;
+  /// One-step lookahead existence filter: when an extension reaches a
+  /// previously untouched variable, reject pairs whose fresh endpoint has
+  /// no data edge at all for some still-unmaterialized incident pattern.
+  /// Sound (such pairs are certain to burn back later) and cheap (one
+  /// index probe per future pattern); it converts add-then-burn churn
+  /// into never-adding. Off by default here so the raw generator traces
+  /// the paper's Fig. 2 exactly; WireframeOptions enables it for the
+  /// engine. bench_ablation_lookahead quantifies the effect.
+  bool lookahead = false;
+  Deadline deadline;
+  /// Optional step observer.
+  std::function<void(const GeneratorTraceStep&)> trace;
+};
+
+/// Phase-1 output: the answer graph plus cost accounting.
+struct GeneratorResult {
+  // Held by pointer: AnswerGraph is move-only and large.
+  std::unique_ptr<AnswerGraph> ag;
+  uint64_t edge_walks = 0;
+  uint64_t pairs_burned = 0;
+  uint64_t chord_pairs = 0;
+  bool used_chords = false;
+};
+
+/// Executes the answer-graph generation phase (paper §3): for each query
+/// edge of the plan, an edge-extension step pulls matching labeled edges
+/// from G constrained by the current AG node sets, then cascading node
+/// burnback removes nodes that failed to extend. For cyclic queries the
+/// plan's chords are then materialized; edge burnback optionally culls
+/// spurious edges down to the ideal AG.
+class AgGenerator {
+ public:
+  AgGenerator(const Database& db, const Catalog& catalog)
+      : db_(&db), catalog_(&catalog) {}
+
+  /// Runs phase 1 under `plan`. The plan's edge_order must be a
+  /// permutation of the query's edges.
+  Result<GeneratorResult> Generate(const QueryGraph& query, const AgPlan& plan,
+                                   const GeneratorOptions& options) const;
+
+ private:
+  const Database* db_;
+  const Catalog* catalog_;
+};
+
+}  // namespace wireframe
+
+#endif  // WIREFRAME_CORE_GENERATOR_H_

@@ -1,0 +1,117 @@
+#include "core/wireframe.h"
+
+#include "query/shape.h"
+#include "util/timer.h"
+
+namespace wireframe {
+
+Result<WireframeRunDetail> WireframeEngine::RunDetailed(
+    const Database& db, const Catalog& catalog, const QueryGraph& query,
+    const EngineOptions& options, Sink* sink) {
+  WireframeRunDetail detail;
+  Stopwatch total;
+
+  // --- Planning: Edgifier (+ Triangulator for cyclic queries). ---
+  Stopwatch plan_watch;
+  CardinalityEstimator estimator(catalog);
+  Edgifier edgifier(query, estimator);
+  WF_ASSIGN_OR_RETURN(detail.ag_plan, edgifier.PlanEdgeOrder());
+
+  const QueryShape shape = AnalyzeShape(query);
+  detail.cyclic = !shape.acyclic;
+  if (!shape.acyclic && options_.triangulate) {
+    Triangulator triangulator(query, estimator);
+    WF_ASSIGN_OR_RETURN(Chordification chords,
+                        triangulator.Triangulate(shape));
+    detail.ag_plan.chords = std::move(chords.chords);
+    detail.ag_plan.base_triangles = std::move(chords.base_triangles);
+    detail.ag_plan.base_triangle_closing_edge =
+        std::move(chords.base_triangle_closing_edge);
+  }
+  detail.plan_seconds = plan_watch.ElapsedSeconds();
+
+  // --- Phase 1: answer-graph generation. ---
+  Stopwatch phase1_watch;
+  GeneratorOptions gen_options;
+  gen_options.triangulate = options_.triangulate;
+  gen_options.edge_burnback = options_.edge_burnback;
+  gen_options.lookahead = options_.lookahead;
+  gen_options.deadline = options.deadline;
+  AgGenerator generator(db, catalog);
+  WF_ASSIGN_OR_RETURN(GeneratorResult gen,
+                      generator.Generate(query, detail.ag_plan, gen_options));
+  detail.phase1_seconds = phase1_watch.ElapsedSeconds();
+  detail.pairs_burned = gen.pairs_burned;
+  detail.chord_pairs = gen.chord_pairs;
+
+  // --- Phase 2: embedding generation over the AG. ---
+  Stopwatch phase2_watch;
+  bool emitted_by_bushy = false;
+  if (options_.bushy_phase2) {
+    BushyPlanner bushy_planner(query);
+    Result<BushyPlan> bushy_plan = bushy_planner.Plan(gen.ag->Stats());
+    if (bushy_plan.ok()) {
+      BushyExecutor executor(query, *gen.ag);
+      BushyExecutorOptions bushy_options;
+      bushy_options.deadline = options.deadline;
+      WF_ASSIGN_OR_RETURN(detail.phase2_stats,
+                          executor.Emit(*bushy_plan, sink, bushy_options));
+      emitted_by_bushy = true;
+      detail.used_bushy = true;
+    }
+    // Capped-out bushy DP falls through to the pipelined defactorizer.
+  }
+  EmbeddingPlanner embedding_planner(query);
+  WF_ASSIGN_OR_RETURN(detail.embedding_plan,
+                      embedding_planner.PlanJoinOrder(gen.ag->Stats()));
+  if (!emitted_by_bushy) {
+    Defactorizer defactorizer(query, *gen.ag);
+    DefactorizerOptions defac_options;
+    defac_options.deadline = options.deadline;
+    defac_options.use_chords = options_.chords_in_phase2;
+    WF_ASSIGN_OR_RETURN(
+        detail.phase2_stats,
+        defactorizer.Emit(detail.embedding_plan, sink, defac_options));
+  }
+  detail.phase2_seconds = phase2_watch.ElapsedSeconds();
+
+  detail.stats.seconds = total.ElapsedSeconds();
+  detail.stats.edge_walks = gen.edge_walks;
+  detail.stats.output_tuples = detail.phase2_stats.emitted;
+  detail.stats.ag_pairs = gen.ag->TotalQueryEdgePairs();
+  detail.ag = std::move(gen.ag);
+  return detail;
+}
+
+Result<EngineStats> WireframeEngine::Run(const Database& db,
+                                         const Catalog& catalog,
+                                         const QueryGraph& query,
+                                         const EngineOptions& options,
+                                         Sink* sink) {
+  WF_ASSIGN_OR_RETURN(WireframeRunDetail detail,
+                      RunDetailed(db, catalog, query, options, sink));
+  return detail.stats;
+}
+
+Result<std::string> WireframeEngine::Explain(const Database& db,
+                                             const Catalog& catalog,
+                                             const QueryGraph& query) {
+  CardinalityEstimator estimator(catalog);
+  Edgifier edgifier(query, estimator);
+  WF_ASSIGN_OR_RETURN(AgPlan plan, edgifier.PlanEdgeOrder());
+
+  const QueryShape shape = AnalyzeShape(query);
+  if (!shape.acyclic && options_.triangulate) {
+    Triangulator triangulator(query, estimator);
+    WF_ASSIGN_OR_RETURN(Chordification chords,
+                        triangulator.Triangulate(shape));
+    plan.chords = std::move(chords.chords);
+  }
+  auto label_name = [&db](LabelId p) { return db.labels().Term(p); };
+  std::string out = query.ToString(label_name) + "\n";
+  out += shape.acyclic ? "shape: acyclic\n" : "shape: cyclic\n";
+  out += plan.ToString(query, label_name);
+  return out;
+}
+
+}  // namespace wireframe

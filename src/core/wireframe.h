@@ -1,0 +1,94 @@
+#ifndef WIREFRAME_CORE_WIREFRAME_H_
+#define WIREFRAME_CORE_WIREFRAME_H_
+
+#include <memory>
+#include <string>
+
+#include "core/bushy_executor.h"
+#include "core/defactorizer.h"
+#include "core/generator.h"
+#include "exec/engine.h"
+#include "planner/edgifier.h"
+#include "planner/embedding_planner.h"
+#include "planner/triangulator.h"
+
+namespace wireframe {
+
+/// Wireframe-specific knobs beyond EngineOptions.
+struct WireframeOptions {
+  /// Chordify cyclic queries (Triangulator). Acyclic queries ignore this.
+  bool triangulate = true;
+  /// Run edge burnback after chord materialization (paper future work;
+  /// off reproduces the paper's experimental configuration).
+  bool edge_burnback = false;
+  /// One-step lookahead existence filter during edge extension (see
+  /// GeneratorOptions::lookahead). On by default for the engine: it is
+  /// sound, changes no result or final AG, and removes most add-then-burn
+  /// churn from phase 1.
+  bool lookahead = true;
+  /// Check materialized chord sets during defactorization (the paper §6:
+  /// "Triangulation promises to reduce this significantly"). Sound; only
+  /// affects cyclic queries evaluated with triangulation.
+  bool chords_in_phase2 = true;
+  /// Use the bushy phase-2 planner/executor (paper §6's richer plan
+  /// space) instead of the pipelined left-deep defactorizer. Falls back
+  /// to pipelined when the bushy DP is capped out. Default off: pipelined
+  /// enumeration over the iAG is already output-optimal for acyclic CQs;
+  /// bench_ablation_bushy measures where bushy pays.
+  bool bushy_phase2 = false;
+};
+
+/// Detailed result of one Wireframe run, superset of EngineStats: exposes
+/// phase timings and the AG itself for benches and tests.
+struct WireframeRunDetail {
+  EngineStats stats;
+  double plan_seconds = 0.0;
+  double phase1_seconds = 0.0;
+  double phase2_seconds = 0.0;
+  DefactorizerStats phase2_stats;
+  /// True if the bushy executor produced the embeddings.
+  bool used_bushy = false;
+  uint64_t pairs_burned = 0;
+  uint64_t chord_pairs = 0;
+  bool cyclic = false;
+  /// The answer graph (query-edge sets live; chords included when used).
+  std::unique_ptr<AnswerGraph> ag;
+  AgPlan ag_plan;
+  EmbeddingPlan embedding_plan;
+};
+
+/// The prototype system (paper §5): a two-phase, cost-based evaluator for
+/// SPARQL conjunctive queries. Phase 1 plans (Edgifier + Triangulator) and
+/// generates the answer graph; phase 2 plans (greedy, on exact AG
+/// statistics) and generates the embeddings.
+class WireframeEngine : public Engine {
+ public:
+  explicit WireframeEngine(WireframeOptions options = {})
+      : options_(options) {}
+
+  std::string_view name() const override { return "WF"; }
+
+  Result<EngineStats> Run(const Database& db, const Catalog& catalog,
+                          const QueryGraph& query, const EngineOptions& options,
+                          Sink* sink) override;
+
+  /// Like Run but returns phase-level details and the answer graph.
+  Result<WireframeRunDetail> RunDetailed(const Database& db,
+                                         const Catalog& catalog,
+                                         const QueryGraph& query,
+                                         const EngineOptions& options,
+                                         Sink* sink);
+
+  /// Renders the two plans for a query without executing (EXPLAIN).
+  Result<std::string> Explain(const Database& db, const Catalog& catalog,
+                              const QueryGraph& query);
+
+  const WireframeOptions& wireframe_options() const { return options_; }
+
+ private:
+  WireframeOptions options_;
+};
+
+}  // namespace wireframe
+
+#endif  // WIREFRAME_CORE_WIREFRAME_H_

@@ -1,0 +1,56 @@
+#include "datagen/figures.h"
+
+#include "query/parser.h"
+
+namespace wireframe {
+
+Database MakeFig1Graph() {
+  DatabaseBuilder b;
+  auto n = [](int i) { return "n" + std::to_string(i); };
+  // A-edges: three fan in to n5; n4 reaches the doomed n6.
+  b.Add(n(1), "A", n(5));
+  b.Add(n(2), "A", n(5));
+  b.Add(n(3), "A", n(5));
+  b.Add(n(4), "A", n(6));
+  // B-edges.
+  b.Add(n(5), "B", n(9));
+  b.Add(n(6), "B", n(10));
+  // C-edges fan out of n9; n8→n11 never meets the query's candidates.
+  b.Add(n(9), "C", n(12));
+  b.Add(n(9), "C", n(13));
+  b.Add(n(9), "C", n(14));
+  b.Add(n(9), "C", n(15));
+  b.Add(n(8), "C", n(11));
+  return std::move(b).Build();
+}
+
+Result<QueryGraph> MakeFig1Query(const Database& db) {
+  return SparqlParser::ParseAndBind(
+      "select ?w ?x ?y ?z where { ?w A ?x . ?x B ?y . ?y C ?z . }", db);
+}
+
+Database MakeFig4Graph() {
+  DatabaseBuilder b;
+  auto n = [](int i) { return "n" + std::to_string(i); };
+  b.Add(n(3), "A", n(4));
+  b.Add(n(7), "A", n(8));
+  b.Add(n(3), "B", n(2));
+  b.Add(n(7), "B", n(6));
+  b.Add(n(4), "C", n(1));
+  b.Add(n(8), "C", n(5));
+  b.Add(n(1), "D", n(2));
+  b.Add(n(5), "D", n(6));
+  // Spurious under node burnback: every endpoint is alive, yet neither
+  // edge participates in an embedding (paper Fig. 4's ⟨1,6⟩ and ⟨5,2⟩).
+  b.Add(n(1), "D", n(6));
+  b.Add(n(5), "D", n(2));
+  return std::move(b).Build();
+}
+
+Result<QueryGraph> MakeFig4Query(const Database& db) {
+  return SparqlParser::ParseAndBind(
+      "select ?x ?e ?y ?z where { ?x A ?e . ?x B ?z . ?e C ?y . ?y D ?z . }",
+      db);
+}
+
+}  // namespace wireframe

@@ -1,0 +1,48 @@
+#ifndef WIREFRAME_DATAGEN_FIGURES_H_
+#define WIREFRAME_DATAGEN_FIGURES_H_
+
+#include "query/query_graph.h"
+#include "storage/database.h"
+#include "util/result.h"
+
+namespace wireframe {
+
+/// Exact reconstructions of the paper's running examples, used by tests
+/// and the figure benches to check the algorithms against ground truth the
+/// paper states explicitly.
+
+/// The data graph of Fig. 1 / Fig. 2: nodes n1..n15, labels A, B, C.
+///   A: n1→n5, n2→n5, n3→n5, n4→n6
+///   B: n5→n9, n6→n10
+///   C: n9→n12, n9→n13, n9→n14, n9→n15, n8→n11 (distractor)
+/// The chain query CQ_C = ?w -A-> ?x -B-> ?y -C-> ?z has 12 embeddings;
+/// its ideal answer graph has 8 edges (A:3, B:1, C:4), reached after the
+/// Fig. 2 cascading burnback removes n10, n6, and n4.
+Database MakeFig1Graph();
+
+/// CQ_C over the Fig. 1 graph (vars w, x, y, z in that order).
+Result<QueryGraph> MakeFig1Query(const Database& db);
+
+/// Fig. 1 ground truth.
+inline constexpr uint64_t kFig1Embeddings = 12;
+inline constexpr uint64_t kFig1IdealAgEdges = 8;
+
+/// The data graph of Fig. 4: nodes n1..n8, labels A, B, C, D.
+///   A: n3→n4, n7→n8        (?x -A-> ?e)
+///   B: n3→n2, n7→n6        (?x -B-> ?z)
+///   C: n4→n1, n8→n5        (?e -C-> ?y)
+///   D: n1→n2, n5→n6, n1→n6, n5→n2   (?y -D-> ?z; last two are spurious)
+Database MakeFig4Graph();
+
+/// The cyclic diamond CQ_D of Fig. 4 (vars x, e, y, z).
+Result<QueryGraph> MakeFig4Query(const Database& db);
+
+/// Fig. 4 ground truth: 2 embeddings; node burnback alone leaves 10 AG
+/// edges (the two spurious D edges survive); the ideal AG has 8.
+inline constexpr uint64_t kFig4Embeddings = 2;
+inline constexpr uint64_t kFig4NodeBurnbackAgEdges = 10;
+inline constexpr uint64_t kFig4IdealAgEdges = 8;
+
+}  // namespace wireframe
+
+#endif  // WIREFRAME_DATAGEN_FIGURES_H_

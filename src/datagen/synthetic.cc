@@ -1,0 +1,83 @@
+#include "datagen/synthetic.h"
+
+#include "util/logging.h"
+
+namespace wireframe {
+
+Database MakeChainBlowupGraph(uint32_t fan_in, uint32_t fan_out,
+                              uint32_t noise) {
+  WF_CHECK(fan_in >= 1 && fan_out >= 1);
+  DatabaseBuilder b;
+  const std::string hub = "hub";
+  const std::string mid = "mid";
+  for (uint32_t i = 0; i < fan_in; ++i) {
+    b.Add("w" + std::to_string(i), "A", hub);
+  }
+  b.Add(hub, "B", mid);
+  for (uint32_t i = 0; i < fan_out; ++i) {
+    b.Add(mid, "C", "z" + std::to_string(i));
+  }
+  // Dead branches: A into a hub with no B, B into a node with no C.
+  for (uint32_t i = 0; i < noise; ++i) {
+    const std::string dead_hub = "dead_hub" + std::to_string(i);
+    b.Add("dw" + std::to_string(i), "A", dead_hub);
+    b.Add(dead_hub, "B", "dead_mid" + std::to_string(i));
+    b.Add("stray" + std::to_string(i), "C", "sink" + std::to_string(i));
+  }
+  return std::move(b).Build();
+}
+
+Database MakeRandomGraph(uint32_t num_nodes, uint32_t num_labels,
+                         uint64_t num_edges, uint64_t seed) {
+  WF_CHECK(num_nodes >= 2 && num_labels >= 1);
+  Rng rng(seed);
+  DatabaseBuilder b;
+  // Intern nodes and labels up front so ids are dense and predictable.
+  for (uint32_t i = 0; i < num_nodes; ++i) {
+    b.nodes().Intern("n" + std::to_string(i));
+  }
+  for (uint32_t j = 0; j < num_labels; ++j) {
+    b.labels().Intern("p" + std::to_string(j));
+  }
+  for (uint64_t k = 0; k < num_edges; ++k) {
+    const NodeId s = static_cast<NodeId>(rng.Uniform(num_nodes));
+    NodeId o = static_cast<NodeId>(rng.Uniform(num_nodes));
+    if (o == s) o = (o + 1) % num_nodes;
+    const LabelId p = static_cast<LabelId>(rng.Uniform(num_labels));
+    b.Add(s, p, o);
+  }
+  return std::move(b).Build();
+}
+
+QueryGraph MakeRandomQuery(Rng& rng, uint32_t num_edges, uint32_t max_vars,
+                           uint32_t num_labels) {
+  WF_CHECK(num_edges >= 1 && max_vars >= 2 && num_labels >= 1);
+  QueryGraph q;
+  q.AddVar("v0");
+  q.AddVar("v1");
+
+  for (uint32_t e = 0; e < num_edges; ++e) {
+    // Pick one existing var; the other endpoint is new with probability
+    // shrinking as we approach max_vars.
+    const VarId a = static_cast<VarId>(rng.Uniform(q.NumVars()));
+    VarId b;
+    const bool can_add = q.NumVars() < max_vars;
+    if (e == 0) {
+      b = a == 0 ? 1 : 0;
+    } else if (can_add && rng.Bernoulli(0.6)) {
+      b = q.AddVar("v" + std::to_string(q.NumVars()));
+    } else {
+      b = static_cast<VarId>(rng.Uniform(q.NumVars()));
+      if (b == a) b = (b + 1) % q.NumVars();
+    }
+    const LabelId label = static_cast<LabelId>(rng.Uniform(num_labels));
+    if (rng.Bernoulli(0.5)) {
+      q.AddEdge(a, label, b);
+    } else {
+      q.AddEdge(b, label, a);
+    }
+  }
+  return q;
+}
+
+}  // namespace wireframe

@@ -1,0 +1,36 @@
+#ifndef WIREFRAME_DATAGEN_SYNTHETIC_H_
+#define WIREFRAME_DATAGEN_SYNTHETIC_H_
+
+#include <cstdint>
+
+#include "query/query_graph.h"
+#include "storage/database.h"
+#include "util/random.h"
+
+namespace wireframe {
+
+/// Parametric generators for tests and sweeps.
+
+/// Generalization of the Fig. 1 chain: `fan_in` w-nodes reach one hub via
+/// A, the hub reaches one y via B, which fans out to `fan_out` z-nodes via
+/// C. Plus `noise` extra dead-end branches per label that burnback must
+/// remove. Embeddings = fan_in * fan_out; ideal AG = fan_in + 1 + fan_out.
+Database MakeChainBlowupGraph(uint32_t fan_in, uint32_t fan_out,
+                              uint32_t noise = 0);
+
+/// A uniformly random labeled multigraph: `num_edges` triples drawn over
+/// `num_nodes` nodes and `num_labels` labels (node terms "n<i>", label
+/// terms "p<j>"). Deterministic in `seed`.
+Database MakeRandomGraph(uint32_t num_nodes, uint32_t num_labels,
+                         uint64_t num_edges, uint64_t seed);
+
+/// A random *connected* query: `num_edges` patterns over at most
+/// `max_vars` variables with labels < num_labels. Each new pattern shares
+/// at least one variable with the earlier ones; direction is random.
+/// Cyclic patterns arise naturally when edges close on existing vars.
+QueryGraph MakeRandomQuery(Rng& rng, uint32_t num_edges, uint32_t max_vars,
+                           uint32_t num_labels);
+
+}  // namespace wireframe
+
+#endif  // WIREFRAME_DATAGEN_SYNTHETIC_H_

@@ -1,0 +1,346 @@
+#include "datagen/yago_like.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace wireframe {
+
+namespace {
+
+/// A contiguous block of node ids (one entity class).
+struct Range {
+  NodeId begin = 0;
+  uint32_t count = 0;
+
+  NodeId At(uint32_t i) const {
+    WF_DCHECK(i < count);
+    return begin + i;
+  }
+};
+
+Range InternRange(DatabaseBuilder& b, const std::string& prefix,
+                  uint32_t count) {
+  Range r;
+  r.count = count;
+  r.begin = b.nodes().Intern(prefix + "0");
+  for (uint32_t i = 1; i < count; ++i) {
+    b.nodes().Intern(prefix + std::to_string(i));
+  }
+  return r;
+}
+
+/// Degree sampler with mean `1 + mean_extra` (geometric tail, capped).
+uint32_t SampleDegree(Rng& rng, double mean_extra) {
+  uint32_t deg = 1;
+  if (mean_extra <= 0) return deg;
+  const double q = mean_extra / (1.0 + mean_extra);  // continue probability
+  while (deg < 64 && rng.Bernoulli(q)) ++deg;
+  return deg;
+}
+
+/// Emits edges pred: src-class -> dst-class. A fraction `coverage` of the
+/// sources participates; each participating source gets degree
+/// 1+geometric(mean_extra); targets are Zipf-popular (skew `zipf_s`).
+void EmitClassEdges(DatabaseBuilder& b, Rng& rng, LabelId pred, Range src,
+                    double coverage, double mean_extra, Range dst,
+                    const ZipfSampler& dst_zipf) {
+  WF_CHECK(dst_zipf.n() == dst.count);
+  for (uint32_t i = 0; i < src.count; ++i) {
+    if (!rng.Bernoulli(coverage)) continue;
+    const uint32_t deg = SampleDegree(rng, mean_extra);
+    for (uint32_t k = 0; k < deg; ++k) {
+      const NodeId target = dst.At(static_cast<uint32_t>(dst_zipf.Sample(rng)));
+      const NodeId source = src.At(i);
+      if (target == source) continue;  // classes can overlap (e.g. linksTo)
+      b.Add(source, pred, target);
+    }
+  }
+}
+
+/// One target class of a mixture-emitted predicate.
+struct MixTarget {
+  const Range* range;
+  const ZipfSampler* zipf;
+  double weight;
+};
+
+/// Emits edges whose targets are drawn from a weighted class mixture with
+/// per-class Zipf popularity — the wiki-link regime: linksTo concentrates
+/// on popular people, countries, organizations, and prizes, which is what
+/// lets the paper's diamond queries close their cycles.
+void EmitMixedEdges(DatabaseBuilder& b, Rng& rng, LabelId pred, Range src,
+                    double coverage, double mean_extra,
+                    const std::vector<MixTarget>& targets) {
+  double total_weight = 0;
+  for (const MixTarget& t : targets) total_weight += t.weight;
+  for (uint32_t i = 0; i < src.count; ++i) {
+    if (!rng.Bernoulli(coverage)) continue;
+    const uint32_t deg = SampleDegree(rng, mean_extra);
+    for (uint32_t k = 0; k < deg; ++k) {
+      double pick = rng.NextDouble() * total_weight;
+      const MixTarget* chosen = &targets.back();
+      for (const MixTarget& t : targets) {
+        if (pick < t.weight) {
+          chosen = &t;
+          break;
+        }
+        pick -= t.weight;
+      }
+      const NodeId target = chosen->range->At(
+          static_cast<uint32_t>(chosen->zipf->Sample(rng)));
+      const NodeId source = src.At(i);
+      if (target == source) continue;
+      b.Add(source, pred, target);
+    }
+  }
+}
+
+uint32_t Scaled(double base, double scale) {
+  return std::max(1u, static_cast<uint32_t>(std::lround(base * scale)));
+}
+
+}  // namespace
+
+Database MakeYagoLike(const YagoLikeConfig& config, YagoLikeInfo* info) {
+  DatabaseBuilder b;
+  Rng rng(config.seed);
+  const double s = config.scale;
+
+  // --- Predicates, queries' vocabulary first (stable label ids). ---
+  const char* kQueryPreds[] = {
+      "actedIn",       "created",        "influences",    "diedIn",
+      "wasBornIn",     "livesIn",        "isCitizenOf",   "isMarriedTo",
+      "hasChild",      "owns",           "graduatedFrom", "isLeaderOf",
+      "hasWonPrize",   "participatedIn", "isAffiliatedTo", "wasBornOnDate",
+      "wasCreatedOnDate", "hasDuration", "isLocatedIn",   "exports",
+      "happenedIn",    "isPreferredMeaningOf", "sameAs",  "linksTo",
+  };
+  for (const char* p : kQueryPreds) b.labels().Intern(p);
+  auto pred = [&b](const char* name) -> LabelId {
+    const uint32_t id = b.labels().Lookup(name);
+    WF_CHECK(id != Dictionary::kNotFound) << "unknown predicate " << name;
+    return id;
+  };
+
+  // --- Entity populations (contiguous id ranges). ---
+  const Range persons = InternRange(b, "Person_", Scaled(30000, s));
+  const Range movies = InternRange(b, "Movie_", Scaled(8000, s));
+  const Range cities = InternRange(b, "City_", Scaled(1500, s));
+  const Range countries = InternRange(b, "Country_", Scaled(150, std::min(1.0, s)));
+  const Range orgs = InternRange(b, "Org_", Scaled(2000, s));
+  const Range events = InternRange(b, "Event_", Scaled(2000, s));
+  const Range dates = InternRange(b, "Date_", Scaled(6000, s));
+  const Range durations = InternRange(b, "Duration_", Scaled(200, std::min(1.0, s)));
+  const Range prizes = InternRange(b, "Prize_", Scaled(200, std::min(1.0, s)));
+  const Range products = InternRange(b, "Product_", Scaled(400, std::min(1.0, s)));
+  const Range words = InternRange(b, "Word_", Scaled(3000, s));
+  const Range all_entities{0, b.nodes().Size()};
+
+  // --- Popularity distributions. ---
+  const ZipfSampler zipf_persons(persons.count, 0.85);
+  const ZipfSampler zipf_movies(movies.count, 0.95);
+  const ZipfSampler zipf_cities(cities.count, 0.9);
+  const ZipfSampler zipf_countries(countries.count, 0.9);
+  const ZipfSampler zipf_orgs(orgs.count, 0.8);
+  const ZipfSampler zipf_events(events.count, 0.8);
+  const ZipfSampler zipf_dates(dates.count, 0.7);
+  const ZipfSampler zipf_durations(durations.count, 0.6);
+  const ZipfSampler zipf_prizes(prizes.count, 0.8);
+  const ZipfSampler zipf_products(products.count, 0.7);
+  const ZipfSampler zipf_words(words.count, 0.6);
+  const ZipfSampler zipf_all(all_entities.count, 0.75);
+
+  // --- Query-predicate edges. Coverages/degrees are tuned so many-many
+  // joins (actedIn, linksTo, influences) multiply while attribute-like
+  // predicates (dates, durations) stay functional with heavy fan-in. ---
+  EmitClassEdges(b, rng, pred("actedIn"), persons, 0.50, 9.0, movies,
+                 zipf_movies);
+  EmitClassEdges(b, rng, pred("created"), persons, 0.25, 2.5, movies,
+                 zipf_movies);
+  EmitClassEdges(b, rng, pred("influences"), persons, 0.35, 2.5, persons,
+                 zipf_persons);
+  EmitClassEdges(b, rng, pred("diedIn"), persons, 0.35, 0.0, cities,
+                 zipf_cities);
+  EmitClassEdges(b, rng, pred("wasBornIn"), persons, 0.60, 0.0, cities,
+                 zipf_cities);
+  EmitClassEdges(b, rng, pred("livesIn"), persons, 0.70, 0.3, cities,
+                 zipf_cities);
+  EmitClassEdges(b, rng, pred("isCitizenOf"), persons, 0.90, 0.15, countries,
+                 zipf_countries);
+  EmitClassEdges(b, rng, pred("isMarriedTo"), persons, 0.30, 0.0, persons,
+                 zipf_persons);
+  EmitClassEdges(b, rng, pred("hasChild"), persons, 0.40, 1.2, persons,
+                 zipf_persons);
+  EmitClassEdges(b, rng, pred("owns"), persons, 0.10, 0.5, orgs, zipf_orgs);
+  // Clubs/companies own products too (the Fig. 3 snowflake's ?y owns ?d
+  // arm hangs off an isAffiliatedTo organization).
+  EmitClassEdges(b, rng, pred("owns"), orgs, 0.40, 1.0, products,
+                 zipf_products);
+  EmitClassEdges(b, rng, pred("graduatedFrom"), persons, 0.30, 0.2, orgs,
+                 zipf_orgs);
+  EmitClassEdges(b, rng, pred("isLeaderOf"), persons, 0.02, 0.1, orgs,
+                 zipf_orgs);
+  EmitClassEdges(b, rng, pred("hasWonPrize"), persons, 0.08, 0.4, prizes,
+                 zipf_prizes);
+  EmitClassEdges(b, rng, pred("participatedIn"), persons, 0.25, 0.5, events,
+                 zipf_events);
+  EmitClassEdges(b, rng, pred("isAffiliatedTo"), persons, 0.60, 0.4, orgs,
+                 zipf_orgs);
+  EmitClassEdges(b, rng, pred("wasBornOnDate"), persons, 0.60, 0.0, dates,
+                 zipf_dates);
+  EmitClassEdges(b, rng, pred("wasCreatedOnDate"), movies, 0.65, 0.0, dates,
+                 zipf_dates);
+  EmitClassEdges(b, rng, pred("hasDuration"), movies, 0.55, 0.0, durations,
+                 zipf_durations);
+  EmitClassEdges(b, rng, pred("isLocatedIn"), cities, 1.00, 0.0, countries,
+                 zipf_countries);
+  EmitClassEdges(b, rng, pred("exports"), countries, 0.95, 7.0, products,
+                 zipf_products);
+  EmitClassEdges(b, rng, pred("happenedIn"), events, 0.95, 0.0, cities,
+                 zipf_cities);
+  EmitClassEdges(b, rng, pred("isPreferredMeaningOf"), cities, 0.40, 0.0,
+                 words, zipf_words);
+  EmitClassEdges(b, rng, pred("isPreferredMeaningOf"), movies, 0.30, 0.0,
+                 words, zipf_words);
+  EmitClassEdges(b, rng, pred("sameAs"), persons, 0.15, 0.0, persons,
+                 zipf_persons);
+  EmitClassEdges(b, rng, pred("sameAs"), cities, 0.30, 0.0, cities,
+                 zipf_cities);
+  EmitClassEdges(b, rng, pred("sameAs"), orgs, 0.35, 0.0, orgs, zipf_orgs);
+  // linksTo is the wiki-link predicate: dense, from everything, targeting
+  // a weighted mixture of classes with per-class popularity — articles
+  // link to famous people, big countries, major organizations and prizes.
+  const std::vector<MixTarget> wiki_targets = {
+      {&persons, &zipf_persons, 0.28},  {&movies, &zipf_movies, 0.14},
+      {&cities, &zipf_cities, 0.10},    {&countries, &zipf_countries, 0.12},
+      {&orgs, &zipf_orgs, 0.16},        {&events, &zipf_events, 0.05},
+      {&prizes, &zipf_prizes, 0.07},    {&products, &zipf_products, 0.04},
+      {&words, &zipf_words, 0.02},      {&dates, &zipf_dates, 0.02},
+  };
+  EmitMixedEdges(b, rng, pred("linksTo"), all_entities, 0.50, 5.0,
+                 wiki_targets);
+  (void)zipf_all;
+
+  // --- Filler predicates up to num_predicates (catalog realism and miner
+  // search space). Classes and rates are drawn deterministically. ---
+  const Range classes[] = {persons, movies,    cities, countries,
+                           orgs,    events,    dates,  durations,
+                           prizes,  products,  words};
+  const ZipfSampler* samplers[] = {
+      &zipf_persons, &zipf_movies,    &zipf_cities, &zipf_countries,
+      &zipf_orgs,    &zipf_events,    &zipf_dates,  &zipf_durations,
+      &zipf_prizes,  &zipf_products,  &zipf_words};
+  const uint32_t num_classes = static_cast<uint32_t>(std::size(classes));
+  const uint32_t base_preds = b.labels().Size();
+  for (uint32_t k = base_preds; k < config.num_predicates; ++k) {
+    const LabelId p = b.labels().Intern("filler" + std::to_string(k));
+    const uint32_t src_class = static_cast<uint32_t>(rng.Uniform(num_classes));
+    const uint32_t dst_class = static_cast<uint32_t>(rng.Uniform(num_classes));
+    const double coverage = 0.03 + 0.10 * rng.NextDouble();
+    const double mean_extra = rng.NextDouble();
+    EmitClassEdges(b, rng, p, classes[src_class], coverage, mean_extra,
+                   classes[dst_class], *samplers[dst_class]);
+  }
+
+  if (info) {
+    info->persons = persons.count;
+    info->movies = movies.count;
+    info->cities = cities.count;
+    info->countries = countries.count;
+    info->orgs = orgs.count;
+    info->events = events.count;
+    info->dates = dates.count;
+    info->durations = durations.count;
+    info->prizes = prizes.count;
+    info->products = products.count;
+    info->words = words.count;
+    info->triples = b.NumAdded();
+  }
+  return std::move(b).Build();
+}
+
+std::vector<std::string> Table1Queries() {
+  // Snowflake (CQ_S) rows 1-5 and diamond (CQ_D) rows 6-10. Predicate
+  // multisets follow Table 1; arm assignments are chosen type-consistently
+  // for the synthetic schema (see EXPERIMENTS.md for the two documented
+  // substitutions in rows 3 and 5).
+  return {
+      // 1: diedIn/influences/actedIn/owns/wasCreatedOnDate/actedIn/created/
+      //    hasDuration/wasCreatedOnDate
+      "select distinct * where { ?x influences ?m . ?x actedIn ?y . "
+      "?x actedIn ?z . ?m diedIn ?a . ?m owns ?b . ?y hasDuration ?c . "
+      "?y wasCreatedOnDate ?d . ?e created ?z . ?z wasCreatedOnDate ?f . }",
+      // 2: hasChild/influences/actedIn/actedIn/wasBornIn/created/actedIn/
+      //    hasDuration/wasCreatedOnDate
+      "select distinct * where { ?x hasChild ?m . ?x influences ?y . "
+      "?x actedIn ?z . ?m actedIn ?a . ?m wasBornIn ?b . ?y created ?c . "
+      "?y actedIn ?d . ?z hasDuration ?e . ?z wasCreatedOnDate ?f . }",
+      // 3: isCitizenOf/influences/actedIn/exports/wasCreatedOnDate(->linksTo)/
+      //    actedIn/created/hasDuration/wasCreatedOnDate
+      "select distinct * where { ?x influences ?m . ?x actedIn ?y . "
+      "?x isCitizenOf ?z . ?m actedIn ?a . ?m created ?b . "
+      "?y hasDuration ?c . ?y wasCreatedOnDate ?d . ?z exports ?e . "
+      "?z linksTo ?f . }",
+      // 4: isMarriedTo/influences/actedIn/actedIn/wasBornOnDate/created/
+      //    actedIn/hasDuration/wasCreatedOnDate
+      "select distinct * where { ?x isMarriedTo ?m . ?x influences ?y . "
+      "?x actedIn ?z . ?m actedIn ?a . ?m wasBornOnDate ?b . "
+      "?y created ?c . ?y actedIn ?d . ?z hasDuration ?e . "
+      "?z wasCreatedOnDate ?f . }",
+      // 5: isMarriedTo/diedIn/actedIn/actedIn/wasBornIn/owns(->linksTo)/
+      //    wasCreatedOnDate/hasDuration/wasCreatedOnDate
+      "select distinct * where { ?x isMarriedTo ?m . ?x actedIn ?y . "
+      "?x actedIn ?z . ?m wasBornIn ?a . ?m diedIn ?b . "
+      "?y wasCreatedOnDate ?c . ?y hasDuration ?d . ?z wasCreatedOnDate ?e . "
+      "?z linksTo ?f . }",
+      // 6: livesIn/isCitizenOf/isLocatedIn/linksTo
+      "select distinct * where { ?x livesIn ?c . ?c isLocatedIn ?k . "
+      "?y isCitizenOf ?k . ?y linksTo ?x . }",
+      // 7: livesIn/isCitizenOf/linksTo/happenedIn
+      "select distinct * where { ?x livesIn ?c . ?e happenedIn ?c . "
+      "?x isCitizenOf ?k . ?e linksTo ?k . }",
+      // 8: diedIn/linksTo/wasBornIn/graduatedFrom
+      "select distinct * where { ?x diedIn ?c . ?y wasBornIn ?c . "
+      "?y graduatedFrom ?u . ?x linksTo ?u . }",
+      // 9: diedIn/linksTo/wasBornIn/isLeaderOf
+      "select distinct * where { ?x diedIn ?c . ?y wasBornIn ?c . "
+      "?y isLeaderOf ?o . ?x linksTo ?o . }",
+      // 10: diedIn/linksTo/wasBornIn/hasWonPrize
+      "select distinct * where { ?x diedIn ?c . ?y wasBornIn ?c . "
+      "?y hasWonPrize ?p . ?x linksTo ?p . }",
+  };
+}
+
+std::string Fig3Query() {
+  return "select distinct * where { ?x linksTo ?m . ?x isAffiliatedTo ?y . "
+         "?x wasBornIn ?z . ?m participatedIn ?a . ?m created ?b . "
+         "?y sameAs ?c . ?y owns ?d . ?z isLocatedIn ?e . "
+         "?z isPreferredMeaningOf ?f . }";
+}
+
+std::string Table1RowLabel(size_t index) {
+  static const char* kLabels[] = {
+      "diedIn/influences/actedIn/owns/wasCreatedOnDate/actedIn/created/"
+      "hasDuration/wasCreatedOnDate",
+      "hasChild/influences/actedIn/actedIn/wasBornIn/created/actedIn/"
+      "hasDuration/wasCreatedOnDate",
+      "isCitizenOf/influences/actedIn/exports/linksTo/actedIn/created/"
+      "hasDuration/wasCreatedOnDate",
+      "isMarriedTo/influences/actedIn/actedIn/wasBornOnDate/created/actedIn/"
+      "hasDuration/wasCreatedOnDate",
+      "isMarriedTo/diedIn/actedIn/actedIn/wasBornIn/linksTo/"
+      "wasCreatedOnDate/hasDuration/wasCreatedOnDate",
+      "livesIn/isCitizenOf/isLocatedIn/linksTo",
+      "livesIn/isCitizenOf/linksTo/happenedIn",
+      "diedIn/linksTo/wasBornIn/graduatedFrom",
+      "diedIn/linksTo/wasBornIn/isLeaderOf",
+      "diedIn/linksTo/wasBornIn/hasWonPrize",
+  };
+  WF_CHECK(index < std::size(kLabels));
+  return kLabels[index];
+}
+
+}  // namespace wireframe

@@ -1,0 +1,72 @@
+#ifndef WIREFRAME_DATAGEN_YAGO_LIKE_H_
+#define WIREFRAME_DATAGEN_YAGO_LIKE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/database.h"
+
+namespace wireframe {
+
+/// Configuration of the synthetic YAGO2s-like knowledge graph.
+///
+/// The real YAGO2s (242M triples, 104 predicates) is replaced by a typed
+/// generator that preserves what the paper's evaluation actually exercises:
+///   - the ~21 predicates its ten queries mention, connecting typed entity
+///     populations (people act in movies, are born in cities, cities sit in
+///     countries, ...) with realistic skew (Zipfian popularity), and
+///   - enough filler predicates to reach 104, so catalog statistics and the
+///     query miner face a realistic search space.
+/// Fan-in/fan-out of the query predicates is tuned so that snowflake
+/// queries multiply into millions of embeddings while their ideal answer
+/// graphs stay small — the Table 1 regime.
+struct YagoLikeConfig {
+  /// Linear scale on entity populations; 1.0 gives roughly one million
+  /// triples. Table 1 benches default to 1.0; tests use ~0.02.
+  double scale = 1.0;
+  uint64_t seed = 42;
+  /// Total predicate count including fillers (YAGO2s has 104).
+  uint32_t num_predicates = 104;
+};
+
+/// Entity-population sizes actually used by a generation run (after
+/// scaling), reported for documentation/EXPERIMENTS.md.
+struct YagoLikeInfo {
+  uint32_t persons = 0;
+  uint32_t movies = 0;
+  uint32_t cities = 0;
+  uint32_t countries = 0;
+  uint32_t orgs = 0;
+  uint32_t events = 0;
+  uint32_t dates = 0;
+  uint32_t durations = 0;
+  uint32_t prizes = 0;
+  uint32_t products = 0;
+  uint32_t words = 0;
+  uint64_t triples = 0;
+};
+
+/// Generates the database. Deterministic in config.seed.
+Database MakeYagoLike(const YagoLikeConfig& config, YagoLikeInfo* info = nullptr);
+
+/// The ten Table-1 queries, expressed in the SPARQL fragment the parser
+/// accepts, against MakeYagoLike's predicate vocabulary. Index 0..4 are
+/// the snowflake-shaped CQ_S instances, 5..9 the diamond-shaped CQ_D
+/// instances (paper Table 1 rows 1..10).
+std::vector<std::string> Table1Queries();
+
+/// Human-readable predicate list of one Table-1 query, e.g.
+/// "hasChild/influences/actedIn/..." (the paper's row labels).
+std::string Table1RowLabel(size_t index);
+
+/// The exact snowflake conjunctive query of the paper's Fig. 3:
+///   ?x linksTo ?m . ?x isAffiliatedTo ?y . ?x wasBornIn ?z .
+///   ?m participatedIn ?a . ?m created ?b . ?y sameAs ?c . ?y owns ?d .
+///   ?z isLocatedIn ?e . ?z isPreferredMeaningOf ?f
+/// All nine predicates exist in MakeYagoLike's schema.
+std::string Fig3Query();
+
+}  // namespace wireframe
+
+#endif  // WIREFRAME_DATAGEN_YAGO_LIKE_H_

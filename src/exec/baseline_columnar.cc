@@ -1,0 +1,17 @@
+#include "exec/baselines.h"
+#include "exec/join_common.h"
+
+namespace wireframe {
+
+Result<EngineStats> ColumnarEngine::Run(const Database& db,
+                                        const Catalog& catalog,
+                                        const QueryGraph& query,
+                                        const EngineOptions& options,
+                                        Sink* sink) {
+  (void)catalog;  // written order: no statistics consulted
+  const std::vector<uint32_t> order = OrderAsWrittenConnected(query);
+  return RunMaterializing(db, query, order, options.deadline, kMaxCells,
+                          sink);
+}
+
+}  // namespace wireframe

@@ -1,0 +1,17 @@
+#include "exec/baselines.h"
+#include "exec/join_common.h"
+
+namespace wireframe {
+
+Result<EngineStats> HashJoinEngine::Run(const Database& db,
+                                        const Catalog& catalog,
+                                        const QueryGraph& query,
+                                        const EngineOptions& options,
+                                        Sink* sink) {
+  CardinalityEstimator estimator(catalog);
+  const std::vector<uint32_t> order = OrderByEstimatedGrowth(query, estimator);
+  return RunMaterializing(db, query, order, options.deadline, kMaxCells,
+                          sink);
+}
+
+}  // namespace wireframe

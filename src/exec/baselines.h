@@ -1,0 +1,63 @@
+#ifndef WIREFRAME_EXEC_BASELINES_H_
+#define WIREFRAME_EXEC_BASELINES_H_
+
+#include "exec/engine.h"
+
+namespace wireframe {
+
+/// PostgreSQL-like baseline (paper tag PG): relational evaluation — a
+/// cost-based left-deep join order over the triple-store indexes with full
+/// intermediate materialization at every join step. Good plans, but every
+/// many-many blow-up is paid in materialized tuples.
+class HashJoinEngine : public Engine {
+ public:
+  std::string_view name() const override { return "PG"; }
+  Result<EngineStats> Run(const Database& db, const Catalog& catalog,
+                          const QueryGraph& query, const EngineOptions& options,
+                          Sink* sink) override;
+
+  /// Intermediate-size budget in binding cells (rows x vars); exceeding it
+  /// reports OutOfRange, which benches print like a timeout.
+  static constexpr uint64_t kMaxCells = 400ull << 20;  // ~1.6 GB of NodeIds
+};
+
+/// Virtuoso-like baseline (VT): index-driven, pipelined (vectorized INLJ
+/// in the real system) with a cost-based greedy order. No materialization,
+/// but every embedding is walked tuple-at-a-time from the data graph.
+class IndexNestedLoopEngine : public Engine {
+ public:
+  std::string_view name() const override { return "VT"; }
+  Result<EngineStats> Run(const Database& db, const Catalog& catalog,
+                          const QueryGraph& query, const EngineOptions& options,
+                          Sink* sink) override;
+};
+
+/// MonetDB-like baseline (MD): column-at-a-time algebra — joins run in
+/// written order (connectivity-repaired only) and each operator fully
+/// materializes its result. The regime that times out first on exploding
+/// intermediates, as in the paper's Table 1.
+class ColumnarEngine : public Engine {
+ public:
+  std::string_view name() const override { return "MD"; }
+  Result<EngineStats> Run(const Database& db, const Catalog& catalog,
+                          const QueryGraph& query, const EngineOptions& options,
+                          Sink* sink) override;
+
+  static constexpr uint64_t kMaxCells = 400ull << 20;
+};
+
+/// Neo4J-like baseline (NJ): graph-exploration pattern matching —
+/// pipelined depth-first expansion ordered by label cardinality only (no
+/// join-cardinality statistics). Doubles as the correctness oracle in the
+/// test suite.
+class BacktrackEngine : public Engine {
+ public:
+  std::string_view name() const override { return "NJ"; }
+  Result<EngineStats> Run(const Database& db, const Catalog& catalog,
+                          const QueryGraph& query, const EngineOptions& options,
+                          Sink* sink) override;
+};
+
+}  // namespace wireframe
+
+#endif  // WIREFRAME_EXEC_BASELINES_H_

@@ -1,0 +1,70 @@
+#ifndef WIREFRAME_EXEC_ENGINE_H_
+#define WIREFRAME_EXEC_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "exec/sink.h"
+#include "query/query_graph.h"
+#include "storage/database.h"
+#include "util/result.h"
+#include "util/timer.h"
+
+namespace wireframe {
+
+/// Per-run knobs common to every engine.
+struct EngineOptions {
+  /// Wall-clock budget; expired runs return Status::TimedOut (the paper
+  /// terminates queries at 300 s and prints '*').
+  Deadline deadline;
+};
+
+/// Execution metrics an engine reports alongside its results.
+struct EngineStats {
+  /// Wall-clock seconds of the Run call.
+  double seconds = 0.0;
+  /// Edge walks: index probes plus edges retrieved (the paper's cost
+  /// unit). Engines count what their access pattern actually retrieves.
+  uint64_t edge_walks = 0;
+  /// Embeddings emitted to the sink.
+  uint64_t output_tuples = 0;
+  /// Answer-graph size |AG| (Wireframe only; 0 for baselines).
+  uint64_t ag_pairs = 0;
+  /// Peak materialized intermediate tuples (materializing engines only).
+  uint64_t peak_intermediate = 0;
+};
+
+/// A conjunctive-query evaluator. Implementations: the Wireframe
+/// answer-graph engine (core/) and the four baseline regimes (exec/)
+/// standing in for the paper's PostgreSQL, Virtuoso, MonetDB, and Neo4J
+/// comparisons.
+class Engine {
+ public:
+  virtual ~Engine();
+
+  /// Short identifier ("WF", "PG", "VT", "MD", "NJ").
+  virtual std::string_view name() const = 0;
+
+  /// Evaluates `query` over `db`, emitting every embedding to `sink`.
+  /// Timeout surfaces as Status::TimedOut; other statuses are planning or
+  /// validation failures.
+  virtual Result<EngineStats> Run(const Database& db, const Catalog& catalog,
+                                  const QueryGraph& query,
+                                  const EngineOptions& options,
+                                  Sink* sink) = 0;
+};
+
+/// Instantiates a baseline engine by its paper tag ("PG", "VT", "MD",
+/// "NJ") or the Wireframe engine ("WF", default options). Unknown names
+/// return nullptr.
+std::unique_ptr<Engine> MakeEngine(std::string_view name);
+
+/// All engine tags in the paper's column order: PG, WF, VT, MD, NJ.
+std::vector<std::string> AllEngineNames();
+
+}  // namespace wireframe
+
+#endif  // WIREFRAME_EXEC_ENGINE_H_

@@ -1,0 +1,293 @@
+#include "exec/join_common.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace wireframe {
+
+namespace {
+
+bool Touches(const QueryGraph& query, const std::vector<bool>& bound,
+             uint32_t e) {
+  const QueryEdge& qe = query.Edge(e);
+  return bound[qe.src] || bound[qe.dst];
+}
+
+void Bind(const QueryGraph& query, std::vector<bool>& bound, uint32_t e) {
+  bound[query.Edge(e).src] = true;
+  bound[query.Edge(e).dst] = true;
+}
+
+}  // namespace
+
+std::vector<uint32_t> OrderBySmallestLabel(const QueryGraph& query,
+                                           const Catalog& catalog) {
+  const uint32_t n = query.NumEdges();
+  std::vector<uint32_t> order;
+  std::vector<bool> used(n, false);
+  std::vector<bool> bound(query.NumVars(), false);
+  for (uint32_t step = 0; step < n; ++step) {
+    uint32_t best = UINT32_MAX;
+    uint64_t best_count = UINT64_MAX;
+    for (uint32_t e = 0; e < n; ++e) {
+      if (used[e]) continue;
+      if (step > 0 && !Touches(query, bound, e)) continue;
+      const uint64_t count = catalog.EdgeCount(query.Edge(e).label);
+      if (count < best_count) {
+        best_count = count;
+        best = e;
+      }
+    }
+    WF_CHECK(best != UINT32_MAX) << "query graph must be connected";
+    used[best] = true;
+    Bind(query, bound, best);
+    order.push_back(best);
+  }
+  return order;
+}
+
+std::vector<uint32_t> OrderByEstimatedGrowth(const QueryGraph& query,
+                                             const CardinalityEstimator& est) {
+  const uint32_t n = query.NumEdges();
+  std::vector<uint32_t> order;
+  std::vector<bool> used(n, false);
+  std::vector<VarEstimate> vars(query.NumVars());
+  for (uint32_t step = 0; step < n; ++step) {
+    uint32_t best = UINT32_MAX;
+    double best_growth = std::numeric_limits<double>::infinity();
+    ExtensionEstimate best_est;
+    for (uint32_t e = 0; e < n; ++e) {
+      if (used[e]) continue;
+      const QueryEdge& qe = query.Edge(e);
+      if (step > 0 && !vars[qe.src].bound && !vars[qe.dst].bound) continue;
+      ExtensionEstimate ext =
+          est.EstimateExtension(qe.label, vars[qe.src], vars[qe.dst]);
+      if (ext.matched_edges < best_growth) {
+        best_growth = ext.matched_edges;
+        best = e;
+        best_est = ext;
+      }
+    }
+    WF_CHECK(best != UINT32_MAX) << "query graph must be connected";
+    used[best] = true;
+    const QueryEdge& qe = query.Edge(best);
+    vars[qe.src] = {true, best_est.new_src_candidates, qe.label,
+                    End::kSubject};
+    vars[qe.dst] = {true, best_est.new_dst_candidates, qe.label,
+                    End::kObject};
+    order.push_back(best);
+  }
+  return order;
+}
+
+std::vector<uint32_t> OrderAsWrittenConnected(const QueryGraph& query) {
+  const uint32_t n = query.NumEdges();
+  std::vector<uint32_t> order;
+  std::vector<bool> used(n, false);
+  std::vector<bool> bound(query.NumVars(), false);
+  for (uint32_t step = 0; step < n; ++step) {
+    uint32_t pick = UINT32_MAX;
+    for (uint32_t e = 0; e < n; ++e) {
+      if (used[e]) continue;
+      if (step > 0 && !Touches(query, bound, e)) continue;
+      pick = e;
+      break;
+    }
+    WF_CHECK(pick != UINT32_MAX) << "query graph must be connected";
+    used[pick] = true;
+    Bind(query, bound, pick);
+    order.push_back(pick);
+  }
+  return order;
+}
+
+namespace {
+
+struct PipelineContext {
+  const TripleStore* store;
+  const QueryGraph* query;
+  const std::vector<uint32_t>* order;
+  Sink* sink;
+  const Deadline* deadline;
+  std::vector<NodeId> binding;
+  uint64_t walks = 0;
+  uint64_t emitted = 0;
+  uint32_t tick = 0;
+  bool stop = false;
+  bool timed_out = false;
+
+  bool DeadlineHit() {
+    if (++tick % 4096 != 0) return false;
+    if (deadline->Expired()) {
+      timed_out = true;
+      stop = true;
+    }
+    return timed_out;
+  }
+};
+
+void PipelineStep(PipelineContext& ctx, size_t depth) {
+  if (ctx.stop) return;
+  if (depth == ctx.order->size()) {
+    ++ctx.emitted;
+    if (!ctx.sink->Emit(ctx.binding)) ctx.stop = true;
+    return;
+  }
+  const QueryEdge& qe = ctx.query->Edge((*ctx.order)[depth]);
+  NodeId& src_slot = ctx.binding[qe.src];
+  NodeId& dst_slot = ctx.binding[qe.dst];
+  const bool src_bound = src_slot != kInvalidNode;
+  const bool dst_bound = dst_slot != kInvalidNode;
+  if (ctx.DeadlineHit()) return;
+
+  if (src_bound && dst_bound) {
+    ++ctx.walks;
+    if (ctx.store->HasTriple(src_slot, qe.label, dst_slot)) {
+      PipelineStep(ctx, depth + 1);
+    }
+    return;
+  }
+  if (src_bound) {
+    ++ctx.walks;
+    for (NodeId o : ctx.store->OutNeighbors(qe.label, src_slot)) {
+      if (ctx.stop) return;
+      ++ctx.walks;
+      dst_slot = o;
+      PipelineStep(ctx, depth + 1);
+      dst_slot = kInvalidNode;
+    }
+    return;
+  }
+  if (dst_bound) {
+    ++ctx.walks;
+    for (NodeId s : ctx.store->InNeighbors(qe.label, dst_slot)) {
+      if (ctx.stop) return;
+      ++ctx.walks;
+      src_slot = s;
+      PipelineStep(ctx, depth + 1);
+      src_slot = kInvalidNode;
+    }
+    return;
+  }
+  // First edge: scan the label.
+  std::vector<std::pair<NodeId, NodeId>> edges =
+      ctx.store->EdgeList(qe.label);
+  ctx.walks += edges.size();
+  for (auto [s, o] : edges) {
+    if (ctx.stop) return;
+    src_slot = s;
+    dst_slot = o;
+    PipelineStep(ctx, depth + 1);
+    src_slot = kInvalidNode;
+    dst_slot = kInvalidNode;
+  }
+}
+
+}  // namespace
+
+Result<EngineStats> RunPipelined(const Database& db, const QueryGraph& query,
+                                 const std::vector<uint32_t>& order,
+                                 const Deadline& deadline, Sink* sink) {
+  Stopwatch watch;
+  PipelineContext ctx;
+  ctx.store = &db.store();
+  ctx.query = &query;
+  ctx.order = &order;
+  ctx.sink = sink;
+  ctx.deadline = &deadline;
+  ctx.binding.assign(query.NumVars(), kInvalidNode);
+  PipelineStep(ctx, 0);
+  if (ctx.timed_out) return Status::TimedOut("pipelined evaluation");
+  EngineStats stats;
+  stats.seconds = watch.ElapsedSeconds();
+  stats.edge_walks = ctx.walks;
+  stats.output_tuples = ctx.emitted;
+  return stats;
+}
+
+Result<EngineStats> RunMaterializing(const Database& db,
+                                     const QueryGraph& query,
+                                     const std::vector<uint32_t>& order,
+                                     const Deadline& deadline,
+                                     uint64_t max_cells, Sink* sink) {
+  Stopwatch watch;
+  const TripleStore& store = db.store();
+  const uint32_t num_vars = query.NumVars();
+
+  // Rows are full-width bindings; unbound slots hold kInvalidNode.
+  std::vector<std::vector<NodeId>> rows;
+  EngineStats stats;
+  uint32_t tick = 0;
+  auto deadline_hit = [&]() {
+    return ++tick % 1024 == 0 && deadline.Expired();
+  };
+
+  bool first = true;
+  for (uint32_t e : order) {
+    const QueryEdge& qe = query.Edge(e);
+    std::vector<std::vector<NodeId>> next;
+    if (first) {
+      first = false;
+      store.ForEachEdge(qe.label, [&](NodeId s, NodeId o) {
+        std::vector<NodeId> row(num_vars, kInvalidNode);
+        row[qe.src] = s;
+        row[qe.dst] = o;
+        next.push_back(std::move(row));
+      });
+      stats.edge_walks += next.size();
+    } else {
+      for (std::vector<NodeId>& row : rows) {
+        if (deadline_hit()) return Status::TimedOut("materializing join");
+        const bool src_bound = row[qe.src] != kInvalidNode;
+        const bool dst_bound = row[qe.dst] != kInvalidNode;
+        if (src_bound && dst_bound) {
+          ++stats.edge_walks;
+          if (store.HasTriple(row[qe.src], qe.label, row[qe.dst])) {
+            next.push_back(std::move(row));
+          }
+        } else if (src_bound) {
+          ++stats.edge_walks;
+          for (NodeId o : store.OutNeighbors(qe.label, row[qe.src])) {
+            ++stats.edge_walks;
+            std::vector<NodeId> extended = row;
+            extended[qe.dst] = o;
+            next.push_back(std::move(extended));
+          }
+        } else if (dst_bound) {
+          ++stats.edge_walks;
+          for (NodeId s : store.InNeighbors(qe.label, row[qe.dst])) {
+            ++stats.edge_walks;
+            std::vector<NodeId> extended = row;
+            extended[qe.src] = s;
+            next.push_back(std::move(extended));
+          }
+        } else {
+          WF_CHECK(false) << "disconnected materializing plan";
+        }
+        if (static_cast<uint64_t>(next.size()) * num_vars > max_cells) {
+          return Status::OutOfRange(
+              "intermediate result exceeded the memory budget");
+        }
+      }
+    }
+    rows = std::move(next);
+    stats.peak_intermediate =
+        std::max(stats.peak_intermediate, static_cast<uint64_t>(rows.size()));
+    if (deadline.Expired()) return Status::TimedOut("materializing join");
+    if (static_cast<uint64_t>(rows.size()) * num_vars > max_cells) {
+      return Status::OutOfRange(
+          "intermediate result exceeded the memory budget");
+    }
+  }
+
+  for (const std::vector<NodeId>& row : rows) {
+    ++stats.output_tuples;
+    if (!sink->Emit(row)) break;
+  }
+  stats.seconds = watch.ElapsedSeconds();
+  return stats;
+}
+
+}  // namespace wireframe

@@ -1,0 +1,58 @@
+#ifndef WIREFRAME_EXEC_JOIN_COMMON_H_
+#define WIREFRAME_EXEC_JOIN_COMMON_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/estimator.h"
+#include "exec/engine.h"
+#include "query/query_graph.h"
+#include "storage/database.h"
+#include "util/result.h"
+#include "util/timer.h"
+
+namespace wireframe {
+
+/// Helpers shared by the baseline engines. Each baseline is a join
+/// *regime* (pipelined vs fully materializing) combined with a join-order
+/// heuristic; these building blocks keep the four engines honest: they
+/// differ only in the dimensions the paper's comparison systems differ in.
+
+/// Connected order choosing the smallest base relation first, then always
+/// the connected edge with the smallest label cardinality (graph-
+/// exploration flavor; the Neo4J-like baseline).
+std::vector<uint32_t> OrderBySmallestLabel(const QueryGraph& query,
+                                           const Catalog& catalog);
+
+/// Connected order greedily minimizing the estimator's predicted matched
+/// edges at each step (index-driven RDF-store flavor; the Virtuoso-like
+/// and PostgreSQL-like baselines).
+std::vector<uint32_t> OrderByEstimatedGrowth(const QueryGraph& query,
+                                             const CardinalityEstimator& est);
+
+/// The query's edges in written order, locally reordered only as needed to
+/// keep the prefix connected (naive algebra flavor; the MonetDB-like
+/// baseline).
+std::vector<uint32_t> OrderAsWrittenConnected(const QueryGraph& query);
+
+/// Pipelined (tuple-at-a-time, index nested loop) evaluation directly over
+/// the triple store: depth-first extension of one binding at a time, no
+/// intermediate materialization. Neo4J/Virtuoso regime.
+Result<EngineStats> RunPipelined(const Database& db, const QueryGraph& query,
+                                 const std::vector<uint32_t>& order,
+                                 const Deadline& deadline, Sink* sink);
+
+/// Fully materializing (relation-at-a-time) evaluation: every join step
+/// produces the complete intermediate binding table before the next step
+/// starts. PostgreSQL/MonetDB regime. `max_cells` bounds intermediate
+/// memory (rows x vars); exceeding it aborts with OutOfRange, which the
+/// benches report like a timeout.
+Result<EngineStats> RunMaterializing(const Database& db,
+                                     const QueryGraph& query,
+                                     const std::vector<uint32_t>& order,
+                                     const Deadline& deadline,
+                                     uint64_t max_cells, Sink* sink);
+
+}  // namespace wireframe
+
+#endif  // WIREFRAME_EXEC_JOIN_COMMON_H_

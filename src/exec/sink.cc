@@ -1,0 +1,8 @@
+#include "exec/sink.h"
+
+namespace wireframe {
+
+// Out-of-line destructor anchors the vtable in this translation unit.
+Sink::~Sink() = default;
+
+}  // namespace wireframe

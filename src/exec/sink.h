@@ -1,0 +1,101 @@
+#ifndef WIREFRAME_EXEC_SINK_H_
+#define WIREFRAME_EXEC_SINK_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "util/common.h"
+#include "util/hash.h"
+
+namespace wireframe {
+
+/// Consumer of embedding tuples. Engines call Emit once per embedding
+/// with the full variable binding (indexed by VarId); the sink decides
+/// whether to count, collect, project, or stop early.
+class Sink {
+ public:
+  virtual ~Sink();
+
+  /// Receives one embedding. Returning false asks the engine to stop
+  /// (used by LIMIT-style consumers); engines then finish with OK status.
+  virtual bool Emit(const std::vector<NodeId>& binding) = 0;
+
+  /// Number of tuples accepted so far.
+  virtual uint64_t count() const = 0;
+};
+
+/// Counts embeddings without storing them (the benches' default: the
+/// paper measures "the time spent to retrieve all the result tuples").
+class CountingSink : public Sink {
+ public:
+  bool Emit(const std::vector<NodeId>&) override {
+    ++count_;
+    return true;
+  }
+  uint64_t count() const override { return count_; }
+
+ private:
+  uint64_t count_ = 0;
+};
+
+/// Counts up to a limit, then stops the engine. Used by the query miner's
+/// non-emptiness probes (limit 1).
+class LimitSink : public Sink {
+ public:
+  explicit LimitSink(uint64_t limit) : limit_(limit) {}
+  bool Emit(const std::vector<NodeId>&) override {
+    return ++count_ < limit_;
+  }
+  uint64_t count() const override { return count_; }
+
+ private:
+  uint64_t limit_;
+  uint64_t count_ = 0;
+};
+
+/// Stores full bindings (tests and small examples only).
+class CollectingSink : public Sink {
+ public:
+  bool Emit(const std::vector<NodeId>& binding) override {
+    rows_.push_back(binding);
+    return true;
+  }
+  uint64_t count() const override { return rows_.size(); }
+  const std::vector<std::vector<NodeId>>& rows() const { return rows_; }
+  std::vector<std::vector<NodeId>>& rows() { return rows_; }
+
+ private:
+  std::vector<std::vector<NodeId>> rows_;
+};
+
+/// Projects each binding onto `projection` and forwards only distinct
+/// projected tuples to the wrapped sink (SELECT DISTINCT ?a ?b semantics
+/// when the projection drops variables).
+class DistinctProjectingSink : public Sink {
+ public:
+  DistinctProjectingSink(std::vector<VarId> projection, Sink* inner)
+      : projection_(std::move(projection)), inner_(inner) {}
+
+  bool Emit(const std::vector<NodeId>& binding) override {
+    projected_.clear();
+    uint64_t h = 1469598103934665603ull;  // FNV offset basis
+    for (VarId v : projection_) {
+      projected_.push_back(binding[v]);
+      h = Mix64(h ^ binding[v]);
+    }
+    if (!seen_.insert(h).second) return true;  // likely-duplicate: skip
+    return inner_->Emit(projected_);
+  }
+  uint64_t count() const override { return inner_->count(); }
+
+ private:
+  std::vector<VarId> projection_;
+  Sink* inner_;
+  std::vector<NodeId> projected_;
+  std::unordered_set<uint64_t, Hash64> seen_;
+};
+
+}  // namespace wireframe
+
+#endif  // WIREFRAME_EXEC_SINK_H_

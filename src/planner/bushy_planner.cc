@@ -1,0 +1,175 @@
+#include "planner/bushy_planner.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <unordered_map>
+
+#include "query/shape.h"
+#include "util/logging.h"
+
+namespace wireframe {
+
+namespace {
+
+/// Per-subset DP entry.
+struct SubsetEntry {
+  double cost = std::numeric_limits<double>::infinity();
+  double tuples = 0.0;
+  /// Estimated distinct values per variable bound by the subset
+  /// (kInvalidVar-free dense map: var -> estimate; 0 means unbound).
+  std::vector<double> var_distinct;
+  uint64_t left_mask = 0;   // 0 for leaves
+  uint64_t right_mask = 0;
+};
+
+uint64_t VarsOf(const QueryGraph& q, uint64_t mask) {
+  uint64_t vars = 0;
+  for (uint32_t e = 0; e < q.NumEdges(); ++e) {
+    if (mask & (1ull << e)) {
+      vars |= 1ull << q.Edge(e).src;
+      vars |= 1ull << q.Edge(e).dst;
+    }
+  }
+  return vars;
+}
+
+}  // namespace
+
+std::string BushyPlan::ToString(const QueryGraph& query) const {
+  std::ostringstream os;
+  os << "Bushy plan (cost ~" << static_cast<uint64_t>(estimated_cost)
+     << "):\n";
+  // Recursive pretty-printer.
+  auto render = [&](auto&& self, int index, int depth) -> void {
+    const Node& node = nodes[index];
+    for (int i = 0; i < depth; ++i) os << "  ";
+    if (node.IsLeaf()) {
+      const QueryEdge& qe = query.Edge(node.edge);
+      os << "scan AG(?" << query.VarName(qe.src) << " -> ?"
+         << query.VarName(qe.dst) << ") ~"
+         << static_cast<uint64_t>(node.est_tuples) << "\n";
+      return;
+    }
+    os << "join ~" << static_cast<uint64_t>(node.est_tuples) << "\n";
+    self(self, node.left, depth + 1);
+    self(self, node.right, depth + 1);
+  };
+  if (root >= 0) render(render, root, 1);
+  return os.str();
+}
+
+Result<BushyPlan> BushyPlanner::Plan(
+    const std::vector<AgEdgeStats>& stats) const {
+  const QueryGraph& q = *query_;
+  const uint32_t n = q.NumEdges();
+  if (n == 0) return Status::InvalidArgument("query has no patterns");
+  if (n > kMaxDpEdges) {
+    return Status::OutOfRange("bushy DP capped at " +
+                              std::to_string(kMaxDpEdges) + " edges");
+  }
+  WF_CHECK(stats.size() == n);
+  if (!IsConnected(q)) {
+    return Status::InvalidArgument(
+        "disconnected query graphs are not supported");
+  }
+  WF_CHECK(q.NumVars() <= 64 && n <= 63);
+
+  std::unordered_map<uint64_t, SubsetEntry> dp;
+
+  // Leaves.
+  for (uint32_t e = 0; e < n; ++e) {
+    SubsetEntry entry;
+    entry.cost = 0.0;  // phase 1 already materialized the edge sets
+    entry.tuples = static_cast<double>(stats[e].pairs);
+    entry.var_distinct.assign(q.NumVars(), 0.0);
+    entry.var_distinct[q.Edge(e).src] =
+        static_cast<double>(stats[e].distinct_src);
+    entry.var_distinct[q.Edge(e).dst] =
+        static_cast<double>(stats[e].distinct_dst);
+    dp.emplace(1ull << e, std::move(entry));
+  }
+
+  // Subsets in increasing popcount; split into connected, var-sharing
+  // halves (both already present in dp).
+  std::vector<uint64_t> masks;
+  masks.reserve(1ull << n);
+  for (uint64_t m = 1; m < (1ull << n); ++m) masks.push_back(m);
+  std::sort(masks.begin(), masks.end(), [](uint64_t a, uint64_t b) {
+    const int pa = __builtin_popcountll(a), pb = __builtin_popcountll(b);
+    return pa != pb ? pa < pb : a < b;
+  });
+
+  for (uint64_t mask : masks) {
+    if (__builtin_popcountll(mask) < 2) continue;
+    SubsetEntry best;
+    // Enumerate proper submasks; consider each unordered split once by
+    // requiring the lowest set bit to stay on the left.
+    const uint64_t low = mask & (~mask + 1);
+    for (uint64_t left = (mask - 1) & mask; left > 0;
+         left = (left - 1) & mask) {
+      if (!(left & low)) continue;
+      const uint64_t right = mask ^ left;
+      auto lit = dp.find(left);
+      auto rit = dp.find(right);
+      if (lit == dp.end() || rit == dp.end()) continue;
+      const SubsetEntry& L = lit->second;
+      const SubsetEntry& R = rit->second;
+
+      // Shared variables (by query structure, so that empty edge sets —
+      // zero distinct counts — still admit a plan); skip cross products.
+      const uint64_t shared_vars = VarsOf(q, left) & VarsOf(q, right);
+      if (shared_vars == 0) continue;
+      double size = L.tuples * R.tuples;
+      for (VarId v = 0; v < q.NumVars(); ++v) {
+        if (shared_vars & (1ull << v)) {
+          size /= std::max(
+              {L.var_distinct[v], R.var_distinct[v], 1.0});
+        }
+      }
+
+      const double cost = L.cost + R.cost + size;
+      if (cost < best.cost) {
+        best.cost = cost;
+        best.tuples = size;
+        best.left_mask = left;
+        best.right_mask = right;
+        best.var_distinct.assign(q.NumVars(), 0.0);
+        for (VarId v = 0; v < q.NumVars(); ++v) {
+          const double l = L.var_distinct[v];
+          const double r = R.var_distinct[v];
+          double d = l > 0 && r > 0 ? std::min(l, r) : std::max(l, r);
+          if (d > 0) best.var_distinct[v] = std::min(d, size);
+        }
+      }
+    }
+    if (best.left_mask != 0) dp.emplace(mask, std::move(best));
+  }
+
+  const uint64_t full = (1ull << n) - 1;
+  auto it = dp.find(full);
+  if (it == dp.end()) {
+    return Status::Internal("connected query did not reach a full plan");
+  }
+
+  // Reconstruct the tree.
+  BushyPlan plan;
+  plan.estimated_cost = it->second.cost;
+  auto build = [&](auto&& self, uint64_t mask) -> int {
+    const SubsetEntry& entry = dp.at(mask);
+    BushyPlan::Node node;
+    node.est_tuples = entry.tuples;
+    if (__builtin_popcountll(mask) == 1) {
+      node.edge = static_cast<uint32_t>(__builtin_ctzll(mask));
+    } else {
+      node.left = self(self, entry.left_mask);
+      node.right = self(self, entry.right_mask);
+    }
+    plan.nodes.push_back(node);
+    return static_cast<int>(plan.nodes.size() - 1);
+  };
+  plan.root = build(build, full);
+  return plan;
+}
+
+}  // namespace wireframe

@@ -1,0 +1,66 @@
+#ifndef WIREFRAME_PLANNER_BUSHY_PLANNER_H_
+#define WIREFRAME_PLANNER_BUSHY_PLANNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "planner/embedding_planner.h"
+#include "query/query_graph.h"
+#include "util/result.h"
+
+namespace wireframe {
+
+/// A bushy defactorization plan: a binary join tree over the query's
+/// answer-graph edge sets. Leaves materialize one edge set; inner nodes
+/// hash-join their children on the shared variables.
+struct BushyPlan {
+  struct Node {
+    /// Leaf: edge is a query-edge index and left/right are -1.
+    /// Inner: left/right index into `nodes`.
+    int left = -1;
+    int right = -1;
+    uint32_t edge = 0;
+    /// Modeled output size of this node.
+    double est_tuples = 0.0;
+
+    bool IsLeaf() const { return left < 0; }
+  };
+
+  std::vector<Node> nodes;
+  int root = -1;
+  /// Sum of modeled intermediate sizes (the DP's objective).
+  double estimated_cost = 0.0;
+
+  std::string ToString(const QueryGraph& query) const;
+};
+
+/// The paper's §6 future-work item, made concrete: "one has a richer plan
+/// space when considering bushy plans ... The challenge is to devise a
+/// suitable cost model for searching the bushy-plan space via dynamic
+/// programming."
+///
+/// The cost model uses the *exact* per-edge statistics available after
+/// phase 1 (|AG(e)| and distinct endpoints) and the classic
+/// DPccp-flavoured subset DP: for every connected edge subset, try every
+/// connected complementary split whose sides share a variable; join size
+/// is estimated as |L|·|R| / Π_{v shared} max(d_L(v), d_R(v)); the
+/// objective is the total materialized intermediate volume.
+class BushyPlanner {
+ public:
+  /// Subset DP is exponential; beyond this many edges Plan() fails and
+  /// callers fall back to the left-deep pipelined embedding plan.
+  static constexpr uint32_t kMaxDpEdges = 13;
+
+  explicit BushyPlanner(const QueryGraph& query) : query_(&query) {}
+
+  /// Computes the cheapest bushy join tree under the model.
+  Result<BushyPlan> Plan(const std::vector<AgEdgeStats>& stats) const;
+
+ private:
+  const QueryGraph* query_;
+};
+
+}  // namespace wireframe
+
+#endif  // WIREFRAME_PLANNER_BUSHY_PLANNER_H_

@@ -1,0 +1,33 @@
+#include "planner/cost_model.h"
+
+namespace wireframe {
+
+PlanCost SimulateAgPlan(const QueryGraph& query,
+                        const CardinalityEstimator& estimator,
+                        const std::vector<uint32_t>& order) {
+  PlanCost cost;
+  std::vector<VarEstimate> vars(query.NumVars());
+
+  for (uint32_t e : order) {
+    const QueryEdge& qe = query.Edge(e);
+    VarEstimate& src = vars[qe.src];
+    VarEstimate& dst = vars[qe.dst];
+    ExtensionEstimate est =
+        estimator.EstimateExtension(qe.label, src, dst);
+    cost.walks += est.probes + est.matched_edges;
+    cost.ag_edges += est.matched_edges;
+    cost.step_edges.push_back(est.matched_edges);
+
+    src.bound = true;
+    src.candidates = est.new_src_candidates;
+    src.anchor_label = qe.label;
+    src.anchor_end = End::kSubject;
+    dst.bound = true;
+    dst.candidates = est.new_dst_candidates;
+    dst.anchor_label = qe.label;
+    dst.anchor_end = End::kObject;
+  }
+  return cost;
+}
+
+}  // namespace wireframe

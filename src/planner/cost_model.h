@@ -1,0 +1,36 @@
+#ifndef WIREFRAME_PLANNER_COST_MODEL_H_
+#define WIREFRAME_PLANNER_COST_MODEL_H_
+
+#include <vector>
+
+#include "catalog/estimator.h"
+#include "query/query_graph.h"
+
+namespace wireframe {
+
+/// Planner-side simulation of answer-graph generation for a given edge
+/// order. The paper's cost unit is the *edge walk*: "the retrieval of a
+/// matching edge from G" (§4); node burnback is amortized into the walks
+/// that created the removed edges, so the model charges probes + retrieved
+/// edges and nothing extra for burnback.
+struct PlanCost {
+  /// Total estimated edge walks (probes + retrieved edges).
+  double walks = 0.0;
+  /// Estimated answer-graph size after the full plan (sum over edges of
+  /// surviving matches; burnback shrinkage between steps is reflected in
+  /// the per-step candidate propagation, not re-applied retroactively).
+  double ag_edges = 0.0;
+  /// Per-step retrieved-edge estimates, aligned with the simulated order.
+  std::vector<double> step_edges;
+};
+
+/// Simulates executing `order` (a permutation of query-edge indices) and
+/// returns the modeled cost. Exposed separately from the Edgifier so
+/// benches can score arbitrary orders against the same model.
+PlanCost SimulateAgPlan(const QueryGraph& query,
+                        const CardinalityEstimator& estimator,
+                        const std::vector<uint32_t>& order);
+
+}  // namespace wireframe
+
+#endif  // WIREFRAME_PLANNER_COST_MODEL_H_

@@ -1,0 +1,178 @@
+#include "planner/edgifier.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "planner/cost_model.h"
+#include "query/shape.h"
+
+namespace wireframe {
+
+namespace {
+
+/// Mutable plan-prefix state threaded through DP / search.
+struct PrefixState {
+  double walks = 0.0;
+  double ag_edges = 0.0;
+  std::vector<VarEstimate> vars;
+  std::vector<uint32_t> order;
+};
+
+/// Applies one extension step to a copy of `state`.
+PrefixState Extend(const QueryGraph& query,
+                   const CardinalityEstimator& estimator,
+                   const PrefixState& state, uint32_t e) {
+  PrefixState next = state;
+  const QueryEdge& qe = query.Edge(e);
+  ExtensionEstimate est = estimator.EstimateExtension(
+      qe.label, next.vars[qe.src], next.vars[qe.dst]);
+  next.walks += est.probes + est.matched_edges;
+  next.ag_edges += est.matched_edges;
+
+  VarEstimate& src = next.vars[qe.src];
+  src.bound = true;
+  src.candidates = est.new_src_candidates;
+  src.anchor_label = qe.label;
+  src.anchor_end = End::kSubject;
+  VarEstimate& dst = next.vars[qe.dst];
+  dst.bound = true;
+  dst.candidates = est.new_dst_candidates;
+  dst.anchor_label = qe.label;
+  dst.anchor_end = End::kObject;
+
+  next.order.push_back(e);
+  return next;
+}
+
+/// True iff edge `e` shares a variable with the already-planned prefix.
+bool ConnectedToPrefix(const QueryGraph& query, const PrefixState& state,
+                       uint32_t e) {
+  if (state.order.empty()) return true;
+  const QueryEdge& qe = query.Edge(e);
+  return state.vars[qe.src].bound || state.vars[qe.dst].bound;
+}
+
+AgPlan FinishPlan(PrefixState state) {
+  AgPlan plan;
+  plan.edge_order = std::move(state.order);
+  plan.estimated_walks = state.walks;
+  plan.estimated_ag_edges = state.ag_edges;
+  return plan;
+}
+
+Status ValidateQuery(const QueryGraph& query) {
+  if (query.NumEdges() == 0) {
+    return Status::InvalidArgument("query has no patterns");
+  }
+  if (!IsConnected(query)) {
+    return Status::InvalidArgument(
+        "disconnected query graphs are not supported");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<AgPlan> Edgifier::PlanEdgeOrder() const {
+  WF_RETURN_NOT_OK(ValidateQuery(*query_));
+  const uint32_t n = query_->NumEdges();
+  if (n > kMaxDpEdges) return PlanGreedy();
+
+  // dp[mask] = cheapest known prefix materializing exactly `mask`.
+  std::unordered_map<uint64_t, PrefixState> dp;
+  PrefixState init;
+  init.vars.assign(query_->NumVars(), VarEstimate::Unbound());
+  dp.emplace(0, std::move(init));
+
+  // Process masks in increasing popcount so predecessors are final.
+  std::vector<uint64_t> masks(1ull << n);
+  for (uint64_t m = 0; m < masks.size(); ++m) masks[m] = m;
+  std::sort(masks.begin(), masks.end(), [](uint64_t a, uint64_t b) {
+    int pa = __builtin_popcountll(a), pb = __builtin_popcountll(b);
+    return pa != pb ? pa < pb : a < b;
+  });
+
+  for (uint64_t mask : masks) {
+    auto it = dp.find(mask);
+    if (it == dp.end()) continue;
+    const PrefixState& state = it->second;
+    for (uint32_t e = 0; e < n; ++e) {
+      if (mask & (1ull << e)) continue;
+      if (!ConnectedToPrefix(*query_, state, e)) continue;
+      PrefixState next = Extend(*query_, *estimator_, state, e);
+      const uint64_t next_mask = mask | (1ull << e);
+      auto [slot, inserted] = dp.try_emplace(next_mask);
+      if (inserted || next.walks < slot->second.walks) {
+        slot->second = std::move(next);
+      }
+    }
+  }
+
+  auto final_it = dp.find((1ull << n) - 1);
+  WF_CHECK(final_it != dp.end()) << "DP failed to reach the full edge set";
+  return FinishPlan(std::move(final_it->second));
+}
+
+Result<AgPlan> Edgifier::PlanByExhaustiveSearch() const {
+  WF_RETURN_NOT_OK(ValidateQuery(*query_));
+  const uint32_t n = query_->NumEdges();
+  WF_CHECK(n <= 10) << "exhaustive search is for small test queries only";
+
+  PrefixState init;
+  init.vars.assign(query_->NumVars(), VarEstimate::Unbound());
+
+  PrefixState best;
+  best.walks = std::numeric_limits<double>::infinity();
+
+  // Depth-first over all connected permutations.
+  std::vector<PrefixState> stack{std::move(init)};
+  std::vector<uint64_t> mask_stack{0};
+  while (!stack.empty()) {
+    PrefixState state = std::move(stack.back());
+    stack.pop_back();
+    uint64_t mask = mask_stack.back();
+    mask_stack.pop_back();
+    if (mask == (1ull << n) - 1) {
+      if (state.walks < best.walks) best = std::move(state);
+      continue;
+    }
+    for (uint32_t e = 0; e < n; ++e) {
+      if (mask & (1ull << e)) continue;
+      if (!ConnectedToPrefix(*query_, state, e)) continue;
+      stack.push_back(Extend(*query_, *estimator_, state, e));
+      mask_stack.push_back(mask | (1ull << e));
+    }
+  }
+  return FinishPlan(std::move(best));
+}
+
+Result<AgPlan> Edgifier::PlanGreedy() const {
+  WF_RETURN_NOT_OK(ValidateQuery(*query_));
+  const uint32_t n = query_->NumEdges();
+  PrefixState state;
+  state.vars.assign(query_->NumVars(), VarEstimate::Unbound());
+
+  std::vector<bool> used(n, false);
+  for (uint32_t step = 0; step < n; ++step) {
+    uint32_t best_edge = UINT32_MAX;
+    double best_walks = std::numeric_limits<double>::infinity();
+    PrefixState best_next;
+    for (uint32_t e = 0; e < n; ++e) {
+      if (used[e]) continue;
+      if (!ConnectedToPrefix(*query_, state, e)) continue;
+      PrefixState next = Extend(*query_, *estimator_, state, e);
+      if (next.walks < best_walks) {
+        best_walks = next.walks;
+        best_edge = e;
+        best_next = std::move(next);
+      }
+    }
+    WF_CHECK(best_edge != UINT32_MAX);
+    used[best_edge] = true;
+    state = std::move(best_next);
+  }
+  return FinishPlan(std::move(state));
+}
+
+}  // namespace wireframe

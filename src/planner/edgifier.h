@@ -1,0 +1,47 @@
+#ifndef WIREFRAME_PLANNER_EDGIFIER_H_
+#define WIREFRAME_PLANNER_EDGIFIER_H_
+
+#include <vector>
+
+#include "catalog/estimator.h"
+#include "planner/plan.h"
+#include "query/query_graph.h"
+#include "util/result.h"
+
+namespace wireframe {
+
+/// The paper's Edgifier (§4): a bottom-up dynamic-programming planner that
+/// chooses the order in which the CQ's query edges are materialized into
+/// the answer graph, minimizing estimated edge walks.
+///
+/// The DP runs over *connected* subsets of query edges (an edge may enter
+/// the plan only if it shares a variable with the prefix, except the first
+/// edge), which matches the left-deep tree plans the prototype emits. For
+/// queries with more than kMaxDpEdges edges the planner degrades to the
+/// same greedy expansion the DP would seed with (documented bound; the
+/// paper's workloads have at most 9 edges).
+class Edgifier {
+ public:
+  static constexpr uint32_t kMaxDpEdges = 16;
+
+  Edgifier(const QueryGraph& query, const CardinalityEstimator& estimator)
+      : query_(&query), estimator_(&estimator) {}
+
+  /// Computes the optimal (w.r.t. the cost model) connected edge order.
+  /// Fails with InvalidArgument for empty or disconnected queries.
+  Result<AgPlan> PlanEdgeOrder() const;
+
+  /// Exhaustive-search reference (used by tests to certify DP optimality);
+  /// exponential, only valid for small queries.
+  Result<AgPlan> PlanByExhaustiveSearch() const;
+
+ private:
+  Result<AgPlan> PlanGreedy() const;
+
+  const QueryGraph* query_;
+  const CardinalityEstimator* estimator_;
+};
+
+}  // namespace wireframe
+
+#endif  // WIREFRAME_PLANNER_EDGIFIER_H_

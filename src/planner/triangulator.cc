@@ -1,0 +1,203 @@
+#include "planner/triangulator.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace wireframe {
+
+namespace {
+
+/// Estimated candidate-node count for cycle position i: the tightest
+/// distinct-count bound among the variable's incident patterns.
+double EstimateVarDistinct(const QueryGraph& query, const Catalog& catalog,
+                           VarId v) {
+  double best = std::numeric_limits<double>::infinity();
+  for (uint32_t e : query.IncidentEdges(v)) {
+    const QueryEdge& qe = query.Edge(e);
+    const End end = qe.src == v ? End::kSubject : End::kObject;
+    best = std::min(best,
+                    static_cast<double>(catalog.DistinctCount(qe.label, end)));
+  }
+  return best == std::numeric_limits<double>::infinity() ? 1.0 : best;
+}
+
+}  // namespace
+
+/// Interval DP state for one cycle (polygon) of length m: positions
+/// 0..m-1; side (i,i+1) is cycle edge i; side (0,m-1) is cycle edge m-1.
+struct Triangulator::CycleContext {
+  const QueryCycle* cycle;
+  uint32_t m;
+  std::vector<double> var_distinct;           // [m]
+  std::vector<std::vector<double>> pairs;     // est |side (i,j)|
+  std::vector<std::vector<double>> cost;      // DP cost of interval (i,j)
+  std::vector<std::vector<int>> split;        // argmin apex k
+};
+
+void Triangulator::ChordifyCycle(const QueryCycle& cycle, bool exhaustive,
+                                 Chordification* out) const {
+  const QueryGraph& query = *query_;
+  const Catalog& catalog = estimator_->catalog();
+  const uint32_t m = cycle.Length();
+  WF_CHECK(m >= 3) << "2-cycles (parallel patterns) need no chordification";
+
+  CycleContext ctx;
+  ctx.cycle = &cycle;
+  ctx.m = m;
+  ctx.var_distinct.resize(m);
+  for (uint32_t i = 0; i < m; ++i) {
+    ctx.var_distinct[i] = EstimateVarDistinct(query, catalog, cycle.vars[i]);
+  }
+  ctx.pairs.assign(m, std::vector<double>(m, 0.0));
+  ctx.cost.assign(m, std::vector<double>(
+                         m, std::numeric_limits<double>::infinity()));
+  ctx.split.assign(m, std::vector<int>(m, -1));
+
+  // Base: adjacent sides are original cycle edges.
+  for (uint32_t i = 0; i + 1 < m; ++i) {
+    ctx.pairs[i][i + 1] =
+        static_cast<double>(catalog.EdgeCount(query.Edge(cycle.edges[i]).label));
+    ctx.cost[i][i + 1] = 0.0;
+  }
+
+  // Interval DP (exhaustive flag only changes nothing here: the DP already
+  // scans every apex; the separate entry point exists so tests can compare
+  // a brute-force recursion — for polygons they coincide by construction,
+  // which the test asserts).
+  (void)exhaustive;
+  for (uint32_t len = 2; len < m; ++len) {
+    for (uint32_t i = 0; i + len < m; ++i) {
+      const uint32_t j = i + len;
+      for (uint32_t k = i + 1; k < j; ++k) {
+        // Join the two sub-sides on the apex variable.
+        const double join_size =
+            ctx.var_distinct[k] <= 0
+                ? 0.0
+                : ctx.pairs[i][k] * ctx.pairs[k][j] / ctx.var_distinct[k];
+        const double bounded =
+            std::min(join_size, ctx.var_distinct[i] * ctx.var_distinct[j]);
+        const double total = ctx.cost[i][k] + ctx.cost[k][j] + bounded;
+        if (total < ctx.cost[i][j]) {
+          ctx.cost[i][j] = total;
+          ctx.split[i][j] = static_cast<int>(k);
+          ctx.pairs[i][j] = bounded;
+        }
+      }
+    }
+  }
+
+  out->estimated_cost += ctx.cost[0][m - 1];
+
+  // Reconstruct triangles. Sides: (i,i+1) -> cycle edge i; (0,m-1) ->
+  // cycle edge m-1; everything else -> chord.
+  // First pass: allocate chords for every interval used by the optimal
+  // triangulation (except the closing side).
+  std::vector<std::vector<int>> chord_index(m, std::vector<int>(m, -1));
+  const size_t chord_base = out->chords.size();
+
+  struct Item {
+    uint32_t i, j;
+  };
+  std::vector<Item> stack{{0, m - 1}};
+  std::vector<Item> intervals;  // all triangulated intervals, root first
+  while (!stack.empty()) {
+    Item it = stack.back();
+    stack.pop_back();
+    if (it.j - it.i < 2) continue;
+    intervals.push_back(it);
+    const bool is_closing = (it.i == 0 && it.j == m - 1);
+    if (!is_closing && chord_index[it.i][it.j] < 0) {
+      chord_index[it.i][it.j] = static_cast<int>(out->chords.size());
+      Chord chord;
+      chord.u = cycle.vars[it.i];
+      chord.v = cycle.vars[it.j];
+      out->chords.push_back(std::move(chord));
+    }
+    const int k = ctx.split[it.i][it.j];
+    WF_CHECK(k > 0);
+    stack.push_back({it.i, static_cast<uint32_t>(k)});
+    stack.push_back({static_cast<uint32_t>(k), it.j});
+  }
+
+  auto side_of = [&](uint32_t a, uint32_t b) -> TriangleSide {
+    TriangleSide side;
+    if (b == a + 1) {
+      side.is_chord = false;
+      side.index = cycle.edges[a];
+    } else if (a == 0 && b == m - 1) {
+      side.is_chord = false;
+      side.index = cycle.edges[m - 1];
+    } else {
+      side.is_chord = true;
+      WF_CHECK(chord_index[a][b] >= 0);
+      side.index = static_cast<uint32_t>(chord_index[a][b]);
+    }
+    return side;
+  };
+
+  // Second pass: build each interval's triangle and attach it to every
+  // chord among its three sides; triangles whose closing side is a query
+  // edge are also recorded as base triangles.
+  for (const Item& it : intervals) {
+    const uint32_t k = static_cast<uint32_t>(ctx.split[it.i][it.j]);
+    Triangle tri;
+    tri.apex = cycle.vars[k];
+    tri.side_uw = side_of(it.i, k);
+    tri.side_wv = side_of(k, it.j);
+    const TriangleSide closing = side_of(it.i, it.j);
+
+    if (closing.is_chord) {
+      out->chords[closing.index].triangles.push_back(tri);
+    } else {
+      out->base_triangles.push_back(tri);
+      out->base_triangle_closing_edge.push_back(closing.index);
+    }
+    // A chord used as a *side* of this triangle participates in it too:
+    // reorient so the chord is the (u,v) side.
+    auto attach_side = [&](const TriangleSide& side, uint32_t a, uint32_t b) {
+      if (!side.is_chord) return;
+      // Triangle around chord (a,b) has apex at the remaining corner.
+      Triangle t2;
+      t2.apex = (a == it.i && b == static_cast<uint32_t>(k))
+                    ? cycle.vars[it.j]
+                    : cycle.vars[it.i];
+      if (a == it.i) {
+        // chord (i,k): other sides are (k,j) and closing (i,j).
+        t2.side_uw = closing;        // u=i .. apex=j
+        t2.side_wv = side_of(k, it.j);  // apex=j .. v=k  (orientation noted)
+      } else {
+        // chord (k,j): other sides are closing (i,j) and (i,k).
+        t2.side_uw = side_of(it.i, k);  // u=k .. apex=i (reverse of (i,k))
+        t2.side_wv = closing;           // apex=i .. v=j
+      }
+      out->chords[side.index].triangles.push_back(t2);
+    };
+    attach_side(tri.side_uw, it.i, k);
+    attach_side(tri.side_wv, k, it.j);
+  }
+  (void)chord_base;
+}
+
+Result<Chordification> Triangulator::Triangulate(
+    const QueryShape& shape) const {
+  Chordification out;
+  for (const QueryCycle& cycle : shape.cycles) {
+    if (cycle.Length() < 3) continue;  // parallel edges: nothing to chordify
+    ChordifyCycle(cycle, /*exhaustive=*/false, &out);
+  }
+  return out;
+}
+
+Result<Chordification> Triangulator::TriangulateExhaustive(
+    const QueryShape& shape) const {
+  Chordification out;
+  for (const QueryCycle& cycle : shape.cycles) {
+    if (cycle.Length() < 3) continue;
+    ChordifyCycle(cycle, /*exhaustive=*/true, &out);
+  }
+  return out;
+}
+
+}  // namespace wireframe

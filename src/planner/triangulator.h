@@ -1,0 +1,59 @@
+#ifndef WIREFRAME_PLANNER_TRIANGULATOR_H_
+#define WIREFRAME_PLANNER_TRIANGULATOR_H_
+
+#include <vector>
+
+#include "catalog/estimator.h"
+#include "planner/plan.h"
+#include "query/query_graph.h"
+#include "query/shape.h"
+#include "util/result.h"
+
+namespace wireframe {
+
+/// Chordification chosen for one query: the chords to materialize and the
+/// triangles (chord-based and all-query-edge) that edge burnback enforces.
+struct Chordification {
+  std::vector<Chord> chords;
+  std::vector<Triangle> base_triangles;
+  std::vector<uint32_t> base_triangle_closing_edge;
+  /// Modeled cost of materializing all chords (pair-join work).
+  double estimated_cost = 0.0;
+};
+
+/// The paper's Triangulator (§4): for cyclic CQs, cycles of length greater
+/// than three are bisected by chords down to triangles. Chord choice is a
+/// bottom-up dynamic program — for each cycle, the classic O(m³) optimal
+/// polygon-triangulation DP, minimizing the modeled size of the chord
+/// materializations (each chord is maintained at runtime as the
+/// intersection of the joins of the opposite two sides of its triangles).
+///
+/// Cycles come from a fundamental cycle basis; overlapping cycles are
+/// chordified independently (the paper's workloads — diamonds — have a
+/// single cycle; this is the documented scope).
+class Triangulator {
+ public:
+  Triangulator(const QueryGraph& query, const CardinalityEstimator& estimator)
+      : query_(&query), estimator_(&estimator) {}
+
+  /// Chooses chords for every cycle of `shape`. Returns an empty
+  /// Chordification for acyclic queries.
+  Result<Chordification> Triangulate(const QueryShape& shape) const;
+
+  /// Exhaustive reference over all triangulations of one polygon (tests).
+  Result<Chordification> TriangulateExhaustive(const QueryShape& shape) const;
+
+ private:
+  struct CycleContext;
+
+  /// Runs the interval DP for one cycle and appends results.
+  void ChordifyCycle(const QueryCycle& cycle, bool exhaustive,
+                     Chordification* out) const;
+
+  const QueryGraph* query_;
+  const CardinalityEstimator* estimator_;
+};
+
+}  // namespace wireframe
+
+#endif  // WIREFRAME_PLANNER_TRIANGULATOR_H_

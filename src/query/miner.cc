@@ -1,0 +1,130 @@
+#include "query/miner.h"
+
+#include "core/wireframe.h"
+#include "exec/sink.h"
+#include "util/logging.h"
+
+namespace wireframe {
+
+namespace {
+
+/// Pre-resolved join constraint between the edge being assigned and an
+/// earlier-assigned edge: the two labels must share at least one node
+/// between `new_end` of the new label and `old_end` of the old.
+struct JoinCheck {
+  uint32_t old_slot;
+  End new_end;
+  End old_end;
+};
+
+}  // namespace
+
+Result<std::vector<MinedQuery>> QueryMiner::Mine(const QueryTemplate& tmpl,
+                                                 const MinerOptions& options,
+                                                 MinerReport* report) const {
+  const Catalog& cat = *catalog_;
+  MinerReport local_report;
+  MinerReport& rep = report ? *report : local_report;
+  rep = MinerReport{};
+
+  // Slot assignment follows template-edge order; templates list edges so
+  // every prefix is connected.
+  const uint32_t n = static_cast<uint32_t>(tmpl.edges.size());
+  WF_CHECK(n == tmpl.num_slots) << "templates use one slot per edge";
+
+  // Precompute, per edge, the join checks against all earlier edges.
+  std::vector<std::vector<JoinCheck>> checks(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = 0; j < i; ++j) {
+      auto end_of = [](const TemplateEdge& e, const std::string& v) {
+        return e.src == v ? End::kSubject : End::kObject;
+      };
+      for (const std::string* var : {&tmpl.edges[i].src, &tmpl.edges[i].dst}) {
+        if (tmpl.edges[j].src == *var || tmpl.edges[j].dst == *var) {
+          checks[i].push_back({tmpl.edges[j].slot, end_of(tmpl.edges[i], *var),
+                               end_of(tmpl.edges[j], *var)});
+        }
+      }
+    }
+  }
+
+  // Labels worth trying at all.
+  std::vector<LabelId> alphabet;
+  for (LabelId p = 0; p < cat.num_labels(); ++p) {
+    if (cat.EdgeCount(p) > 0) alphabet.push_back(p);
+  }
+
+  std::vector<MinedQuery> mined;
+  std::vector<LabelId> assignment(n, kInvalidLabel);
+  WireframeEngine probe_engine;
+  bool budget_hit = false;
+
+  // Iterative DFS over slots.
+  std::vector<size_t> cursor(n + 1, 0);
+  uint32_t depth = 0;
+  while (true) {
+    if (mined.size() >= options.max_queries ||
+        rep.candidates >= options.max_candidates ||
+        options.deadline.Expired()) {
+      budget_hit = true;
+      break;
+    }
+    if (cursor[depth] >= alphabet.size()) {
+      if (depth == 0) break;  // exhausted
+      cursor[depth] = 0;
+      --depth;
+      ++cursor[depth];
+      continue;
+    }
+    const LabelId label = alphabet[cursor[depth]];
+    assignment[tmpl.edges[depth].slot] = label;
+    ++rep.candidates;
+
+    bool viable = true;
+    for (const JoinCheck& check : checks[depth]) {
+      if (cat.SharedDistinct(label, check.new_end, assignment[check.old_slot],
+                             check.old_end) == 0) {
+        viable = false;
+        break;
+      }
+    }
+    if (!viable) {
+      ++rep.pruned_by_2gram;
+      ++cursor[depth];
+      continue;
+    }
+    if (depth + 1 < n) {
+      ++depth;
+      cursor[depth] = 0;
+      continue;
+    }
+
+    // Complete assignment surviving all 2-gram checks.
+    bool keep = true;
+    if (options.verify_nonempty) {
+      QueryGraph query = tmpl.Instantiate(assignment);
+      LimitSink sink(1);
+      EngineOptions engine_options;
+      engine_options.deadline = options.deadline;
+      Result<EngineStats> result =
+          probe_engine.Run(*db_, cat, query, engine_options, &sink);
+      if (!result.ok()) {
+        if (result.status().IsTimedOut()) {
+          budget_hit = true;
+          break;
+        }
+        return result.status();
+      }
+      keep = sink.count() > 0;
+      if (!keep) ++rep.rejected_empty;
+    }
+    if (keep) mined.push_back(MinedQuery{assignment});
+    ++cursor[depth];
+  }
+
+  rep.mined = mined.size();
+  rep.exhausted = !budget_hit;
+  return mined;
+}
+
+}  // namespace wireframe

@@ -1,0 +1,67 @@
+#ifndef WIREFRAME_QUERY_MINER_H_
+#define WIREFRAME_QUERY_MINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "query/templates.h"
+#include "storage/database.h"
+#include "util/result.h"
+#include "util/timer.h"
+
+namespace wireframe {
+
+/// Miner configuration and caps (the search space over 104 labels and 9
+/// slots is astronomically large; the paper mined 218k snowflakes — caps
+/// keep the reproduction laptop-sized while preserving the procedure).
+struct MinerOptions {
+  /// Stop after this many valid queries.
+  uint64_t max_queries = 1000;
+  /// Stop after this many candidate assignments considered (pruned or
+  /// verified).
+  uint64_t max_candidates = 10'000'000;
+  /// Verify non-emptiness by actually probing for one embedding. Off, a
+  /// query is accepted on 2-gram evidence alone (necessary, not
+  /// sufficient, for non-emptiness).
+  bool verify_nonempty = true;
+  Deadline deadline;
+};
+
+/// Counters describing one mining run.
+struct MinerReport {
+  uint64_t mined = 0;               // valid queries found
+  uint64_t candidates = 0;          // assignments considered
+  uint64_t pruned_by_2gram = 0;     // rejected without touching the data
+  uint64_t rejected_empty = 0;      // survived 2-grams, no embedding
+  bool exhausted = false;           // search space fully enumerated
+};
+
+/// One mined query: its label assignment, by template slot.
+struct MinedQuery {
+  std::vector<LabelId> labels;
+};
+
+/// The paper's query miner (§5): instantiates a template's label
+/// placeholders with every assignment the catalog's 2-gram statistics do
+/// not rule out, then keeps assignments with at least one embedding.
+class QueryMiner {
+ public:
+  QueryMiner(const Database& db, const Catalog& catalog)
+      : db_(&db), catalog_(&catalog) {}
+
+  /// Mines `tmpl`, depth-first over slots in template-edge order, pruning
+  /// a partial assignment as soon as any incident pair of assigned labels
+  /// has an empty 2-gram intersection.
+  Result<std::vector<MinedQuery>> Mine(const QueryTemplate& tmpl,
+                                       const MinerOptions& options,
+                                       MinerReport* report) const;
+
+ private:
+  const Database* db_;
+  const Catalog* catalog_;
+};
+
+}  // namespace wireframe
+
+#endif  // WIREFRAME_QUERY_MINER_H_

@@ -1,0 +1,201 @@
+#include "query/parser.h"
+
+#include <cctype>
+
+namespace wireframe {
+
+namespace {
+
+/// Character-level cursor with offset tracking for error messages.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+  char Peek() { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  /// Consumes `kw` case-insensitively if it is the next word.
+  bool ConsumeKeyword(std::string_view kw) {
+    SkipSpace();
+    if (pos_ + kw.size() > text_.size()) return false;
+    for (size_t i = 0; i < kw.size(); ++i) {
+      if (std::tolower(static_cast<unsigned char>(text_[pos_ + i])) !=
+          std::tolower(static_cast<unsigned char>(kw[i]))) {
+        return false;
+      }
+    }
+    // Keywords must end at a word boundary.
+    size_t end = pos_ + kw.size();
+    if (end < text_.size() &&
+        (std::isalnum(static_cast<unsigned char>(text_[end])) ||
+         text_[end] == '_')) {
+      return false;
+    }
+    pos_ = end;
+    return true;
+  }
+
+  bool ConsumeChar(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  /// Reads a ?variable; empty result means the next token is not one.
+  std::string ConsumeVar() {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != '?') return {};
+    size_t start = ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  /// Reads a predicate token: <iri>, prefix:name, or a bare name.
+  std::string ConsumePredicate() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return {};
+    if (text_[pos_] == '<') {
+      auto close = text_.find('>', pos_);
+      if (close == std::string_view::npos) return {};
+      std::string out(text_.substr(pos_, close - pos_ + 1));
+      pos_ = close + 1;
+      return out;
+    }
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_' || text_[pos_] == ':' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  size_t pos() const { return pos_; }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+Status ErrorAt(const Cursor& c, const std::string& what) {
+  return Status::ParseError(what + " (at offset " + std::to_string(c.pos()) +
+                            ")");
+}
+
+}  // namespace
+
+Result<ParsedQuery> SparqlParser::Parse(std::string_view text) {
+  Cursor c(text);
+  ParsedQuery q;
+
+  if (!c.ConsumeKeyword("select")) return ErrorAt(c, "expected SELECT");
+  if (c.ConsumeKeyword("distinct")) q.distinct = true;
+
+  if (c.ConsumeChar('*')) {
+    // SELECT *: empty projection.
+  } else {
+    for (;;) {
+      std::string var = c.ConsumeVar();
+      if (var.empty()) break;
+      q.projection.push_back(var);
+      c.ConsumeChar(',');  // commas between projection vars are optional
+    }
+    if (q.projection.empty()) {
+      return ErrorAt(c, "expected '*' or at least one ?variable");
+    }
+  }
+
+  if (!c.ConsumeKeyword("where")) return ErrorAt(c, "expected WHERE");
+  if (!c.ConsumeChar('{')) return ErrorAt(c, "expected '{'");
+
+  while (!c.ConsumeChar('}')) {
+    ParsedQuery::Pattern pat;
+    pat.subject_var = c.ConsumeVar();
+    if (pat.subject_var.empty()) {
+      return ErrorAt(c, "expected subject ?variable");
+    }
+    pat.predicate = c.ConsumePredicate();
+    if (pat.predicate.empty()) return ErrorAt(c, "expected predicate");
+    pat.object_var = c.ConsumeVar();
+    if (pat.object_var.empty()) {
+      return ErrorAt(c, "expected object ?variable");
+    }
+    q.patterns.push_back(std::move(pat));
+    c.ConsumeChar('.');  // trailing '.' optional before '}'
+    if (c.AtEnd()) return ErrorAt(c, "unterminated WHERE block");
+  }
+
+  if (q.patterns.empty()) return ErrorAt(c, "empty WHERE block");
+  return q;
+}
+
+Result<QueryGraph> SparqlParser::Bind(const ParsedQuery& parsed,
+                                      const Database& db) {
+  QueryGraph graph;
+  graph.SetDistinct(parsed.distinct);
+
+  auto resolve = [&db](const std::string& pred) -> std::optional<LabelId> {
+    if (auto id = db.LabelOf(pred)) return id;
+    // Accept both "<iri>" in the query vs "iri" in the dictionary and the
+    // reverse, plus bare local names against ":name"-style dictionaries.
+    if (pred.size() >= 2 && pred.front() == '<' && pred.back() == '>') {
+      if (auto id = db.LabelOf(pred.substr(1, pred.size() - 2))) return id;
+    } else {
+      if (auto id = db.LabelOf("<" + pred + ">")) return id;
+      if (auto id = db.LabelOf(":" + pred)) return id;
+    }
+    return std::nullopt;
+  };
+
+  for (const auto& pat : parsed.patterns) {
+    auto label = resolve(pat.predicate);
+    if (!label) {
+      return Status::NotFound("unknown predicate: " + pat.predicate);
+    }
+    VarId s = graph.VarByName(pat.subject_var);
+    VarId o = graph.VarByName(pat.object_var);
+    if (s == o) {
+      return Status::InvalidArgument("self-loop pattern on ?" +
+                                     pat.subject_var);
+    }
+    graph.AddEdge(s, *label, o);
+  }
+
+  std::vector<VarId> projection;
+  for (const std::string& name : parsed.projection) {
+    VarId v = graph.FindVar(name);
+    if (v == kInvalidVar) {
+      return Status::InvalidArgument("projected variable ?" + name +
+                                     " does not appear in WHERE");
+    }
+    projection.push_back(v);
+  }
+  graph.SetProjection(std::move(projection));
+  return graph;
+}
+
+Result<QueryGraph> SparqlParser::ParseAndBind(std::string_view text,
+                                              const Database& db) {
+  WF_ASSIGN_OR_RETURN(ParsedQuery parsed, Parse(text));
+  return Bind(parsed, db);
+}
+
+}  // namespace wireframe

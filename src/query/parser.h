@@ -1,0 +1,52 @@
+#ifndef WIREFRAME_QUERY_PARSER_H_
+#define WIREFRAME_QUERY_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "query/query_graph.h"
+#include "storage/database.h"
+#include "util/result.h"
+
+namespace wireframe {
+
+/// A parsed-but-unresolved conjunctive query: predicates are still strings
+/// because binding them to LabelIds requires a database dictionary.
+struct ParsedQuery {
+  struct Pattern {
+    std::string subject_var;  // without the leading '?'
+    std::string predicate;    // IRI or bare name, as written
+    std::string object_var;
+  };
+  std::vector<std::string> projection;  // empty means SELECT *
+  bool distinct = false;
+  std::vector<Pattern> patterns;
+};
+
+/// Recursive-descent parser for the SPARQL fragment the paper uses:
+///
+///   SELECT [DISTINCT] (?var... | *) WHERE { ?s <p> ?o . ... }
+///
+/// Predicates may be written `<full-iri>`, `prefix:name`, or bare names.
+/// Keywords are case-insensitive; the final '.' of the last pattern is
+/// optional, matching the paper's listings.
+class SparqlParser {
+ public:
+  /// Parses the textual query. ParseError statuses carry a byte offset.
+  static Result<ParsedQuery> Parse(std::string_view text);
+
+  /// Resolves predicate strings against `db` (exact term first, then a
+  /// match ignoring surrounding <>), producing an executable QueryGraph.
+  /// Unknown predicates yield NotFound.
+  static Result<QueryGraph> Bind(const ParsedQuery& parsed,
+                                 const Database& db);
+
+  /// Parse + Bind in one step.
+  static Result<QueryGraph> ParseAndBind(std::string_view text,
+                                         const Database& db);
+};
+
+}  // namespace wireframe
+
+#endif  // WIREFRAME_QUERY_PARSER_H_

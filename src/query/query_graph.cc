@@ -1,0 +1,63 @@
+#include "query/query_graph.h"
+
+#include <functional>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace wireframe {
+
+VarId QueryGraph::AddVar(std::string_view name) {
+  WF_CHECK(FindVar(name) == kInvalidVar)
+      << "duplicate variable ?" << std::string(name);
+  var_names_.emplace_back(name);
+  incident_.emplace_back();
+  return static_cast<VarId>(var_names_.size() - 1);
+}
+
+VarId QueryGraph::VarByName(std::string_view name) {
+  VarId v = FindVar(name);
+  return v != kInvalidVar ? v : AddVar(name);
+}
+
+VarId QueryGraph::FindVar(std::string_view name) const {
+  for (size_t i = 0; i < var_names_.size(); ++i) {
+    if (var_names_[i] == name) return static_cast<VarId>(i);
+  }
+  return kInvalidVar;
+}
+
+uint32_t QueryGraph::AddEdge(VarId src, LabelId label, VarId dst) {
+  WF_CHECK(src < NumVars() && dst < NumVars());
+  WF_CHECK(src != dst) << "self-loop patterns are not supported";
+  const uint32_t e = static_cast<uint32_t>(edges_.size());
+  edges_.push_back(QueryEdge{src, label, dst});
+  incident_[src].push_back(e);
+  incident_[dst].push_back(e);
+  return e;
+}
+
+std::vector<VarId> QueryGraph::OutputVars() const {
+  if (!projection_.empty()) return projection_;
+  std::vector<VarId> all(NumVars());
+  std::iota(all.begin(), all.end(), 0);
+  return all;
+}
+
+std::string QueryGraph::ToString(
+    const std::function<std::string(LabelId)>& label_name) const {
+  std::string out = "select ";
+  if (distinct_) out += "distinct ";
+  for (VarId v : OutputVars()) {
+    out += "?" + var_names_[v] + " ";
+  }
+  out += "where { ";
+  for (const QueryEdge& e : edges_) {
+    out += "?" + var_names_[e.src] + " " + label_name(e.label) + " ?" +
+           var_names_[e.dst] + " . ";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace wireframe

@@ -1,0 +1,97 @@
+#ifndef WIREFRAME_QUERY_QUERY_GRAPH_H_
+#define WIREFRAME_QUERY_QUERY_GRAPH_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/common.h"
+
+namespace wireframe {
+
+/// One triple pattern of a conjunctive query: ?src --label--> ?dst.
+/// Both endpoints are variables (the paper's CQs bind all positions to
+/// variables; constants can be modeled as pre-filtered predicates).
+struct QueryEdge {
+  VarId src = kInvalidVar;
+  LabelId label = kInvalidLabel;
+  VarId dst = kInvalidVar;
+
+  /// The variable at the other endpoint of the edge.
+  VarId Other(VarId v) const { return v == src ? dst : src; }
+  /// True iff the edge touches v.
+  bool Touches(VarId v) const { return src == v || dst == v; }
+
+  friend bool operator==(const QueryEdge&, const QueryEdge&) = default;
+};
+
+/// A SPARQL conjunctive query viewed as a query graph: variables are nodes
+/// and triple patterns are labeled directed edges between them.
+///
+/// The class is a passive value type built either by the parser or
+/// programmatically (AddVar/AddEdge); planners and engines read it.
+class QueryGraph {
+ public:
+  QueryGraph() = default;
+
+  /// Adds a variable named `name` (e.g. "x" for ?x) and returns its id.
+  /// Names must be unique.
+  VarId AddVar(std::string_view name);
+
+  /// Returns the id for `name`, adding the variable if new.
+  VarId VarByName(std::string_view name);
+
+  /// Returns the id for `name` or kInvalidVar when absent.
+  VarId FindVar(std::string_view name) const;
+
+  /// Adds the triple pattern ?src --label--> ?dst; returns the edge index.
+  uint32_t AddEdge(VarId src, LabelId label, VarId dst);
+
+  uint32_t NumVars() const { return static_cast<uint32_t>(var_names_.size()); }
+  uint32_t NumEdges() const { return static_cast<uint32_t>(edges_.size()); }
+
+  const std::string& VarName(VarId v) const { return var_names_[v]; }
+  const QueryEdge& Edge(uint32_t e) const { return edges_[e]; }
+  const std::vector<QueryEdge>& edges() const { return edges_; }
+
+  /// Indexes of edges incident to variable v (in insertion order).
+  const std::vector<uint32_t>& IncidentEdges(VarId v) const {
+    return incident_[v];
+  }
+
+  /// Degree of v in the query graph (number of incident patterns).
+  uint32_t Degree(VarId v) const {
+    return static_cast<uint32_t>(incident_[v].size());
+  }
+
+  /// Variables listed in the SELECT clause, in order. Empty means
+  /// "SELECT *" (all variables in id order).
+  const std::vector<VarId>& projection() const { return projection_; }
+  void SetProjection(std::vector<VarId> vars) {
+    projection_ = std::move(vars);
+  }
+
+  bool distinct() const { return distinct_; }
+  void SetDistinct(bool d) { distinct_ = d; }
+
+  /// The effective output variables: projection() or all vars.
+  std::vector<VarId> OutputVars() const;
+
+  /// Human-readable rendering with label names resolved via `label_name`
+  /// (callback so the query graph stays independent of the dictionary).
+  std::string ToString(
+      const std::function<std::string(LabelId)>& label_name) const;
+
+ private:
+  std::vector<std::string> var_names_;
+  std::vector<QueryEdge> edges_;
+  std::vector<std::vector<uint32_t>> incident_;
+  std::vector<VarId> projection_;
+  bool distinct_ = false;
+};
+
+}  // namespace wireframe
+
+#endif  // WIREFRAME_QUERY_QUERY_GRAPH_H_

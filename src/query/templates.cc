@@ -1,0 +1,86 @@
+#include "query/templates.h"
+
+#include "util/logging.h"
+
+namespace wireframe {
+
+QueryGraph QueryTemplate::Instantiate(
+    const std::vector<LabelId>& labels) const {
+  WF_CHECK(labels.size() == num_slots)
+      << "template " << name << " needs " << num_slots << " labels";
+  QueryGraph graph;
+  for (const std::string& v : vars) graph.AddVar(v);
+  for (const TemplateEdge& e : edges) {
+    graph.AddEdge(graph.FindVar(e.src), labels[e.slot], graph.FindVar(e.dst));
+  }
+  graph.SetDistinct(true);
+  return graph;
+}
+
+QueryTemplate SnowflakeTemplate() {
+  QueryTemplate t;
+  t.name = "snowflake";
+  t.vars = {"x", "m", "y", "z", "a", "b", "c", "d", "e", "f"};
+  t.edges = {
+      {"x", "m", 0}, {"x", "y", 1}, {"x", "z", 2},
+      {"m", "a", 3}, {"m", "b", 4},
+      {"y", "c", 5}, {"y", "d", 6},
+      {"z", "e", 7}, {"z", "f", 8},
+  };
+  t.num_slots = 9;
+  return t;
+}
+
+QueryTemplate DiamondTemplate() {
+  QueryTemplate t;
+  t.name = "diamond";
+  t.vars = {"x", "e", "y", "z"};
+  t.edges = {
+      {"x", "e", 0}, {"x", "z", 1}, {"e", "y", 2}, {"y", "z", 3},
+  };
+  t.num_slots = 4;
+  return t;
+}
+
+QueryTemplate ChainTemplate(uint32_t length) {
+  WF_CHECK(length >= 1);
+  QueryTemplate t;
+  t.name = "chain" + std::to_string(length);
+  for (uint32_t i = 0; i <= length; ++i) {
+    t.vars.push_back("v" + std::to_string(i));
+  }
+  for (uint32_t i = 0; i < length; ++i) {
+    t.edges.push_back({t.vars[i], t.vars[i + 1], i});
+  }
+  t.num_slots = length;
+  return t;
+}
+
+QueryTemplate StarTemplate(uint32_t arms) {
+  WF_CHECK(arms >= 1);
+  QueryTemplate t;
+  t.name = "star" + std::to_string(arms);
+  t.vars.push_back("x");
+  for (uint32_t i = 0; i < arms; ++i) {
+    t.vars.push_back("l" + std::to_string(i));
+    t.edges.push_back({"x", t.vars.back(), i});
+  }
+  t.num_slots = arms;
+  return t;
+}
+
+QueryTemplate CycleTemplate(uint32_t length) {
+  WF_CHECK(length >= 3);
+  QueryTemplate t;
+  t.name = "cycle" + std::to_string(length);
+  for (uint32_t i = 0; i < length; ++i) {
+    t.vars.push_back("v" + std::to_string(i));
+  }
+  for (uint32_t i = 0; i < length; ++i) {
+    t.edges.push_back({t.vars[i], t.vars[(i + 1) % length], i});
+  }
+  t.num_slots = length;
+  return t;
+}
+
+}  // namespace wireframe

@@ -1,0 +1,56 @@
+#ifndef WIREFRAME_QUERY_TEMPLATES_H_
+#define WIREFRAME_QUERY_TEMPLATES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "query/query_graph.h"
+
+namespace wireframe {
+
+/// One edge of a query template: a fixed variable pair with a label
+/// placeholder (slot) to be filled by the miner.
+struct TemplateEdge {
+  std::string src;
+  std::string dst;
+  uint32_t slot = 0;
+};
+
+/// A query shape with labeled-edge placeholders (paper §5: "query
+/// templates (with placeholders for edge labels)"). The miner enumerates
+/// label assignments that yield valid, non-empty queries.
+struct QueryTemplate {
+  std::string name;
+  std::vector<std::string> vars;
+  std::vector<TemplateEdge> edges;
+  uint32_t num_slots = 0;
+
+  /// Builds the concrete query graph for one label assignment (indexed by
+  /// slot). All variables are projected; distinct is set (the paper's
+  /// queries are SELECT DISTINCT over all variables).
+  QueryGraph Instantiate(const std::vector<LabelId>& labels) const;
+};
+
+/// The paper's CQ_S (Fig. 3): a three-armed snowflake around hub ?x with
+/// two leaf patterns per arm — 9 edges, 10 variables, acyclic.
+/// Slots: 0:x→m 1:x→y 2:x→z 3:m→a 4:m→b 5:y→c 6:y→d 7:z→e 8:z→f.
+QueryTemplate SnowflakeTemplate();
+
+/// The paper's CQ_D (Fig. 4): a diamond (4-cycle) — 4 edges, 4 variables.
+/// Slots: 0:x→e 1:x→z 2:e→y 3:y→z.
+QueryTemplate DiamondTemplate();
+
+/// A chain of `length` edges (Fig. 1's CQ_C for length 3):
+/// v0→v1→...→v_length.
+QueryTemplate ChainTemplate(uint32_t length);
+
+/// A star: `arms` edges all leaving hub ?x.
+QueryTemplate StarTemplate(uint32_t arms);
+
+/// A simple cycle of `length` >= 3 edges, all oriented the same way.
+QueryTemplate CycleTemplate(uint32_t length);
+
+}  // namespace wireframe
+
+#endif  // WIREFRAME_QUERY_TEMPLATES_H_

@@ -1,0 +1,85 @@
+#ifndef WIREFRAME_STORAGE_DATABASE_H_
+#define WIREFRAME_STORAGE_DATABASE_H_
+
+#include <optional>
+#include <string_view>
+#include <utility>
+
+#include "storage/dictionary.h"
+#include "storage/triple_store.h"
+
+namespace wireframe {
+
+/// A dictionary-encoded RDF graph database: node dictionary, predicate
+/// dictionary, and the indexed triple store. This is the object every
+/// engine, planner, and catalog operates on.
+class Database {
+ public:
+  /// Builds a Database from string triples via DatabaseBuilder, or from
+  /// pre-encoded parts (used by the generators, which intern up front).
+  Database(Dictionary nodes, Dictionary labels, TripleStore store)
+      : nodes_(std::move(nodes)),
+        labels_(std::move(labels)),
+        store_(std::move(store)) {}
+
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+
+  const TripleStore& store() const { return store_; }
+  const Dictionary& nodes() const { return nodes_; }
+  const Dictionary& labels() const { return labels_; }
+
+  /// Resolves a predicate IRI; empty when unknown.
+  std::optional<LabelId> LabelOf(std::string_view iri) const {
+    uint32_t id = labels_.Lookup(iri);
+    if (id == Dictionary::kNotFound) return std::nullopt;
+    return LabelId{id};
+  }
+
+  /// Resolves a node term; empty when unknown.
+  std::optional<NodeId> NodeOf(std::string_view term) const {
+    uint32_t id = nodes_.Lookup(term);
+    if (id == Dictionary::kNotFound) return std::nullopt;
+    return NodeId{id};
+  }
+
+ private:
+  Dictionary nodes_;
+  Dictionary labels_;
+  TripleStore store_;
+};
+
+/// Incremental builder that interns strings and accumulates triples.
+class DatabaseBuilder {
+ public:
+  DatabaseBuilder() = default;
+
+  /// Adds a triple given as strings (IRIs/literals).
+  void Add(std::string_view subject, std::string_view predicate,
+           std::string_view object) {
+    builder_.Add(nodes_.Intern(subject), labels_.Intern(predicate),
+                 nodes_.Intern(object));
+  }
+
+  /// Adds a triple with already-interned ids.
+  void Add(NodeId s, LabelId p, NodeId o) { builder_.Add(s, p, o); }
+
+  Dictionary& nodes() { return nodes_; }
+  Dictionary& labels() { return labels_; }
+  uint64_t NumAdded() const { return builder_.NumAdded(); }
+
+  /// Finalizes; the builder is consumed.
+  Database Build() && {
+    return Database(std::move(nodes_), std::move(labels_),
+                    std::move(builder_).Build());
+  }
+
+ private:
+  Dictionary nodes_;
+  Dictionary labels_;
+  TripleStoreBuilder builder_;
+};
+
+}  // namespace wireframe
+
+#endif  // WIREFRAME_STORAGE_DATABASE_H_

@@ -1,0 +1,26 @@
+#include "storage/dictionary.h"
+
+#include "util/logging.h"
+
+namespace wireframe {
+
+uint32_t Dictionary::Intern(std::string_view term) {
+  auto it = index_.find(std::string(term));
+  if (it != index_.end()) return it->second;
+  const uint32_t id = static_cast<uint32_t>(terms_.size());
+  terms_.emplace_back(term);
+  index_.emplace(terms_.back(), id);
+  return id;
+}
+
+uint32_t Dictionary::Lookup(std::string_view term) const {
+  auto it = index_.find(std::string(term));
+  return it == index_.end() ? kNotFound : it->second;
+}
+
+const std::string& Dictionary::Term(uint32_t id) const {
+  WF_CHECK(id < terms_.size()) << "dictionary id out of range: " << id;
+  return terms_[id];
+}
+
+}  // namespace wireframe

@@ -1,0 +1,48 @@
+#ifndef WIREFRAME_STORAGE_DICTIONARY_H_
+#define WIREFRAME_STORAGE_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace wireframe {
+
+/// Bidirectional string <-> dense-id dictionary. One instance maps resource
+/// IRIs/literals to NodeIds, a second maps predicate IRIs to LabelIds, the
+/// standard RDF-store dictionary-encoding setup.
+///
+/// Ids are assigned densely in insertion order, so `Size()` doubles as the
+/// universe bound for id-indexed arrays.
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  // Movable but not copyable: instances can be large.
+  Dictionary(Dictionary&&) = default;
+  Dictionary& operator=(Dictionary&&) = default;
+  Dictionary(const Dictionary&) = delete;
+  Dictionary& operator=(const Dictionary&) = delete;
+
+  /// Returns the id for `term`, inserting it if new.
+  uint32_t Intern(std::string_view term);
+
+  /// Returns the id for `term` or kNotFound when absent.
+  uint32_t Lookup(std::string_view term) const;
+
+  /// Returns the term for `id`. Requires id < Size().
+  const std::string& Term(uint32_t id) const;
+
+  uint32_t Size() const { return static_cast<uint32_t>(terms_.size()); }
+
+  static constexpr uint32_t kNotFound = 0xffffffffu;
+
+ private:
+  std::unordered_map<std::string, uint32_t> index_;
+  std::vector<std::string> terms_;
+};
+
+}  // namespace wireframe
+
+#endif  // WIREFRAME_STORAGE_DICTIONARY_H_

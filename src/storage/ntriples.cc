@@ -1,0 +1,127 @@
+#include "storage/ntriples.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <string_view>
+
+namespace wireframe {
+
+namespace {
+
+void SkipSpace(std::string_view& rest) {
+  while (!rest.empty() && (rest.front() == ' ' || rest.front() == '\t')) {
+    rest.remove_prefix(1);
+  }
+}
+
+// Consumes one RDF term from the front of `rest`; returns empty status and
+// writes the term (including its delimiters) to `out`.
+Status TakeTerm(std::string_view& rest, std::string* out) {
+  SkipSpace(rest);
+  if (rest.empty()) return Status::ParseError("unexpected end of line");
+  out->clear();
+  if (rest.front() == '<') {
+    auto close = rest.find('>');
+    if (close == std::string_view::npos) {
+      return Status::ParseError("unterminated IRI");
+    }
+    *out = std::string(rest.substr(0, close + 1));
+    rest.remove_prefix(close + 1);
+    return Status::OK();
+  }
+  if (rest.front() == '_') {
+    size_t end = 0;
+    while (end < rest.size() && rest[end] != ' ' && rest[end] != '\t') ++end;
+    *out = std::string(rest.substr(0, end));
+    rest.remove_prefix(end);
+    return Status::OK();
+  }
+  if (rest.front() == '"') {
+    // Scan to the closing unescaped quote.
+    size_t i = 1;
+    while (i < rest.size()) {
+      if (rest[i] == '\\') {
+        i += 2;
+        continue;
+      }
+      if (rest[i] == '"') break;
+      ++i;
+    }
+    if (i >= rest.size()) return Status::ParseError("unterminated literal");
+    size_t end = i + 1;
+    // Optional @lang or ^^<datatype> suffix.
+    if (end < rest.size() && rest[end] == '@') {
+      while (end < rest.size() && rest[end] != ' ' && rest[end] != '\t') ++end;
+    } else if (end + 1 < rest.size() && rest[end] == '^' &&
+               rest[end + 1] == '^') {
+      auto close = rest.find('>', end);
+      if (close == std::string_view::npos) {
+        return Status::ParseError("unterminated datatype IRI");
+      }
+      end = close + 1;
+    }
+    *out = std::string(rest.substr(0, end));
+    rest.remove_prefix(end);
+    return Status::OK();
+  }
+  return Status::ParseError("unrecognized term start: '" +
+                            std::string(1, rest.front()) + "'");
+}
+
+}  // namespace
+
+Result<bool> NTriples::ParseLine(const std::string& line, std::string* s,
+                                 std::string* p, std::string* o) {
+  std::string_view rest(line);
+  SkipSpace(rest);
+  if (rest.empty() || rest.front() == '#') return false;
+  WF_RETURN_NOT_OK(TakeTerm(rest, s));
+  WF_RETURN_NOT_OK(TakeTerm(rest, p));
+  WF_RETURN_NOT_OK(TakeTerm(rest, o));
+  SkipSpace(rest);
+  if (rest.empty() || rest.front() != '.') {
+    return Status::ParseError("missing terminating '.'");
+  }
+  return true;
+}
+
+Result<uint64_t> NTriples::ReadStream(std::istream& in, DatabaseBuilder* out) {
+  std::string line, s, p, o;
+  uint64_t count = 0;
+  uint64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    Result<bool> parsed = ParseLine(line, &s, &p, &o);
+    if (!parsed.ok()) {
+      return Status::ParseError("line " + std::to_string(line_no) + ": " +
+                                parsed.status().message());
+    }
+    if (!parsed.value()) continue;
+    out->Add(s, p, o);
+    ++count;
+  }
+  return count;
+}
+
+Result<uint64_t> NTriples::ReadFile(const std::string& path,
+                                    DatabaseBuilder* out) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  return ReadStream(in, out);
+}
+
+Status NTriples::WriteStream(const Database& db, std::ostream& out) {
+  const TripleStore& store = db.store();
+  for (LabelId p = 0; p < store.NumPredicates(); ++p) {
+    store.ForEachEdge(p, [&](NodeId s, NodeId o) {
+      out << db.nodes().Term(s) << " " << db.labels().Term(p) << " "
+          << db.nodes().Term(o) << " .\n";
+    });
+  }
+  if (!out) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+}  // namespace wireframe

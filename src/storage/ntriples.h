@@ -1,0 +1,39 @@
+#ifndef WIREFRAME_STORAGE_NTRIPLES_H_
+#define WIREFRAME_STORAGE_NTRIPLES_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "storage/database.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace wireframe {
+
+/// Line-oriented N-Triples reader/writer (the serialization YAGO2s ships
+/// in). Supported term forms: `<iri>`, `_:blank`, and `"literal"` with
+/// optional `@lang` / `^^<datatype>` suffixes; `#` comment lines and blank
+/// lines are skipped. Each data line must end with `.`.
+class NTriples {
+ public:
+  /// Parses a whole stream into a DatabaseBuilder. Returns the number of
+  /// triples read, or a ParseError naming the offending line.
+  static Result<uint64_t> ReadStream(std::istream& in, DatabaseBuilder* out);
+
+  /// Parses a file by path.
+  static Result<uint64_t> ReadFile(const std::string& path,
+                                   DatabaseBuilder* out);
+
+  /// Parses one N-Triples line into its three term strings. Returns false
+  /// for blank/comment lines; ParseError for malformed lines.
+  static Result<bool> ParseLine(const std::string& line, std::string* s,
+                                std::string* p, std::string* o);
+
+  /// Serializes a database back to N-Triples (canonical, sorted by
+  /// predicate id then subject then object — deterministic round-trips).
+  static Status WriteStream(const Database& db, std::ostream& out);
+};
+
+}  // namespace wireframe
+
+#endif  // WIREFRAME_STORAGE_NTRIPLES_H_

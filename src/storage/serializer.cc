@@ -1,0 +1,153 @@
+#include "storage/serializer.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace wireframe {
+
+namespace {
+
+constexpr char kMagic[4] = {'W', 'F', 'D', 'B'};
+
+void PutU32(std::ostream& out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out.write(buf, 4);
+}
+
+void PutU64(std::ostream& out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out.write(buf, 8);
+}
+
+bool GetU32(std::istream& in, uint32_t* v) {
+  char buf[4];
+  in.read(buf, 4);
+  if (!in) return false;
+  std::memcpy(v, buf, 4);
+  return true;
+}
+
+bool GetU64(std::istream& in, uint64_t* v) {
+  char buf[8];
+  in.read(buf, 8);
+  if (!in) return false;
+  std::memcpy(v, buf, 8);
+  return true;
+}
+
+uint64_t Fnv1a(uint64_t h, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+constexpr uint64_t kFnvBasis = 14695981039346656037ull;
+
+void WriteDictionary(std::ostream& out, const Dictionary& dict) {
+  PutU32(out, dict.Size());
+  for (uint32_t id = 0; id < dict.Size(); ++id) {
+    const std::string& term = dict.Term(id);
+    PutU32(out, static_cast<uint32_t>(term.size()));
+    out.write(term.data(), static_cast<std::streamsize>(term.size()));
+  }
+}
+
+Status ReadDictionary(std::istream& in, Dictionary* dict) {
+  uint32_t count = 0;
+  if (!GetU32(in, &count)) return Status::ParseError("truncated dictionary");
+  std::string term;
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t len = 0;
+    if (!GetU32(in, &len) || len > (1u << 24)) {
+      return Status::ParseError("bad term length");
+    }
+    term.resize(len);
+    in.read(term.data(), len);
+    if (!in) return Status::ParseError("truncated term");
+    if (dict->Intern(term) != i) {
+      return Status::ParseError("duplicate term in dictionary");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Serializer::Save(const Database& db, std::ostream& out) {
+  out.write(kMagic, 4);
+  PutU32(out, kVersion);
+  WriteDictionary(out, db.nodes());
+  WriteDictionary(out, db.labels());
+
+  const TripleStore& store = db.store();
+  PutU64(out, store.NumTriples());
+  uint64_t checksum = kFnvBasis;
+  for (LabelId p = 0; p < store.NumPredicates(); ++p) {
+    store.ForEachEdge(p, [&](NodeId s, NodeId o) {
+      PutU32(out, s);
+      PutU32(out, p);
+      PutU32(out, o);
+      checksum = Fnv1a(Fnv1a(Fnv1a(checksum, s), p), o);
+    });
+  }
+  PutU64(out, checksum);
+  if (!out) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+Status Serializer::SaveFile(const Database& db, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  return Save(db, out);
+}
+
+Result<Database> Serializer::Load(std::istream& in) {
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::ParseError("not a WFDB snapshot");
+  }
+  uint32_t version = 0;
+  if (!GetU32(in, &version) || version != kVersion) {
+    return Status::ParseError("unsupported snapshot version");
+  }
+
+  DatabaseBuilder builder;
+  WF_RETURN_NOT_OK(ReadDictionary(in, &builder.nodes()));
+  WF_RETURN_NOT_OK(ReadDictionary(in, &builder.labels()));
+  const uint32_t num_nodes = builder.nodes().Size();
+  const uint32_t num_labels = builder.labels().Size();
+
+  uint64_t count = 0;
+  if (!GetU64(in, &count)) return Status::ParseError("truncated count");
+  uint64_t checksum = kFnvBasis;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t s = 0, p = 0, o = 0;
+    if (!GetU32(in, &s) || !GetU32(in, &p) || !GetU32(in, &o)) {
+      return Status::ParseError("truncated triples");
+    }
+    if (s >= num_nodes || o >= num_nodes || p >= num_labels) {
+      return Status::ParseError("triple id out of range");
+    }
+    builder.Add(s, p, o);
+    checksum = Fnv1a(Fnv1a(Fnv1a(checksum, s), p), o);
+  }
+  uint64_t expected = 0;
+  if (!GetU64(in, &expected)) return Status::ParseError("missing checksum");
+  if (expected != checksum) return Status::ParseError("checksum mismatch");
+  return std::move(builder).Build();
+}
+
+Result<Database> Serializer::LoadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  return Load(in);
+}
+
+}  // namespace wireframe

@@ -1,0 +1,39 @@
+#ifndef WIREFRAME_STORAGE_SERIALIZER_H_
+#define WIREFRAME_STORAGE_SERIALIZER_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "storage/database.h"
+#include "util/result.h"
+
+namespace wireframe {
+
+/// Binary snapshot format for a Database (dictionaries + triples), so the
+/// paper's "imported it to each of the systems" preprocessing step runs
+/// once: generate or parse N-Triples, save, and reopen instantly.
+///
+/// Layout (little-endian):
+///   magic "WFDB" + u32 version
+///   u32 node-term count,  [u32 length + bytes] per term (id order)
+///   u32 label-term count, [u32 length + bytes] per term (id order)
+///   u64 triple count, then (u32 s, u32 p, u32 o) per triple in
+///   predicate-major order
+///   u64 FNV-1a checksum of the triple section
+class Serializer {
+ public:
+  static constexpr uint32_t kVersion = 1;
+
+  /// Writes a snapshot of `db`.
+  static Status Save(const Database& db, std::ostream& out);
+  static Status SaveFile(const Database& db, const std::string& path);
+
+  /// Reads a snapshot; fails with ParseError on malformed/corrupt input
+  /// or version mismatch.
+  static Result<Database> Load(std::istream& in);
+  static Result<Database> LoadFile(const std::string& path);
+};
+
+}  // namespace wireframe
+
+#endif  // WIREFRAME_STORAGE_SERIALIZER_H_

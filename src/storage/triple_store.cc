@@ -1,0 +1,124 @@
+#include "storage/triple_store.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace wireframe {
+
+namespace {
+
+// Locates `node` in the sorted distinct-node array; returns its position or
+// size() when absent.
+size_t FindGroup(const std::vector<NodeId>& nodes, NodeId node) {
+  auto it = std::lower_bound(nodes.begin(), nodes.end(), node);
+  if (it == nodes.end() || *it != node) return nodes.size();
+  return static_cast<size_t>(it - nodes.begin());
+}
+
+}  // namespace
+
+std::span<const NodeId> TripleStore::OutNeighbors(LabelId p, NodeId s) const {
+  WF_DCHECK(p < preds_.size());
+  const PredIndex& idx = preds_[p];
+  const size_t g = FindGroup(idx.snodes, s);
+  if (g == idx.snodes.size()) return {};
+  return {idx.objects.data() + idx.soffsets[g],
+          idx.objects.data() + idx.soffsets[g + 1]};
+}
+
+std::span<const NodeId> TripleStore::InNeighbors(LabelId p, NodeId o) const {
+  WF_DCHECK(p < preds_.size());
+  const PredIndex& idx = preds_[p];
+  const size_t g = FindGroup(idx.onodes, o);
+  if (g == idx.onodes.size()) return {};
+  return {idx.subjects.data() + idx.ooffsets[g],
+          idx.subjects.data() + idx.ooffsets[g + 1]};
+}
+
+bool TripleStore::HasTriple(NodeId s, LabelId p, NodeId o) const {
+  if (p >= preds_.size()) return false;
+  auto objs = OutNeighbors(p, s);
+  return std::binary_search(objs.begin(), objs.end(), o);
+}
+
+std::vector<std::pair<NodeId, NodeId>> TripleStore::EdgeList(LabelId p) const {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  out.reserve(PredicateCardinality(p));
+  ForEachEdge(p, [&](NodeId s, NodeId o) { out.emplace_back(s, o); });
+  return out;
+}
+
+void TripleStoreBuilder::Add(NodeId s, LabelId p, NodeId o) {
+  triples_.push_back(Triple{s, p, o});
+}
+
+TripleStore TripleStoreBuilder::Build() && {
+  // Sort by (p, s, o) and deduplicate: RDF stores have set semantics.
+  std::sort(triples_.begin(), triples_.end(),
+            [](const Triple& a, const Triple& b) {
+              if (a.predicate != b.predicate) return a.predicate < b.predicate;
+              if (a.subject != b.subject) return a.subject < b.subject;
+              return a.object < b.object;
+            });
+  triples_.erase(std::unique(triples_.begin(), triples_.end()),
+                 triples_.end());
+
+  TripleStore store;
+  store.num_triples_ = triples_.size();
+
+  LabelId max_pred = 0;
+  NodeId max_node = 0;
+  for (const Triple& t : triples_) {
+    max_pred = std::max(max_pred, t.predicate);
+    max_node = std::max(max_node, std::max(t.subject, t.object));
+  }
+  if (!triples_.empty()) {
+    store.preds_.resize(max_pred + 1);
+    store.num_nodes_ = max_node + 1;
+  }
+
+  // Forward indexes from the (p, s, o) order.
+  size_t i = 0;
+  while (i < triples_.size()) {
+    const LabelId p = triples_[i].predicate;
+    TripleStore::PredIndex& idx = store.preds_[p];
+    size_t j = i;
+    while (j < triples_.size() && triples_[j].predicate == p) ++j;
+    idx.objects.reserve(j - i);
+    for (size_t k = i; k < j; ++k) {
+      const Triple& t = triples_[k];
+      if (idx.snodes.empty() || idx.snodes.back() != t.subject) {
+        idx.snodes.push_back(t.subject);
+        idx.soffsets.push_back(static_cast<uint32_t>(idx.objects.size()));
+      }
+      idx.objects.push_back(t.object);
+    }
+    idx.soffsets.push_back(static_cast<uint32_t>(idx.objects.size()));
+
+    // Backward index: re-sort this predicate's slice by (o, s).
+    std::sort(triples_.begin() + static_cast<ptrdiff_t>(i),
+              triples_.begin() + static_cast<ptrdiff_t>(j),
+              [](const Triple& a, const Triple& b) {
+                if (a.object != b.object) return a.object < b.object;
+                return a.subject < b.subject;
+              });
+    idx.subjects.reserve(j - i);
+    for (size_t k = i; k < j; ++k) {
+      const Triple& t = triples_[k];
+      if (idx.onodes.empty() || idx.onodes.back() != t.object) {
+        idx.onodes.push_back(t.object);
+        idx.ooffsets.push_back(static_cast<uint32_t>(idx.subjects.size()));
+      }
+      idx.subjects.push_back(t.subject);
+    }
+    idx.ooffsets.push_back(static_cast<uint32_t>(idx.subjects.size()));
+    i = j;
+  }
+
+  triples_.clear();
+  triples_.shrink_to_fit();
+  return store;
+}
+
+}  // namespace wireframe

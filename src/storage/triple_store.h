@@ -1,0 +1,116 @@
+#ifndef WIREFRAME_STORAGE_TRIPLE_STORE_H_
+#define WIREFRAME_STORAGE_TRIPLE_STORE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/common.h"
+
+namespace wireframe {
+
+/// Immutable, fully indexed RDF triple store.
+///
+/// For every predicate `p` the store keeps two CSR-style access paths:
+///   - forward:  distinct subjects of p (sorted) -> sorted object lists
+///   - backward: distinct objects of p (sorted)  -> sorted subject lists
+/// Together these cover the access patterns of the six SPO-permutation
+/// composite indexes the paper configures for its relational baselines:
+/// every lookup an engine performs here is (predicate, bound-endpoint) ->
+/// matching edges, or a full scan of one predicate.
+///
+/// Construction happens through TripleStoreBuilder; the store itself is
+/// immutable afterwards, so readers need no synchronization.
+class TripleStore {
+ public:
+  TripleStore(TripleStore&&) = default;
+  TripleStore& operator=(TripleStore&&) = default;
+  TripleStore(const TripleStore&) = delete;
+  TripleStore& operator=(const TripleStore&) = delete;
+
+  uint64_t NumTriples() const { return num_triples_; }
+  uint32_t NumNodes() const { return num_nodes_; }
+  uint32_t NumPredicates() const {
+    return static_cast<uint32_t>(preds_.size());
+  }
+
+  /// Number of triples with predicate `p` (the 1-gram count).
+  uint64_t PredicateCardinality(LabelId p) const {
+    return preds_[p].objects.size();
+  }
+
+  /// Distinct, sorted subjects of predicate `p`.
+  std::span<const NodeId> DistinctSubjects(LabelId p) const {
+    return preds_[p].snodes;
+  }
+  /// Distinct, sorted objects of predicate `p`.
+  std::span<const NodeId> DistinctObjects(LabelId p) const {
+    return preds_[p].onodes;
+  }
+
+  /// Objects o with (s, p, o) in the store; sorted; empty if none.
+  std::span<const NodeId> OutNeighbors(LabelId p, NodeId s) const;
+  /// Subjects s with (s, p, o) in the store; sorted; empty if none.
+  std::span<const NodeId> InNeighbors(LabelId p, NodeId o) const;
+
+  /// True iff the triple is present.
+  bool HasTriple(NodeId s, LabelId p, NodeId o) const;
+
+  /// Invokes fn(subject, object) for every edge of predicate `p`, grouped
+  /// by subject in ascending order.
+  template <typename Fn>
+  void ForEachEdge(LabelId p, Fn&& fn) const {
+    const PredIndex& idx = preds_[p];
+    for (size_t i = 0; i < idx.snodes.size(); ++i) {
+      const NodeId s = idx.snodes[i];
+      for (uint32_t k = idx.soffsets[i]; k < idx.soffsets[i + 1]; ++k) {
+        fn(s, idx.objects[k]);
+      }
+    }
+  }
+
+  /// Materializes all (s,o) pairs of predicate `p` (subject-major order).
+  std::vector<std::pair<NodeId, NodeId>> EdgeList(LabelId p) const;
+
+ private:
+  friend class TripleStoreBuilder;
+  TripleStore() = default;
+
+  struct PredIndex {
+    // Forward: snodes[i] has objects objects[soffsets[i]..soffsets[i+1]).
+    std::vector<NodeId> snodes;
+    std::vector<uint32_t> soffsets;
+    std::vector<NodeId> objects;
+    // Backward: onodes[i] has subjects subjects[ooffsets[i]..ooffsets[i+1]).
+    std::vector<NodeId> onodes;
+    std::vector<uint32_t> ooffsets;
+    std::vector<NodeId> subjects;
+  };
+
+  std::vector<PredIndex> preds_;
+  uint64_t num_triples_ = 0;
+  uint32_t num_nodes_ = 0;
+};
+
+/// Accumulates triples and builds the immutable TripleStore. Duplicate
+/// triples are deduplicated (RDF set semantics).
+class TripleStoreBuilder {
+ public:
+  TripleStoreBuilder() = default;
+
+  /// Adds one triple; ids may arrive in any order.
+  void Add(NodeId s, LabelId p, NodeId o);
+  void Add(const Triple& t) { Add(t.subject, t.predicate, t.object); }
+
+  uint64_t NumAdded() const { return triples_.size(); }
+
+  /// Sorts, deduplicates, and builds all indexes. The builder is consumed.
+  TripleStore Build() &&;
+
+ private:
+  std::vector<Triple> triples_;
+};
+
+}  // namespace wireframe
+
+#endif  // WIREFRAME_STORAGE_TRIPLE_STORE_H_

@@ -1,0 +1,33 @@
+#ifndef WIREFRAME_UTIL_FLAGS_H_
+#define WIREFRAME_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace wireframe {
+
+/// Minimal command-line flag parser for the bench/example binaries.
+/// Accepts `--name=value` and `--name value`; `--flag` alone is boolean
+/// true. Unrecognized arguments are collected as positionals.
+class Flags {
+ public:
+  /// Parses argv; exits with a message on malformed input.
+  Flags(int argc, char** argv);
+
+  bool Has(const std::string& name) const;
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  int64_t GetInt(const std::string& name, int64_t default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  bool GetBool(const std::string& name, bool default_value) const;
+
+  const std::map<std::string, std::string>& values() const { return values_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace wireframe
+
+#endif  // WIREFRAME_UTIL_FLAGS_H_

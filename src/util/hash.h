@@ -1,0 +1,41 @@
+#ifndef WIREFRAME_UTIL_HASH_H_
+#define WIREFRAME_UTIL_HASH_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "util/common.h"
+
+namespace wireframe {
+
+/// Mixes a 64-bit value (finalizer of MurmurHash3). Used to hash node-id
+/// pairs into flat hash sets without clustering on dense ids.
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Packs a node pair into one 64-bit key.
+inline uint64_t PackPair(NodeId a, NodeId b) {
+  return (static_cast<uint64_t>(a) << 32) | static_cast<uint64_t>(b);
+}
+
+/// Unpacks PackPair.
+inline std::pair<NodeId, NodeId> UnpackPair(uint64_t key) {
+  return {static_cast<NodeId>(key >> 32),
+          static_cast<NodeId>(key & 0xffffffffULL)};
+}
+
+/// Hash functor for packed pairs / plain 64-bit keys in unordered maps.
+struct Hash64 {
+  size_t operator()(uint64_t x) const { return static_cast<size_t>(Mix64(x)); }
+};
+
+}  // namespace wireframe
+
+#endif  // WIREFRAME_UTIL_HASH_H_

@@ -1,0 +1,66 @@
+#ifndef WIREFRAME_UTIL_LOGGING_H_
+#define WIREFRAME_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace wireframe {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Minimum level actually emitted; default kInfo. Not thread-safe to
+/// mutate concurrently with logging (set it once at startup).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it (to stderr) on destruction.
+/// kFatal aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+/// glog-style voidifier: `&` binds looser than `<<`, so the whole streamed
+/// chain evaluates before being discarded as void in the ternary below.
+struct Voidify {
+  void operator&(LogMessage&) {}
+};
+
+}  // namespace internal
+}  // namespace wireframe
+
+#define WF_LOG(level)                                                   \
+  ::wireframe::internal::LogMessage(::wireframe::LogLevel::k##level,    \
+                                    __FILE__, __LINE__)
+
+/// Unconditional invariant check; aborts with a message when violated.
+/// Additional context may be streamed: WF_CHECK(x > 0) << "x=" << x;
+#define WF_CHECK(cond)                          \
+  (cond) ? (void)0                              \
+         : ::wireframe::internal::Voidify() &   \
+               WF_LOG(Fatal) << "Check failed: " #cond " "
+
+#ifndef NDEBUG
+#define WF_DCHECK(cond) WF_CHECK(cond)
+#else
+#define WF_DCHECK(cond) WF_CHECK(true || (cond))
+#endif
+
+#endif  // WIREFRAME_UTIL_LOGGING_H_

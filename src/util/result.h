@@ -1,0 +1,66 @@
+#ifndef WIREFRAME_UTIL_RESULT_H_
+#define WIREFRAME_UTIL_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace wireframe {
+
+/// Either a value of type T or an error Status. Modeled after
+/// arrow::Result. Accessing the value of an error result aborts in debug
+/// builds; callers must check ok() first.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common success path).
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status.
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    WF_DCHECK(!std::get<Status>(data_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    return ok() ? kOk : std::get<Status>(data_);
+  }
+
+  const T& value() const& {
+    WF_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    WF_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    WF_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::move(std::get<T>(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> data_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or returns its error.
+#define WF_ASSIGN_OR_RETURN(lhs, rexpr)                  \
+  auto WF_CONCAT_(result_, __LINE__) = (rexpr);          \
+  if (!WF_CONCAT_(result_, __LINE__).ok())               \
+    return WF_CONCAT_(result_, __LINE__).status();       \
+  lhs = std::move(WF_CONCAT_(result_, __LINE__)).value()
+
+#define WF_CONCAT_INNER_(a, b) a##b
+#define WF_CONCAT_(a, b) WF_CONCAT_INNER_(a, b)
+
+}  // namespace wireframe
+
+#endif  // WIREFRAME_UTIL_RESULT_H_

@@ -1,0 +1,91 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace wireframe {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::FormatSeconds(double seconds) {
+  char buf[64];
+  if (seconds < 0.01) {
+    std::snprintf(buf, sizeof(buf), "%.4f", seconds);
+  } else if (seconds < 10) {
+    std::snprintf(buf, sizeof(buf), "%.3f", seconds);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f", seconds);
+  }
+  return buf;
+}
+
+std::string TablePrinter::FormatCount(uint64_t n) {
+  // Digit-grouped: 2931986 -> "2,931,986".
+  std::string digits = std::to_string(n);
+  std::string out;
+  int pos = static_cast<int>(digits.size());
+  for (char c : digits) {
+    out += c;
+    --pos;
+    if (pos > 0 && pos % 3 == 0) out += ',';
+  }
+  return out;
+}
+
+std::string TablePrinter::Timeout() { return "*"; }
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (size_t i = 0; i < row.size(); ++i) {
+      os << " " << row[i];
+      for (size_t k = row[i].size(); k < widths[i]; ++k) os << ' ';
+      os << " |";
+    }
+    os << "\n";
+  };
+  auto print_sep = [&] {
+    os << "+";
+    for (size_t w : widths) {
+      for (size_t k = 0; k < w + 2; ++k) os << '-';
+      os << "+";
+    }
+    os << "\n";
+  };
+  print_sep();
+  print_row(header_);
+  print_sep();
+  for (const auto& row : rows_) print_row(row);
+  print_sep();
+}
+
+void TablePrinter::PrintCsv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ",";
+      bool quote = row[i].find(',') != std::string::npos;
+      if (quote) os << '"';
+      os << row[i];
+      if (quote) os << '"';
+    }
+    os << "\n";
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace wireframe

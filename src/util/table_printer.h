@@ -1,0 +1,41 @@
+#ifndef WIREFRAME_UTIL_TABLE_PRINTER_H_
+#define WIREFRAME_UTIL_TABLE_PRINTER_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace wireframe {
+
+/// Renders aligned ASCII tables for benchmark reports (the Table-1-style
+/// output the benches print) and can also emit CSV for post-processing.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Adds one row; it is padded or truncated to the header width.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience cell formatters.
+  static std::string FormatSeconds(double seconds);
+  static std::string FormatCount(uint64_t n);
+  /// The paper prints '*' for queries terminated at the timeout.
+  static std::string Timeout();
+
+  /// Writes the aligned table to `os`.
+  void Print(std::ostream& os) const;
+
+  /// Writes the table as CSV (no alignment, comma-escaped) to `os`.
+  void PrintCsv(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace wireframe
+
+#endif  // WIREFRAME_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,70 @@
+#ifndef WIREFRAME_UTIL_TIMER_H_
+#define WIREFRAME_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace wireframe {
+
+/// Wall-clock stopwatch with millisecond/microsecond readouts.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  int64_t ElapsedMillis() const {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               Clock::now() - start_)
+        .count();
+  }
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// A point in time after which long-running engine work must stop and
+/// report Status::TimedOut. A default-constructed Deadline never expires.
+/// Engines poll Expired() on a coarse cadence (every few thousand edge
+/// walks) to keep the check off the innermost loops.
+class Deadline {
+ public:
+  /// Never expires.
+  Deadline() = default;
+
+  /// Expires `seconds` from now.
+  static Deadline AfterSeconds(double seconds) {
+    Deadline d;
+    d.has_deadline_ = true;
+    d.when_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                 std::chrono::duration<double>(seconds));
+    return d;
+  }
+
+  /// Already expired (useful in tests).
+  static Deadline AlreadyExpired() { return AfterSeconds(-1.0); }
+
+  bool never_expires() const { return !has_deadline_; }
+
+  bool Expired() const {
+    return has_deadline_ && Clock::now() >= when_;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  bool has_deadline_ = false;
+  Clock::time_point when_{};
+};
+
+}  // namespace wireframe
+
+#endif  // WIREFRAME_UTIL_TIMER_H_

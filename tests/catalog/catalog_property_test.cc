@@ -1,0 +1,123 @@
+// Property tests: catalog statistics against brute-force recomputation on
+// random graphs, across seeds (parameterized).
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "datagen/synthetic.h"
+
+namespace wireframe {
+namespace {
+
+class CatalogPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CatalogPropertyTest, OneGramsMatchBruteForce) {
+  Database db = MakeRandomGraph(40, 5, 600, GetParam());
+  Catalog cat = Catalog::Build(db.store());
+  for (LabelId p = 0; p < db.store().NumPredicates(); ++p) {
+    std::set<NodeId> subjects, objects;
+    uint64_t edges = 0;
+    db.store().ForEachEdge(p, [&](NodeId s, NodeId o) {
+      subjects.insert(s);
+      objects.insert(o);
+      ++edges;
+    });
+    EXPECT_EQ(cat.EdgeCount(p), edges);
+    EXPECT_EQ(cat.DistinctCount(p, End::kSubject), subjects.size());
+    EXPECT_EQ(cat.DistinctCount(p, End::kObject), objects.size());
+  }
+}
+
+TEST_P(CatalogPropertyTest, TwoGramsMatchBruteForce) {
+  Database db = MakeRandomGraph(30, 4, 400, GetParam() + 1000);
+  Catalog cat = Catalog::Build(db.store());
+  const uint32_t n = db.store().NumPredicates();
+
+  // Brute force: per (label, end), node -> count.
+  auto counts = [&](LabelId p, End end) {
+    std::map<NodeId, uint64_t> m;
+    db.store().ForEachEdge(p, [&](NodeId s, NodeId o) {
+      ++m[end == End::kSubject ? s : o];
+    });
+    return m;
+  };
+
+  for (LabelId p = 0; p < n; ++p) {
+    for (LabelId q = 0; q < n; ++q) {
+      for (End ep : {End::kSubject, End::kObject}) {
+        for (End eq : {End::kSubject, End::kObject}) {
+          auto mp = counts(p, ep);
+          auto mq = counts(q, eq);
+          uint64_t join = 0, matched = 0, shared = 0;
+          for (const auto& [node, cp] : mp) {
+            auto it = mq.find(node);
+            if (it == mq.end()) continue;
+            join += cp * it->second;
+            matched += cp;
+            ++shared;
+          }
+          EXPECT_EQ(cat.JoinCount(p, ep, q, eq), join)
+              << "p=" << p << " q=" << q;
+          EXPECT_EQ(cat.MatchedEdges(p, ep, q, eq), matched);
+          EXPECT_EQ(cat.SharedDistinct(p, ep, q, eq), shared);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(CatalogPropertyTest, TwoGramSymmetries) {
+  Database db = MakeRandomGraph(35, 4, 500, GetParam() + 2000);
+  Catalog cat = Catalog::Build(db.store());
+  const uint32_t n = db.store().NumPredicates();
+  for (LabelId p = 0; p < n; ++p) {
+    for (LabelId q = 0; q < n; ++q) {
+      for (End ep : {End::kSubject, End::kObject}) {
+        for (End eq : {End::kSubject, End::kObject}) {
+          // JoinCount and SharedDistinct are symmetric in their two slots.
+          EXPECT_EQ(cat.JoinCount(p, ep, q, eq), cat.JoinCount(q, eq, p, ep));
+          EXPECT_EQ(cat.SharedDistinct(p, ep, q, eq),
+                    cat.SharedDistinct(q, eq, p, ep));
+          // Semijoin survivors never exceed either total.
+          EXPECT_LE(cat.MatchedEdges(p, ep, q, eq), cat.EdgeCount(p));
+          EXPECT_LE(cat.MatchedEdges(p, ep, q, eq),
+                    cat.JoinCount(p, ep, q, eq));
+          // Shared distinct bounded by both distinct counts.
+          EXPECT_LE(cat.SharedDistinct(p, ep, q, eq),
+                    cat.DistinctCount(p, ep));
+          EXPECT_LE(cat.SharedDistinct(p, ep, q, eq),
+                    cat.DistinctCount(q, eq));
+        }
+      }
+    }
+  }
+}
+
+TEST_P(CatalogPropertyTest, DiagonalIdentities) {
+  Database db = MakeRandomGraph(25, 3, 300, GetParam() + 3000);
+  Catalog cat = Catalog::Build(db.store());
+  for (LabelId p = 0; p < db.store().NumPredicates(); ++p) {
+    for (End end : {End::kSubject, End::kObject}) {
+      // Against itself: every edge is matched; shared = distinct.
+      EXPECT_EQ(cat.MatchedEdges(p, end, p, end), cat.EdgeCount(p));
+      EXPECT_EQ(cat.SharedDistinct(p, end, p, end),
+                cat.DistinctCount(p, end));
+      // Σ c² >= (Σ c)² / n  (Cauchy–Schwarz sanity on the self-join).
+      const double c = static_cast<double>(cat.EdgeCount(p));
+      const double d = static_cast<double>(cat.DistinctCount(p, end));
+      if (d > 0) {
+        EXPECT_GE(static_cast<double>(cat.JoinCount(p, end, p, end)) + 1e-9,
+                  c * c / d);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CatalogPropertyTest,
+                         ::testing::Values(1, 2, 3, 7, 1234, 9999));
+
+}  // namespace
+}  // namespace wireframe

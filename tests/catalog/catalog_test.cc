@@ -1,0 +1,105 @@
+#include "catalog/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/database.h"
+
+namespace wireframe {
+namespace {
+
+// Graph:  A: 1->2, 1->3, 4->2 ;  B: 2->5, 3->5, 6->7
+Database MakeGraph() {
+  DatabaseBuilder b;
+  for (int i = 1; i <= 7; ++i) b.nodes().Intern("n" + std::to_string(i));
+  auto n = [&b](int i) -> NodeId {
+    return b.nodes().Lookup("n" + std::to_string(i));
+  };
+  LabelId a = b.labels().Intern("A");
+  LabelId bb = b.labels().Intern("B");
+  b.Add(n(1), a, n(2));
+  b.Add(n(1), a, n(3));
+  b.Add(n(4), a, n(2));
+  b.Add(n(2), bb, n(5));
+  b.Add(n(3), bb, n(5));
+  b.Add(n(6), bb, n(7));
+  return std::move(b).Build();
+}
+
+class CatalogTest : public ::testing::Test {
+ protected:
+  CatalogTest() : db_(MakeGraph()), cat_(Catalog::Build(db_.store())) {}
+  Database db_;
+  Catalog cat_;
+  LabelId A() const { return *db_.LabelOf("A"); }
+  LabelId B() const { return *db_.LabelOf("B"); }
+};
+
+TEST_F(CatalogTest, OneGramEdgeCounts) {
+  EXPECT_EQ(cat_.EdgeCount(A()), 3u);
+  EXPECT_EQ(cat_.EdgeCount(B()), 3u);
+  EXPECT_EQ(cat_.num_labels(), 2u);
+  EXPECT_EQ(cat_.num_triples(), 6u);
+}
+
+TEST_F(CatalogTest, OneGramDistinctCounts) {
+  EXPECT_EQ(cat_.DistinctCount(A(), End::kSubject), 2u);  // {1,4}
+  EXPECT_EQ(cat_.DistinctCount(A(), End::kObject), 2u);   // {2,3}
+  EXPECT_EQ(cat_.DistinctCount(B(), End::kSubject), 3u);  // {2,3,6}
+  EXPECT_EQ(cat_.DistinctCount(B(), End::kObject), 2u);   // {5,7}
+}
+
+TEST_F(CatalogTest, AvgDegree) {
+  EXPECT_DOUBLE_EQ(cat_.AvgDegree(A(), End::kSubject), 1.5);
+  EXPECT_DOUBLE_EQ(cat_.AvgDegree(A(), End::kObject), 1.5);
+  EXPECT_DOUBLE_EQ(cat_.AvgDegree(B(), End::kSubject), 1.0);
+}
+
+TEST_F(CatalogTest, TwoGramJoinCountObjectSubject) {
+  // A.object ⋈ B.subject: shared nodes {2, 3};
+  // node 2: cnt_A^O = 2 (1->2, 4->2), cnt_B^S = 1  -> 2
+  // node 3: cnt_A^O = 1,               cnt_B^S = 1 -> 1
+  EXPECT_EQ(cat_.JoinCount(A(), End::kObject, B(), End::kSubject), 3u);
+  // Symmetric call flips roles but not the total product sum.
+  EXPECT_EQ(cat_.JoinCount(B(), End::kSubject, A(), End::kObject), 3u);
+}
+
+TEST_F(CatalogTest, TwoGramMatchedEdges) {
+  // A-edges whose object also starts a B-edge: all 3 (objects 2,2,3).
+  EXPECT_EQ(cat_.MatchedEdges(A(), End::kObject, B(), End::kSubject), 3u);
+  // B-edges whose subject is an A-object: 2->5 and 3->5 but not 6->7.
+  EXPECT_EQ(cat_.MatchedEdges(B(), End::kSubject, A(), End::kObject), 2u);
+}
+
+TEST_F(CatalogTest, TwoGramSharedDistinct) {
+  EXPECT_EQ(cat_.SharedDistinct(A(), End::kObject, B(), End::kSubject), 2u);
+  EXPECT_EQ(cat_.SharedDistinct(A(), End::kSubject, B(), End::kSubject), 0u);
+  // Diagonal: shared with itself = distinct count.
+  EXPECT_EQ(cat_.SharedDistinct(A(), End::kObject, A(), End::kObject), 2u);
+}
+
+TEST_F(CatalogTest, DiagonalJoinCountIsSumOfSquares) {
+  // A.object with itself: node 2 -> 2*2, node 3 -> 1*1.
+  EXPECT_EQ(cat_.JoinCount(A(), End::kObject, A(), End::kObject), 5u);
+  // Matched edges against itself: every edge.
+  EXPECT_EQ(cat_.MatchedEdges(A(), End::kObject, A(), End::kObject), 3u);
+}
+
+TEST_F(CatalogTest, SubjectSubjectJoin) {
+  // A.subject ⋈ B.subject: no shared node ({1,4} vs {2,3,6}).
+  EXPECT_EQ(cat_.JoinCount(A(), End::kSubject, B(), End::kSubject), 0u);
+}
+
+TEST_F(CatalogTest, MemoryBytesIsPositive) {
+  EXPECT_GT(cat_.MemoryBytes(), 0u);
+}
+
+TEST(CatalogEmptyTest, EmptyStore) {
+  TripleStoreBuilder b;
+  TripleStore store = std::move(b).Build();
+  Catalog cat = Catalog::Build(store);
+  EXPECT_EQ(cat.num_labels(), 0u);
+  EXPECT_EQ(cat.num_triples(), 0u);
+}
+
+}  // namespace
+}  // namespace wireframe

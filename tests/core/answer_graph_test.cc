@@ -1,0 +1,121 @@
+#include "core/answer_graph.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "query/templates.h"
+
+namespace wireframe {
+namespace {
+
+// Chain ?v0 -0-> ?v1 -1-> ?v2.
+QueryGraph ChainQuery() { return ChainTemplate(2).Instantiate({0, 1}); }
+
+TEST(AnswerGraphTest, ConstructionMirrorsQuery) {
+  QueryGraph q = ChainQuery();
+  AnswerGraph ag(q);
+  EXPECT_EQ(ag.NumEdgeSets(), 2u);
+  EXPECT_EQ(ag.NumQueryEdges(), 2u);
+  EXPECT_EQ(ag.NumVars(), 3u);
+  EXPECT_EQ(ag.SrcVar(0), q.Edge(0).src);
+  EXPECT_EQ(ag.DstVar(1), q.Edge(1).dst);
+  EXPECT_FALSE(ag.IsMaterialized(0));
+}
+
+TEST(AnswerGraphTest, TouchedAfterMaterialization) {
+  QueryGraph q = ChainQuery();
+  AnswerGraph ag(q);
+  EXPECT_FALSE(ag.IsTouched(0));
+  ag.Set(0).Add(10, 20);
+  ag.MarkMaterialized(0);
+  EXPECT_TRUE(ag.IsTouched(0));
+  EXPECT_TRUE(ag.IsTouched(1));
+  EXPECT_FALSE(ag.IsTouched(2));  // v2 only touches edge 1
+}
+
+TEST(AnswerGraphTest, AlivenessAcrossTwoEdges) {
+  QueryGraph q = ChainQuery();
+  AnswerGraph ag(q);
+  ag.Set(0).Add(10, 20);  // v0=10, v1=20
+  ag.Set(0).Add(11, 21);
+  ag.MarkMaterialized(0);
+  ag.Set(1).Add(20, 30);  // v1=20, v2=30
+  ag.MarkMaterialized(1);
+
+  EXPECT_TRUE(ag.IsAlive(1, 20));   // in both sets at v1
+  EXPECT_FALSE(ag.IsAlive(1, 21));  // missing from edge 1
+  EXPECT_TRUE(ag.IsAlive(0, 10));
+  EXPECT_TRUE(ag.IsAlive(2, 30));
+  EXPECT_FALSE(ag.IsAlive(2, 99));
+}
+
+TEST(AnswerGraphTest, CandidatesFilterByAliveness) {
+  QueryGraph q = ChainQuery();
+  AnswerGraph ag(q);
+  ag.Set(0).Add(10, 20);
+  ag.Set(0).Add(11, 21);
+  ag.MarkMaterialized(0);
+  ag.Set(1).Add(20, 30);
+  ag.MarkMaterialized(1);
+
+  std::set<NodeId> mids;
+  ag.ForEachCandidate(1, [&](NodeId c) { mids.insert(c); });
+  EXPECT_EQ(mids, (std::set<NodeId>{20}));
+  EXPECT_EQ(ag.CandidateCount(1), 1u);
+  EXPECT_EQ(ag.CandidateCount(0), 2u);
+}
+
+TEST(AnswerGraphTest, CountAtRespectsSide) {
+  QueryGraph q = ChainQuery();
+  AnswerGraph ag(q);
+  ag.Set(0).Add(10, 20);
+  ag.Set(0).Add(10, 21);
+  ag.MarkMaterialized(0);
+  EXPECT_EQ(ag.CountAt(0, q.Edge(0).src, 10), 2u);
+  EXPECT_EQ(ag.CountAt(0, q.Edge(0).dst, 20), 1u);
+  EXPECT_EQ(ag.CountAt(0, q.Edge(0).dst, 10), 0u);
+}
+
+TEST(AnswerGraphTest, ChordSlotsExtendIncidence) {
+  QueryGraph q = DiamondTemplate().Instantiate({0, 1, 2, 3});
+  AnswerGraph ag(q);
+  VarId x = q.FindVar("x"), y = q.FindVar("y");
+  uint32_t slot = ag.AddChordSlot(x, y);
+  EXPECT_EQ(slot, 4u);
+  EXPECT_EQ(ag.NumEdgeSets(), 5u);
+  EXPECT_EQ(ag.NumQueryEdges(), 4u);
+  EXPECT_EQ(ag.SrcVar(slot), x);
+  EXPECT_EQ(ag.DstVar(slot), y);
+  // Unmaterialized chords do not constrain aliveness.
+  ag.Set(0).Add(1, 2);
+  ag.MarkMaterialized(0);
+  EXPECT_TRUE(ag.IsAlive(x, 1));
+}
+
+TEST(AnswerGraphTest, TotalQueryEdgePairsExcludesChords) {
+  QueryGraph q = DiamondTemplate().Instantiate({0, 1, 2, 3});
+  AnswerGraph ag(q);
+  uint32_t slot = ag.AddChordSlot(q.FindVar("x"), q.FindVar("y"));
+  ag.Set(0).Add(1, 2);
+  ag.Set(slot).Add(7, 8);
+  ag.Set(slot).Add(7, 9);
+  EXPECT_EQ(ag.TotalQueryEdgePairs(), 1u);
+}
+
+TEST(AnswerGraphTest, StatsPerQueryEdge) {
+  QueryGraph q = ChainQuery();
+  AnswerGraph ag(q);
+  ag.Set(0).Add(1, 2);
+  ag.Set(0).Add(3, 2);
+  ag.Set(1).Add(2, 4);
+  std::vector<AgEdgeStats> stats = ag.Stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].pairs, 2u);
+  EXPECT_EQ(stats[0].distinct_src, 2u);
+  EXPECT_EQ(stats[0].distinct_dst, 1u);
+  EXPECT_EQ(stats[1].pairs, 1u);
+}
+
+}  // namespace
+}  // namespace wireframe

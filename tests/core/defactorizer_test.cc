@@ -1,0 +1,145 @@
+#include "core/defactorizer.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "query/templates.h"
+
+namespace wireframe {
+namespace {
+
+// Builds the Fig. 1 ideal AG by hand: A: {1,2,3}->5, B: 5->9, C: 9->{12..15}.
+struct ChainFixture {
+  QueryGraph q = ChainTemplate(3).Instantiate({0, 1, 2});
+  AnswerGraph ag{q};
+
+  ChainFixture() {
+    for (NodeId w : {1, 2, 3}) ag.Set(0).Add(w, 5);
+    ag.Set(1).Add(5, 9);
+    for (NodeId z : {12, 13, 14, 15}) ag.Set(2).Add(9, z);
+    for (uint32_t e = 0; e < 3; ++e) ag.MarkMaterialized(e);
+  }
+};
+
+EmbeddingPlan PlanOrder(std::vector<uint32_t> order) {
+  EmbeddingPlan plan;
+  plan.join_order = std::move(order);
+  return plan;
+}
+
+TEST(DefactorizerTest, EnumeratesAllEmbeddings) {
+  ChainFixture f;
+  Defactorizer defac(f.q, f.ag);
+  CollectingSink sink;
+  auto n = defac.Emit(PlanOrder({0, 1, 2}), &sink, DefactorizerOptions{});
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(n.value().emitted, 12u);
+  EXPECT_EQ(sink.rows().size(), 12u);
+  // Every row binds all four vars.
+  for (const auto& row : sink.rows()) {
+    ASSERT_EQ(row.size(), 4u);
+    for (NodeId v : row) EXPECT_NE(v, kInvalidNode);
+  }
+}
+
+TEST(DefactorizerTest, JoinOrderIsImmaterialOverIdealAg) {
+  ChainFixture f;
+  Defactorizer defac(f.q, f.ag);
+  std::set<std::vector<NodeId>> reference;
+  {
+    CollectingSink sink;
+    ASSERT_TRUE(
+        defac.Emit(PlanOrder({0, 1, 2}), &sink, DefactorizerOptions{}).ok());
+    reference.insert(sink.rows().begin(), sink.rows().end());
+  }
+  for (const std::vector<uint32_t>& order :
+       {std::vector<uint32_t>{2, 1, 0}, {1, 0, 2}, {1, 2, 0}, {2, 1, 0}}) {
+    CollectingSink sink;
+    ASSERT_TRUE(defac.Emit(PlanOrder(order), &sink, DefactorizerOptions{})
+                    .ok());
+    std::set<std::vector<NodeId>> got(sink.rows().begin(),
+                                      sink.rows().end());
+    EXPECT_EQ(got, reference);
+  }
+}
+
+TEST(DefactorizerTest, BothEndpointsBoundFilters) {
+  // 2-cycle: x -0-> y and x -1-> y; second edge acts as a filter.
+  QueryGraph q;
+  VarId x = q.AddVar("x"), y = q.AddVar("y");
+  q.AddEdge(x, 0, y);
+  q.AddEdge(x, 1, y);
+  AnswerGraph ag(q);
+  ag.Set(0).Add(1, 10);
+  ag.Set(0).Add(2, 20);
+  ag.Set(1).Add(1, 10);  // only (1,10) survives the second pattern
+  ag.MarkMaterialized(0);
+  ag.MarkMaterialized(1);
+  Defactorizer defac(q, ag);
+  CollectingSink sink;
+  auto n = defac.Emit(PlanOrder({0, 1}), &sink, DefactorizerOptions{});
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value().emitted, 1u);
+  EXPECT_EQ(sink.rows()[0], (std::vector<NodeId>{1, 10}));
+}
+
+TEST(DefactorizerTest, BackwardExtension) {
+  // Plan visits edge 1 first, then edge 0 must extend backwards into v0.
+  ChainFixture f;
+  Defactorizer defac(f.q, f.ag);
+  CountingSink sink;
+  auto n = defac.Emit(PlanOrder({1, 0, 2}), &sink, DefactorizerOptions{});
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value().emitted, 12u);
+}
+
+TEST(DefactorizerTest, EmptyAgYieldsNothing) {
+  QueryGraph q = ChainTemplate(2).Instantiate({0, 1});
+  AnswerGraph ag(q);
+  ag.MarkMaterialized(0);
+  ag.MarkMaterialized(1);
+  Defactorizer defac(q, ag);
+  CountingSink sink;
+  auto n = defac.Emit(PlanOrder({0, 1}), &sink, DefactorizerOptions{});
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value().emitted, 0u);
+}
+
+TEST(DefactorizerTest, SinkCanStopEarly) {
+  ChainFixture f;
+  Defactorizer defac(f.q, f.ag);
+  LimitSink sink(5);
+  auto n = defac.Emit(PlanOrder({0, 1, 2}), &sink, DefactorizerOptions{});
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(sink.count(), 5u);
+  EXPECT_LE(n.value().emitted, 6u);
+}
+
+TEST(DefactorizerTest, ExpiredDeadlineTimesOut) {
+  ChainFixture f;
+  Defactorizer defac(f.q, f.ag);
+  CountingSink sink;
+  DefactorizerOptions options;
+  options.deadline = Deadline::AlreadyExpired();
+  // The deadline is checked on a stride; tiny outputs may finish first,
+  // so force many tuples through a bigger AG.
+  for (NodeId w = 100; w < 3000; ++w) f.ag.Set(0).Add(w, 5);
+  auto n = defac.Emit(PlanOrder({0, 1, 2}), &sink, options);
+  ASSERT_FALSE(n.ok());
+  EXPECT_TRUE(n.status().IsTimedOut());
+}
+
+TEST(DefactorizerTest, TombstonedPairsAreSkipped) {
+  ChainFixture f;
+  f.ag.Set(2).Erase(9, 15);
+  Defactorizer defac(f.q, f.ag);
+  CountingSink sink;
+  auto n = defac.Emit(PlanOrder({0, 1, 2}), &sink, DefactorizerOptions{});
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value().emitted, 9u);  // 3 * 1 * 3
+}
+
+}  // namespace
+}  // namespace wireframe

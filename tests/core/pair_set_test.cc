@@ -1,0 +1,188 @@
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/answer_graph.h"
+
+namespace wireframe {
+namespace {
+
+TEST(PairSetTest, AddAndContains) {
+  PairSet s;
+  EXPECT_TRUE(s.Add(1, 2));
+  EXPECT_TRUE(s.Contains(1, 2));
+  EXPECT_FALSE(s.Contains(2, 1));
+  EXPECT_EQ(s.Size(), 1u);
+}
+
+TEST(PairSetTest, AddDeduplicates) {
+  PairSet s;
+  EXPECT_TRUE(s.Add(1, 2));
+  EXPECT_FALSE(s.Add(1, 2));
+  EXPECT_EQ(s.Size(), 1u);
+  EXPECT_EQ(s.SrcCount(1), 1u);
+}
+
+TEST(PairSetTest, EraseUpdatesCounts) {
+  PairSet s;
+  s.Add(1, 2);
+  s.Add(1, 3);
+  s.Add(4, 2);
+  EXPECT_EQ(s.SrcCount(1), 2u);
+  EXPECT_EQ(s.DstCount(2), 2u);
+  EXPECT_TRUE(s.Erase(1, 2));
+  EXPECT_FALSE(s.Erase(1, 2));  // already gone
+  EXPECT_EQ(s.Size(), 2u);
+  EXPECT_EQ(s.SrcCount(1), 1u);
+  EXPECT_EQ(s.DstCount(2), 1u);
+  EXPECT_FALSE(s.Contains(1, 2));
+}
+
+TEST(PairSetTest, DistinctCounts) {
+  PairSet s;
+  s.Add(1, 2);
+  s.Add(1, 3);
+  s.Add(4, 3);
+  EXPECT_EQ(s.DistinctSrcCount(), 2u);
+  EXPECT_EQ(s.DistinctDstCount(), 2u);
+  s.Erase(1, 2);
+  s.Erase(1, 3);
+  EXPECT_EQ(s.DistinctSrcCount(), 1u);
+}
+
+TEST(PairSetTest, ForEachFwdSkipsTombstones) {
+  PairSet s;
+  s.Add(1, 2);
+  s.Add(1, 3);
+  s.Add(1, 4);
+  s.Erase(1, 3);
+  std::vector<NodeId> got;
+  s.ForEachFwd(1, [&](NodeId v) { got.push_back(v); });
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, (std::vector<NodeId>{2, 4}));
+  s.ForEachFwd(99, [&](NodeId) { FAIL() << "no pairs from 99"; });
+}
+
+TEST(PairSetTest, ForEachBwd) {
+  PairSet s;
+  s.Add(1, 9);
+  s.Add(2, 9);
+  s.Erase(1, 9);
+  std::vector<NodeId> got;
+  s.ForEachBwd(9, [&](NodeId u) { got.push_back(u); });
+  EXPECT_EQ(got, (std::vector<NodeId>{2}));
+}
+
+TEST(PairSetTest, ForEachPairVisitsLiveOnly) {
+  PairSet s;
+  s.Add(1, 2);
+  s.Add(3, 4);
+  s.Add(5, 6);
+  s.Erase(3, 4);
+  std::set<std::pair<NodeId, NodeId>> got;
+  s.ForEachPair([&](NodeId u, NodeId v) { got.insert({u, v}); });
+  EXPECT_EQ(got, (std::set<std::pair<NodeId, NodeId>>{{1, 2}, {5, 6}}));
+}
+
+TEST(PairSetTest, ForEachSrcDst) {
+  PairSet s;
+  s.Add(1, 2);
+  s.Add(1, 3);
+  s.Add(4, 3);
+  std::set<NodeId> srcs, dsts;
+  s.ForEachSrc([&](NodeId u) { srcs.insert(u); });
+  s.ForEachDst([&](NodeId v) { dsts.insert(v); });
+  EXPECT_EQ(srcs, (std::set<NodeId>{1, 4}));
+  EXPECT_EQ(dsts, (std::set<NodeId>{2, 3}));
+}
+
+TEST(PairSetTest, EraseDuringFwdIterationIsSafe) {
+  PairSet s;
+  for (NodeId v = 0; v < 10; ++v) s.Add(7, 100 + v);
+  std::vector<NodeId> visited;
+  s.ForEachFwd(7, [&](NodeId v) {
+    visited.push_back(v);
+    s.Erase(7, v);
+  });
+  EXPECT_EQ(visited.size(), 10u);
+  EXPECT_EQ(s.Size(), 0u);
+  EXPECT_EQ(s.SrcCount(7), 0u);
+}
+
+TEST(PairSetTest, FreshSetIsCompact) {
+  PairSet s;
+  EXPECT_TRUE(s.IsCompact());
+  s.Add(1, 2);
+  EXPECT_TRUE(s.IsCompact());  // adds never create tombstones
+  s.Erase(1, 2);
+  EXPECT_FALSE(s.IsCompact());
+}
+
+TEST(PairSetTest, CompactDropsTombstonesAndPreservesContent) {
+  PairSet s;
+  for (NodeId u = 0; u < 20; ++u) {
+    for (NodeId v = 100; v < 110; ++v) s.Add(u, v);
+  }
+  for (NodeId u = 0; u < 20; u += 2) {
+    for (NodeId v = 100; v < 110; ++v) s.Erase(u, v);
+  }
+  EXPECT_FALSE(s.IsCompact());
+  const uint64_t size_before = s.Size();
+  s.Compact();
+  EXPECT_TRUE(s.IsCompact());
+  EXPECT_EQ(s.Size(), size_before);
+  // Iteration after compaction sees exactly the live pairs.
+  uint64_t seen = 0;
+  for (NodeId u = 1; u < 20; u += 2) {
+    s.ForEachFwd(u, [&](NodeId v) {
+      EXPECT_GE(v, 100u);
+      ++seen;
+    });
+  }
+  EXPECT_EQ(seen, size_before);
+  // Fully-erased sources disappear from the forward index.
+  s.ForEachFwd(0, [&](NodeId) { FAIL() << "source 0 was fully erased"; });
+  // Backward direction too.
+  uint64_t back = 0;
+  for (NodeId v = 100; v < 110; ++v) {
+    s.ForEachBwd(v, [&](NodeId u) {
+      EXPECT_EQ(u % 2, 1u);
+      ++back;
+    });
+  }
+  EXPECT_EQ(back, size_before);
+}
+
+TEST(PairSetTest, CompactIsIdempotent) {
+  PairSet s;
+  s.Add(1, 2);
+  s.Add(3, 4);
+  s.Erase(3, 4);
+  s.Compact();
+  s.Compact();
+  EXPECT_EQ(s.Size(), 1u);
+  EXPECT_TRUE(s.Contains(1, 2));
+  EXPECT_EQ(s.DistinctSrcCount(), 1u);
+  EXPECT_EQ(s.DistinctDstCount(), 1u);
+}
+
+TEST(PairSetTest, StressManyPairs) {
+  PairSet s;
+  for (NodeId u = 0; u < 100; ++u) {
+    for (NodeId v = 0; v < 20; ++v) s.Add(u, v);
+  }
+  EXPECT_EQ(s.Size(), 2000u);
+  EXPECT_EQ(s.DistinctSrcCount(), 100u);
+  EXPECT_EQ(s.DistinctDstCount(), 20u);
+  for (NodeId u = 0; u < 100; u += 2) {
+    for (NodeId v = 0; v < 20; ++v) s.Erase(u, v);
+  }
+  EXPECT_EQ(s.Size(), 1000u);
+  EXPECT_EQ(s.DistinctSrcCount(), 50u);
+  EXPECT_EQ(s.DistinctDstCount(), 20u);
+}
+
+}  // namespace
+}  // namespace wireframe

@@ -1,0 +1,217 @@
+#include "core/wireframe.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/figures.h"
+#include "datagen/synthetic.h"
+#include "query/parser.h"
+
+namespace wireframe {
+namespace {
+
+class WireframeFig1Test : public ::testing::Test {
+ protected:
+  WireframeFig1Test()
+      : db_(MakeFig1Graph()), cat_(Catalog::Build(db_.store())) {}
+  Database db_;
+  Catalog cat_;
+};
+
+TEST_F(WireframeFig1Test, ProducesTwelveEmbeddings) {
+  auto q = MakeFig1Query(db_);
+  ASSERT_TRUE(q.ok());
+  WireframeEngine engine;
+  CountingSink sink;
+  auto stats = engine.Run(db_, cat_, *q, EngineOptions{}, &sink);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->output_tuples, kFig1Embeddings);
+  EXPECT_EQ(stats->ag_pairs, kFig1IdealAgEdges);
+  EXPECT_EQ(sink.count(), kFig1Embeddings);
+}
+
+TEST_F(WireframeFig1Test, DetailedRunExposesPhases) {
+  auto q = MakeFig1Query(db_);
+  ASSERT_TRUE(q.ok());
+  WireframeEngine engine;
+  CountingSink sink;
+  auto detail = engine.RunDetailed(db_, cat_, *q, EngineOptions{}, &sink);
+  ASSERT_TRUE(detail.ok());
+  EXPECT_FALSE(detail->cyclic);
+  EXPECT_GE(detail->plan_seconds, 0.0);
+  EXPECT_GE(detail->phase1_seconds, 0.0);
+  EXPECT_GE(detail->phase2_seconds, 0.0);
+  ASSERT_NE(detail->ag, nullptr);
+  EXPECT_EQ(detail->ag->TotalQueryEdgePairs(), kFig1IdealAgEdges);
+  EXPECT_EQ(detail->ag_plan.edge_order.size(), 3u);
+  EXPECT_EQ(detail->embedding_plan.join_order.size(), 3u);
+}
+
+TEST_F(WireframeFig1Test, ExplainRendersBothShapeAndPlan) {
+  auto q = MakeFig1Query(db_);
+  ASSERT_TRUE(q.ok());
+  WireframeEngine engine;
+  auto text = engine.Explain(db_, cat_, *q);
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("shape: acyclic"), std::string::npos);
+  EXPECT_NE(text->find("AG plan"), std::string::npos);
+}
+
+class WireframeFig4Test : public ::testing::Test {
+ protected:
+  WireframeFig4Test()
+      : db_(MakeFig4Graph()), cat_(Catalog::Build(db_.store())) {}
+
+  uint64_t CountEmbeddings(WireframeOptions options, uint64_t* ag_pairs) {
+    auto q = MakeFig4Query(db_);
+    EXPECT_TRUE(q.ok());
+    WireframeEngine engine(options);
+    CountingSink sink;
+    auto stats = engine.Run(db_, cat_, *q, EngineOptions{}, &sink);
+    EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+    if (ag_pairs) *ag_pairs = stats->ag_pairs;
+    return stats->output_tuples;
+  }
+
+  Database db_;
+  Catalog cat_;
+};
+
+TEST_F(WireframeFig4Test, CyclicEmbeddingsCorrectInAllModes) {
+  for (bool triangulate : {false, true}) {
+    for (bool edge_burnback : {false, true}) {
+      if (edge_burnback && !triangulate) continue;  // needs triangles
+      WireframeOptions options;
+      options.triangulate = triangulate;
+      options.edge_burnback = edge_burnback;
+      uint64_t ag_pairs = 0;
+      EXPECT_EQ(CountEmbeddings(options, &ag_pairs), kFig4Embeddings)
+          << "triangulate=" << triangulate
+          << " edge_burnback=" << edge_burnback;
+      EXPECT_EQ(ag_pairs, edge_burnback ? kFig4IdealAgEdges
+                                        : kFig4NodeBurnbackAgEdges);
+    }
+  }
+}
+
+TEST_F(WireframeFig4Test, DetailedRunFlagsCyclic) {
+  auto q = MakeFig4Query(db_);
+  ASSERT_TRUE(q.ok());
+  WireframeEngine engine;
+  CountingSink sink;
+  auto detail = engine.RunDetailed(db_, cat_, *q, EngineOptions{}, &sink);
+  ASSERT_TRUE(detail.ok());
+  EXPECT_TRUE(detail->cyclic);
+  EXPECT_EQ(detail->ag_plan.chords.size(), 1u);
+  EXPECT_GT(detail->chord_pairs, 0u);
+}
+
+TEST_F(WireframeFig4Test, ChordFiltersCutDeadBranchesInPhase2) {
+  auto q = MakeFig4Query(db_);
+  ASSERT_TRUE(q.ok());
+  // Paper configuration (no edge burnback): the AG keeps the two spurious
+  // D pairs; the chord filter must reject them during defactorization.
+  WireframeOptions with, without;
+  with.chords_in_phase2 = true;
+  without.chords_in_phase2 = false;
+
+  WireframeEngine engine_with(with), engine_without(without);
+  CountingSink s1, s2;
+  auto d1 = engine_with.RunDetailed(db_, cat_, *q, EngineOptions{}, &s1);
+  auto d2 = engine_without.RunDetailed(db_, cat_, *q, EngineOptions{}, &s2);
+  ASSERT_TRUE(d1.ok());
+  ASSERT_TRUE(d2.ok());
+  EXPECT_EQ(d1->phase2_stats.emitted, kFig4Embeddings);
+  EXPECT_EQ(d2->phase2_stats.emitted, kFig4Embeddings);
+  EXPECT_EQ(d2->phase2_stats.chord_rejections, 0u);
+  // With filtering, dead branches are cut strictly earlier.
+  EXPECT_LE(d1->phase2_stats.extensions, d2->phase2_stats.extensions);
+}
+
+TEST_F(WireframeFig1Test, BushyModeMatchesPipelined) {
+  auto q = MakeFig1Query(db_);
+  ASSERT_TRUE(q.ok());
+  WireframeOptions options;
+  options.bushy_phase2 = true;
+  WireframeEngine engine(options);
+  CountingSink sink;
+  auto detail = engine.RunDetailed(db_, cat_, *q, EngineOptions{}, &sink);
+  ASSERT_TRUE(detail.ok());
+  EXPECT_TRUE(detail->used_bushy);
+  EXPECT_EQ(detail->phase2_stats.emitted, kFig1Embeddings);
+  EXPECT_EQ(detail->stats.ag_pairs, kFig1IdealAgEdges);
+}
+
+TEST(WireframeEngineTest, BushyFallsBackOnWideQueries) {
+  // 14-edge chain exceeds the bushy DP cap; the engine must fall back to
+  // the pipelined defactorizer and still answer.
+  DatabaseBuilder b;
+  for (int i = 0; i < 15; ++i) {
+    b.Add("n" + std::to_string(i), "p" + std::to_string(i),
+          "n" + std::to_string(i + 1));
+  }
+  Database db = std::move(b).Build();
+  Catalog cat = Catalog::Build(db.store());
+  QueryGraph q;
+  for (int i = 0; i <= 14; ++i) q.AddVar("v" + std::to_string(i));
+  for (uint32_t i = 0; i < 14; ++i) q.AddEdge(i, i, i + 1);
+
+  WireframeOptions options;
+  options.bushy_phase2 = true;
+  WireframeEngine engine(options);
+  CountingSink sink;
+  auto detail = engine.RunDetailed(db, cat, q, EngineOptions{}, &sink);
+  ASSERT_TRUE(detail.ok()) << detail.status().ToString();
+  EXPECT_FALSE(detail->used_bushy);
+  EXPECT_EQ(detail->phase2_stats.emitted, 1u);
+}
+
+TEST(WireframeEngineTest, TimesOutOnExpiredDeadline) {
+  Database db = MakeChainBlowupGraph(60, 60, 30);
+  Catalog cat = Catalog::Build(db.store());
+  auto q = SparqlParser::ParseAndBind(
+      "select * where { ?w A ?x . ?x B ?y . ?y C ?z . }", db);
+  ASSERT_TRUE(q.ok());
+  WireframeEngine engine;
+  CountingSink sink;
+  EngineOptions options;
+  options.deadline = Deadline::AlreadyExpired();
+  auto stats = engine.Run(db, cat, *q, options, &sink);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_TRUE(stats.status().IsTimedOut());
+}
+
+TEST(WireframeEngineTest, DisconnectedQueryRejected) {
+  Database db = MakeFig1Graph();
+  Catalog cat = Catalog::Build(db.store());
+  QueryGraph q;
+  VarId a = q.AddVar("a"), b = q.AddVar("b");
+  VarId c = q.AddVar("c"), d = q.AddVar("d");
+  q.AddEdge(a, 0, b);
+  q.AddEdge(c, 1, d);
+  WireframeEngine engine;
+  CountingSink sink;
+  auto stats = engine.Run(db, cat, q, EngineOptions{}, &sink);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_TRUE(stats.status().IsInvalidArgument());
+}
+
+TEST(WireframeEngineTest, FactorizationRatioGrowsWithFanout) {
+  // |embeddings| / |AG| must scale with fan_in x fan_out on the blow-up
+  // chain — the Fig. 1 claim, quantified.
+  for (uint32_t fan : {5u, 20u, 50u}) {
+    Database db = MakeChainBlowupGraph(fan, fan, 5);
+    Catalog cat = Catalog::Build(db.store());
+    auto q = SparqlParser::ParseAndBind(
+        "select * where { ?w A ?x . ?x B ?y . ?y C ?z . }", db);
+    ASSERT_TRUE(q.ok());
+    WireframeEngine engine;
+    CountingSink sink;
+    auto stats = engine.Run(db, cat, *q, EngineOptions{}, &sink);
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats->output_tuples, static_cast<uint64_t>(fan) * fan);
+    EXPECT_EQ(stats->ag_pairs, 2ull * fan + 1);
+  }
+}
+
+}  // namespace
+}  // namespace wireframe

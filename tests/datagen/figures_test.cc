@@ -1,0 +1,60 @@
+#include "datagen/figures.h"
+
+#include <gtest/gtest.h>
+
+namespace wireframe {
+namespace {
+
+TEST(Fig1GraphTest, TripleInventory) {
+  Database db = MakeFig1Graph();
+  EXPECT_EQ(db.store().NumTriples(), 11u);
+  EXPECT_EQ(db.labels().Size(), 3u);
+  EXPECT_EQ(db.store().PredicateCardinality(*db.LabelOf("A")), 4u);
+  EXPECT_EQ(db.store().PredicateCardinality(*db.LabelOf("B")), 2u);
+  EXPECT_EQ(db.store().PredicateCardinality(*db.LabelOf("C")), 5u);
+}
+
+TEST(Fig1GraphTest, QueryBindsAsChain) {
+  Database db = MakeFig1Graph();
+  auto q = MakeFig1Query(db);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->NumVars(), 4u);
+  EXPECT_EQ(q->NumEdges(), 3u);
+  EXPECT_EQ(q->VarName(0), "w");
+  EXPECT_EQ(q->VarName(3), "z");
+}
+
+TEST(Fig1GraphTest, KeyEdgesPresent) {
+  Database db = MakeFig1Graph();
+  auto n = [&](const char* s) { return *db.NodeOf(s); };
+  EXPECT_TRUE(db.store().HasTriple(n("n1"), *db.LabelOf("A"), n("n5")));
+  EXPECT_TRUE(db.store().HasTriple(n("n4"), *db.LabelOf("A"), n("n6")));
+  EXPECT_TRUE(db.store().HasTriple(n("n6"), *db.LabelOf("B"), n("n10")));
+  EXPECT_TRUE(db.store().HasTriple(n("n8"), *db.LabelOf("C"), n("n11")));
+}
+
+TEST(Fig4GraphTest, TripleInventory) {
+  Database db = MakeFig4Graph();
+  EXPECT_EQ(db.store().NumTriples(), 10u);
+  EXPECT_EQ(db.labels().Size(), 4u);
+  EXPECT_EQ(db.store().PredicateCardinality(*db.LabelOf("D")), 4u);
+}
+
+TEST(Fig4GraphTest, SpuriousEdgesExist) {
+  Database db = MakeFig4Graph();
+  auto n = [&](const char* s) { return *db.NodeOf(s); };
+  EXPECT_TRUE(db.store().HasTriple(n("n1"), *db.LabelOf("D"), n("n6")));
+  EXPECT_TRUE(db.store().HasTriple(n("n5"), *db.LabelOf("D"), n("n2")));
+}
+
+TEST(Fig4GraphTest, QueryIsDiamond) {
+  Database db = MakeFig4Graph();
+  auto q = MakeFig4Query(db);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->NumVars(), 4u);
+  EXPECT_EQ(q->NumEdges(), 4u);
+  for (VarId v = 0; v < 4; ++v) EXPECT_EQ(q->Degree(v), 2u);
+}
+
+}  // namespace
+}  // namespace wireframe

@@ -1,0 +1,93 @@
+#include "datagen/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include "query/shape.h"
+
+namespace wireframe {
+namespace {
+
+TEST(ChainBlowupTest, ExactStructure) {
+  Database db = MakeChainBlowupGraph(3, 4, 2);
+  // 3 A + 1 B + 4 C core edges, plus 3 noise edges per noise unit.
+  EXPECT_EQ(db.store().NumTriples(), 3u + 1 + 4 + 3 * 2);
+  EXPECT_EQ(db.store().PredicateCardinality(*db.LabelOf("A")), 5u);
+  EXPECT_EQ(db.store().PredicateCardinality(*db.LabelOf("B")), 3u);
+  EXPECT_EQ(db.store().PredicateCardinality(*db.LabelOf("C")), 6u);
+}
+
+TEST(ChainBlowupTest, NoNoise) {
+  Database db = MakeChainBlowupGraph(2, 2);
+  EXPECT_EQ(db.store().NumTriples(), 5u);
+}
+
+TEST(RandomGraphTest, DeterministicInSeed) {
+  Database a = MakeRandomGraph(50, 4, 300, 9);
+  Database b = MakeRandomGraph(50, 4, 300, 9);
+  ASSERT_EQ(a.store().NumTriples(), b.store().NumTriples());
+  for (LabelId p = 0; p < a.store().NumPredicates(); ++p) {
+    EXPECT_EQ(a.store().EdgeList(p), b.store().EdgeList(p));
+  }
+}
+
+TEST(RandomGraphTest, DifferentSeedsDiffer) {
+  Database a = MakeRandomGraph(50, 4, 300, 1);
+  Database b = MakeRandomGraph(50, 4, 300, 2);
+  bool any_difference = a.store().NumTriples() != b.store().NumTriples();
+  for (LabelId p = 0; !any_difference && p < 4; ++p) {
+    any_difference = a.store().EdgeList(p) != b.store().EdgeList(p);
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(RandomGraphTest, RespectsBounds) {
+  Database db = MakeRandomGraph(30, 3, 500, 7);
+  EXPECT_LE(db.store().NumTriples(), 500u);  // dedup may shrink
+  EXPECT_LE(db.store().NumPredicates(), 3u);
+  EXPECT_LE(db.store().NumNodes(), 30u);
+  for (LabelId p = 0; p < db.store().NumPredicates(); ++p) {
+    db.store().ForEachEdge(p, [&](NodeId s, NodeId o) {
+      EXPECT_NE(s, o) << "self-loops are excluded";
+      EXPECT_LT(s, 30u);
+      EXPECT_LT(o, 30u);
+    });
+  }
+}
+
+TEST(RandomQueryTest, AlwaysConnected) {
+  Rng rng(77);
+  for (int i = 0; i < 100; ++i) {
+    QueryGraph q = MakeRandomQuery(rng, 1 + rng.Uniform(6), 2 + rng.Uniform(5),
+                                   4);
+    EXPECT_TRUE(IsConnected(q));
+    EXPECT_GE(q.NumEdges(), 1u);
+  }
+}
+
+TEST(RandomQueryTest, RespectsVarCap) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    QueryGraph q = MakeRandomQuery(rng, 8, 4, 3);
+    EXPECT_LE(q.NumVars(), 4u);
+    for (const QueryEdge& e : q.edges()) EXPECT_LT(e.label, 3u);
+  }
+}
+
+TEST(RandomQueryTest, ProducesBothShapes) {
+  Rng rng(123);
+  bool saw_acyclic = false, saw_cyclic = false;
+  for (int i = 0; i < 60 && !(saw_acyclic && saw_cyclic); ++i) {
+    // Acyclic needs edges <= vars - 1, so leave var headroom.
+    QueryGraph q = MakeRandomQuery(rng, 3 + (i % 3), 8, 3);
+    if (IsAcyclic(q)) {
+      saw_acyclic = true;
+    } else {
+      saw_cyclic = true;
+    }
+  }
+  EXPECT_TRUE(saw_acyclic);
+  EXPECT_TRUE(saw_cyclic);
+}
+
+}  // namespace
+}  // namespace wireframe

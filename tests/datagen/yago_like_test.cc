@@ -1,0 +1,140 @@
+#include "datagen/yago_like.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "exec/engine.h"
+#include "query/parser.h"
+#include "query/shape.h"
+
+namespace wireframe {
+namespace {
+
+YagoLikeConfig TestConfig() {
+  YagoLikeConfig config;
+  config.scale = 0.02;  // ~20k triples: fast enough for unit tests
+  config.seed = 7;
+  return config;
+}
+
+TEST(YagoLikeTest, GeneratesRequestedPredicateCount) {
+  YagoLikeInfo info;
+  Database db = MakeYagoLike(TestConfig(), &info);
+  EXPECT_EQ(db.labels().Size(), 104u);
+  EXPECT_GT(db.store().NumTriples(), 1000u);
+  EXPECT_GT(info.persons, 0u);
+  // info counts generated triples before set-semantics deduplication.
+  EXPECT_GE(info.triples, db.store().NumTriples());
+}
+
+TEST(YagoLikeTest, DeterministicInSeed) {
+  Database a = MakeYagoLike(TestConfig());
+  Database b = MakeYagoLike(TestConfig());
+  EXPECT_EQ(a.store().NumTriples(), b.store().NumTriples());
+  LabelId p = *a.LabelOf("actedIn");
+  EXPECT_EQ(a.store().EdgeList(p), b.store().EdgeList(p));
+}
+
+TEST(YagoLikeTest, QueryPredicatesPopulated) {
+  Database db = MakeYagoLike(TestConfig());
+  for (const char* pred :
+       {"actedIn", "created", "influences", "diedIn", "wasBornIn", "livesIn",
+        "isCitizenOf", "isMarriedTo", "hasChild", "owns", "graduatedFrom",
+        "isLeaderOf", "hasWonPrize", "participatedIn", "isAffiliatedTo",
+        "wasBornOnDate", "wasCreatedOnDate", "hasDuration", "isLocatedIn",
+        "exports", "happenedIn", "isPreferredMeaningOf", "sameAs",
+        "linksTo"}) {
+    auto label = db.LabelOf(pred);
+    ASSERT_TRUE(label.has_value()) << pred;
+    EXPECT_GT(db.store().PredicateCardinality(*label), 0u) << pred;
+  }
+}
+
+TEST(YagoLikeTest, TypedEdgesPointIntoRightClasses) {
+  Database db = MakeYagoLike(TestConfig());
+  LabelId acted = *db.LabelOf("actedIn");
+  db.store().ForEachEdge(acted, [&](NodeId s, NodeId o) {
+    EXPECT_EQ(db.nodes().Term(s).rfind("Person_", 0), 0u);
+    EXPECT_EQ(db.nodes().Term(o).rfind("Movie_", 0), 0u);
+  });
+  LabelId located = *db.LabelOf("isLocatedIn");
+  db.store().ForEachEdge(located, [&](NodeId s, NodeId o) {
+    EXPECT_EQ(db.nodes().Term(s).rfind("City_", 0), 0u);
+    EXPECT_EQ(db.nodes().Term(o).rfind("Country_", 0), 0u);
+  });
+}
+
+TEST(YagoLikeTest, ScaleGrowsTheGraph) {
+  YagoLikeConfig small = TestConfig();
+  YagoLikeConfig larger = TestConfig();
+  larger.scale = 0.06;
+  Database a = MakeYagoLike(small);
+  Database b = MakeYagoLike(larger);
+  EXPECT_GT(b.store().NumTriples(), a.store().NumTriples() * 2);
+}
+
+TEST(Table1QueriesTest, AllParseAndBind) {
+  Database db = MakeYagoLike(TestConfig());
+  std::vector<std::string> queries = Table1Queries();
+  ASSERT_EQ(queries.size(), 10u);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto q = SparqlParser::ParseAndBind(queries[i], db);
+    ASSERT_TRUE(q.ok()) << "query " << i << ": " << q.status().ToString();
+    if (i < 5) {
+      EXPECT_EQ(q->NumEdges(), 9u) << "snowflake " << i;
+      EXPECT_TRUE(IsAcyclic(*q)) << "snowflake " << i;
+    } else {
+      EXPECT_EQ(q->NumEdges(), 4u) << "diamond " << i;
+      EXPECT_FALSE(IsAcyclic(*q)) << "diamond " << i;
+    }
+    EXPECT_TRUE(IsConnected(*q));
+  }
+}
+
+TEST(Fig3QueryTest, BindsAndHasSnowflakeShape) {
+  Database db = MakeYagoLike(TestConfig());
+  auto q = SparqlParser::ParseAndBind(Fig3Query(), db);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->NumEdges(), 9u);
+  EXPECT_EQ(q->NumVars(), 10u);
+  EXPECT_TRUE(IsAcyclic(*q));
+  EXPECT_EQ(q->Degree(q->FindVar("x")), 3u);
+  EXPECT_EQ(q->Degree(q->FindVar("y")), 3u);
+}
+
+TEST(Fig3QueryTest, NonEmptyAtModerateScale) {
+  YagoLikeConfig config;
+  config.scale = 0.1;
+  config.seed = 7;
+  Database db = MakeYagoLike(config);
+  Catalog cat = Catalog::Build(db.store());
+  auto q = SparqlParser::ParseAndBind(Fig3Query(), db);
+  ASSERT_TRUE(q.ok());
+  auto engine = MakeEngine("WF");
+  LimitSink sink(1);
+  EngineOptions options;
+  options.deadline = Deadline::AfterSeconds(30);
+  auto stats = engine->Run(db, cat, *q, options, &sink);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_GT(sink.count(), 0u) << "the Fig. 3 workload should have answers";
+}
+
+TEST(Table1QueriesTest, RowLabelsExist) {
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_FALSE(Table1RowLabel(i).empty());
+  }
+  EXPECT_NE(Table1RowLabel(1).find("hasChild"), std::string::npos);
+  EXPECT_NE(Table1RowLabel(5).find("livesIn"), std::string::npos);
+}
+
+TEST(YagoLikeTest, CatalogBuildsOverFullVocabulary) {
+  Database db = MakeYagoLike(TestConfig());
+  Catalog cat = Catalog::Build(db.store());
+  EXPECT_EQ(cat.num_labels(), db.store().NumPredicates());
+  // linksTo joins nearly everything; its self 2-gram must be populated.
+  LabelId links = *db.LabelOf("linksTo");
+  EXPECT_GT(cat.JoinCount(links, End::kSubject, links, End::kObject), 0u);
+}
+
+}  // namespace
+}  // namespace wireframe

@@ -1,0 +1,59 @@
+#include "exec/sink.h"
+
+#include <gtest/gtest.h>
+
+namespace wireframe {
+namespace {
+
+TEST(SinkTest, CountingSinkCounts) {
+  CountingSink sink;
+  std::vector<NodeId> row = {1, 2, 3};
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(sink.Emit(row));
+  EXPECT_EQ(sink.count(), 5u);
+}
+
+TEST(SinkTest, LimitSinkStopsAtLimit) {
+  LimitSink sink(3);
+  std::vector<NodeId> row = {1};
+  EXPECT_TRUE(sink.Emit(row));
+  EXPECT_TRUE(sink.Emit(row));
+  EXPECT_FALSE(sink.Emit(row));  // third emit reaches the limit
+  EXPECT_EQ(sink.count(), 3u);
+}
+
+TEST(SinkTest, LimitOneProbesExistence) {
+  LimitSink sink(1);
+  std::vector<NodeId> row = {9};
+  EXPECT_FALSE(sink.Emit(row));
+  EXPECT_EQ(sink.count(), 1u);
+}
+
+TEST(SinkTest, CollectingSinkStoresRows) {
+  CollectingSink sink;
+  sink.Emit({1, 2});
+  sink.Emit({3, 4});
+  ASSERT_EQ(sink.rows().size(), 2u);
+  EXPECT_EQ(sink.rows()[1], (std::vector<NodeId>{3, 4}));
+}
+
+TEST(SinkTest, DistinctProjectingSinkDedups) {
+  CollectingSink inner;
+  DistinctProjectingSink sink({0, 2}, &inner);
+  sink.Emit({1, 100, 2});
+  sink.Emit({1, 200, 2});  // same projection (1, 2)
+  sink.Emit({1, 100, 3});
+  EXPECT_EQ(inner.count(), 2u);
+  EXPECT_EQ(inner.rows()[0], (std::vector<NodeId>{1, 2}));
+  EXPECT_EQ(inner.rows()[1], (std::vector<NodeId>{1, 3}));
+}
+
+TEST(SinkTest, DistinctProjectingSinkOrderSensitive) {
+  CollectingSink inner;
+  DistinctProjectingSink sink({0, 1}, &inner);
+  sink.Emit({1, 2});
+  sink.Emit({2, 1});  // different tuple
+  EXPECT_EQ(inner.count(), 2u);
+}
+
+}  // namespace
+}  // namespace wireframe

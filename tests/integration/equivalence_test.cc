@@ -1,0 +1,103 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/wireframe.h"
+#include "datagen/synthetic.h"
+#include "exec/engine.h"
+#include "query/shape.h"
+
+namespace wireframe {
+namespace {
+
+/// Sorted multiset of result rows (bindings are total, so rows are
+/// distinct by construction and a set suffices).
+std::set<std::vector<NodeId>> RunToSet(Engine* engine, const Database& db,
+                                       const Catalog& cat,
+                                       const QueryGraph& q) {
+  CollectingSink sink;
+  auto stats = engine->Run(db, cat, q, EngineOptions{}, &sink);
+  EXPECT_TRUE(stats.ok()) << engine->name() << ": "
+                          << stats.status().ToString();
+  return {sink.rows().begin(), sink.rows().end()};
+}
+
+// Property: every engine (the Wireframe two-phase evaluator and all four
+// baseline regimes) computes exactly the same embedding set on random
+// graphs and random connected queries, acyclic and cyclic alike.
+TEST(EquivalenceTest, AllEnginesAgreeOnRandomInstances) {
+  Rng rng(4242);
+  int cyclic_seen = 0, acyclic_seen = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    Database db = MakeRandomGraph(24, 3, 140, 1000 + trial);
+    Catalog cat = Catalog::Build(db.store());
+    QueryGraph q = MakeRandomQuery(rng, 2 + rng.Uniform(4), 5, 3);
+    if (IsAcyclic(q)) {
+      ++acyclic_seen;
+    } else {
+      ++cyclic_seen;
+    }
+
+    auto oracle = MakeEngine("NJ");
+    std::set<std::vector<NodeId>> expected =
+        RunToSet(oracle.get(), db, cat, q);
+    for (const char* name : {"WF", "PG", "VT", "MD"}) {
+      auto engine = MakeEngine(name);
+      std::set<std::vector<NodeId>> got = RunToSet(engine.get(), db, cat, q);
+      EXPECT_EQ(got, expected)
+          << "trial " << trial << ": " << name << " disagrees with oracle ("
+          << got.size() << " vs " << expected.size() << " rows)";
+    }
+  }
+  // The shape generator must exercise both planner paths.
+  EXPECT_GT(cyclic_seen, 3);
+  EXPECT_GT(acyclic_seen, 3);
+}
+
+// Property: Wireframe's three cyclic configurations (plain, chordified,
+// chordified + edge burnback) agree with the oracle.
+TEST(EquivalenceTest, WireframeCyclicModesAgree) {
+  Rng rng(777);
+  int checked = 0;
+  for (int trial = 0; trial < 60 && checked < 12; ++trial) {
+    QueryGraph q = MakeRandomQuery(rng, 4, 4, 3);
+    if (IsAcyclic(q)) continue;
+    ++checked;
+    Database db = MakeRandomGraph(20, 3, 160, 31 + trial);
+    Catalog cat = Catalog::Build(db.store());
+
+    auto oracle = MakeEngine("NJ");
+    std::set<std::vector<NodeId>> expected =
+        RunToSet(oracle.get(), db, cat, q);
+
+    for (int mode = 0; mode < 3; ++mode) {
+      WireframeOptions options;
+      options.triangulate = mode >= 1;
+      options.edge_burnback = mode == 2;
+      WireframeEngine engine(options);
+      std::set<std::vector<NodeId>> got =
+          RunToSet(&engine, db, cat, q);
+      EXPECT_EQ(got, expected) << "trial " << trial << " mode " << mode;
+    }
+  }
+  EXPECT_GE(checked, 12);
+}
+
+// Denser graphs stress burnback cascades harder.
+TEST(EquivalenceTest, DenseGraphAgreement) {
+  Rng rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    Database db = MakeRandomGraph(12, 2, 200, 500 + trial);
+    Catalog cat = Catalog::Build(db.store());
+    QueryGraph q = MakeRandomQuery(rng, 4, 4, 2);
+    auto oracle = MakeEngine("NJ");
+    auto wf = MakeEngine("WF");
+    EXPECT_EQ(RunToSet(wf.get(), db, cat, q),
+              RunToSet(oracle.get(), db, cat, q))
+        << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace wireframe

@@ -1,0 +1,78 @@
+#include "benchlib/harness.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "datagen/figures.h"
+#include "query/parser.h"
+
+namespace wireframe {
+namespace {
+
+class HarnessTest : public ::testing::Test {
+ protected:
+  HarnessTest() : db_(MakeFig1Graph()), cat_(Catalog::Build(db_.store())) {}
+
+  QueryGraph Chain() {
+    auto q = MakeFig1Query(db_);
+    EXPECT_TRUE(q.ok());
+    return std::move(q).value();
+  }
+
+  Database db_;
+  Catalog cat_;
+};
+
+TEST_F(HarnessTest, RunCellReportsStats) {
+  BenchConfig config;
+  config.repetitions = 2;
+  config.timeout_seconds = 30;
+  Table1Harness harness(db_, cat_, config);
+  BenchCell cell = harness.RunCell(Chain(), "WF");
+  EXPECT_TRUE(cell.ok);
+  EXPECT_FALSE(cell.timed_out);
+  EXPECT_EQ(cell.stats.output_tuples, kFig1Embeddings);
+  EXPECT_EQ(cell.stats.ag_pairs, kFig1IdealAgEdges);
+  EXPECT_GE(cell.seconds, 0.0);
+}
+
+TEST_F(HarnessTest, RunCellMarksExpiredDeadline) {
+  BenchConfig config;
+  config.repetitions = 1;
+  config.timeout_seconds = -1.0;  // already expired
+  Table1Harness harness(db_, cat_, config);
+  // MD materializes and checks the deadline between steps, so even the
+  // tiny Fig-1 instance notices the expiry.
+  BenchCell cell = harness.RunCell(Chain(), "MD");
+  EXPECT_FALSE(cell.ok);
+  EXPECT_TRUE(cell.timed_out);
+  EXPECT_FALSE(cell.error.empty());
+}
+
+TEST_F(HarnessTest, SuiteRendersEveryRowAndColumn) {
+  BenchConfig config;
+  config.engines = {"WF", "NJ", "PG"};
+  config.repetitions = 1;
+  config.timeout_seconds = 30;
+  Table1Harness harness(db_, cat_, config);
+  std::vector<BenchQuery> queries;
+  queries.push_back({"1", "A/B/C", Chain()});
+  queries.push_back({"2", "A/B/C again", Chain()});
+  std::ostringstream os;
+  harness.RunSuite(queries, os);
+  const std::string out = os.str();
+  for (const char* needle :
+       {"WF", "NJ", "PG", "|AG|", "|Embeddings|", "A/B/C", "12", "8"}) {
+    EXPECT_NE(out.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST_F(HarnessTest, UnknownEngineChecks) {
+  BenchConfig config;
+  Table1Harness harness(db_, cat_, config);
+  EXPECT_DEATH(harness.RunCell(Chain(), "XX"), "unknown engine");
+}
+
+}  // namespace
+}  // namespace wireframe

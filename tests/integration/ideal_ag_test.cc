@@ -1,0 +1,130 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/wireframe.h"
+#include "datagen/synthetic.h"
+#include "query/shape.h"
+#include "util/hash.h"
+
+namespace wireframe {
+namespace {
+
+/// Ground-truth ideal answer graph: the union of per-edge projections of
+/// the embedding set (paper §2's definition of the minimum sufficient
+/// subset). Computed from the oracle engine's collected embeddings.
+std::vector<std::set<uint64_t>> IdealAgFromEmbeddings(
+    const Database& db, const Catalog& cat, const QueryGraph& q) {
+  auto oracle = MakeEngine("NJ");
+  CollectingSink sink;
+  auto stats = oracle->Run(db, cat, q, EngineOptions{}, &sink);
+  EXPECT_TRUE(stats.ok());
+  std::vector<std::set<uint64_t>> ideal(q.NumEdges());
+  for (const std::vector<NodeId>& row : sink.rows()) {
+    for (uint32_t e = 0; e < q.NumEdges(); ++e) {
+      ideal[e].insert(PackPair(row[q.Edge(e).src], row[q.Edge(e).dst]));
+    }
+  }
+  return ideal;
+}
+
+std::vector<std::set<uint64_t>> WireframeAg(const Database& db,
+                                            const Catalog& cat,
+                                            const QueryGraph& q,
+                                            WireframeOptions options) {
+  WireframeEngine engine(options);
+  CountingSink sink;
+  auto detail = engine.RunDetailed(db, cat, q, EngineOptions{}, &sink);
+  EXPECT_TRUE(detail.ok()) << detail.status().ToString();
+  std::vector<std::set<uint64_t>> ag(q.NumEdges());
+  for (uint32_t e = 0; e < q.NumEdges(); ++e) {
+    detail->ag->Set(e).ForEachPair(
+        [&](NodeId u, NodeId v) { ag[e].insert(PackPair(u, v)); });
+  }
+  return ag;
+}
+
+// The central correctness claim of the paper, as a property test:
+// for acyclic CQs, answer-graph generation with node burnback produces
+// exactly the ideal answer graph (the union of embedding projections).
+TEST(IdealAgTest, AcyclicNodeBurnbackYieldsIdealAg) {
+  Rng rng(31337);
+  int checked = 0;
+  for (int trial = 0; trial < 80 && checked < 20; ++trial) {
+    QueryGraph q = MakeRandomQuery(rng, 2 + rng.Uniform(4), 6, 3);
+    if (!IsAcyclic(q)) continue;
+    ++checked;
+    Database db = MakeRandomGraph(22, 3, 150, 2000 + trial);
+    Catalog cat = Catalog::Build(db.store());
+    auto ideal = IdealAgFromEmbeddings(db, cat, q);
+    auto ag = WireframeAg(db, cat, q, WireframeOptions{});
+    for (uint32_t e = 0; e < q.NumEdges(); ++e) {
+      EXPECT_EQ(ag[e], ideal[e]) << "trial " << trial << " edge " << e;
+    }
+  }
+  EXPECT_GE(checked, 20);
+}
+
+// For cyclic CQs: node burnback gives a superset of the ideal AG;
+// edge burnback (with triangulation) restores exact idealness.
+TEST(IdealAgTest, CyclicEdgeBurnbackYieldsIdealAg) {
+  Rng rng(5150);
+  int checked = 0;
+  int strict_supersets = 0;
+  for (int trial = 0; trial < 120 && checked < 15; ++trial) {
+    QueryGraph q = MakeRandomQuery(rng, 4, 4, 3);
+    QueryShape shape = AnalyzeShape(q);
+    if (shape.acyclic) continue;
+    // The edge-burnback guarantee covers triangulated simple cycles of
+    // length >= 3; skip tangles with overlapping cycles and parallel-edge
+    // 2-cycles (documented scope).
+    if (shape.cycles.size() != 1 || shape.cycles[0].Length() < 3) continue;
+    ++checked;
+    Database db = MakeRandomGraph(18, 3, 170, 4000 + trial);
+    Catalog cat = Catalog::Build(db.store());
+    auto ideal = IdealAgFromEmbeddings(db, cat, q);
+
+    WireframeOptions loose_options;
+    loose_options.triangulate = false;
+    auto loose = WireframeAg(db, cat, q, loose_options);
+    for (uint32_t e = 0; e < q.NumEdges(); ++e) {
+      for (uint64_t pair : ideal[e]) {
+        EXPECT_TRUE(loose[e].count(pair))
+            << "node burnback lost a participating pair";
+      }
+      if (loose[e].size() > ideal[e].size()) ++strict_supersets;
+    }
+
+    WireframeOptions ideal_options;
+    ideal_options.triangulate = true;
+    ideal_options.edge_burnback = true;
+    auto exact = WireframeAg(db, cat, q, ideal_options);
+    for (uint32_t e = 0; e < q.NumEdges(); ++e) {
+      EXPECT_EQ(exact[e], ideal[e]) << "trial " << trial << " edge " << e;
+    }
+  }
+  EXPECT_GE(checked, 15);
+  // Spurious edges must actually occur somewhere, or the test is vacuous.
+  EXPECT_GT(strict_supersets, 0);
+}
+
+// |iAG| <= |embeddings| * edges, and typically far smaller: sanity-check
+// the factorization inequality the paper's Table 1 reports.
+TEST(IdealAgTest, AgNeverLargerThanEmbeddingsTimesEdges) {
+  Rng rng(11);
+  for (int trial = 0; trial < 15; ++trial) {
+    QueryGraph q = MakeRandomQuery(rng, 3, 5, 3);
+    Database db = MakeRandomGraph(25, 3, 200, 600 + trial);
+    Catalog cat = Catalog::Build(db.store());
+    WireframeEngine engine;
+    CountingSink sink;
+    auto stats = engine.Run(db, cat, q, EngineOptions{}, &sink);
+    ASSERT_TRUE(stats.ok());
+    if (IsAcyclic(q)) {
+      EXPECT_LE(stats->ag_pairs, stats->output_tuples * q.NumEdges());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wireframe

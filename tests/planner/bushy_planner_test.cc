@@ -1,0 +1,139 @@
+#include "planner/bushy_planner.h"
+
+#include <gtest/gtest.h>
+
+#include "query/templates.h"
+
+namespace wireframe {
+namespace {
+
+std::vector<AgEdgeStats> UniformStats(uint32_t n, uint64_t pairs,
+                                      uint64_t distinct) {
+  return std::vector<AgEdgeStats>(n, AgEdgeStats{pairs, distinct, distinct});
+}
+
+// Validates tree structure: every query edge appears in exactly one leaf,
+// children indices are in range, and inner nodes have two children.
+void ValidateTree(const BushyPlan& plan, uint32_t num_edges) {
+  ASSERT_GE(plan.root, 0);
+  std::vector<int> leaf_count(num_edges, 0);
+  std::vector<bool> visited(plan.nodes.size(), false);
+  std::vector<int> stack{plan.root};
+  while (!stack.empty()) {
+    int i = stack.back();
+    stack.pop_back();
+    ASSERT_GE(i, 0);
+    ASSERT_LT(static_cast<size_t>(i), plan.nodes.size());
+    EXPECT_FALSE(visited[i]) << "node visited twice: not a tree";
+    visited[i] = true;
+    const BushyPlan::Node& node = plan.nodes[i];
+    if (node.IsLeaf()) {
+      ASSERT_LT(node.edge, num_edges);
+      ++leaf_count[node.edge];
+    } else {
+      EXPECT_GE(node.right, 0);
+      stack.push_back(node.left);
+      stack.push_back(node.right);
+    }
+  }
+  for (uint32_t e = 0; e < num_edges; ++e) {
+    EXPECT_EQ(leaf_count[e], 1) << "edge " << e;
+  }
+}
+
+TEST(BushyPlannerTest, SingleEdgeIsALeafPlan) {
+  QueryGraph q = ChainTemplate(1).Instantiate({0});
+  BushyPlanner planner(q);
+  auto plan = planner.Plan(UniformStats(1, 10, 5));
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ValidateTree(*plan, 1);
+  EXPECT_TRUE(plan->nodes[plan->root].IsLeaf());
+  EXPECT_DOUBLE_EQ(plan->estimated_cost, 0.0);
+}
+
+TEST(BushyPlannerTest, ChainPlanCoversAllEdges) {
+  QueryGraph q = ChainTemplate(4).Instantiate({0, 1, 2, 3});
+  BushyPlanner planner(q);
+  auto plan = planner.Plan(UniformStats(4, 100, 50));
+  ASSERT_TRUE(plan.ok());
+  ValidateTree(*plan, 4);
+  EXPECT_GT(plan->estimated_cost, 0.0);
+}
+
+TEST(BushyPlannerTest, SnowflakeGetsBushyTree) {
+  QueryGraph q =
+      SnowflakeTemplate().Instantiate({0, 1, 2, 3, 4, 5, 6, 7, 8});
+  BushyPlanner planner(q);
+  // Arms are selective; a bushy tree joining arms independently should
+  // appear (at least one inner node whose children are both inner).
+  std::vector<AgEdgeStats> stats = UniformStats(9, 1000, 100);
+  auto plan = planner.Plan(stats);
+  ASSERT_TRUE(plan.ok());
+  ValidateTree(*plan, 9);
+  bool has_bushy_join = false;
+  for (const auto& node : plan->nodes) {
+    if (!node.IsLeaf() && !plan->nodes[node.left].IsLeaf() &&
+        !plan->nodes[node.right].IsLeaf()) {
+      has_bushy_join = true;
+    }
+  }
+  EXPECT_TRUE(has_bushy_join) << "uniform snowflake should not be left-deep";
+}
+
+TEST(BushyPlannerTest, SelectiveEdgeJoinsEarly) {
+  // Chain v0-v1-v2 with a tiny middle edge: the DP must join the tiny
+  // edge before the fat one is multiplied.
+  QueryGraph q = ChainTemplate(2).Instantiate({0, 1});
+  BushyPlanner planner(q);
+  std::vector<AgEdgeStats> stats = {{10000, 100, 100}, {2, 2, 2}};
+  auto plan = planner.Plan(stats);
+  ASSERT_TRUE(plan.ok());
+  // Root joins the two leaves; estimated size uses the shared var v1:
+  // 10000 * 2 / max(100, 2) = 200.
+  EXPECT_DOUBLE_EQ(plan->nodes[plan->root].est_tuples, 200.0);
+}
+
+TEST(BushyPlannerTest, CyclicQuerySharedVarsMultiply) {
+  QueryGraph q = CycleTemplate(4).Instantiate({0, 1, 2, 3});
+  BushyPlanner planner(q);
+  auto plan = planner.Plan(UniformStats(4, 50, 25));
+  ASSERT_TRUE(plan.ok());
+  ValidateTree(*plan, 4);
+  // The final join closes the cycle on two shared vars: size shrinks.
+  const auto& root = plan->nodes[plan->root];
+  EXPECT_LT(root.est_tuples, 50.0 * 50.0);
+}
+
+TEST(BushyPlannerTest, RejectsOversizedQueries) {
+  QueryGraph q = ChainTemplate(BushyPlanner::kMaxDpEdges + 1)
+                     .Instantiate(std::vector<LabelId>(
+                         BushyPlanner::kMaxDpEdges + 1, 0));
+  BushyPlanner planner(q);
+  auto plan = planner.Plan(
+      UniformStats(BushyPlanner::kMaxDpEdges + 1, 10, 5));
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(BushyPlannerTest, RejectsDisconnected) {
+  QueryGraph q;
+  VarId a = q.AddVar("a"), b = q.AddVar("b");
+  VarId c = q.AddVar("c"), d = q.AddVar("d");
+  q.AddEdge(a, 0, b);
+  q.AddEdge(c, 0, d);
+  BushyPlanner planner(q);
+  EXPECT_FALSE(planner.Plan(UniformStats(2, 5, 5)).ok());
+}
+
+TEST(BushyPlannerTest, ToStringRendersTree) {
+  QueryGraph q = ChainTemplate(2).Instantiate({0, 1});
+  BushyPlanner planner(q);
+  auto plan = planner.Plan(UniformStats(2, 10, 5));
+  ASSERT_TRUE(plan.ok());
+  std::string text = plan->ToString(q);
+  EXPECT_NE(text.find("join"), std::string::npos);
+  EXPECT_NE(text.find("scan AG"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wireframe

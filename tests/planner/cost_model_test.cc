@@ -1,0 +1,75 @@
+#include "planner/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+#include "storage/database.h"
+
+namespace wireframe {
+namespace {
+
+// Selective head, fat tail: A has 2 edges, B has 1000 edges (2 of which
+// join A's objects).
+Database MakeSkewedDb() {
+  DatabaseBuilder b;
+  b.Add("a0", "A", "j0");
+  b.Add("a1", "A", "j1");
+  b.Add("j0", "B", "t0");
+  b.Add("j1", "B", "t1");
+  for (int i = 0; i < 998; ++i) {
+    b.Add("s" + std::to_string(i), "B", "t" + std::to_string(i % 50));
+  }
+  return std::move(b).Build();
+}
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  CostModelTest()
+      : db_(MakeSkewedDb()),
+        cat_(Catalog::Build(db_.store())),
+        est_(cat_) {}
+  Database db_;
+  Catalog cat_;
+  CardinalityEstimator est_;
+};
+
+TEST_F(CostModelTest, SelectiveFirstBeatsFatFirst) {
+  auto q = SparqlParser::ParseAndBind(
+      "select * where { ?x A ?y . ?y B ?z . }", db_);
+  ASSERT_TRUE(q.ok());
+  PlanCost a_first = SimulateAgPlan(*q, est_, {0, 1});
+  PlanCost b_first = SimulateAgPlan(*q, est_, {1, 0});
+  EXPECT_LT(a_first.walks, b_first.walks);
+}
+
+TEST_F(CostModelTest, StepEdgesAlignWithOrder) {
+  auto q = SparqlParser::ParseAndBind(
+      "select * where { ?x A ?y . ?y B ?z . }", db_);
+  ASSERT_TRUE(q.ok());
+  PlanCost cost = SimulateAgPlan(*q, est_, {0, 1});
+  ASSERT_EQ(cost.step_edges.size(), 2u);
+  EXPECT_DOUBLE_EQ(cost.step_edges[0], 2.0);  // full A scan
+  // Step 2: exact 2-gram — B edges whose subject is an A-object: 2.
+  EXPECT_DOUBLE_EQ(cost.step_edges[1], 2.0);
+}
+
+TEST_F(CostModelTest, WalksIncludeProbesAndEdges) {
+  auto q = SparqlParser::ParseAndBind(
+      "select * where { ?x A ?y . ?y B ?z . }", db_);
+  ASSERT_TRUE(q.ok());
+  PlanCost cost = SimulateAgPlan(*q, est_, {0, 1});
+  // Scan(1 probe + 2 edges) + extension(2 probes + 2 edges) = 7.
+  EXPECT_DOUBLE_EQ(cost.walks, 7.0);
+  EXPECT_DOUBLE_EQ(cost.ag_edges, 4.0);
+}
+
+TEST_F(CostModelTest, EmptyOrderCostsNothing) {
+  auto q = SparqlParser::ParseAndBind("select * where { ?x A ?y }", db_);
+  ASSERT_TRUE(q.ok());
+  PlanCost cost = SimulateAgPlan(*q, est_, {});
+  EXPECT_DOUBLE_EQ(cost.walks, 0.0);
+  EXPECT_TRUE(cost.step_edges.empty());
+}
+
+}  // namespace
+}  // namespace wireframe

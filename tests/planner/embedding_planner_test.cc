@@ -1,0 +1,99 @@
+#include "planner/embedding_planner.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "query/templates.h"
+
+namespace wireframe {
+namespace {
+
+TEST(EmbeddingPlannerTest, StartsWithSmallestEdgeSet) {
+  QueryGraph q = ChainTemplate(3).Instantiate({0, 1, 2});
+  EmbeddingPlanner planner(q);
+  std::vector<AgEdgeStats> stats = {
+      {100, 50, 50}, {3, 3, 3}, {200, 80, 80}};
+  auto plan = planner.PlanJoinOrder(stats);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->join_order[0], 1u);
+}
+
+TEST(EmbeddingPlannerTest, OrderIsConnectedPermutation) {
+  QueryGraph q =
+      SnowflakeTemplate().Instantiate({0, 1, 2, 3, 4, 5, 6, 7, 8});
+  EmbeddingPlanner planner(q);
+  std::vector<AgEdgeStats> stats(9);
+  for (uint32_t e = 0; e < 9; ++e) stats[e] = {10 + e, 5, 5};
+  auto plan = planner.PlanJoinOrder(stats);
+  ASSERT_TRUE(plan.ok());
+  std::set<uint32_t> seen(plan->join_order.begin(), plan->join_order.end());
+  EXPECT_EQ(seen.size(), 9u);
+
+  std::set<VarId> bound;
+  for (size_t i = 0; i < plan->join_order.size(); ++i) {
+    const QueryEdge& e = q.Edge(plan->join_order[i]);
+    if (i > 0) {
+      EXPECT_TRUE(bound.count(e.src) || bound.count(e.dst));
+    }
+    bound.insert(e.src);
+    bound.insert(e.dst);
+  }
+}
+
+TEST(EmbeddingPlannerTest, PrefersLowFanoutExtension) {
+  // Chain v0-v1-v2-v3; edge 1 tiny, edge 0 has fanout 1, edge 2 fanout 50.
+  QueryGraph q = ChainTemplate(3).Instantiate({0, 1, 2});
+  EmbeddingPlanner planner(q);
+  std::vector<AgEdgeStats> stats = {
+      {10, 10, 10},   // edge 0: fanout 1 from v1
+      {5, 5, 5},      // edge 1: start
+      {250, 5, 250},  // edge 2: fanout 50 from v2
+  };
+  auto plan = planner.PlanJoinOrder(stats);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->join_order, (std::vector<uint32_t>{1, 0, 2}));
+}
+
+TEST(EmbeddingPlannerTest, EstimatedTuplesReflectFanouts) {
+  QueryGraph q = ChainTemplate(2).Instantiate({0, 1});
+  EmbeddingPlanner planner(q);
+  // 4 pairs from 2 sources = fanout 2 onto edge 0's side.
+  std::vector<AgEdgeStats> stats = {{2, 2, 2}, {4, 2, 4}};
+  auto plan = planner.PlanJoinOrder(stats);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_DOUBLE_EQ(plan->estimated_tuples, 4.0);
+}
+
+TEST(EmbeddingPlannerTest, BothEndsBoundActsAsFilter) {
+  // 2-cycle: parallel edges between x and y.
+  QueryGraph q;
+  VarId x = q.AddVar("x"), y = q.AddVar("y");
+  q.AddEdge(x, 0, y);
+  q.AddEdge(x, 1, y);
+  EmbeddingPlanner planner(q);
+  std::vector<AgEdgeStats> stats = {{10, 5, 5}, {100, 10, 10}};
+  auto plan = planner.PlanJoinOrder(stats);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->join_order[0], 0u);
+  // Second edge filters: estimate must not exceed the first edge's size.
+  EXPECT_LE(plan->estimated_tuples, 10.0);
+}
+
+TEST(EmbeddingPlannerTest, RejectsEmptyQuery) {
+  QueryGraph q;
+  EmbeddingPlanner planner(q);
+  EXPECT_FALSE(planner.PlanJoinOrder({}).ok());
+}
+
+TEST(EmbeddingPlannerTest, ZeroSizeEdgeGivesZeroEstimate) {
+  QueryGraph q = ChainTemplate(2).Instantiate({0, 1});
+  EmbeddingPlanner planner(q);
+  std::vector<AgEdgeStats> stats = {{0, 0, 0}, {4, 2, 4}};
+  auto plan = planner.PlanJoinOrder(stats);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_DOUBLE_EQ(plan->estimated_tuples, 0.0);
+}
+
+}  // namespace
+}  // namespace wireframe

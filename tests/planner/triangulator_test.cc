@@ -1,0 +1,132 @@
+#include "planner/triangulator.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/synthetic.h"
+#include "query/templates.h"
+
+namespace wireframe {
+namespace {
+
+class TriangulatorTest : public ::testing::Test {
+ protected:
+  TriangulatorTest()
+      : db_(MakeRandomGraph(100, 6, 1500, 5)),
+        cat_(Catalog::Build(db_.store())),
+        est_(cat_) {}
+  Database db_;
+  Catalog cat_;
+  CardinalityEstimator est_;
+};
+
+TEST_F(TriangulatorTest, AcyclicNeedsNothing) {
+  QueryGraph q = ChainTemplate(3).Instantiate({0, 1, 2});
+  Triangulator tri(q, est_);
+  auto c = tri.Triangulate(AnalyzeShape(q));
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(c->chords.empty());
+  EXPECT_TRUE(c->base_triangles.empty());
+}
+
+TEST_F(TriangulatorTest, TriangleGetsBaseTriangleNoChord) {
+  QueryGraph q = CycleTemplate(3).Instantiate({0, 1, 2});
+  Triangulator tri(q, est_);
+  auto c = tri.Triangulate(AnalyzeShape(q));
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(c->chords.empty());
+  ASSERT_EQ(c->base_triangles.size(), 1u);
+  EXPECT_EQ(c->base_triangle_closing_edge.size(), 1u);
+  // All three sides of the base triangle are query edges.
+  EXPECT_FALSE(c->base_triangles[0].side_uw.is_chord);
+  EXPECT_FALSE(c->base_triangles[0].side_wv.is_chord);
+}
+
+TEST_F(TriangulatorTest, DiamondGetsOneChordTwoTriangles) {
+  QueryGraph q = DiamondTemplate().Instantiate({0, 1, 2, 3});
+  Triangulator tri(q, est_);
+  auto c = tri.Triangulate(AnalyzeShape(q));
+  ASSERT_TRUE(c.ok());
+  ASSERT_EQ(c->chords.size(), 1u);
+  // The bisecting chord participates in both triangles of the square.
+  EXPECT_EQ(c->chords[0].triangles.size(), 2u);
+  // The root triangle closes on a query edge.
+  EXPECT_EQ(c->base_triangles.size(), 1u);
+  EXPECT_NE(c->chords[0].u, c->chords[0].v);
+}
+
+TEST_F(TriangulatorTest, ChordEndpointsAreOppositeCorners) {
+  QueryGraph q = DiamondTemplate().Instantiate({0, 1, 2, 3});
+  Triangulator tri(q, est_);
+  auto c = tri.Triangulate(AnalyzeShape(q));
+  ASSERT_TRUE(c.ok());
+  const Chord& chord = c->chords[0];
+  // In the diamond x-e-y-z (cycle x,e,y,z), a chord must connect two
+  // non-adjacent cycle vars: {x,y} or {e,z}.
+  QueryShape shape = AnalyzeShape(q);
+  const auto& cvars = shape.cycles[0].vars;
+  auto pos = [&](VarId v) {
+    for (size_t i = 0; i < cvars.size(); ++i) {
+      if (cvars[i] == v) return static_cast<int>(i);
+    }
+    return -1;
+  };
+  int pu = pos(chord.u), pv = pos(chord.v);
+  ASSERT_GE(pu, 0);
+  ASSERT_GE(pv, 0);
+  int dist = std::abs(pu - pv);
+  EXPECT_EQ(std::min(dist, 4 - dist), 2) << "chord must skip one corner";
+}
+
+TEST_F(TriangulatorTest, FiveCycleGetsTwoChords) {
+  QueryGraph q = CycleTemplate(5).Instantiate({0, 1, 2, 3, 4});
+  Triangulator tri(q, est_);
+  auto c = tri.Triangulate(AnalyzeShape(q));
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->chords.size(), 2u);
+  // Triangulating an m-gon yields m-2 triangles: each chord owns one
+  // (listed under its closing side) plus the root base triangle.
+  size_t own = 0;
+  for (const Chord& chord : c->chords) {
+    own += chord.triangles.empty() ? 0 : 1;
+  }
+  EXPECT_EQ(own + c->base_triangles.size(), 3u);
+}
+
+TEST_F(TriangulatorTest, SixCycleGetsThreeChords) {
+  QueryGraph q = CycleTemplate(6).Instantiate({0, 1, 2, 3, 4, 5});
+  Triangulator tri(q, est_);
+  auto c = tri.Triangulate(AnalyzeShape(q));
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->chords.size(), 3u);
+}
+
+TEST_F(TriangulatorTest, TwoCyclesHandledIndependently) {
+  // Two diamonds sharing a vertex.
+  QueryGraph q;
+  VarId h = q.AddVar("h");
+  VarId a1 = q.AddVar("a1"), b1 = q.AddVar("b1"), c1 = q.AddVar("c1");
+  VarId a2 = q.AddVar("a2"), b2 = q.AddVar("b2"), c2 = q.AddVar("c2");
+  q.AddEdge(h, 0, a1);
+  q.AddEdge(a1, 1, b1);
+  q.AddEdge(h, 2, c1);
+  q.AddEdge(c1, 3, b1);
+  q.AddEdge(h, 0, a2);
+  q.AddEdge(a2, 1, b2);
+  q.AddEdge(h, 2, c2);
+  q.AddEdge(c2, 3, b2);
+  Triangulator tri(q, est_);
+  auto c = tri.Triangulate(AnalyzeShape(q));
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->chords.size(), 2u);
+}
+
+TEST_F(TriangulatorTest, EstimatedCostNonNegative) {
+  QueryGraph q = CycleTemplate(4).Instantiate({0, 1, 2, 3});
+  Triangulator tri(q, est_);
+  auto c = tri.Triangulate(AnalyzeShape(q));
+  ASSERT_TRUE(c.ok());
+  EXPECT_GE(c->estimated_cost, 0.0);
+}
+
+}  // namespace
+}  // namespace wireframe

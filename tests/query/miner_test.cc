@@ -1,0 +1,112 @@
+#include "query/miner.h"
+
+#include <gtest/gtest.h>
+
+#include "exec/engine.h"
+#include "exec/sink.h"
+
+namespace wireframe {
+namespace {
+
+// A: 1->2 ; B: 2->3 ; C: 9->10 (C never joins A or B).
+Database MakeDb() {
+  DatabaseBuilder b;
+  b.Add("n1", "A", "n2");
+  b.Add("n2", "B", "n3");
+  b.Add("n9", "C", "n10");
+  return std::move(b).Build();
+}
+
+class MinerTest : public ::testing::Test {
+ protected:
+  MinerTest() : db_(MakeDb()), cat_(Catalog::Build(db_.store())) {}
+  Database db_;
+  Catalog cat_;
+};
+
+TEST_F(MinerTest, MinesNonEmptyChains) {
+  QueryMiner miner(db_, cat_);
+  MinerOptions options;
+  MinerReport report;
+  auto mined = miner.Mine(ChainTemplate(2), options, &report);
+  ASSERT_TRUE(mined.ok()) << mined.status().ToString();
+  // Only A/B chains: v0 -A-> v1 -B-> v2.
+  ASSERT_EQ(mined->size(), 1u);
+  EXPECT_EQ(mined.value()[0].labels,
+            (std::vector<LabelId>{*db_.LabelOf("A"), *db_.LabelOf("B")}));
+  EXPECT_TRUE(report.exhausted);
+  EXPECT_GT(report.pruned_by_2gram, 0u);
+}
+
+TEST_F(MinerTest, MinedQueriesAreNonEmpty) {
+  QueryMiner miner(db_, cat_);
+  MinerOptions options;
+  auto mined = miner.Mine(ChainTemplate(1), options, nullptr);
+  ASSERT_TRUE(mined.ok());
+  // Every single-edge query over a non-empty label qualifies.
+  EXPECT_EQ(mined->size(), 3u);
+  auto engine = MakeEngine("NJ");
+  for (const MinedQuery& mq : mined.value()) {
+    QueryGraph q = ChainTemplate(1).Instantiate(mq.labels);
+    CountingSink sink;
+    auto stats = engine->Run(db_, cat_, q, EngineOptions{}, &sink);
+    ASSERT_TRUE(stats.ok());
+    EXPECT_GT(sink.count(), 0u);
+  }
+}
+
+TEST_F(MinerTest, MaxQueriesCapRespected) {
+  QueryMiner miner(db_, cat_);
+  MinerOptions options;
+  options.max_queries = 1;
+  MinerReport report;
+  auto mined = miner.Mine(ChainTemplate(1), options, &report);
+  ASSERT_TRUE(mined.ok());
+  EXPECT_EQ(mined->size(), 1u);
+  EXPECT_FALSE(report.exhausted);
+}
+
+TEST_F(MinerTest, TwoGramPruningSkipsDataProbes) {
+  QueryMiner miner(db_, cat_);
+  MinerOptions options;
+  options.verify_nonempty = true;
+  MinerReport report;
+  auto mined = miner.Mine(ChainTemplate(2), options, &report);
+  ASSERT_TRUE(mined.ok());
+  // C cannot join anything: assignments starting with C must be pruned at
+  // depth 0/1 without reaching verification.
+  EXPECT_EQ(report.rejected_empty, 0u);
+}
+
+TEST_F(MinerTest, WithoutVerificationKeeps2GramSurvivors) {
+  QueryMiner miner(db_, cat_);
+  MinerOptions options;
+  options.verify_nonempty = false;
+  auto with_verify = miner.Mine(ChainTemplate(2), MinerOptions{}, nullptr);
+  auto without = miner.Mine(ChainTemplate(2), options, nullptr);
+  ASSERT_TRUE(with_verify.ok());
+  ASSERT_TRUE(without.ok());
+  EXPECT_GE(without->size(), with_verify->size());
+}
+
+TEST_F(MinerTest, DiamondOverTinyGraphFindsNothing) {
+  QueryMiner miner(db_, cat_);
+  MinerOptions options;
+  auto mined = miner.Mine(DiamondTemplate(), options, nullptr);
+  ASSERT_TRUE(mined.ok());
+  EXPECT_TRUE(mined->empty());
+}
+
+TEST_F(MinerTest, CandidateBudgetStopsSearch) {
+  QueryMiner miner(db_, cat_);
+  MinerOptions options;
+  options.max_candidates = 2;
+  MinerReport report;
+  auto mined = miner.Mine(ChainTemplate(2), options, &report);
+  ASSERT_TRUE(mined.ok());
+  EXPECT_FALSE(report.exhausted);
+  EXPECT_LE(report.candidates, 3u);
+}
+
+}  // namespace
+}  // namespace wireframe

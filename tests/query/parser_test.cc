@@ -1,0 +1,139 @@
+#include "query/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace wireframe {
+namespace {
+
+Database MakeDb() {
+  DatabaseBuilder b;
+  b.Add("n1", "actedIn", "n2");
+  b.Add("n1", "<http://yago/created>", "n2");
+  b.Add("n1", ":owns", "n2");
+  return std::move(b).Build();
+}
+
+TEST(ParserTest, ParsesBasicQuery) {
+  auto r = SparqlParser::Parse(
+      "select ?x ?y where { ?x actedIn ?y . }");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->projection, (std::vector<std::string>{"x", "y"}));
+  EXPECT_FALSE(r->distinct);
+  ASSERT_EQ(r->patterns.size(), 1u);
+  EXPECT_EQ(r->patterns[0].subject_var, "x");
+  EXPECT_EQ(r->patterns[0].predicate, "actedIn");
+  EXPECT_EQ(r->patterns[0].object_var, "y");
+}
+
+TEST(ParserTest, ParsesDistinctAndStar) {
+  auto r = SparqlParser::Parse("SELECT DISTINCT * WHERE { ?a p ?b }");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->distinct);
+  EXPECT_TRUE(r->projection.empty());
+}
+
+TEST(ParserTest, KeywordsAreCaseInsensitive) {
+  auto r = SparqlParser::Parse("SeLeCt ?x WhErE { ?x p ?y . }");
+  ASSERT_TRUE(r.ok());
+}
+
+TEST(ParserTest, ParsesAngleBracketIris) {
+  auto r = SparqlParser::Parse(
+      "select * where { ?x <http://yago/created> ?y . }");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->patterns[0].predicate, "<http://yago/created>");
+}
+
+TEST(ParserTest, ParsesMultiplePatterns) {
+  auto r = SparqlParser::Parse(
+      "select * where { ?x a ?y . ?y b ?z . ?z c ?x . }");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->patterns.size(), 3u);
+}
+
+TEST(ParserTest, TrailingDotOptional) {
+  auto r = SparqlParser::Parse("select * where { ?x p ?y }");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->patterns.size(), 1u);
+}
+
+TEST(ParserTest, RejectsMissingSelect) {
+  EXPECT_FALSE(SparqlParser::Parse("where { ?x p ?y }").ok());
+}
+
+TEST(ParserTest, RejectsEmptyWhere) {
+  EXPECT_FALSE(SparqlParser::Parse("select * where { }").ok());
+}
+
+TEST(ParserTest, RejectsMissingBrace) {
+  EXPECT_FALSE(SparqlParser::Parse("select * where ?x p ?y").ok());
+}
+
+TEST(ParserTest, RejectsUnterminatedWhere) {
+  EXPECT_FALSE(SparqlParser::Parse("select * where { ?x p ?y . ").ok());
+}
+
+TEST(ParserTest, RejectsConstantSubject) {
+  EXPECT_FALSE(SparqlParser::Parse("select * where { n1 p ?y }").ok());
+}
+
+TEST(ParserTest, ErrorsCarryOffsets) {
+  auto r = SparqlParser::Parse("select * whre { }");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("offset"), std::string::npos);
+}
+
+TEST(BindTest, ResolvesBarePredicate) {
+  Database db = MakeDb();
+  auto q = SparqlParser::ParseAndBind(
+      "select ?x ?y where { ?x actedIn ?y . }", db);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->NumEdges(), 1u);
+  EXPECT_EQ(q->Edge(0).label, *db.LabelOf("actedIn"));
+}
+
+TEST(BindTest, ResolvesIriVariants) {
+  Database db = MakeDb();
+  // Written with brackets, stored with brackets.
+  ASSERT_TRUE(SparqlParser::ParseAndBind(
+                  "select * where { ?x <http://yago/created> ?y }", db)
+                  .ok());
+  // Written bare, stored with ":" prefix.
+  ASSERT_TRUE(
+      SparqlParser::ParseAndBind("select * where { ?x owns ?y }", db).ok());
+}
+
+TEST(BindTest, UnknownPredicateIsNotFound) {
+  Database db = MakeDb();
+  auto q = SparqlParser::ParseAndBind("select * where { ?x nope ?y }", db);
+  ASSERT_FALSE(q.ok());
+  EXPECT_TRUE(q.status().IsNotFound());
+}
+
+TEST(BindTest, ProjectionMustUseBoundVars) {
+  Database db = MakeDb();
+  auto q = SparqlParser::ParseAndBind(
+      "select ?zzz where { ?x actedIn ?y . }", db);
+  ASSERT_FALSE(q.ok());
+  EXPECT_TRUE(q.status().IsInvalidArgument());
+}
+
+TEST(BindTest, SelfLoopRejected) {
+  Database db = MakeDb();
+  auto q =
+      SparqlParser::ParseAndBind("select * where { ?x actedIn ?x }", db);
+  ASSERT_FALSE(q.ok());
+  EXPECT_TRUE(q.status().IsInvalidArgument());
+}
+
+TEST(BindTest, SharedVariablesUnify) {
+  Database db = MakeDb();
+  auto q = SparqlParser::ParseAndBind(
+      "select * where { ?x actedIn ?y . ?y actedIn ?z . }", db);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->NumVars(), 3u);
+  EXPECT_EQ(q->Edge(0).dst, q->Edge(1).src);
+}
+
+}  // namespace
+}  // namespace wireframe

@@ -1,0 +1,85 @@
+#include "query/query_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace wireframe {
+namespace {
+
+TEST(QueryGraphTest, AddVarsAndEdges) {
+  QueryGraph q;
+  VarId x = q.AddVar("x");
+  VarId y = q.AddVar("y");
+  uint32_t e = q.AddEdge(x, 7, y);
+  EXPECT_EQ(q.NumVars(), 2u);
+  EXPECT_EQ(q.NumEdges(), 1u);
+  EXPECT_EQ(q.Edge(e).src, x);
+  EXPECT_EQ(q.Edge(e).label, 7u);
+  EXPECT_EQ(q.Edge(e).dst, y);
+}
+
+TEST(QueryGraphTest, VarByNameReuses) {
+  QueryGraph q;
+  VarId a = q.VarByName("a");
+  EXPECT_EQ(q.VarByName("a"), a);
+  EXPECT_EQ(q.NumVars(), 1u);
+  EXPECT_NE(q.VarByName("b"), a);
+}
+
+TEST(QueryGraphTest, FindVar) {
+  QueryGraph q;
+  q.AddVar("x");
+  EXPECT_EQ(q.FindVar("x"), 0u);
+  EXPECT_EQ(q.FindVar("nope"), kInvalidVar);
+}
+
+TEST(QueryGraphTest, IncidentEdgesAndDegree) {
+  QueryGraph q;
+  VarId x = q.AddVar("x"), y = q.AddVar("y"), z = q.AddVar("z");
+  uint32_t e0 = q.AddEdge(x, 0, y);
+  uint32_t e1 = q.AddEdge(y, 1, z);
+  EXPECT_EQ(q.Degree(x), 1u);
+  EXPECT_EQ(q.Degree(y), 2u);
+  EXPECT_EQ(q.IncidentEdges(y), (std::vector<uint32_t>{e0, e1}));
+}
+
+TEST(QueryGraphTest, EdgeHelpers) {
+  QueryEdge e{2, 9, 5};
+  EXPECT_EQ(e.Other(2), 5u);
+  EXPECT_EQ(e.Other(5), 2u);
+  EXPECT_TRUE(e.Touches(2));
+  EXPECT_TRUE(e.Touches(5));
+  EXPECT_FALSE(e.Touches(3));
+}
+
+TEST(QueryGraphTest, OutputVarsDefaultsToAll) {
+  QueryGraph q;
+  q.AddVar("a");
+  q.AddVar("b");
+  EXPECT_EQ(q.OutputVars(), (std::vector<VarId>{0, 1}));
+  q.SetProjection({1});
+  EXPECT_EQ(q.OutputVars(), (std::vector<VarId>{1}));
+}
+
+TEST(QueryGraphTest, ToStringRendersSparql) {
+  QueryGraph q;
+  VarId x = q.AddVar("x"), y = q.AddVar("y");
+  q.AddEdge(x, 0, y);
+  q.SetDistinct(true);
+  std::string s = q.ToString([](LabelId) { return std::string("knows"); });
+  EXPECT_EQ(s, "select distinct ?x ?y where { ?x knows ?y . }");
+}
+
+TEST(QueryGraphDeathTest, DuplicateVarNameChecks) {
+  QueryGraph q;
+  q.AddVar("x");
+  EXPECT_DEATH(q.AddVar("x"), "duplicate variable");
+}
+
+TEST(QueryGraphDeathTest, SelfLoopChecks) {
+  QueryGraph q;
+  VarId x = q.AddVar("x");
+  EXPECT_DEATH(q.AddEdge(x, 0, x), "self-loop");
+}
+
+}  // namespace
+}  // namespace wireframe

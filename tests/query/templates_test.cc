@@ -1,0 +1,67 @@
+#include "query/templates.h"
+
+#include <gtest/gtest.h>
+
+#include "query/shape.h"
+
+namespace wireframe {
+namespace {
+
+TEST(TemplatesTest, SnowflakeShape) {
+  QueryTemplate t = SnowflakeTemplate();
+  EXPECT_EQ(t.num_slots, 9u);
+  QueryGraph q = t.Instantiate(std::vector<LabelId>(9, 3));
+  EXPECT_EQ(q.NumVars(), 10u);
+  EXPECT_EQ(q.NumEdges(), 9u);
+  EXPECT_TRUE(q.distinct());
+  // Hub ?x has degree 3; arm vars degree 3; leaves degree 1.
+  EXPECT_EQ(q.Degree(q.FindVar("x")), 3u);
+  EXPECT_EQ(q.Degree(q.FindVar("m")), 3u);
+  EXPECT_EQ(q.Degree(q.FindVar("f")), 1u);
+  EXPECT_TRUE(IsAcyclic(q));
+}
+
+TEST(TemplatesTest, DiamondShape) {
+  QueryGraph q = DiamondTemplate().Instantiate({0, 1, 2, 3});
+  EXPECT_EQ(q.NumVars(), 4u);
+  EXPECT_EQ(q.NumEdges(), 4u);
+  EXPECT_FALSE(IsAcyclic(q));
+  for (VarId v = 0; v < q.NumVars(); ++v) EXPECT_EQ(q.Degree(v), 2u);
+}
+
+TEST(TemplatesTest, InstantiateAssignsSlotLabels) {
+  QueryGraph q = DiamondTemplate().Instantiate({10, 11, 12, 13});
+  EXPECT_EQ(q.Edge(0).label, 10u);
+  EXPECT_EQ(q.Edge(1).label, 11u);
+  EXPECT_EQ(q.Edge(2).label, 12u);
+  EXPECT_EQ(q.Edge(3).label, 13u);
+}
+
+TEST(TemplatesTest, ChainTemplate) {
+  QueryGraph q = ChainTemplate(4).Instantiate({0, 1, 2, 3});
+  EXPECT_EQ(q.NumVars(), 5u);
+  EXPECT_EQ(q.NumEdges(), 4u);
+  EXPECT_TRUE(IsAcyclic(q));
+  EXPECT_EQ(q.Degree(q.FindVar("v0")), 1u);
+  EXPECT_EQ(q.Degree(q.FindVar("v2")), 2u);
+}
+
+TEST(TemplatesTest, StarTemplate) {
+  QueryGraph q = StarTemplate(6).Instantiate({0, 1, 2, 3, 4, 5});
+  EXPECT_EQ(q.NumVars(), 7u);
+  EXPECT_EQ(q.Degree(q.FindVar("x")), 6u);
+  EXPECT_TRUE(IsAcyclic(q));
+}
+
+TEST(TemplatesTest, CycleTemplate) {
+  QueryGraph q = CycleTemplate(4).Instantiate({0, 0, 0, 0});
+  EXPECT_EQ(q.NumVars(), 4u);
+  EXPECT_FALSE(IsAcyclic(q));
+}
+
+TEST(TemplatesDeathTest, WrongLabelCountChecks) {
+  EXPECT_DEATH(DiamondTemplate().Instantiate({0, 1}), "needs 4 labels");
+}
+
+}  // namespace
+}  // namespace wireframe

@@ -1,0 +1,51 @@
+#include "storage/database.h"
+
+#include <gtest/gtest.h>
+
+namespace wireframe {
+namespace {
+
+TEST(DatabaseTest, BuilderInternsStringsOnce) {
+  DatabaseBuilder b;
+  b.Add("alice", "knows", "bob");
+  b.Add("bob", "knows", "alice");
+  b.Add("alice", "likes", "bob");
+  Database db = std::move(b).Build();
+  EXPECT_EQ(db.nodes().Size(), 2u);
+  EXPECT_EQ(db.labels().Size(), 2u);
+  EXPECT_EQ(db.store().NumTriples(), 3u);
+}
+
+TEST(DatabaseTest, LabelOfAndNodeOf) {
+  DatabaseBuilder b;
+  b.Add("a", "p", "b");
+  Database db = std::move(b).Build();
+  EXPECT_TRUE(db.LabelOf("p").has_value());
+  EXPECT_FALSE(db.LabelOf("q").has_value());
+  EXPECT_TRUE(db.NodeOf("a").has_value());
+  EXPECT_TRUE(db.NodeOf("b").has_value());
+  EXPECT_FALSE(db.NodeOf("c").has_value());
+}
+
+TEST(DatabaseTest, IdBasedAddMatchesStringAdd) {
+  DatabaseBuilder b;
+  NodeId s = b.nodes().Intern("s");
+  NodeId o = b.nodes().Intern("o");
+  LabelId p = b.labels().Intern("p");
+  b.Add(s, p, o);
+  Database db = std::move(b).Build();
+  EXPECT_TRUE(db.store().HasTriple(*db.NodeOf("s"), *db.LabelOf("p"),
+                                   *db.NodeOf("o")));
+}
+
+TEST(DatabaseTest, EdgesQueryableThroughStore) {
+  DatabaseBuilder b;
+  b.Add("x", "p", "y");
+  b.Add("x", "p", "z");
+  Database db = std::move(b).Build();
+  auto out = db.store().OutNeighbors(*db.LabelOf("p"), *db.NodeOf("x"));
+  EXPECT_EQ(out.size(), 2u);
+}
+
+}  // namespace
+}  // namespace wireframe

@@ -1,0 +1,63 @@
+#include "storage/dictionary.h"
+
+#include <gtest/gtest.h>
+
+namespace wireframe {
+namespace {
+
+TEST(DictionaryTest, InternAssignsDenseIds) {
+  Dictionary d;
+  EXPECT_EQ(d.Intern("a"), 0u);
+  EXPECT_EQ(d.Intern("b"), 1u);
+  EXPECT_EQ(d.Intern("c"), 2u);
+  EXPECT_EQ(d.Size(), 3u);
+}
+
+TEST(DictionaryTest, InternIsIdempotent) {
+  Dictionary d;
+  uint32_t id = d.Intern("x");
+  EXPECT_EQ(d.Intern("x"), id);
+  EXPECT_EQ(d.Size(), 1u);
+}
+
+TEST(DictionaryTest, LookupFindsInterned) {
+  Dictionary d;
+  d.Intern("alpha");
+  d.Intern("beta");
+  EXPECT_EQ(d.Lookup("beta"), 1u);
+  EXPECT_EQ(d.Lookup("gamma"), Dictionary::kNotFound);
+}
+
+TEST(DictionaryTest, TermRoundTrips) {
+  Dictionary d;
+  uint32_t id = d.Intern("<http://yago/actedIn>");
+  EXPECT_EQ(d.Term(id), "<http://yago/actedIn>");
+}
+
+TEST(DictionaryTest, EmptyStringIsAValidTerm) {
+  Dictionary d;
+  uint32_t id = d.Intern("");
+  EXPECT_EQ(d.Lookup(""), id);
+  EXPECT_EQ(d.Term(id), "");
+}
+
+TEST(DictionaryTest, ManyTerms) {
+  Dictionary d;
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_EQ(d.Intern("term" + std::to_string(i)),
+              static_cast<uint32_t>(i));
+  }
+  EXPECT_EQ(d.Size(), 10000u);
+  EXPECT_EQ(d.Lookup("term9999"), 9999u);
+  EXPECT_EQ(d.Term(1234), "term1234");
+}
+
+TEST(DictionaryTest, MoveTransfersContents) {
+  Dictionary d;
+  d.Intern("keep");
+  Dictionary moved = std::move(d);
+  EXPECT_EQ(moved.Lookup("keep"), 0u);
+}
+
+}  // namespace
+}  // namespace wireframe

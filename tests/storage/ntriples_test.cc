@@ -1,0 +1,123 @@
+#include "storage/ntriples.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace wireframe {
+namespace {
+
+TEST(NTriplesTest, ParsesIriTriple) {
+  std::string s, p, o;
+  auto r = NTriples::ParseLine("<a> <b> <c> .", &s, &p, &o);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value());
+  EXPECT_EQ(s, "<a>");
+  EXPECT_EQ(p, "<b>");
+  EXPECT_EQ(o, "<c>");
+}
+
+TEST(NTriplesTest, ParsesLiteralWithLanguageTag) {
+  std::string s, p, o;
+  auto r = NTriples::ParseLine(
+      "<x> <label> \"Hello World\"@en .", &s, &p, &o);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(o, "\"Hello World\"@en");
+}
+
+TEST(NTriplesTest, ParsesLiteralWithDatatype) {
+  std::string s, p, o;
+  auto r = NTriples::ParseLine(
+      "<x> <age> \"42\"^^<http://www.w3.org/2001/XMLSchema#int> .", &s, &p,
+      &o);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(o, "\"42\"^^<http://www.w3.org/2001/XMLSchema#int>");
+}
+
+TEST(NTriplesTest, ParsesEscapedQuoteInLiteral) {
+  std::string s, p, o;
+  auto r = NTriples::ParseLine("<x> <says> \"a \\\"quoted\\\" word\" .", &s,
+                               &p, &o);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(o, "\"a \\\"quoted\\\" word\"");
+}
+
+TEST(NTriplesTest, ParsesBlankNodes) {
+  std::string s, p, o;
+  auto r = NTriples::ParseLine("_:b1 <knows> _:b2 .", &s, &p, &o);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(s, "_:b1");
+  EXPECT_EQ(o, "_:b2");
+}
+
+TEST(NTriplesTest, SkipsCommentsAndBlankLines) {
+  std::string s, p, o;
+  auto r1 = NTriples::ParseLine("# a comment", &s, &p, &o);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_FALSE(r1.value());
+  auto r2 = NTriples::ParseLine("   ", &s, &p, &o);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_FALSE(r2.value());
+}
+
+TEST(NTriplesTest, RejectsMalformedLines) {
+  std::string s, p, o;
+  EXPECT_FALSE(NTriples::ParseLine("<a> <b>", &s, &p, &o).ok());
+  EXPECT_FALSE(NTriples::ParseLine("<a> <b> <c>", &s, &p, &o).ok());  // no dot
+  EXPECT_FALSE(NTriples::ParseLine("<a <b> <c> .", &s, &p, &o).ok());
+  EXPECT_FALSE(NTriples::ParseLine("<a> <b> \"open .", &s, &p, &o).ok());
+}
+
+TEST(NTriplesTest, ReadStreamBuildsDatabase) {
+  std::istringstream in(
+      "# header\n"
+      "<p1> <actedIn> <m1> .\n"
+      "<p1> <actedIn> <m2> .\n"
+      "\n"
+      "<p2> <actedIn> <m1> .\r\n");
+  DatabaseBuilder builder;
+  auto count = NTriples::ReadStream(in, &builder);
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  EXPECT_EQ(count.value(), 3u);
+  Database db = std::move(builder).Build();
+  EXPECT_EQ(db.store().NumTriples(), 3u);
+  ASSERT_TRUE(db.LabelOf("<actedIn>").has_value());
+  EXPECT_EQ(db.store().PredicateCardinality(*db.LabelOf("<actedIn>")), 3u);
+}
+
+TEST(NTriplesTest, ReadStreamReportsLineNumberOnError) {
+  std::istringstream in("<a> <b> <c> .\nbogus line\n");
+  DatabaseBuilder builder;
+  auto r = NTriples::ReadStream(in, &builder);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(NTriplesTest, RoundTripThroughWriter) {
+  DatabaseBuilder builder;
+  builder.Add("<s1>", "<p>", "<o1>");
+  builder.Add("<s2>", "<q>", "\"lit\"@en");
+  Database db = std::move(builder).Build();
+
+  std::ostringstream out;
+  ASSERT_TRUE(NTriples::WriteStream(db, out).ok());
+
+  std::istringstream in(out.str());
+  DatabaseBuilder reread;
+  auto count = NTriples::ReadStream(in, &reread);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.value(), 2u);
+  Database db2 = std::move(reread).Build();
+  EXPECT_EQ(db2.store().NumTriples(), 2u);
+  EXPECT_TRUE(db2.NodeOf("\"lit\"@en").has_value());
+}
+
+TEST(NTriplesTest, ReadFileMissingPathIsIOError) {
+  DatabaseBuilder builder;
+  auto r = NTriples::ReadFile("/nonexistent/path.nt", &builder);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace wireframe

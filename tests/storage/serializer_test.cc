@@ -1,0 +1,113 @@
+#include "storage/serializer.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "datagen/synthetic.h"
+#include "datagen/yago_like.h"
+
+namespace wireframe {
+namespace {
+
+void ExpectSameDatabase(const Database& a, const Database& b) {
+  ASSERT_EQ(a.store().NumTriples(), b.store().NumTriples());
+  ASSERT_EQ(a.store().NumPredicates(), b.store().NumPredicates());
+  ASSERT_EQ(a.nodes().Size(), b.nodes().Size());
+  ASSERT_EQ(a.labels().Size(), b.labels().Size());
+  for (uint32_t id = 0; id < a.nodes().Size(); ++id) {
+    EXPECT_EQ(a.nodes().Term(id), b.nodes().Term(id));
+  }
+  for (LabelId p = 0; p < a.store().NumPredicates(); ++p) {
+    EXPECT_EQ(a.labels().Term(p), b.labels().Term(p));
+    EXPECT_EQ(a.store().EdgeList(p), b.store().EdgeList(p));
+  }
+}
+
+TEST(SerializerTest, RoundTripSmall) {
+  DatabaseBuilder b;
+  b.Add("alice", "knows", "bob");
+  b.Add("bob", "knows", "carol");
+  b.Add("carol", "likes", "alice");
+  Database db = std::move(b).Build();
+
+  std::stringstream buffer;
+  ASSERT_TRUE(Serializer::Save(db, buffer).ok());
+  auto loaded = Serializer::Load(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectSameDatabase(db, *loaded);
+}
+
+TEST(SerializerTest, RoundTripRandomGraph) {
+  Database db = MakeRandomGraph(200, 8, 5000, 11);
+  std::stringstream buffer;
+  ASSERT_TRUE(Serializer::Save(db, buffer).ok());
+  auto loaded = Serializer::Load(buffer);
+  ASSERT_TRUE(loaded.ok());
+  ExpectSameDatabase(db, *loaded);
+}
+
+TEST(SerializerTest, RoundTripYagoLike) {
+  YagoLikeConfig config;
+  config.scale = 0.02;
+  Database db = MakeYagoLike(config);
+  std::stringstream buffer;
+  ASSERT_TRUE(Serializer::Save(db, buffer).ok());
+  auto loaded = Serializer::Load(buffer);
+  ASSERT_TRUE(loaded.ok());
+  ExpectSameDatabase(db, *loaded);
+}
+
+TEST(SerializerTest, RejectsBadMagic) {
+  std::stringstream buffer("not a snapshot at all");
+  auto loaded = Serializer::Load(buffer);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsParseError());
+}
+
+TEST(SerializerTest, RejectsTruncated) {
+  DatabaseBuilder b;
+  b.Add("a", "p", "c");
+  Database db = std::move(b).Build();
+  std::stringstream buffer;
+  ASSERT_TRUE(Serializer::Save(db, buffer).ok());
+  std::string bytes = buffer.str();
+  for (size_t cut : {bytes.size() - 1, bytes.size() / 2, size_t{5}}) {
+    std::stringstream truncated(bytes.substr(0, cut));
+    EXPECT_FALSE(Serializer::Load(truncated).ok()) << "cut at " << cut;
+  }
+}
+
+TEST(SerializerTest, RejectsCorruptedTriple) {
+  DatabaseBuilder b;
+  b.Add("a", "p", "c");
+  b.Add("b", "p", "c");
+  Database db = std::move(b).Build();
+  std::stringstream buffer;
+  ASSERT_TRUE(Serializer::Save(db, buffer).ok());
+  std::string bytes = buffer.str();
+  bytes[bytes.size() - 12] ^= 0x01;  // flip a bit inside the last triple
+  std::stringstream corrupted(bytes);
+  auto loaded = Serializer::Load(corrupted);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsParseError());
+}
+
+TEST(SerializerTest, FileRoundTrip) {
+  Database db = MakeRandomGraph(50, 3, 400, 3);
+  const std::string path = "/tmp/wf_serializer_test.wfdb";
+  ASSERT_TRUE(Serializer::SaveFile(db, path).ok());
+  auto loaded = Serializer::LoadFile(path);
+  ASSERT_TRUE(loaded.ok());
+  ExpectSameDatabase(db, *loaded);
+  std::remove(path.c_str());
+}
+
+TEST(SerializerTest, MissingFileIsIOError) {
+  auto loaded = Serializer::LoadFile("/nonexistent/db.wfdb");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace wireframe

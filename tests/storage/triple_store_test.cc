@@ -1,0 +1,140 @@
+#include "storage/triple_store.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace wireframe {
+namespace {
+
+TripleStore MakeSmallStore() {
+  // Label 0: 0->1, 0->2, 3->1 ; label 1: 1->2 ; label 2 unused (gap).
+  TripleStoreBuilder b;
+  b.Add(0, 0, 1);
+  b.Add(0, 0, 2);
+  b.Add(3, 0, 1);
+  b.Add(1, 1, 2);
+  b.Add(Triple{2, 3, 0});
+  return std::move(b).Build();
+}
+
+TEST(TripleStoreTest, CountsAndSizes) {
+  TripleStore s = MakeSmallStore();
+  EXPECT_EQ(s.NumTriples(), 5u);
+  EXPECT_EQ(s.NumPredicates(), 4u);
+  EXPECT_EQ(s.NumNodes(), 4u);
+  EXPECT_EQ(s.PredicateCardinality(0), 3u);
+  EXPECT_EQ(s.PredicateCardinality(1), 1u);
+  EXPECT_EQ(s.PredicateCardinality(2), 0u);
+  EXPECT_EQ(s.PredicateCardinality(3), 1u);
+}
+
+TEST(TripleStoreTest, Deduplicates) {
+  TripleStoreBuilder b;
+  b.Add(1, 0, 2);
+  b.Add(1, 0, 2);
+  b.Add(1, 0, 2);
+  TripleStore s = std::move(b).Build();
+  EXPECT_EQ(s.NumTriples(), 1u);
+}
+
+TEST(TripleStoreTest, OutNeighborsSorted) {
+  TripleStoreBuilder b;
+  b.Add(5, 0, 9);
+  b.Add(5, 0, 3);
+  b.Add(5, 0, 7);
+  TripleStore s = std::move(b).Build();
+  auto out = s.OutNeighbors(0, 5);
+  std::vector<NodeId> got(out.begin(), out.end());
+  EXPECT_EQ(got, (std::vector<NodeId>{3, 7, 9}));
+}
+
+TEST(TripleStoreTest, InNeighbors) {
+  TripleStore s = MakeSmallStore();
+  auto in = s.InNeighbors(0, 1);
+  std::vector<NodeId> got(in.begin(), in.end());
+  EXPECT_EQ(got, (std::vector<NodeId>{0, 3}));
+  EXPECT_TRUE(s.InNeighbors(0, 0).empty());
+}
+
+TEST(TripleStoreTest, MissingLookupsAreEmpty) {
+  TripleStore s = MakeSmallStore();
+  EXPECT_TRUE(s.OutNeighbors(0, 2).empty());   // 2 is never a subject of 0
+  EXPECT_TRUE(s.OutNeighbors(2, 0).empty());   // label 2 has no triples
+  EXPECT_TRUE(s.InNeighbors(1, 1).empty());
+}
+
+TEST(TripleStoreTest, HasTriple) {
+  TripleStore s = MakeSmallStore();
+  EXPECT_TRUE(s.HasTriple(0, 0, 1));
+  EXPECT_TRUE(s.HasTriple(2, 3, 0));
+  EXPECT_FALSE(s.HasTriple(0, 0, 3));
+  EXPECT_FALSE(s.HasTriple(0, 1, 1));
+  EXPECT_FALSE(s.HasTriple(0, 99, 1));  // out-of-range label
+}
+
+TEST(TripleStoreTest, DistinctSubjectsAndObjects) {
+  TripleStore s = MakeSmallStore();
+  auto subs = s.DistinctSubjects(0);
+  EXPECT_EQ(std::vector<NodeId>(subs.begin(), subs.end()),
+            (std::vector<NodeId>{0, 3}));
+  auto objs = s.DistinctObjects(0);
+  EXPECT_EQ(std::vector<NodeId>(objs.begin(), objs.end()),
+            (std::vector<NodeId>{1, 2}));
+}
+
+TEST(TripleStoreTest, ForEachEdgeVisitsAllGroupedBySubject) {
+  TripleStore s = MakeSmallStore();
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  s.ForEachEdge(0, [&](NodeId a, NodeId b) { edges.emplace_back(a, b); });
+  EXPECT_EQ(edges, (std::vector<std::pair<NodeId, NodeId>>{
+                       {0, 1}, {0, 2}, {3, 1}}));
+}
+
+TEST(TripleStoreTest, EdgeListMatchesForEachEdge) {
+  TripleStore s = MakeSmallStore();
+  EXPECT_EQ(s.EdgeList(0).size(), 3u);
+  EXPECT_EQ(s.EdgeList(2).size(), 0u);
+}
+
+TEST(TripleStoreTest, EmptyStore) {
+  TripleStoreBuilder b;
+  TripleStore s = std::move(b).Build();
+  EXPECT_EQ(s.NumTriples(), 0u);
+  EXPECT_EQ(s.NumPredicates(), 0u);
+  EXPECT_EQ(s.NumNodes(), 0u);
+}
+
+TEST(TripleStoreTest, LargeRandomConsistency) {
+  // Forward and backward indexes must agree on every edge.
+  TripleStoreBuilder b;
+  uint64_t x = 88172645463325252ull;
+  auto next = [&x]() {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return x;
+  };
+  for (int i = 0; i < 20000; ++i) {
+    b.Add(static_cast<NodeId>(next() % 500), static_cast<LabelId>(next() % 7),
+          static_cast<NodeId>(next() % 500));
+  }
+  TripleStore s = std::move(b).Build();
+  uint64_t forward_edges = 0, backward_edges = 0;
+  for (LabelId p = 0; p < s.NumPredicates(); ++p) {
+    s.ForEachEdge(p, [&](NodeId a, NodeId o) {
+      ++forward_edges;
+      auto in = s.InNeighbors(p, o);
+      EXPECT_TRUE(std::binary_search(in.begin(), in.end(), a));
+    });
+    for (NodeId o : s.DistinctObjects(p)) {
+      backward_edges += s.InNeighbors(p, o).size();
+    }
+  }
+  EXPECT_EQ(forward_edges, s.NumTriples());
+  EXPECT_EQ(backward_edges, s.NumTriples());
+}
+
+}  // namespace
+}  // namespace wireframe

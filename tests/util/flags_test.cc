@@ -1,0 +1,54 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace wireframe {
+namespace {
+
+Flags Make(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return Flags(static_cast<int>(args.size()),
+               const_cast<char**>(args.data()));
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  Flags f = Make({"--scale=0.5", "--seed=42"});
+  EXPECT_DOUBLE_EQ(f.GetDouble("scale", 1.0), 0.5);
+  EXPECT_EQ(f.GetInt("seed", 0), 42);
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  Flags f = Make({"--name", "table1"});
+  EXPECT_EQ(f.GetString("name", ""), "table1");
+}
+
+TEST(FlagsTest, BareFlagIsTrue) {
+  Flags f = Make({"--verbose"});
+  EXPECT_TRUE(f.GetBool("verbose", false));
+  EXPECT_TRUE(f.Has("verbose"));
+  EXPECT_FALSE(f.Has("quiet"));
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  Flags f = Make({});
+  EXPECT_EQ(f.GetInt("n", 7), 7);
+  EXPECT_EQ(f.GetString("s", "dflt"), "dflt");
+  EXPECT_DOUBLE_EQ(f.GetDouble("d", 2.5), 2.5);
+  EXPECT_FALSE(f.GetBool("b", false));
+}
+
+TEST(FlagsTest, BoolSpellings) {
+  EXPECT_TRUE(Make({"--a=true"}).GetBool("a", false));
+  EXPECT_TRUE(Make({"--a=1"}).GetBool("a", false));
+  EXPECT_TRUE(Make({"--a=yes"}).GetBool("a", false));
+  EXPECT_FALSE(Make({"--a=false"}).GetBool("a", true));
+  EXPECT_FALSE(Make({"--a=0"}).GetBool("a", true));
+}
+
+TEST(FlagsTest, LastValueWins) {
+  Flags f = Make({"--x=1", "--x=2"});
+  EXPECT_EQ(f.GetInt("x", 0), 2);
+}
+
+}  // namespace
+}  // namespace wireframe

@@ -1,0 +1,50 @@
+#include "util/hash.h"
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace wireframe {
+namespace {
+
+TEST(HashTest, PackUnpackRoundTrip) {
+  for (NodeId a : {0u, 1u, 77u, 0xffffffffu}) {
+    for (NodeId b : {0u, 3u, 0xfffffffeu}) {
+      auto [x, y] = UnpackPair(PackPair(a, b));
+      EXPECT_EQ(x, a);
+      EXPECT_EQ(y, b);
+    }
+  }
+}
+
+TEST(HashTest, PackIsInjectiveOnSample) {
+  std::unordered_set<uint64_t> seen;
+  for (NodeId a = 0; a < 100; ++a) {
+    for (NodeId b = 0; b < 100; ++b) {
+      EXPECT_TRUE(seen.insert(PackPair(a, b)).second);
+    }
+  }
+}
+
+TEST(HashTest, PairOrderMatters) {
+  EXPECT_NE(PackPair(1, 2), PackPair(2, 1));
+}
+
+TEST(HashTest, Mix64SpreadsDenseInputs) {
+  // Dense sequential keys should not collide in the low bits after mixing.
+  std::unordered_set<uint64_t> low_bits;
+  for (uint64_t i = 0; i < 4096; ++i) {
+    low_bits.insert(Mix64(i) & 0xfff);
+  }
+  // With perfect spread we'd see ~2641 of 4096 distinct values (balls in
+  // bins); require a healthy fraction.
+  EXPECT_GT(low_bits.size(), 2000u);
+}
+
+TEST(HashTest, Mix64IsDeterministic) {
+  EXPECT_EQ(Mix64(12345), Mix64(12345));
+  EXPECT_NE(Mix64(12345), Mix64(12346));
+}
+
+}  // namespace
+}  // namespace wireframe

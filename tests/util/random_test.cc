@@ -1,0 +1,108 @@
+#include "util/random.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+namespace wireframe {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(13), 13u);
+  }
+}
+
+TEST(RngTest, UniformCoversAllResidues) {
+  Rng rng(11);
+  std::map<uint64_t, int> hist;
+  for (int i = 0; i < 5000; ++i) ++hist[rng.Uniform(8)];
+  EXPECT_EQ(hist.size(), 8u);
+  for (const auto& [value, count] : hist) {
+    EXPECT_GT(count, 5000 / 8 / 3) << "residue " << value << " underweight";
+  }
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(ZipfTest, UniformWhenSkewZero) {
+  Rng rng(3);
+  ZipfSampler zipf(10, 0.0);
+  std::map<uint64_t, int> hist;
+  for (int i = 0; i < 20000; ++i) ++hist[zipf.Sample(rng)];
+  for (const auto& [v, c] : hist) {
+    EXPECT_NEAR(c / 20000.0, 0.1, 0.02) << "value " << v;
+  }
+}
+
+TEST(ZipfTest, SkewFavorsLowRanks) {
+  Rng rng(3);
+  ZipfSampler zipf(1000, 1.0);
+  int top = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (zipf.Sample(rng) < 10) ++top;
+  }
+  // Under Zipf(1.0, 1000) the top-10 mass is ~39%; uniform would be 1%.
+  EXPECT_GT(top, 2500);
+}
+
+TEST(ZipfTest, AllSamplesInRange) {
+  Rng rng(17);
+  ZipfSampler zipf(5, 1.2);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf.Sample(rng), 5u);
+}
+
+TEST(ZipfTest, SingletonUniverse) {
+  Rng rng(1);
+  ZipfSampler zipf(1, 1.0);
+  EXPECT_EQ(zipf.Sample(rng), 0u);
+}
+
+}  // namespace
+}  // namespace wireframe

@@ -1,0 +1,60 @@
+#include "util/result.h"
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace wireframe {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.status().message(), "missing");
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("hello"));
+  EXPECT_EQ(r->size(), 5u);
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  auto fails = []() -> Result<int> { return Status::TimedOut("late"); };
+  auto wrapper = [&]() -> Status {
+    WF_ASSIGN_OR_RETURN(int x, fails());
+    (void)x;
+    return Status::OK();
+  };
+  EXPECT_TRUE(wrapper().IsTimedOut());
+}
+
+TEST(ResultTest, AssignOrReturnUnwrapsValue) {
+  auto gives = []() -> Result<int> { return 5; };
+  auto wrapper = [&]() -> Result<int> {
+    WF_ASSIGN_OR_RETURN(int x, gives());
+    return x * 2;
+  };
+  Result<int> r = wrapper();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 10);
+}
+
+}  // namespace
+}  // namespace wireframe

@@ -1,0 +1,65 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace wireframe {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryConstructorsSetCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::TimedOut("x").code(), StatusCode::kTimedOut);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::NotImplemented("x").code(), StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::TimedOut("budget").message(), "budget");
+}
+
+TEST(StatusTest, Predicates) {
+  EXPECT_TRUE(Status::TimedOut("t").IsTimedOut());
+  EXPECT_FALSE(Status::TimedOut("t").ok());
+  EXPECT_TRUE(Status::NotFound("n").IsNotFound());
+  EXPECT_TRUE(Status::ParseError("p").IsParseError());
+  EXPECT_TRUE(Status::InvalidArgument("i").IsInvalidArgument());
+  EXPECT_FALSE(Status::OK().IsTimedOut());
+}
+
+TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
+  Status st = Status::ParseError("line 7: bad term");
+  EXPECT_EQ(st.ToString(), "ParseError: line 7: bad term");
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeName(StatusCode::kTimedOut), "TimedOut");
+  EXPECT_EQ(StatusCodeName(StatusCode::kInternal), "Internal");
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = [] { return Status::IOError("disk"); };
+  auto wrapper = [&]() -> Status {
+    WF_RETURN_NOT_OK(fails());
+    return Status::OK();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kIOError);
+
+  auto succeeds = [] { return Status::OK(); };
+  auto wrapper2 = [&]() -> Status {
+    WF_RETURN_NOT_OK(succeeds());
+    return Status::AlreadyExists("after");
+  };
+  EXPECT_EQ(wrapper2().code(), StatusCode::kAlreadyExists);
+}
+
+}  // namespace
+}  // namespace wireframe

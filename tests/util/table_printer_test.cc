@@ -1,0 +1,58 @@
+#include "util/table_printer.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace wireframe {
+namespace {
+
+TEST(TablePrinterTest, FormatsCountsWithGrouping) {
+  EXPECT_EQ(TablePrinter::FormatCount(0), "0");
+  EXPECT_EQ(TablePrinter::FormatCount(999), "999");
+  EXPECT_EQ(TablePrinter::FormatCount(1000), "1,000");
+  EXPECT_EQ(TablePrinter::FormatCount(2931986), "2,931,986");
+  EXPECT_EQ(TablePrinter::FormatCount(1000000000), "1,000,000,000");
+}
+
+TEST(TablePrinterTest, FormatsSecondsByMagnitude) {
+  EXPECT_EQ(TablePrinter::FormatSeconds(0.00123), "0.0012");
+  EXPECT_EQ(TablePrinter::FormatSeconds(1.234), "1.234");
+  EXPECT_EQ(TablePrinter::FormatSeconds(88.0), "88.0");
+}
+
+TEST(TablePrinterTest, TimeoutMarkerMatchesPaper) {
+  EXPECT_EQ(TablePrinter::Timeout(), "*");
+}
+
+TEST(TablePrinterTest, PrintsAlignedTable) {
+  TablePrinter t({"id", "name"});
+  t.AddRow({"1", "alpha"});
+  t.AddRow({"22", "b"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| id | name  |"), std::string::npos);
+  EXPECT_NE(out.find("| 1  | alpha |"), std::string::npos);
+  EXPECT_NE(out.find("| 22 | b     |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ShortRowsArePadded) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"x"});
+  std::ostringstream os;
+  t.Print(os);
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_NE(os.str().find("| x |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CsvEscapesCommas) {
+  TablePrinter t({"k", "v"});
+  t.AddRow({"a,b", "2"});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "k,v\n\"a,b\",2\n");
+}
+
+}  // namespace
+}  // namespace wireframe

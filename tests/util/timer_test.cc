@@ -1,0 +1,50 @@
+#include "util/timer.h"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace wireframe {
+namespace {
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(watch.ElapsedMillis(), 15);
+  EXPECT_GE(watch.ElapsedMicros(), 15000);
+  EXPECT_GT(watch.ElapsedSeconds(), 0.0);
+}
+
+TEST(StopwatchTest, RestartResets) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  watch.Restart();
+  EXPECT_LT(watch.ElapsedMillis(), 15);
+}
+
+TEST(DeadlineTest, DefaultNeverExpires) {
+  Deadline d;
+  EXPECT_TRUE(d.never_expires());
+  EXPECT_FALSE(d.Expired());
+}
+
+TEST(DeadlineTest, AlreadyExpired) {
+  Deadline d = Deadline::AlreadyExpired();
+  EXPECT_FALSE(d.never_expires());
+  EXPECT_TRUE(d.Expired());
+}
+
+TEST(DeadlineTest, ExpiresAfterDelay) {
+  Deadline d = Deadline::AfterSeconds(0.02);
+  EXPECT_FALSE(d.Expired());
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  EXPECT_TRUE(d.Expired());
+}
+
+TEST(DeadlineTest, FarFutureNotExpired) {
+  Deadline d = Deadline::AfterSeconds(3600);
+  EXPECT_FALSE(d.Expired());
+}
+
+}  // namespace
+}  // namespace wireframe
