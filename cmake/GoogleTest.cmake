@@ -1,0 +1,31 @@
+# Provide GTest::gtest / GTest::gtest_main targets.
+#
+# Preference order:
+#   1. An installed GoogleTest (system package or toolchain-provided).
+#   2. FetchContent from the upstream repository (needs network).
+#
+# Either way the rest of the build only uses the imported GTest:: targets.
+
+find_package(GTest QUIET)
+
+if(GTest_FOUND OR TARGET GTest::gtest)
+  message(STATUS "GoogleTest: using installed package")
+else()
+  message(STATUS "GoogleTest: not installed, fetching from upstream")
+  include(FetchContent)
+  FetchContent_Declare(
+    googletest
+    URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+    URL_HASH SHA256=8ad598c73ad796e0d8280b082cebd82a630d73e73cd3c70057938a6501bba5d7
+  )
+  # Keep gtest's own options from leaking into the parent project.
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  set(gtest_force_shared_crt ON CACHE BOOL "" FORCE)
+  FetchContent_MakeAvailable(googletest)
+  if(NOT TARGET GTest::gtest_main)
+    add_library(GTest::gtest ALIAS gtest)
+    add_library(GTest::gtest_main ALIAS gtest_main)
+  endif()
+endif()
+
+include(GoogleTest)

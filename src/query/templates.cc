@@ -3,6 +3,18 @@
 #include "util/logging.h"
 
 namespace wireframe {
+namespace {
+
+// Append-based concatenation: `prefix + std::to_string(i)` trips gcc 12's
+// bogus -Wrestrict on the operator+(const char*, string&&) overload at -O2
+// and above (GCC PR105651).
+std::string Numbered(const char* prefix, uint32_t i) {
+  std::string s(prefix);
+  s += std::to_string(i);
+  return s;
+}
+
+}  // namespace
 
 QueryGraph QueryTemplate::Instantiate(
     const std::vector<LabelId>& labels) const {
@@ -45,9 +57,9 @@ QueryTemplate DiamondTemplate() {
 QueryTemplate ChainTemplate(uint32_t length) {
   WF_CHECK(length >= 1);
   QueryTemplate t;
-  t.name = "chain" + std::to_string(length);
+  t.name = Numbered("chain", length);
   for (uint32_t i = 0; i <= length; ++i) {
-    t.vars.push_back("v" + std::to_string(i));
+    t.vars.push_back(Numbered("v", i));
   }
   for (uint32_t i = 0; i < length; ++i) {
     t.edges.push_back({t.vars[i], t.vars[i + 1], i});
@@ -59,10 +71,10 @@ QueryTemplate ChainTemplate(uint32_t length) {
 QueryTemplate StarTemplate(uint32_t arms) {
   WF_CHECK(arms >= 1);
   QueryTemplate t;
-  t.name = "star" + std::to_string(arms);
+  t.name = Numbered("star", arms);
   t.vars.push_back("x");
   for (uint32_t i = 0; i < arms; ++i) {
-    t.vars.push_back("l" + std::to_string(i));
+    t.vars.push_back(Numbered("l", i));
     t.edges.push_back({"x", t.vars.back(), i});
   }
   t.num_slots = arms;
@@ -72,9 +84,9 @@ QueryTemplate StarTemplate(uint32_t arms) {
 QueryTemplate CycleTemplate(uint32_t length) {
   WF_CHECK(length >= 3);
   QueryTemplate t;
-  t.name = "cycle" + std::to_string(length);
+  t.name = Numbered("cycle", length);
   for (uint32_t i = 0; i < length; ++i) {
-    t.vars.push_back("v" + std::to_string(i));
+    t.vars.push_back(Numbered("v", i));
   }
   for (uint32_t i = 0; i < length; ++i) {
     t.edges.push_back({t.vars[i], t.vars[(i + 1) % length], i});

@@ -11,6 +11,7 @@
 #include "planner/edgifier.h"
 #include "query/parser.h"
 #include "query/shape.h"
+#include "testutil/fixtures.h"
 
 namespace wireframe {
 namespace {
@@ -63,26 +64,21 @@ std::set<std::vector<NodeId>> RunPipelinedWf(const Database& db,
   return {sink.rows().begin(), sink.rows().end()};
 }
 
-TEST(BushyExecutorTest, Fig1ChainMatchesPipelined) {
-  Database db = MakeFig1Graph();
-  Catalog cat = Catalog::Build(db.store());
-  auto q = MakeFig1Query(db);
-  ASSERT_TRUE(q.ok());
+using BushyExecutorFig1Test = testutil::Fig1Fixture;
+using BushyExecutorFig4Test = testutil::Fig4Fixture;
+
+TEST_F(BushyExecutorFig1Test, ChainMatchesPipelined) {
   DefactorizerStats stats;
-  auto bushy = RunBushy(db, cat, *q, &stats);
+  auto bushy = RunBushy(db_, cat_, query(), &stats);
   EXPECT_EQ(bushy.size(), kFig1Embeddings);
-  EXPECT_EQ(bushy, RunPipelinedWf(db, cat, *q));
+  EXPECT_EQ(bushy, RunPipelinedWf(db_, cat_, query()));
   EXPECT_EQ(stats.emitted, kFig1Embeddings);
 }
 
-TEST(BushyExecutorTest, Fig4CyclicMatchesPipelined) {
-  Database db = MakeFig4Graph();
-  Catalog cat = Catalog::Build(db.store());
-  auto q = MakeFig4Query(db);
-  ASSERT_TRUE(q.ok());
-  auto bushy = RunBushy(db, cat, *q);
+TEST_F(BushyExecutorFig4Test, CyclicMatchesPipelined) {
+  auto bushy = RunBushy(db_, cat_, query());
   EXPECT_EQ(bushy.size(), kFig4Embeddings);
-  EXPECT_EQ(bushy, RunPipelinedWf(db, cat, *q));
+  EXPECT_EQ(bushy, RunPipelinedWf(db_, cat_, query()));
 }
 
 // Property: bushy execution computes exactly the pipelined result on

@@ -8,25 +8,21 @@
 #include "planner/edgifier.h"
 #include "query/parser.h"
 #include "query/shape.h"
+#include "testutil/fixtures.h"
 
 namespace wireframe {
 namespace {
 
-class ChordsFig4Test : public ::testing::Test {
+class ChordsFig4Test : public testutil::Fig4Fixture {
  protected:
-  ChordsFig4Test()
-      : db_(MakeFig4Graph()), cat_(Catalog::Build(db_.store())) {}
-
   GeneratorResult Generate(bool triangulate, bool edge_burnback) {
-    auto q = MakeFig4Query(db_);
-    EXPECT_TRUE(q.ok()) << q.status().ToString();
     CardinalityEstimator est(cat_);
-    Edgifier edgifier(*q, est);
+    Edgifier edgifier(query(), est);
     auto plan = edgifier.PlanEdgeOrder();
     EXPECT_TRUE(plan.ok());
     if (triangulate) {
-      Triangulator tri(*q, est);
-      auto chords = tri.Triangulate(AnalyzeShape(*q));
+      Triangulator tri(query(), est);
+      auto chords = tri.Triangulate(AnalyzeShape(query()));
       EXPECT_TRUE(chords.ok());
       plan->chords = chords->chords;
       plan->base_triangles = chords->base_triangles;
@@ -36,13 +32,10 @@ class ChordsFig4Test : public ::testing::Test {
     options.triangulate = triangulate;
     options.edge_burnback = edge_burnback;
     AgGenerator gen(db_, cat_);
-    auto result = gen.Generate(*q, *plan, options);
+    auto result = gen.Generate(query(), *plan, options);
     EXPECT_TRUE(result.ok()) << result.status().ToString();
     return std::move(result).value();
   }
-
-  Database db_;
-  Catalog cat_;
 };
 
 TEST_F(ChordsFig4Test, NodeBurnbackAloneLeavesSpuriousEdges) {
@@ -66,8 +59,6 @@ TEST_F(ChordsFig4Test, EdgeBurnbackReachesIdealAg) {
                                /*edge_burnback=*/true);
   EXPECT_EQ(r.ag->TotalQueryEdgePairs(), kFig4IdealAgEdges);
   // The spurious pairs named in the paper are gone.
-  auto q = MakeFig4Query(db_);
-  ASSERT_TRUE(q.ok());
   auto n = [&](const std::string& name) { return *db_.NodeOf(name); };
   // Query edge 3 is ?y -D-> ?z.
   EXPECT_FALSE(r.ag->Set(3).Contains(n("n1"), n("n6")));

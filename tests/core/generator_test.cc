@@ -7,6 +7,7 @@
 #include "datagen/synthetic.h"
 #include "planner/edgifier.h"
 #include "query/parser.h"
+#include "testutil/fixtures.h"
 
 namespace wireframe {
 namespace {
@@ -19,28 +20,20 @@ AgPlan PlanFor(const QueryGraph& q, const Catalog& cat) {
   return std::move(plan).value();
 }
 
-class GeneratorFig1Test : public ::testing::Test {
- protected:
-  GeneratorFig1Test()
-      : db_(MakeFig1Graph()), cat_(Catalog::Build(db_.store())) {}
-  Database db_;
-  Catalog cat_;
-};
+class GeneratorFig1Test : public testutil::Fig1Fixture {};
 
 TEST_F(GeneratorFig1Test, ReachesTheIdealAnswerGraph) {
-  auto q = MakeFig1Query(db_);
-  ASSERT_TRUE(q.ok());
   AgGenerator gen(db_, cat_);
-  auto result = gen.Generate(*q, PlanFor(*q, cat_), GeneratorOptions{});
+  auto result =
+      gen.Generate(query(), PlanFor(query(), cat_), GeneratorOptions{});
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_EQ(result->ag->TotalQueryEdgePairs(), kFig1IdealAgEdges);
 }
 
 TEST_F(GeneratorFig1Test, PerEdgeContentsMatchFigure) {
-  auto q = MakeFig1Query(db_);
-  ASSERT_TRUE(q.ok());
   AgGenerator gen(db_, cat_);
-  auto result = gen.Generate(*q, PlanFor(*q, cat_), GeneratorOptions{});
+  auto result =
+      gen.Generate(query(), PlanFor(query(), cat_), GeneratorOptions{});
   ASSERT_TRUE(result.ok());
   const AnswerGraph& ag = *result->ag;
   // Edge 0 is ?w -A-> ?x: exactly {n1,n2,n3} -> n5.
@@ -57,15 +50,13 @@ TEST_F(GeneratorFig1Test, PerEdgeContentsMatchFigure) {
 }
 
 TEST_F(GeneratorFig1Test, BurnbackIsIndependentOfPlanOrder) {
-  auto q = MakeFig1Query(db_);
-  ASSERT_TRUE(q.ok());
   AgGenerator gen(db_, cat_);
   const std::vector<std::vector<uint32_t>> orders = {
       {0, 1, 2}, {2, 1, 0}, {1, 0, 2}, {1, 2, 0}};
   for (const auto& order : orders) {
     AgPlan plan;
     plan.edge_order = order;
-    auto result = gen.Generate(*q, plan, GeneratorOptions{});
+    auto result = gen.Generate(query(), plan, GeneratorOptions{});
     ASSERT_TRUE(result.ok());
     EXPECT_EQ(result->ag->TotalQueryEdgePairs(), kFig1IdealAgEdges)
         << "order starting with " << order[0];
@@ -73,15 +64,13 @@ TEST_F(GeneratorFig1Test, BurnbackIsIndependentOfPlanOrder) {
 }
 
 TEST_F(GeneratorFig1Test, TraceShowsInterleavedExtensionAndBurnback) {
-  auto q = MakeFig1Query(db_);
-  ASSERT_TRUE(q.ok());
   AgGenerator gen(db_, cat_);
   GeneratorOptions options;
   std::vector<GeneratorTraceStep> steps;
   options.trace = [&](const GeneratorTraceStep& s) { steps.push_back(s); };
   AgPlan plan;
   plan.edge_order = {0, 1, 2};  // Fig. 2's order: A, then B, then C
-  auto result = gen.Generate(*q, plan, options);
+  auto result = gen.Generate(query(), plan, options);
   ASSERT_TRUE(result.ok());
   ASSERT_EQ(steps.size(), 3u);
   EXPECT_EQ(steps[0].pairs_added, 4u);   // all four A edges enter
@@ -95,10 +84,9 @@ TEST_F(GeneratorFig1Test, TraceShowsInterleavedExtensionAndBurnback) {
 }
 
 TEST_F(GeneratorFig1Test, WalkCountIsPositiveAndBounded) {
-  auto q = MakeFig1Query(db_);
-  ASSERT_TRUE(q.ok());
   AgGenerator gen(db_, cat_);
-  auto result = gen.Generate(*q, PlanFor(*q, cat_), GeneratorOptions{});
+  auto result =
+      gen.Generate(query(), PlanFor(query(), cat_), GeneratorOptions{});
   ASSERT_TRUE(result.ok());
   EXPECT_GT(result->edge_walks, 0u);
   // Never more walks than a full scan of all labels plus probes.

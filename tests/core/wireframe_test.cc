@@ -5,24 +5,17 @@
 #include "datagen/figures.h"
 #include "datagen/synthetic.h"
 #include "query/parser.h"
+#include "testutil/fixtures.h"
 
 namespace wireframe {
 namespace {
 
-class WireframeFig1Test : public ::testing::Test {
- protected:
-  WireframeFig1Test()
-      : db_(MakeFig1Graph()), cat_(Catalog::Build(db_.store())) {}
-  Database db_;
-  Catalog cat_;
-};
+class WireframeFig1Test : public testutil::Fig1Fixture {};
 
 TEST_F(WireframeFig1Test, ProducesTwelveEmbeddings) {
-  auto q = MakeFig1Query(db_);
-  ASSERT_TRUE(q.ok());
   WireframeEngine engine;
   CountingSink sink;
-  auto stats = engine.Run(db_, cat_, *q, EngineOptions{}, &sink);
+  auto stats = engine.Run(db_, cat_, query(), EngineOptions{}, &sink);
   ASSERT_TRUE(stats.ok()) << stats.status().ToString();
   EXPECT_EQ(stats->output_tuples, kFig1Embeddings);
   EXPECT_EQ(stats->ag_pairs, kFig1IdealAgEdges);
@@ -30,11 +23,9 @@ TEST_F(WireframeFig1Test, ProducesTwelveEmbeddings) {
 }
 
 TEST_F(WireframeFig1Test, DetailedRunExposesPhases) {
-  auto q = MakeFig1Query(db_);
-  ASSERT_TRUE(q.ok());
   WireframeEngine engine;
   CountingSink sink;
-  auto detail = engine.RunDetailed(db_, cat_, *q, EngineOptions{}, &sink);
+  auto detail = engine.RunDetailed(db_, cat_, query(), EngineOptions{}, &sink);
   ASSERT_TRUE(detail.ok());
   EXPECT_FALSE(detail->cyclic);
   EXPECT_GE(detail->plan_seconds, 0.0);
@@ -47,33 +38,23 @@ TEST_F(WireframeFig1Test, DetailedRunExposesPhases) {
 }
 
 TEST_F(WireframeFig1Test, ExplainRendersBothShapeAndPlan) {
-  auto q = MakeFig1Query(db_);
-  ASSERT_TRUE(q.ok());
   WireframeEngine engine;
-  auto text = engine.Explain(db_, cat_, *q);
+  auto text = engine.Explain(db_, cat_, query());
   ASSERT_TRUE(text.ok());
   EXPECT_NE(text->find("shape: acyclic"), std::string::npos);
   EXPECT_NE(text->find("AG plan"), std::string::npos);
 }
 
-class WireframeFig4Test : public ::testing::Test {
+class WireframeFig4Test : public testutil::Fig4Fixture {
  protected:
-  WireframeFig4Test()
-      : db_(MakeFig4Graph()), cat_(Catalog::Build(db_.store())) {}
-
   uint64_t CountEmbeddings(WireframeOptions options, uint64_t* ag_pairs) {
-    auto q = MakeFig4Query(db_);
-    EXPECT_TRUE(q.ok());
     WireframeEngine engine(options);
     CountingSink sink;
-    auto stats = engine.Run(db_, cat_, *q, EngineOptions{}, &sink);
+    auto stats = engine.Run(db_, cat_, query(), EngineOptions{}, &sink);
     EXPECT_TRUE(stats.ok()) << stats.status().ToString();
     if (ag_pairs) *ag_pairs = stats->ag_pairs;
     return stats->output_tuples;
   }
-
-  Database db_;
-  Catalog cat_;
 };
 
 TEST_F(WireframeFig4Test, CyclicEmbeddingsCorrectInAllModes) {
@@ -94,11 +75,9 @@ TEST_F(WireframeFig4Test, CyclicEmbeddingsCorrectInAllModes) {
 }
 
 TEST_F(WireframeFig4Test, DetailedRunFlagsCyclic) {
-  auto q = MakeFig4Query(db_);
-  ASSERT_TRUE(q.ok());
   WireframeEngine engine;
   CountingSink sink;
-  auto detail = engine.RunDetailed(db_, cat_, *q, EngineOptions{}, &sink);
+  auto detail = engine.RunDetailed(db_, cat_, query(), EngineOptions{}, &sink);
   ASSERT_TRUE(detail.ok());
   EXPECT_TRUE(detail->cyclic);
   EXPECT_EQ(detail->ag_plan.chords.size(), 1u);
@@ -106,8 +85,6 @@ TEST_F(WireframeFig4Test, DetailedRunFlagsCyclic) {
 }
 
 TEST_F(WireframeFig4Test, ChordFiltersCutDeadBranchesInPhase2) {
-  auto q = MakeFig4Query(db_);
-  ASSERT_TRUE(q.ok());
   // Paper configuration (no edge burnback): the AG keeps the two spurious
   // D pairs; the chord filter must reject them during defactorization.
   WireframeOptions with, without;
@@ -116,8 +93,9 @@ TEST_F(WireframeFig4Test, ChordFiltersCutDeadBranchesInPhase2) {
 
   WireframeEngine engine_with(with), engine_without(without);
   CountingSink s1, s2;
-  auto d1 = engine_with.RunDetailed(db_, cat_, *q, EngineOptions{}, &s1);
-  auto d2 = engine_without.RunDetailed(db_, cat_, *q, EngineOptions{}, &s2);
+  auto d1 = engine_with.RunDetailed(db_, cat_, query(), EngineOptions{}, &s1);
+  auto d2 =
+      engine_without.RunDetailed(db_, cat_, query(), EngineOptions{}, &s2);
   ASSERT_TRUE(d1.ok());
   ASSERT_TRUE(d2.ok());
   EXPECT_EQ(d1->phase2_stats.emitted, kFig4Embeddings);
@@ -128,13 +106,11 @@ TEST_F(WireframeFig4Test, ChordFiltersCutDeadBranchesInPhase2) {
 }
 
 TEST_F(WireframeFig1Test, BushyModeMatchesPipelined) {
-  auto q = MakeFig1Query(db_);
-  ASSERT_TRUE(q.ok());
   WireframeOptions options;
   options.bushy_phase2 = true;
   WireframeEngine engine(options);
   CountingSink sink;
-  auto detail = engine.RunDetailed(db_, cat_, *q, EngineOptions{}, &sink);
+  auto detail = engine.RunDetailed(db_, cat_, query(), EngineOptions{}, &sink);
   ASSERT_TRUE(detail.ok());
   EXPECT_TRUE(detail->used_bushy);
   EXPECT_EQ(detail->phase2_stats.emitted, kFig1Embeddings);

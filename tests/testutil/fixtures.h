@@ -1,0 +1,50 @@
+#ifndef WIREFRAME_TESTS_TESTUTIL_FIXTURES_H_
+#define WIREFRAME_TESTS_TESTUTIL_FIXTURES_H_
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "datagen/figures.h"
+#include "query/query_graph.h"
+#include "storage/database.h"
+
+namespace wireframe::testutil {
+
+/// Shared fixtures over the paper's running examples (datagen/figures.h),
+/// so each test file does not re-spell the database + catalog + bound
+/// query boilerplate. SetUp() fails the test if query binding fails, so
+/// test bodies can use query() directly.
+template <Database (*MakeGraph)(),
+          Result<QueryGraph> (*MakeQuery)(const Database&)>
+class FigFixture : public ::testing::Test {
+ protected:
+  FigFixture() : db_(MakeGraph()), cat_(Catalog::Build(db_.store())) {}
+
+  void SetUp() override {
+    auto q = MakeQuery(db_);
+    ASSERT_TRUE(q.ok()) << q.status().ToString();
+    q_ = std::make_unique<QueryGraph>(std::move(q).value());
+  }
+
+  const QueryGraph& query() const { return *q_; }
+
+  Database db_;
+  Catalog cat_;
+
+ private:
+  std::unique_ptr<QueryGraph> q_;
+};
+
+/// Fig. 1 / Fig. 2: the acyclic chain CQ_C (?w -A-> ?x -B-> ?y -C-> ?z)
+/// with 12 embeddings and an 8-edge ideal answer graph.
+using Fig1Fixture = FigFixture<MakeFig1Graph, MakeFig1Query>;
+
+/// Fig. 4: the cyclic diamond CQ_D (vars x, e, y, z) with 2 embeddings;
+/// node burnback alone leaves 10 AG edges, the ideal AG has 8.
+using Fig4Fixture = FigFixture<MakeFig4Graph, MakeFig4Query>;
+
+}  // namespace wireframe::testutil
+
+#endif  // WIREFRAME_TESTS_TESTUTIL_FIXTURES_H_

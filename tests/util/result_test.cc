@@ -5,6 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include "core/wireframe.h"
+#include "datagen/figures.h"
+#include "util/timer.h"
+
 namespace wireframe {
 namespace {
 
@@ -54,6 +58,80 @@ TEST(ResultTest, AssignOrReturnUnwrapsValue) {
   Result<int> r = wrapper();
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r.value(), 10);
+}
+
+TEST(ResultTest, AssignOrReturnPreservesCodeAndMessage) {
+  auto fails = []() -> Result<int> {
+    return Status::ParseError("line 3: bad term");
+  };
+  auto outer = [&]() -> Result<std::string> {
+    WF_ASSIGN_OR_RETURN(int x, fails());
+    return std::to_string(x);
+  };
+  Result<std::string> r = outer();
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsParseError());
+  EXPECT_EQ(r.status().message(), "line 3: bad term");
+  EXPECT_EQ(r.status().ToString(), "ParseError: line 3: bad term");
+}
+
+// noinline keeps gcc 12 from "seeing through" the variant and raising a
+// spurious -Wmaybe-uninitialized on the dead error branch of status().
+[[gnu::noinline]] Result<int> MakeOkResult(int v) { return v; }
+
+TEST(ResultTest, StatusOfOkResultIsOkAndEmpty) {
+  Result<int> r = MakeOkResult(1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.status().ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOk);
+  EXPECT_TRUE(r.status().message().empty());
+}
+
+TEST(ResultDeathTest, ValueOnErrorAborts) {
+  auto make = [] { return Result<int>(Status::Internal("boom")); };
+  EXPECT_DEATH(make().value(), "Check failed");
+  EXPECT_DEATH(*make(), "boom");
+}
+
+TEST(ResultDeathTest, ArrowOnErrorAborts) {
+  auto make = [] { return Result<std::string>(Status::NotFound("gone")); };
+  EXPECT_DEATH(make()->size(), "gone");
+}
+
+// End-to-end failure-branch propagation: errors raised deep inside the
+// engine must surface through WireframeEngine::Run's Result chain with
+// code and message intact.
+
+TEST(ResultPropagationTest, EngineRunSurfacesInvalidArgument) {
+  Database db = MakeFig1Graph();
+  Catalog cat = Catalog::Build(db.store());
+  QueryGraph q;  // two disconnected components: rejected by validation
+  VarId a = q.AddVar("a"), b = q.AddVar("b");
+  VarId c = q.AddVar("c"), d = q.AddVar("d");
+  q.AddEdge(a, 0, b);
+  q.AddEdge(c, 1, d);
+  WireframeEngine engine;
+  CountingSink sink;
+  Result<EngineStats> stats = engine.Run(db, cat, q, EngineOptions{}, &sink);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_TRUE(stats.status().IsInvalidArgument());
+  EXPECT_FALSE(stats.status().message().empty());
+  EXPECT_EQ(sink.count(), 0u);  // no partial output on failure
+}
+
+TEST(ResultPropagationTest, EngineRunSurfacesTimedOut) {
+  Database db = MakeFig1Graph();
+  Catalog cat = Catalog::Build(db.store());
+  auto q = MakeFig1Query(db);
+  ASSERT_TRUE(q.ok());
+  WireframeEngine engine;
+  CountingSink sink;
+  EngineOptions options;
+  options.deadline = Deadline::AlreadyExpired();
+  Result<EngineStats> stats = engine.Run(db, cat, *q, options, &sink);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_TRUE(stats.status().IsTimedOut());
+  EXPECT_EQ(stats.status().code(), StatusCode::kTimedOut);
 }
 
 }  // namespace

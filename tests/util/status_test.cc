@@ -61,5 +61,71 @@ TEST(StatusTest, ReturnNotOkMacroPropagates) {
   EXPECT_EQ(wrapper2().code(), StatusCode::kAlreadyExists);
 }
 
+TEST(StatusTest, ReturnNotOkEvaluatesExpressionOnce) {
+  int calls = 0;
+  auto counted = [&] {
+    ++calls;
+    return Status::Internal("once");
+  };
+  auto wrapper = [&]() -> Status {
+    WF_RETURN_NOT_OK(counted());
+    return Status::OK();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kInternal);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(StatusTest, ReturnNotOkStopsAtFirstFailure) {
+  bool reached = false;
+  auto wrapper = [&]() -> Status {
+    WF_RETURN_NOT_OK(Status::IOError("first"));
+    reached = true;
+    WF_RETURN_NOT_OK(Status::Internal("second"));
+    return Status::OK();
+  };
+  Status st = wrapper();
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+  EXPECT_EQ(st.message(), "first");
+  EXPECT_FALSE(reached);
+}
+
+TEST(StatusTest, PredicatesAreFalseForOtherCodes) {
+  Status io = Status::IOError("disk");
+  EXPECT_FALSE(io.ok());
+  EXPECT_FALSE(io.IsTimedOut());
+  EXPECT_FALSE(io.IsNotFound());
+  EXPECT_FALSE(io.IsParseError());
+  EXPECT_FALSE(io.IsInvalidArgument());
+}
+
+TEST(StatusTest, AllCodeNamesRoundTripThroughToString) {
+  const std::pair<Status, std::string> cases[] = {
+      {Status::InvalidArgument("m"), "InvalidArgument: m"},
+      {Status::NotFound("m"), "NotFound: m"},
+      {Status::AlreadyExists("m"), "AlreadyExists: m"},
+      {Status::OutOfRange("m"), "OutOfRange: m"},
+      {Status::TimedOut("m"), "TimedOut: m"},
+      {Status::IOError("m"), "IOError: m"},
+      {Status::ParseError("m"), "ParseError: m"},
+      {Status::Internal("m"), "Internal: m"},
+      {Status::NotImplemented("m"), "NotImplemented: m"},
+  };
+  for (const auto& [st, expected] : cases) {
+    EXPECT_EQ(st.ToString(), expected);
+    EXPECT_EQ(st.ToString(),
+              std::string(StatusCodeName(st.code())) + ": " + st.message());
+  }
+}
+
+TEST(StatusTest, CopyAndMovePreserveCodeAndMessage) {
+  Status original = Status::OutOfRange("index 9 out of [0, 3)");
+  Status copy = original;
+  EXPECT_EQ(copy.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(copy.message(), original.message());
+  Status moved = std::move(original);
+  EXPECT_EQ(moved.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(moved.message(), "index 9 out of [0, 3)");
+}
+
 }  // namespace
 }  // namespace wireframe
