@@ -8,6 +8,7 @@
 // factorization ratio, and WF-vs-baseline times.
 //
 // Usage: bench_fig1_factorization [--max_fan=512] [--timeout=20]
+//                                 [--threads=1] [--json=<path>]
 
 #include <iostream>
 
@@ -28,6 +29,9 @@ int main(int argc, char** argv) {
   const uint32_t max_fan =
       static_cast<uint32_t>(flags.GetInt("max_fan", 512));
   const double timeout = flags.GetDouble("timeout", 20.0);
+  const uint32_t threads =
+      static_cast<uint32_t>(flags.GetInt("threads", 1));
+  JsonResultWriter json;
 
   std::cout << "=== Fig. 1: factorization on the chain query CQ_C ===\n\n";
 
@@ -59,11 +63,18 @@ int main(int argc, char** argv) {
     BenchConfig bench;
     bench.timeout_seconds = timeout;
     bench.repetitions = 2;
+    bench.threads = threads;
     Table1Harness harness(db, catalog, bench);
 
     BenchCell wf = harness.RunCell(*q, "WF");
     BenchCell nj = harness.RunCell(*q, "NJ");
     BenchCell pg = harness.RunCell(*q, "PG");
+    if (flags.Has("json")) {
+      const std::string id = "fan" + std::to_string(fan);
+      json.Add(ToRecord("WF", id, wf));
+      json.Add(ToRecord("NJ", id, nj));
+      json.Add(ToRecord("PG", id, pg));
+    }
 
     auto cell = [](const BenchCell& c) {
       return c.ok ? TablePrinter::FormatSeconds(c.seconds)
@@ -83,5 +94,6 @@ int main(int argc, char** argv) {
   table.Print(std::cout);
   std::cout << "(|iAG| grows linearly in the fans; |Embeddings| grows as\n"
                " their product — factorization matters.)\n";
+  if (flags.Has("json")) json.WriteTo(flags.GetString("json", ""));
   return 0;
 }

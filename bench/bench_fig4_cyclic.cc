@@ -3,10 +3,12 @@
 // the ideal AG. Checks the paper's exact example, then measures AG size
 // versus the ideal across the five Table-1 diamonds.
 //
-// Usage: bench_fig4_cyclic [--scale=0.2] [--timeout=30]
+// Usage: bench_fig4_cyclic [--scale=0.2] [--timeout=30] [--threads=1]
+//                          [--json=<path>]
 
 #include <iostream>
 
+#include "benchlib/json_writer.h"
 #include "catalog/catalog.h"
 #include "core/wireframe.h"
 #include "datagen/figures.h"
@@ -21,14 +23,16 @@ namespace {
 
 struct ModeResult {
   bool ok = false;
+  bool timed_out = false;  // timeout or memory-budget abort specifically
   uint64_t ag = 0;
   uint64_t embeddings = 0;
+  uint64_t edge_walks = 0;
   double seconds = 0;
 };
 
 ModeResult RunMode(const Database& db, const Catalog& catalog,
                    const QueryGraph& q, bool triangulate, bool edge_burnback,
-                   double timeout) {
+                   double timeout, uint32_t threads) {
   WireframeOptions options;
   options.triangulate = triangulate;
   options.edge_burnback = edge_burnback;
@@ -36,14 +40,35 @@ ModeResult RunMode(const Database& db, const Catalog& catalog,
   CountingSink sink;
   EngineOptions run;
   run.deadline = Deadline::AfterSeconds(timeout);
+  run.threads = threads;
   auto stats = engine.Run(db, catalog, q, run, &sink);
   ModeResult r;
-  if (!stats.ok()) return r;
+  if (!stats.ok()) {
+    r.timed_out = stats.status().IsTimedOut() ||
+                  stats.status().code() == StatusCode::kOutOfRange;
+    return r;
+  }
   r.ok = true;
   r.ag = stats->ag_pairs;
   r.embeddings = stats->output_tuples;
+  r.edge_walks = stats->edge_walks;
   r.seconds = stats->seconds;
   return r;
+}
+
+BenchRecord ModeRecord(const std::string& query_id, const ModeResult& r,
+                       uint32_t threads) {
+  BenchRecord record;
+  record.engine = "WF";
+  record.query = query_id;
+  record.ok = r.ok;
+  record.timed_out = r.timed_out;
+  record.seconds = r.seconds;
+  record.edge_walks = r.edge_walks;
+  record.output_tuples = r.embeddings;
+  record.ag_pairs = r.ag;
+  record.threads = threads;
+  return record;
 }
 
 }  // namespace
@@ -51,6 +76,9 @@ ModeResult RunMode(const Database& db, const Catalog& catalog,
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
   const double timeout = flags.GetDouble("timeout", 30.0);
+  const uint32_t threads =
+      static_cast<uint32_t>(flags.GetInt("threads", 1));
+  JsonResultWriter json;
 
   std::cout << "=== Fig. 4: spurious edges in cyclic answer graphs ===\n\n";
 
@@ -60,8 +88,10 @@ int main(int argc, char** argv) {
     Catalog catalog = Catalog::Build(db.store());
     auto q = MakeFig4Query(db);
     if (!q.ok()) return 1;
-    ModeResult plain = RunMode(db, catalog, *q, false, false, timeout);
-    ModeResult ideal = RunMode(db, catalog, *q, true, true, timeout);
+    ModeResult plain = RunMode(db, catalog, *q, false, false, timeout,
+                               threads);
+    ModeResult ideal = RunMode(db, catalog, *q, true, true, timeout,
+                               threads);
     std::cout << "paper example: node burnback |AG| = " << plain.ag
               << " (paper: 10, incl. spurious <1,6>, <5,2>),\n"
               << "               edge burnback |iAG| = " << ideal.ag
@@ -83,9 +113,18 @@ int main(int argc, char** argv) {
   for (size_t i = 5; i < 10; ++i) {
     auto q = SparqlParser::ParseAndBind(texts[i], db);
     if (!q.ok()) return 1;
-    ModeResult plain = RunMode(db, catalog, *q, false, false, timeout);
-    ModeResult chord = RunMode(db, catalog, *q, true, false, timeout);
-    ModeResult ideal = RunMode(db, catalog, *q, true, true, timeout);
+    ModeResult plain = RunMode(db, catalog, *q, false, false, timeout,
+                               threads);
+    ModeResult chord = RunMode(db, catalog, *q, true, false, timeout,
+                               threads);
+    ModeResult ideal = RunMode(db, catalog, *q, true, true, timeout,
+                               threads);
+    if (flags.Has("json")) {
+      const std::string id = "T1-Q" + std::to_string(i + 1);
+      json.Add(ModeRecord(id + "-nodebb", plain, threads));
+      json.Add(ModeRecord(id + "-chord", chord, threads));
+      json.Add(ModeRecord(id + "-edgebb", ideal, threads));
+    }
     auto count = [](const ModeResult& r, uint64_t v) {
       return r.ok ? TablePrinter::FormatCount(v) : TablePrinter::Timeout();
     };
@@ -103,5 +142,6 @@ int main(int argc, char** argv) {
   std::cout
       << "(paper §5: \"the resulting AGs can be significantly larger than\n"
          " the ideal, sometimes close to the number of embeddings\")\n";
+  if (flags.Has("json")) json.WriteTo(flags.GetString("json", ""));
   return 0;
 }

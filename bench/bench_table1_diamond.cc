@@ -16,6 +16,7 @@
 // burnback, NO edge burnback (see bench_ablation_burnback for the rest).
 //
 // Usage: bench_table1_diamond [--scale=2.0] [--timeout=20] [--reps=2]
+//                             [--threads=1] [--json=<path>]
 
 #include <iostream>
 
@@ -46,6 +47,9 @@ int main(int argc, char** argv) {
   bench.timeout_seconds = flags.GetDouble("timeout", 20.0);
   bench.repetitions = static_cast<int>(flags.GetInt("reps", 2));
   bench.verbose = flags.GetBool("verbose", false);
+  bench.threads = static_cast<uint32_t>(flags.GetInt("threads", 1));
+  JsonResultWriter json;
+  if (flags.Has("json")) bench.json = &json;
   Table1Harness harness(db, catalog, bench);
 
   std::vector<BenchQuery> queries;
@@ -62,5 +66,6 @@ int main(int argc, char** argv) {
   harness.RunSuite(queries, std::cout);
   std::cout << "('*' = timed out after " << bench.timeout_seconds
             << " s or exceeded the intermediate-result memory budget)\n";
+  if (flags.Has("json")) json.WriteTo(flags.GetString("json", ""));
   return 0;
 }

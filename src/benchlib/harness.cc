@@ -3,21 +3,43 @@
 #include <ostream>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace wireframe {
+
+BenchRecord ToRecord(const std::string& engine, const std::string& query_id,
+                     const BenchCell& cell) {
+  BenchRecord record;
+  record.engine = engine;
+  record.query = query_id;
+  record.ok = cell.ok;
+  record.timed_out = cell.timed_out;
+  record.seconds = cell.seconds;
+  record.edge_walks = cell.stats.edge_walks;
+  record.output_tuples = cell.stats.output_tuples;
+  record.ag_pairs = cell.stats.ag_pairs;
+  record.threads = cell.threads;
+  return record;
+}
 
 BenchCell Table1Harness::RunCell(const QueryGraph& query,
                                  const std::string& engine_name) {
   BenchCell cell;
   std::unique_ptr<Engine> engine = MakeEngine(engine_name);
   WF_CHECK(engine != nullptr) << "unknown engine " << engine_name;
+  // Record what the cell actually ran with: serial-only engines ignore
+  // the threads knob, and the JSON trajectory must not claim otherwise.
+  cell.threads = engine->SupportsThreads()
+                     ? ThreadPool::ResolveThreads(config_.threads)
+                     : 1;
 
   double total_seconds = 0.0;
   int timed_runs = 0;
   for (int rep = 0; rep < std::max(1, config_.repetitions); ++rep) {
     EngineOptions options;
     options.deadline = Deadline::AfterSeconds(config_.timeout_seconds);
+    options.threads = config_.threads;
     CountingSink sink;
     Stopwatch watch;
     Result<EngineStats> result =
@@ -57,6 +79,9 @@ void Table1Harness::RunSuite(const std::vector<BenchQuery>& queries,
     bool have_wf = false;
     for (const std::string& engine_name : config_.engines) {
       BenchCell cell = RunCell(bq.query, engine_name);
+      if (config_.json != nullptr) {
+        config_.json->Add(ToRecord(engine_name, bq.id, cell));
+      }
       if (!cell.ok) {
         row.push_back(TablePrinter::Timeout());
         if (config_.verbose) {

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "benchlib/json_writer.h"
 #include "catalog/catalog.h"
 #include "exec/engine.h"
 #include "query/query_graph.h"
@@ -34,6 +35,12 @@ struct BenchConfig {
   int repetitions = 2;
   /// Print per-query phase diagnostics for WF.
   bool verbose = false;
+  /// Worker threads for every engine run (EngineOptions::threads: 1 =
+  /// serial paths, 0 = all hardware cores).
+  uint32_t threads = 1;
+  /// When set, RunSuite appends one BenchRecord per (query, engine) cell
+  /// (not owned; the driver writes the file).
+  JsonResultWriter* json = nullptr;
 };
 
 /// Result of one (query, engine) cell.
@@ -42,8 +49,14 @@ struct BenchCell {
   bool timed_out = false;
   std::string error;
   double seconds = 0.0;
+  /// Resolved worker-thread count the cell ran with.
+  uint32_t threads = 1;
   EngineStats stats;
 };
+
+/// Flattens one bench cell into the machine-readable record shape.
+BenchRecord ToRecord(const std::string& engine, const std::string& query_id,
+                     const BenchCell& cell);
 
 /// Runs every configured engine on every query and renders the paper's
 /// Table 1 layout: per-system time (or '*'), |AG| and |Embeddings| taken

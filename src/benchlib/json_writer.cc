@@ -1,0 +1,82 @@
+#include "benchlib/json_writer.h"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+namespace wireframe {
+
+namespace {
+
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string FormatDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string JsonResultWriter::ToJson() const {
+  std::ostringstream os;
+  os << "[\n";
+  for (size_t i = 0; i < records_.size(); ++i) {
+    const BenchRecord& r = records_[i];
+    os << "  {\"engine\": \"" << Escape(r.engine) << "\""
+       << ", \"query\": \"" << Escape(r.query) << "\""
+       << ", \"ok\": " << (r.ok ? "true" : "false")
+       << ", \"timed_out\": " << (r.timed_out ? "true" : "false")
+       << ", \"seconds\": " << FormatDouble(r.seconds)
+       << ", \"edge_walks\": " << r.edge_walks
+       << ", \"output_tuples\": " << r.output_tuples
+       << ", \"ag_pairs\": " << r.ag_pairs
+       << ", \"threads\": " << r.threads
+       << ", \"phase1_seconds\": " << FormatDouble(r.phase1_seconds)
+       << ", \"phase2_seconds\": " << FormatDouble(r.phase2_seconds) << "}"
+       << (i + 1 < records_.size() ? "," : "") << "\n";
+  }
+  os << "]\n";
+  return os.str();
+}
+
+bool JsonResultWriter::WriteTo(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "json_writer: cannot open " << path << " for writing\n";
+    return false;
+  }
+  out << ToJson();
+  return static_cast<bool>(out);
+}
+
+}  // namespace wireframe

@@ -1,0 +1,51 @@
+#ifndef WIREFRAME_BENCHLIB_JSON_WRITER_H_
+#define WIREFRAME_BENCHLIB_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wireframe {
+
+/// One (engine, query) bench cell in machine-readable form. The repo
+/// accumulates these as BENCH_*.json trajectory files so speedups and
+/// regressions are diffable across PRs.
+struct BenchRecord {
+  std::string engine;  // paper tag: WF, PG, VT, MD, NJ
+  std::string query;   // suite-local id, e.g. "T1-Q2" or "fig4"
+  bool ok = false;
+  bool timed_out = false;
+  double seconds = 0.0;
+  uint64_t edge_walks = 0;
+  uint64_t output_tuples = 0;
+  uint64_t ag_pairs = 0;
+  uint32_t threads = 1;
+  /// Wireframe phase split (0 for baselines and when not measured).
+  double phase1_seconds = 0.0;
+  double phase2_seconds = 0.0;
+};
+
+/// Collects BenchRecords and serializes them as a JSON array. No external
+/// JSON dependency: the schema is flat, so hand-rolled serialization with
+/// string escaping is all that is needed.
+class JsonResultWriter {
+ public:
+  void Add(BenchRecord record) { records_.push_back(std::move(record)); }
+
+  bool empty() const { return records_.empty(); }
+  const std::vector<BenchRecord>& records() const { return records_; }
+
+  /// The records as a pretty-printed JSON array.
+  std::string ToJson() const;
+
+  /// Writes ToJson() to `path`. Returns false (and prints to stderr) on
+  /// I/O failure.
+  bool WriteTo(const std::string& path) const;
+
+ private:
+  std::vector<BenchRecord> records_;
+};
+
+}  // namespace wireframe
+
+#endif  // WIREFRAME_BENCHLIB_JSON_WRITER_H_

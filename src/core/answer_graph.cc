@@ -16,6 +16,14 @@ bool PairSet::Add(NodeId u, NodeId v) {
   return true;
 }
 
+uint64_t PairSet::MergeShard(const PairSetShard& shard) {
+  uint64_t inserted = 0;
+  for (const auto& [u, v] : shard.pairs()) {
+    if (Add(u, v)) ++inserted;
+  }
+  return inserted;
+}
+
 bool PairSet::Erase(NodeId u, NodeId v) {
   if (!live_.Erase(PackPair(u, v))) return false;
   compact_ = false;

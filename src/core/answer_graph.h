@@ -12,6 +12,35 @@
 
 namespace wireframe {
 
+/// Thread-local builder for one morsel's share of a PairSet.
+///
+/// During parallel answer-graph generation each worker appends the pairs
+/// its morsel produced into a private shard — plain vector pushes, no
+/// synchronization, no hashing. At the level barrier the shards are
+/// merged into the shared PairSet in shard-index order; because morsel
+/// boundaries depend only on the frontier size and the morsel size, the
+/// merged insertion sequence is deterministic and identical for every
+/// thread count. The split keeps the PairSet itself single-writer: it is
+/// only ever mutated by the merging thread, which is what makes the rest
+/// of the read-mostly AnswerGraph safe to share across workers.
+class PairSetShard {
+ public:
+  void Add(NodeId u, NodeId v) { pairs_.emplace_back(u, v); }
+
+  uint64_t Size() const { return pairs_.size(); }
+  bool Empty() const { return pairs_.empty(); }
+  const std::vector<std::pair<NodeId, NodeId>>& pairs() const {
+    return pairs_;
+  }
+
+  /// Edge walks charged while filling this shard; summed into the
+  /// generator's counter at the merge barrier.
+  uint64_t edge_walks = 0;
+
+ private:
+  std::vector<std::pair<NodeId, NodeId>> pairs_;
+};
+
 /// The materialization of one query edge (or chord): a dynamic set of data
 /// node pairs with per-endpoint live counters and adjacency.
 ///
@@ -38,6 +67,11 @@ class PairSet {
   bool Contains(NodeId u, NodeId v) const {
     return live_.Contains(PackPair(u, v));
   }
+
+  /// Inserts every pair of `shard` (duplicates are ignored, as in Add).
+  /// Returns the number of pairs actually inserted. Single-writer: called
+  /// only from the merging thread at a level barrier.
+  uint64_t MergeShard(const PairSetShard& shard);
 
   /// Deletes (u, v); returns false if it was not live.
   bool Erase(NodeId u, NodeId v);

@@ -1,6 +1,8 @@
 #include "core/bushy_executor.h"
 
 #include <algorithm>
+#include <atomic>
+#include <mutex>
 #include <unordered_map>
 
 #include "util/hash.h"
@@ -9,6 +11,11 @@
 namespace wireframe {
 
 namespace {
+
+/// Probe rows per morsel on the parallel path.
+constexpr uint64_t kProbeMorsel = 1024;
+/// Result rows per morsel for the final emit scan.
+constexpr uint64_t kEmitMorsel = 256;
 
 /// A materialized intermediate: flat row-major storage over a schema of
 /// variables.
@@ -52,6 +59,8 @@ Result<DefactorizerStats> BushyExecutor::Emit(
     const BushyExecutorOptions& options) const {
   DefactorizerStats stats;
   uint64_t total_cells = 0;
+  ThreadPool* pool = options.pool;
+  const bool parallel = pool != nullptr && pool->num_threads() > 1;
 
   auto materialize = [&](auto&& self,
                          int index) -> Result<Relation> {
@@ -109,25 +118,81 @@ Result<DefactorizerStats> BushyExecutor::Emit(
         }
       }
 
-      uint32_t tick = 0;
-      for (size_t r = 0; r < probe.NumRows(); ++r) {
-        if (++tick % 4096 == 0 && options.deadline.Expired()) {
-          return Status::TimedOut("bushy join");
-        }
+      // One probe row's matches, appended to `cells`.
+      auto probe_one = [&](size_t r, std::vector<NodeId>& cells,
+                           uint64_t& matches) {
         const NodeId* prow = probe.Row(r);
         auto [begin, end] = table.equal_range(HashKey(prow, pcols));
         for (auto it = begin; it != end; ++it) {
           const NodeId* brow = build.Row(it->second);
           if (!KeysEqual(prow, pcols, brow, bcols)) continue;
           for (size_t c = 0; c < probe.Width(); ++c) {
-            out.cells.push_back(prow[c]);
+            cells.push_back(prow[c]);
           }
-          for (int c : extra_cols) out.cells.push_back(brow[c]);
-          ++stats.extensions;
+          for (int c : extra_cols) cells.push_back(brow[c]);
+          ++matches;
         }
-        if (out.cells.size() + total_cells > options.max_cells) {
+      };
+
+      if (parallel && probe.NumRows() > kProbeMorsel) {
+        // Morsel-parallel probe: each morsel fills a private chunk;
+        // chunks concatenate in morsel order, so the joined relation is
+        // bit-identical to the serial one. The hash table and both input
+        // relations are only read.
+        const uint64_t num_probe = probe.NumRows();
+        const uint64_t num_morsels =
+            (num_probe + kProbeMorsel - 1) / kProbeMorsel;
+        std::vector<std::vector<NodeId>> chunks(num_morsels);
+        std::vector<uint64_t> chunk_matches(num_morsels, 0);
+        // Memory guard while workers run; the deterministic budget
+        // decision is re-made against the exact total after the merge.
+        std::atomic<uint64_t> cells_in_flight{total_cells};
+        std::atomic<bool> over_budget{false};
+        ParallelForOptions pf;
+        pf.morsel_size = kProbeMorsel;
+        pf.deadline = options.deadline;
+        pf.stop = &over_budget;
+        const Status st = pool->ParallelFor(
+            num_probe, pf,
+            [&](uint32_t, uint64_t begin, uint64_t end) {
+              const uint64_t m = begin / kProbeMorsel;
+              for (uint64_t r = begin; r < end; ++r) {
+                probe_one(r, chunks[m], chunk_matches[m]);
+              }
+              if (cells_in_flight.fetch_add(chunks[m].size(),
+                                            std::memory_order_relaxed) +
+                      chunks[m].size() >
+                  options.max_cells) {
+                over_budget.store(true, std::memory_order_relaxed);
+              }
+            });
+        if (st.IsTimedOut()) return Status::TimedOut("bushy join");
+        uint64_t merged = 0;
+        for (const std::vector<NodeId>& chunk : chunks) {
+          merged += chunk.size();
+        }
+        if (over_budget.load(std::memory_order_relaxed) ||
+            merged + total_cells > options.max_cells) {
           return Status::OutOfRange(
               "bushy intermediate exceeded the memory budget");
+        }
+        out.cells.reserve(merged);
+        for (uint64_t m = 0; m < num_morsels; ++m) {
+          out.cells.insert(out.cells.end(), chunks[m].begin(),
+                           chunks[m].end());
+          stats.extensions += chunk_matches[m];
+        }
+      } else {
+        uint32_t tick = 0;
+        for (size_t r = 0; r < probe.NumRows(); ++r) {
+          if (++tick % 4096 == 0 && options.deadline.Expired()) {
+            return Status::TimedOut("bushy join");
+          }
+          probe_one(r, out.cells, stats.extensions);
+          if (out.cells.size() + total_cells > options.max_cells) {
+            return Status::OutOfRange(
+                "bushy intermediate exceeded the memory budget");
+          }
         }
       }
       total_cells += out.cells.size();
@@ -139,18 +204,55 @@ Result<DefactorizerStats> BushyExecutor::Emit(
   WF_ASSIGN_OR_RETURN(Relation result, materialize(materialize, plan.root));
 
   // Emit rows as full bindings.
-  std::vector<NodeId> binding(query_->NumVars(), kInvalidNode);
   std::vector<int> var_to_col(query_->NumVars(), -1);
   for (size_t c = 0; c < result.schema.size(); ++c) {
     var_to_col[result.schema[c]] = static_cast<int>(c);
   }
-  for (size_t r = 0; r < result.NumRows(); ++r) {
-    const NodeId* row = result.Row(r);
+  auto fill_binding = [&](const NodeId* row, std::vector<NodeId>& binding) {
     for (VarId v = 0; v < query_->NumVars(); ++v) {
       binding[v] = var_to_col[v] >= 0 ? row[var_to_col[v]] : kInvalidNode;
     }
-    ++stats.emitted;
-    if (!sink->Emit(binding)) break;
+  };
+
+  if (parallel && result.NumRows() > kEmitMorsel) {
+    std::mutex sink_mu;
+    std::atomic<bool> stop{false};
+    const uint32_t workers = pool->num_threads();
+    std::vector<SinkShard> shards;
+    std::vector<std::vector<NodeId>> bindings(
+        workers, std::vector<NodeId>(query_->NumVars(), kInvalidNode));
+    shards.reserve(workers);
+    for (uint32_t w = 0; w < workers; ++w) {
+      shards.emplace_back(sink, &sink_mu, &stop);
+    }
+    ParallelForOptions pf;
+    pf.morsel_size = kEmitMorsel;
+    pf.deadline = options.deadline;
+    pf.stop = &stop;
+    const Status st = pool->ParallelFor(
+        result.NumRows(), pf,
+        [&](uint32_t worker, uint64_t begin, uint64_t end) {
+          for (uint64_t r = begin; r < end; ++r) {
+            fill_binding(result.Row(r), bindings[worker]);
+            if (!shards[worker].Emit(bindings[worker])) break;
+          }
+        });
+    if (st.IsTimedOut()) return Status::TimedOut("bushy emit");
+    for (SinkShard& shard : shards) {
+      shard.Flush();
+      stats.emitted += shard.count();
+    }
+  } else {
+    std::vector<NodeId> binding(query_->NumVars(), kInvalidNode);
+    uint32_t tick = 0;
+    for (size_t r = 0; r < result.NumRows(); ++r) {
+      if (++tick % 4096 == 0 && options.deadline.Expired()) {
+        return Status::TimedOut("bushy emit");
+      }
+      fill_binding(result.Row(r), binding);
+      ++stats.emitted;
+      if (!sink->Emit(binding)) break;
+    }
   }
   return stats;
 }

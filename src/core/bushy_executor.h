@@ -7,6 +7,7 @@
 #include "planner/bushy_planner.h"
 #include "query/query_graph.h"
 #include "util/result.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace wireframe {
@@ -17,6 +18,12 @@ struct BushyExecutorOptions {
   /// Intermediate-memory budget in binding cells (rows x width); exceeding
   /// it aborts with OutOfRange, mirroring the materializing baselines.
   uint64_t max_cells = 400ull << 20;
+  /// Worker pool (not owned). Null or single-threaded runs the exact
+  /// serial code path. Parallelism is over morsels of each hash join's
+  /// probe side (per-morsel row chunks concatenated in morsel order, so
+  /// every intermediate relation is bit-identical to the serial run) and
+  /// over the final emit scan.
+  ThreadPool* pool = nullptr;
 };
 
 /// Executes a BushyPlan over the answer graph: leaves scan AG edge sets,

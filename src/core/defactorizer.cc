@@ -1,10 +1,19 @@
 #include "core/defactorizer.h"
 
+#include <atomic>
+#include <mutex>
+#include <utility>
+
 #include "util/logging.h"
 
 namespace wireframe {
 
 namespace {
+
+/// First-edge pairs per morsel on the parallel path. Each pair roots a
+/// whole enumeration subtree, so morsels are small to balance skew; the
+/// dispatch cost is one fetch_add per morsel.
+constexpr uint64_t kRootMorsel = 64;
 
 /// Recursive enumeration state shared across frames.
 struct EmitContext {
@@ -132,6 +141,71 @@ Result<DefactorizerStats> Defactorizer::Emit(
         if (!already) chord_checks[d].push_back(slot);
       }
     }
+  }
+
+  ThreadPool* pool = options.pool;
+  if (pool != nullptr && pool->num_threads() > 1 &&
+      !plan.join_order.empty()) {
+    // Parallel enumeration: partition the first edge's pairs; each worker
+    // runs the same recursive EmitStep over its own context from depth 1,
+    // draining embeddings through a private SinkShard.
+    const uint32_t e0 = plan.join_order[0];
+    const QueryEdge& qe0 = query_->Edge(e0);
+    const PairSet& first = ag_->Set(e0);
+    std::vector<std::pair<NodeId, NodeId>> roots;
+    roots.reserve(first.Size());
+    first.ForEachPair([&](NodeId u, NodeId v) { roots.emplace_back(u, v); });
+
+    std::mutex sink_mu;
+    std::atomic<bool> stop{false};
+    const uint32_t workers = pool->num_threads();
+    std::vector<EmitContext> ctxs(workers);
+    std::vector<SinkShard> shards;
+    shards.reserve(workers);
+    for (uint32_t w = 0; w < workers; ++w) {
+      shards.emplace_back(sink, &sink_mu, &stop);
+      EmitContext& ctx = ctxs[w];
+      ctx.query = query_;
+      ctx.ag = ag_;
+      ctx.order = &plan.join_order;
+      ctx.chord_checks = &chord_checks;
+      ctx.deadline = &options.deadline;
+      ctx.binding.assign(query_->NumVars(), kInvalidNode);
+    }
+    for (uint32_t w = 0; w < workers; ++w) ctxs[w].sink = &shards[w];
+
+    ParallelForOptions pf;
+    pf.morsel_size = kRootMorsel;
+    pf.deadline = options.deadline;
+    pf.stop = &stop;
+    const Status st = pool->ParallelFor(
+        roots.size(), pf,
+        [&](uint32_t worker, uint64_t begin, uint64_t end) {
+          EmitContext& ctx = ctxs[worker];
+          for (uint64_t i = begin; i < end && !ctx.stop; ++i) {
+            const auto [u, v] = roots[i];
+            ++ctx.stats.extensions;
+            ctx.binding[qe0.src] = u;
+            ctx.binding[qe0.dst] = v;
+            if (ChordsAccept(ctx, 0)) EmitStep(ctx, 1);
+            ctx.binding[qe0.src] = kInvalidNode;
+            ctx.binding[qe0.dst] = kInvalidNode;
+          }
+        });
+
+    DefactorizerStats stats;
+    bool timed_out = st.IsTimedOut();
+    for (uint32_t w = 0; w < workers; ++w) {
+      timed_out |= ctxs[w].timed_out;
+      stats.extensions += ctxs[w].stats.extensions;
+      stats.chord_rejections += ctxs[w].stats.chord_rejections;
+    }
+    if (timed_out) return Status::TimedOut("embedding generation");
+    for (SinkShard& shard : shards) {
+      shard.Flush();
+      stats.emitted += shard.count();
+    }
+    return stats;
   }
 
   EmitContext ctx;

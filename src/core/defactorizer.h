@@ -6,6 +6,7 @@
 #include "planner/plan.h"
 #include "query/query_graph.h"
 #include "util/result.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace wireframe {
@@ -13,6 +14,13 @@ namespace wireframe {
 /// Phase-2 options.
 struct DefactorizerOptions {
   Deadline deadline;
+  /// Worker pool for parallel enumeration (not owned). Null or
+  /// single-threaded runs the exact serial code path. Parallelism is over
+  /// partitions of the first join edge's AG pairs: each worker owns a
+  /// full recursive enumeration context and a SinkShard, so the shared
+  /// sink is only locked at batch granularity. The embedding multiset is
+  /// identical for every thread count; only emission order differs.
+  ThreadPool* pool = nullptr;
   /// Use materialized chord pair sets as early filters: as soon as both
   /// endpoints of a chord are bound, a binding not in the chord set is
   /// abandoned. Sound (chord sets are supersets of the embedding

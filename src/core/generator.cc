@@ -1,6 +1,9 @@
 #include "core/generator.h"
 
 #include <algorithm>
+#include <span>
+#include <utility>
+#include <vector>
 
 #include "core/burnback.h"
 #include "core/chords.h"
@@ -12,6 +15,21 @@ namespace {
 
 /// Extension probes check the deadline on this cadence to stay cheap.
 constexpr uint32_t kDeadlineStride = 4096;
+
+/// Frontier items (candidate nodes, or distinct subjects on a cold
+/// start) per morsel during parallel extension. Each item expands into a
+/// full neighbor scan, so morsels stay small enough to balance skewed
+/// degree distributions.
+constexpr uint64_t kFrontierMorsel = 256;
+
+/// Snapshots the candidate set of `v` (in ForEachCandidate order, which
+/// the parallel path must preserve to keep insertion order identical to
+/// the serial path).
+std::vector<NodeId> CollectCandidates(const AnswerGraph& ag, VarId v) {
+  std::vector<NodeId> out;
+  ag.ForEachCandidate(v, [&](NodeId c) { out.push_back(c); });
+  return out;
+}
 
 }  // namespace
 
@@ -26,6 +44,9 @@ Result<GeneratorResult> AgGenerator::Generate(
   result.ag = std::make_unique<AnswerGraph>(query);
   AnswerGraph& ag = *result.ag;
   Burnback burnback(&ag);
+
+  ThreadPool* pool = options.pool;
+  const bool parallel = pool != nullptr && pool->num_threads() > 1;
 
   // Chord slots are registered up front (unmaterialized slots are inert)
   // so the chord evaluator and node burnback share one AnswerGraph.
@@ -48,21 +69,48 @@ Result<GeneratorResult> AgGenerator::Generate(
 
   // Lookahead filter support: for a node landing on a fresh variable v
   // via edge e, every other not-yet-materialized query edge incident to v
-  // must have at least one matching data edge at that node.
+  // must have at least one matching data edge at that node. `walks` is
+  // the charge account of the calling worker (the shard's counter on the
+  // parallel path, result.edge_walks on the serial one).
   std::vector<bool> query_edge_done(query.NumEdges(), false);
-  auto passes_lookahead = [&](VarId v, NodeId node,
-                              uint32_t via_edge) -> bool {
+  auto passes_lookahead = [&](VarId v, NodeId node, uint32_t via_edge,
+                              uint64_t& walks) -> bool {
     if (!options.lookahead) return true;
     for (uint32_t f : query.IncidentEdges(v)) {
       if (f == via_edge || query_edge_done[f]) continue;
       const QueryEdge& qf = query.Edge(f);
       if (qf.label >= store.NumPredicates()) return false;
-      ++result.edge_walks;  // the existence probe is an index lookup
+      ++walks;  // the existence probe is an index lookup
       if (qf.src == v) {
         if (store.OutNeighbors(qf.label, node).empty()) return false;
       } else {
         if (store.InNeighbors(qf.label, node).empty()) return false;
       }
+    }
+    return true;
+  };
+
+  // Parallel level driver: runs body(i, shard) over [0, n) in morsels,
+  // each morsel filling a private PairSetShard, then merges the shards
+  // into `set` in morsel order. The body only reads shared state (store,
+  // AG sets of earlier levels); the merge at the barrier is the only
+  // writer of `set`. Returns false iff the deadline expired.
+  auto sharded_extend = [&](uint64_t n, uint64_t morsel, PairSet& set,
+                            auto&& body) -> bool {
+    const uint64_t num_morsels = n == 0 ? 0 : (n + morsel - 1) / morsel;
+    std::vector<PairSetShard> shards(num_morsels);
+    ParallelForOptions pf;
+    pf.morsel_size = morsel;
+    pf.deadline = options.deadline;
+    const Status st = pool->ParallelFor(
+        n, pf, [&](uint32_t /*worker*/, uint64_t begin, uint64_t end) {
+          PairSetShard& shard = shards[begin / morsel];
+          for (uint64_t i = begin; i < end; ++i) body(i, shard);
+        });
+    if (!st.ok()) return false;
+    for (const PairSetShard& shard : shards) {
+      set.MergeShard(shard);
+      result.edge_walks += shard.edge_walks;
     }
     return true;
   };
@@ -81,54 +129,138 @@ Result<GeneratorResult> AgGenerator::Generate(
       // stays empty and burnback below wipes the constrained endpoints.
     } else if (!src_touched && !dst_touched) {
       // Cold start: the whole labeled edge set enters the AG.
-      store.ForEachEdge(p, [&](NodeId s, NodeId o) {
-        ++result.edge_walks;
-        if (passes_lookahead(qe.src, s, e) &&
-            passes_lookahead(qe.dst, o, e)) {
-          set.Add(s, o);
-        }
-      });
-    } else if (src_touched && !dst_touched) {
-      ag.ForEachCandidate(qe.src, [&](NodeId u) {
-        if (timed_out || (timed_out = deadline_hit())) return;
-        ++result.edge_walks;  // one index probe
-        for (NodeId o : store.OutNeighbors(p, u)) {
+      if (parallel) {
+        // Morsel over the predicate's distinct subjects (random access
+        // into the CSR index — no transient edge-list copy). Subjects
+        // ascend and objects ascend within each subject, so the merged
+        // insertion order equals the serial ForEachEdge order.
+        const std::span<const NodeId> subjects = store.DistinctSubjects(p);
+        timed_out = !sharded_extend(
+            subjects.size(), kFrontierMorsel, set,
+            [&](uint64_t i, PairSetShard& shard) {
+              const NodeId s = subjects[i];
+              for (NodeId o : store.OutNeighbors(p, s)) {
+                ++shard.edge_walks;
+                if (passes_lookahead(qe.src, s, e, shard.edge_walks) &&
+                    passes_lookahead(qe.dst, o, e, shard.edge_walks)) {
+                  shard.Add(s, o);
+                }
+              }
+            });
+      } else {
+        store.ForEachEdge(p, [&](NodeId s, NodeId o) {
           ++result.edge_walks;
-          if (passes_lookahead(qe.dst, o, e)) set.Add(u, o);
-        }
-      });
-    } else if (!src_touched && dst_touched) {
-      ag.ForEachCandidate(qe.dst, [&](NodeId w) {
-        if (timed_out || (timed_out = deadline_hit())) return;
-        ++result.edge_walks;
-        for (NodeId s : store.InNeighbors(p, w)) {
-          ++result.edge_walks;
-          if (passes_lookahead(qe.src, s, e)) set.Add(s, w);
-        }
-      });
-    } else {
-      // Both constrained: probe from the side with fewer candidates and
-      // filter the far endpoint by aliveness.
-      const uint64_t src_cand = ag.CandidateCount(qe.src);
-      const uint64_t dst_cand = ag.CandidateCount(qe.dst);
-      if (src_cand <= dst_cand) {
-        ag.ForEachCandidate(qe.src, [&](NodeId u) {
-          if (timed_out || (timed_out = deadline_hit())) return;
-          ++result.edge_walks;
-          for (NodeId o : store.OutNeighbors(p, u)) {
-            ++result.edge_walks;
-            if (ag.IsAlive(qe.dst, o)) set.Add(u, o);
+          if (passes_lookahead(qe.src, s, e, result.edge_walks) &&
+              passes_lookahead(qe.dst, o, e, result.edge_walks)) {
+            set.Add(s, o);
           }
         });
+      }
+    } else if (src_touched && !dst_touched) {
+      if (parallel) {
+        const std::vector<NodeId> frontier = CollectCandidates(ag, qe.src);
+        timed_out = !sharded_extend(
+            frontier.size(), kFrontierMorsel, set,
+            [&](uint64_t i, PairSetShard& shard) {
+              const NodeId u = frontier[i];
+              ++shard.edge_walks;  // one index probe
+              for (NodeId o : store.OutNeighbors(p, u)) {
+                ++shard.edge_walks;
+                if (passes_lookahead(qe.dst, o, e, shard.edge_walks)) {
+                  shard.Add(u, o);
+                }
+              }
+            });
+      } else {
+        ag.ForEachCandidate(qe.src, [&](NodeId u) {
+          if (timed_out || (timed_out = deadline_hit())) return;
+          ++result.edge_walks;  // one index probe
+          for (NodeId o : store.OutNeighbors(p, u)) {
+            ++result.edge_walks;
+            if (passes_lookahead(qe.dst, o, e, result.edge_walks)) {
+              set.Add(u, o);
+            }
+          }
+        });
+      }
+    } else if (!src_touched && dst_touched) {
+      if (parallel) {
+        const std::vector<NodeId> frontier = CollectCandidates(ag, qe.dst);
+        timed_out = !sharded_extend(
+            frontier.size(), kFrontierMorsel, set,
+            [&](uint64_t i, PairSetShard& shard) {
+              const NodeId w = frontier[i];
+              ++shard.edge_walks;
+              for (NodeId s : store.InNeighbors(p, w)) {
+                ++shard.edge_walks;
+                if (passes_lookahead(qe.src, s, e, shard.edge_walks)) {
+                  shard.Add(s, w);
+                }
+              }
+            });
       } else {
         ag.ForEachCandidate(qe.dst, [&](NodeId w) {
           if (timed_out || (timed_out = deadline_hit())) return;
           ++result.edge_walks;
           for (NodeId s : store.InNeighbors(p, w)) {
             ++result.edge_walks;
-            if (ag.IsAlive(qe.src, s)) set.Add(s, w);
+            if (passes_lookahead(qe.src, s, e, result.edge_walks)) {
+              set.Add(s, w);
+            }
           }
         });
+      }
+    } else {
+      // Both constrained: probe from the side with fewer candidates and
+      // filter the far endpoint by aliveness.
+      const uint64_t src_cand = ag.CandidateCount(qe.src);
+      const uint64_t dst_cand = ag.CandidateCount(qe.dst);
+      if (src_cand <= dst_cand) {
+        if (parallel) {
+          const std::vector<NodeId> frontier = CollectCandidates(ag, qe.src);
+          timed_out = !sharded_extend(
+              frontier.size(), kFrontierMorsel, set,
+              [&](uint64_t i, PairSetShard& shard) {
+                const NodeId u = frontier[i];
+                ++shard.edge_walks;
+                for (NodeId o : store.OutNeighbors(p, u)) {
+                  ++shard.edge_walks;
+                  if (ag.IsAlive(qe.dst, o)) shard.Add(u, o);
+                }
+              });
+        } else {
+          ag.ForEachCandidate(qe.src, [&](NodeId u) {
+            if (timed_out || (timed_out = deadline_hit())) return;
+            ++result.edge_walks;
+            for (NodeId o : store.OutNeighbors(p, u)) {
+              ++result.edge_walks;
+              if (ag.IsAlive(qe.dst, o)) set.Add(u, o);
+            }
+          });
+        }
+      } else {
+        if (parallel) {
+          const std::vector<NodeId> frontier = CollectCandidates(ag, qe.dst);
+          timed_out = !sharded_extend(
+              frontier.size(), kFrontierMorsel, set,
+              [&](uint64_t i, PairSetShard& shard) {
+                const NodeId w = frontier[i];
+                ++shard.edge_walks;
+                for (NodeId s : store.InNeighbors(p, w)) {
+                  ++shard.edge_walks;
+                  if (ag.IsAlive(qe.src, s)) shard.Add(s, w);
+                }
+              });
+        } else {
+          ag.ForEachCandidate(qe.dst, [&](NodeId w) {
+            if (timed_out || (timed_out = deadline_hit())) return;
+            ++result.edge_walks;
+            for (NodeId s : store.InNeighbors(p, w)) {
+              ++result.edge_walks;
+              if (ag.IsAlive(qe.src, s)) set.Add(s, w);
+            }
+          });
+        }
       }
     }
     if (timed_out) return Status::TimedOut("answer-graph generation");
@@ -182,8 +314,22 @@ Result<GeneratorResult> AgGenerator::Generate(
   }
 
   // Generation is over: drop tombstones so phase 2 iterates clean arrays.
-  for (uint32_t s = 0; s < ag.NumEdgeSets(); ++s) {
-    ag.Set(s).Compact();
+  // Edge sets compact independently, so the pool can take one each.
+  if (parallel && ag.NumEdgeSets() > 1) {
+    ParallelForOptions pf;
+    pf.morsel_size = 1;
+    Status st = pool->ParallelFor(
+        ag.NumEdgeSets(), pf,
+        [&](uint32_t, uint64_t begin, uint64_t end) {
+          for (uint64_t s = begin; s < end; ++s) {
+            ag.Set(static_cast<uint32_t>(s)).Compact();
+          }
+        });
+    WF_CHECK(st.ok()) << "compaction has no deadline";
+  } else {
+    for (uint32_t s = 0; s < ag.NumEdgeSets(); ++s) {
+      ag.Set(s).Compact();
+    }
   }
   return result;
 }

@@ -11,6 +11,7 @@
 #include "query/query_graph.h"
 #include "storage/database.h"
 #include "util/result.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace wireframe {
@@ -47,6 +48,14 @@ struct GeneratorOptions {
   /// engine. bench_ablation_lookahead quantifies the effect.
   bool lookahead = false;
   Deadline deadline;
+  /// Worker pool for morsel-parallel edge extension (not owned). Null or
+  /// single-threaded runs the exact serial code path. Each extension
+  /// level partitions its frontier into morsels whose workers fill
+  /// thread-local PairSetShards; shards merge in morsel order at the
+  /// level barrier, so the resulting AnswerGraph — including adjacency
+  /// order — is identical for every thread count. Burnback and chord
+  /// materialization stay serial (they run at the barrier).
+  ThreadPool* pool = nullptr;
   /// Optional step observer.
   std::function<void(const GeneratorTraceStep&)> trace;
 };

@@ -48,6 +48,9 @@ struct WireframeRunDetail {
   DefactorizerStats phase2_stats;
   /// True if the bushy executor produced the embeddings.
   bool used_bushy = false;
+  /// Resolved worker-thread count the run used (EngineOptions::threads
+  /// with 0 mapped to the hardware core count).
+  uint32_t threads = 1;
   uint64_t pairs_burned = 0;
   uint64_t chord_pairs = 0;
   bool cyclic = false;
@@ -67,6 +70,7 @@ class WireframeEngine : public Engine {
       : options_(options) {}
 
   std::string_view name() const override { return "WF"; }
+  bool SupportsThreads() const override { return true; }
 
   Result<EngineStats> Run(const Database& db, const Catalog& catalog,
                           const QueryGraph& query, const EngineOptions& options,

@@ -1,5 +1,8 @@
+#include <memory>
+
 #include "exec/baselines.h"
 #include "exec/join_common.h"
+#include "util/thread_pool.h"
 
 namespace wireframe {
 
@@ -10,8 +13,14 @@ Result<EngineStats> HashJoinEngine::Run(const Database& db,
                                         Sink* sink) {
   CardinalityEstimator estimator(catalog);
   const std::vector<uint32_t> order = OrderByEstimatedGrowth(query, estimator);
+  // The build side of every join step is morsel-parallel (Table-1 stays
+  // apples-to-apples with the parallel Wireframe phases); threads==1
+  // keeps the serial path.
+  const uint32_t threads = ThreadPool::ResolveThreads(options.threads);
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
   return RunMaterializing(db, query, order, options.deadline, kMaxCells,
-                          sink);
+                          sink, pool.get());
 }
 
 }  // namespace wireframe

@@ -12,6 +12,7 @@ namespace wireframe {
 class HashJoinEngine : public Engine {
  public:
   std::string_view name() const override { return "PG"; }
+  bool SupportsThreads() const override { return true; }
   Result<EngineStats> Run(const Database& db, const Catalog& catalog,
                           const QueryGraph& query, const EngineOptions& options,
                           Sink* sink) override;

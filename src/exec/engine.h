@@ -20,6 +20,12 @@ struct EngineOptions {
   /// Wall-clock budget; expired runs return Status::TimedOut (the paper
   /// terminates queries at 300 s and prints '*').
   Deadline deadline;
+  /// Worker threads for the morsel-driven parallel phases (Wireframe
+  /// generation and defactorization, the hash-join baseline's build
+  /// side). 1 runs the exact serial code paths; 0 means one thread per
+  /// hardware core. Results are thread-count-invariant: the embedding
+  /// multiset and |AG| are identical for every value.
+  uint32_t threads = 1;
 };
 
 /// Execution metrics an engine reports alongside its results.
@@ -47,6 +53,12 @@ class Engine {
 
   /// Short identifier ("WF", "PG", "VT", "MD", "NJ").
   virtual std::string_view name() const = 0;
+
+  /// True iff Run reads EngineOptions::threads (Wireframe's two phases
+  /// and the hash-join baseline's build side). The pipelined baselines
+  /// are inherently tuple-at-a-time and stay serial; benches use this to
+  /// record the thread count a cell actually ran with.
+  virtual bool SupportsThreads() const { return false; }
 
   /// Evaluates `query` over `db`, emitting every embedding to `sink`.
   /// Timeout surfaces as Status::TimedOut; other statuses are planning or

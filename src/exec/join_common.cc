@@ -1,6 +1,7 @@
 #include "exec/join_common.h"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 
 #include "util/logging.h"
@@ -207,14 +208,23 @@ Result<EngineStats> RunPipelined(const Database& db, const QueryGraph& query,
   return stats;
 }
 
+namespace {
+
+/// Source rows per morsel for the parallel build side.
+constexpr uint64_t kBuildMorsel = 512;
+
+}  // namespace
+
 Result<EngineStats> RunMaterializing(const Database& db,
                                      const QueryGraph& query,
                                      const std::vector<uint32_t>& order,
                                      const Deadline& deadline,
-                                     uint64_t max_cells, Sink* sink) {
+                                     uint64_t max_cells, Sink* sink,
+                                     ThreadPool* pool) {
   Stopwatch watch;
   const TripleStore& store = db.store();
   const uint32_t num_vars = query.NumVars();
+  const bool parallel = pool != nullptr && pool->num_threads() > 1;
 
   // Rows are full-width bindings; unbound slots hold kInvalidNode.
   std::vector<std::vector<NodeId>> rows;
@@ -228,6 +238,41 @@ Result<EngineStats> RunMaterializing(const Database& db,
   for (uint32_t e : order) {
     const QueryEdge& qe = query.Edge(e);
     std::vector<std::vector<NodeId>> next;
+
+    // Extends one source row by `qe`, appending the surviving bindings to
+    // `out` and charging index work to `walks`. Shared by the serial loop
+    // and the parallel morsel bodies.
+    auto extend_row = [&](std::vector<NodeId>& row,
+                          std::vector<std::vector<NodeId>>& out,
+                          uint64_t& walks) {
+      const bool src_bound = row[qe.src] != kInvalidNode;
+      const bool dst_bound = row[qe.dst] != kInvalidNode;
+      if (src_bound && dst_bound) {
+        ++walks;
+        if (store.HasTriple(row[qe.src], qe.label, row[qe.dst])) {
+          out.push_back(std::move(row));
+        }
+      } else if (src_bound) {
+        ++walks;
+        for (NodeId o : store.OutNeighbors(qe.label, row[qe.src])) {
+          ++walks;
+          std::vector<NodeId> extended = row;
+          extended[qe.dst] = o;
+          out.push_back(std::move(extended));
+        }
+      } else if (dst_bound) {
+        ++walks;
+        for (NodeId s : store.InNeighbors(qe.label, row[qe.dst])) {
+          ++walks;
+          std::vector<NodeId> extended = row;
+          extended[qe.src] = s;
+          out.push_back(std::move(extended));
+        }
+      } else {
+        WF_CHECK(false) << "disconnected materializing plan";
+      }
+    };
+
     if (first) {
       first = false;
       store.ForEachEdge(qe.label, [&](NodeId s, NodeId o) {
@@ -237,35 +282,52 @@ Result<EngineStats> RunMaterializing(const Database& db,
         next.push_back(std::move(row));
       });
       stats.edge_walks += next.size();
+    } else if (parallel && rows.size() > kBuildMorsel) {
+      // Morsel-parallel build: each morsel extends its slice of the
+      // previous intermediate into a private chunk; chunks concatenate in
+      // morsel order, keeping the intermediate bit-identical to the
+      // serial run. Only the shared immutable store is read.
+      const uint64_t num_morsels =
+          (rows.size() + kBuildMorsel - 1) / kBuildMorsel;
+      std::vector<std::vector<std::vector<NodeId>>> chunks(num_morsels);
+      std::vector<uint64_t> chunk_walks(num_morsels, 0);
+      std::atomic<uint64_t> rows_in_flight{0};
+      std::atomic<bool> over_budget{false};
+      ParallelForOptions pf;
+      pf.morsel_size = kBuildMorsel;
+      pf.deadline = deadline;
+      pf.stop = &over_budget;
+      const Status st = pool->ParallelFor(
+          rows.size(), pf, [&](uint32_t, uint64_t begin, uint64_t end) {
+            const uint64_t m = begin / kBuildMorsel;
+            for (uint64_t i = begin; i < end; ++i) {
+              extend_row(rows[i], chunks[m], chunk_walks[m]);
+            }
+            const uint64_t produced = rows_in_flight.fetch_add(
+                chunks[m].size(), std::memory_order_relaxed);
+            if ((produced + chunks[m].size()) * num_vars > max_cells) {
+              over_budget.store(true, std::memory_order_relaxed);
+            }
+          });
+      if (st.IsTimedOut()) return Status::TimedOut("materializing join");
+      uint64_t merged = 0;
+      for (const auto& chunk : chunks) merged += chunk.size();
+      if (over_budget.load(std::memory_order_relaxed) ||
+          merged * num_vars > max_cells) {
+        return Status::OutOfRange(
+            "intermediate result exceeded the memory budget");
+      }
+      next.reserve(merged);
+      for (uint64_t m = 0; m < num_morsels; ++m) {
+        for (std::vector<NodeId>& row : chunks[m]) {
+          next.push_back(std::move(row));
+        }
+        stats.edge_walks += chunk_walks[m];
+      }
     } else {
       for (std::vector<NodeId>& row : rows) {
         if (deadline_hit()) return Status::TimedOut("materializing join");
-        const bool src_bound = row[qe.src] != kInvalidNode;
-        const bool dst_bound = row[qe.dst] != kInvalidNode;
-        if (src_bound && dst_bound) {
-          ++stats.edge_walks;
-          if (store.HasTriple(row[qe.src], qe.label, row[qe.dst])) {
-            next.push_back(std::move(row));
-          }
-        } else if (src_bound) {
-          ++stats.edge_walks;
-          for (NodeId o : store.OutNeighbors(qe.label, row[qe.src])) {
-            ++stats.edge_walks;
-            std::vector<NodeId> extended = row;
-            extended[qe.dst] = o;
-            next.push_back(std::move(extended));
-          }
-        } else if (dst_bound) {
-          ++stats.edge_walks;
-          for (NodeId s : store.InNeighbors(qe.label, row[qe.dst])) {
-            ++stats.edge_walks;
-            std::vector<NodeId> extended = row;
-            extended[qe.src] = s;
-            next.push_back(std::move(extended));
-          }
-        } else {
-          WF_CHECK(false) << "disconnected materializing plan";
-        }
+        extend_row(row, next, stats.edge_walks);
         if (static_cast<uint64_t>(next.size()) * num_vars > max_cells) {
           return Status::OutOfRange(
               "intermediate result exceeded the memory budget");
@@ -282,7 +344,13 @@ Result<EngineStats> RunMaterializing(const Database& db,
     }
   }
 
+  tick = 0;
   for (const std::vector<NodeId>& row : rows) {
+    // The final scan honors the run deadline too, so oversized results
+    // cannot stretch a 300 s-style budget unchecked.
+    if (++tick % 4096 == 0 && deadline.Expired()) {
+      return Status::TimedOut("materializing join");
+    }
     ++stats.output_tuples;
     if (!sink->Emit(row)) break;
   }

@@ -9,6 +9,7 @@
 #include "query/query_graph.h"
 #include "storage/database.h"
 #include "util/result.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace wireframe {
@@ -47,11 +48,18 @@ Result<EngineStats> RunPipelined(const Database& db, const QueryGraph& query,
 /// starts. PostgreSQL/MonetDB regime. `max_cells` bounds intermediate
 /// memory (rows x vars); exceeding it aborts with OutOfRange, which the
 /// benches report like a timeout.
+///
+/// `pool` (optional, not owned) parallelizes each build step over morsels
+/// of the previous intermediate; per-morsel row chunks concatenate in
+/// morsel order, so every intermediate — and the final result — is
+/// bit-identical to the serial run. Null or single-threaded takes the
+/// exact serial code path.
 Result<EngineStats> RunMaterializing(const Database& db,
                                      const QueryGraph& query,
                                      const std::vector<uint32_t>& order,
                                      const Deadline& deadline,
-                                     uint64_t max_cells, Sink* sink);
+                                     uint64_t max_cells, Sink* sink,
+                                     ThreadPool* pool = nullptr);
 
 }  // namespace wireframe
 

@@ -1,7 +1,9 @@
 #ifndef WIREFRAME_EXEC_SINK_H_
 #define WIREFRAME_EXEC_SINK_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <unordered_set>
 #include <vector>
 
@@ -94,6 +96,74 @@ class DistinctProjectingSink : public Sink {
   Sink* inner_;
   std::vector<NodeId> projected_;
   std::unordered_set<uint64_t, Hash64> seen_;
+};
+
+/// Per-worker front for a shared sink during parallel enumeration.
+///
+/// Sinks are not thread-safe, so each worker emits into its own SinkShard,
+/// which buffers rows and drains them to the shared inner sink under the
+/// shared mutex only at batch granularity — the lock is taken once per
+/// `batch` embeddings, not once per embedding. When the inner sink
+/// declines a row (LIMIT-style consumers), the shard raises the shared
+/// stop flag; other shards observe it on their next Emit and stop
+/// producing, and rows still buffered after the stop are discarded, never
+/// handed to the inner sink.
+class SinkShard : public Sink {
+ public:
+  SinkShard(Sink* inner, std::mutex* mu, std::atomic<bool>* stop,
+            size_t batch = 256)
+      : inner_(inner), mu_(mu), stop_(stop), batch_(batch) {}
+
+  bool Emit(const std::vector<NodeId>& binding) override {
+    if (stop_->load(std::memory_order_relaxed)) return false;
+    // Rows are buffered row-major in one flat vector (all bindings of a
+    // query have the same width), so steady-state buffering is a memcpy
+    // into reused capacity — no per-row allocation on the hot path.
+    if (width_ == 0) {
+      width_ = binding.size();
+      buffer_.reserve(batch_ * width_);
+    }
+    buffer_.insert(buffer_.end(), binding.begin(), binding.end());
+    if (++buffered_rows_ >= batch_) return Flush();
+    return true;
+  }
+
+  /// Drains the buffer to the inner sink. Returns false if production
+  /// should stop. Call once more after the parallel loop so the tail
+  /// batch is not lost.
+  bool Flush() {
+    if (buffered_rows_ == 0) {
+      return !stop_->load(std::memory_order_relaxed);
+    }
+    std::lock_guard<std::mutex> lock(*mu_);
+    for (size_t r = 0; r < buffered_rows_; ++r) {
+      if (stop_->load(std::memory_order_relaxed)) break;
+      scratch_.assign(buffer_.begin() + r * width_,
+                      buffer_.begin() + (r + 1) * width_);
+      ++forwarded_;
+      if (!inner_->Emit(scratch_)) {
+        stop_->store(true, std::memory_order_relaxed);
+        break;
+      }
+    }
+    buffer_.clear();
+    buffered_rows_ = 0;
+    return !stop_->load(std::memory_order_relaxed);
+  }
+
+  /// Rows actually handed to the inner sink by this shard.
+  uint64_t count() const override { return forwarded_; }
+
+ private:
+  Sink* inner_;
+  std::mutex* mu_;
+  std::atomic<bool>* stop_;
+  size_t batch_;
+  size_t width_ = 0;
+  size_t buffered_rows_ = 0;
+  std::vector<NodeId> buffer_;    // row-major, buffered_rows_ x width_
+  std::vector<NodeId> scratch_;   // one row, reused across Flush calls
+  uint64_t forwarded_ = 0;
 };
 
 }  // namespace wireframe

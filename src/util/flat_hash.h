@@ -25,13 +25,25 @@ class PairKeySet {
     if ((size_ + tombstones_ + 1) * 8 >= capacity() * 7) {
       Rehash(capacity() * 2);
     }
-    size_t i = Probe(key);
-    // Probe stops at kEmpty or the key itself; reuse a tombstone seen on
-    // the way only after confirming absence (Probe already did).
-    if (slots_[i] == key) return false;
-    if (first_tombstone_ != kNoSlot) {
-      i = first_tombstone_;
-      first_tombstone_ = kNoSlot;
+    // Inline probe that additionally remembers the first tombstone
+    // passed: after confirming absence the tombstone slot is reused.
+    // Kept local to Insert (not a side effect of Probe) so the const
+    // read paths stay pure — Contains runs concurrently from parallel
+    // phase-2 workers.
+    const size_t mask = capacity() - 1;
+    size_t i = static_cast<size_t>(Mix64(key)) & mask;
+    size_t first_tombstone = kNoSlot;
+    for (;;) {
+      const uint64_t slot = slots_[i];
+      if (slot == key) return false;
+      if (slot == kEmpty) break;
+      if (slot == kTombstone && first_tombstone == kNoSlot) {
+        first_tombstone = i;
+      }
+      i = (i + 1) & mask;
+    }
+    if (first_tombstone != kNoSlot) {
+      i = first_tombstone;
       --tombstones_;
     }
     slots_[i] = key;
@@ -79,18 +91,15 @@ class PairKeySet {
 
   size_t capacity() const { return slots_.size(); }
 
-  /// Returns the slot of `key` if present, else the insertion slot (first
-  /// kEmpty encountered). Records the first tombstone passed for reuse.
+  /// Returns the slot of `key` if present, else the first kEmpty slot of
+  /// its probe chain. Pure — no side effects — so it is safe to call
+  /// concurrently from parallel readers (Contains during phase 2).
   size_t Probe(uint64_t key) const {
     const size_t mask = capacity() - 1;
     size_t i = static_cast<size_t>(Mix64(key)) & mask;
-    first_tombstone_ = kNoSlot;
     for (;;) {
       const uint64_t slot = slots_[i];
       if (slot == key || slot == kEmpty) return i;
-      if (slot == kTombstone && first_tombstone_ == kNoSlot) {
-        first_tombstone_ = i;
-      }
       i = (i + 1) & mask;
     }
   }
@@ -99,7 +108,6 @@ class PairKeySet {
     std::vector<uint64_t> old = std::move(slots_);
     slots_.assign(new_capacity, kEmpty);
     tombstones_ = 0;
-    first_tombstone_ = kNoSlot;
     const size_t mask = new_capacity - 1;
     for (uint64_t key : old) {
       if (key == kEmpty || key == kTombstone) continue;
@@ -112,7 +120,6 @@ class PairKeySet {
   std::vector<uint64_t> slots_;
   uint64_t size_ = 0;
   uint64_t tombstones_ = 0;
-  mutable size_t first_tombstone_ = kNoSlot;
 };
 
 /// Open-addressing map from NodeId to V, same rationale as PairKeySet.

@@ -1,0 +1,119 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace wireframe {
+
+ThreadPool::ThreadPool(uint32_t num_threads)
+    : num_threads_(std::max<uint32_t>(1, num_threads)) {
+  workers_.reserve(num_threads_ - 1);
+  for (uint32_t i = 1; i < num_threads_; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+uint32_t ThreadPool::ResolveThreads(uint32_t requested) {
+  if (requested != 0) return requested;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+Status ThreadPool::ParallelFor(
+    uint64_t n, const ParallelForOptions& options,
+    const std::function<void(uint32_t, uint64_t, uint64_t)>& body) {
+  WF_CHECK(options.morsel_size > 0) << "morsel size must be positive";
+  if (n == 0) return Status::OK();
+
+  Job job;
+  job.body = &body;
+  job.n = n;
+  job.morsel = options.morsel_size;
+  job.deadline = options.deadline;
+  job.external_stop = options.stop;
+
+  // One morsel, or no workers: run inline — the exception/timeout contract
+  // is identical, just without the hand-off machinery.
+  const bool inline_only = workers_.empty() || n <= options.morsel_size;
+  if (!inline_only) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      job_ = &job;
+      ++epoch_;
+      unfinished_workers_ = static_cast<uint32_t>(workers_.size());
+    }
+    work_cv_.notify_all();
+  }
+
+  RunMorsels(job, /*worker_id=*/0);
+
+  if (!inline_only) {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return unfinished_workers_ == 0; });
+    job_ = nullptr;
+  }
+
+  if (job.exception != nullptr) std::rethrow_exception(job.exception);
+  if (job.timed_out.load(std::memory_order_relaxed)) {
+    return Status::TimedOut("parallel for");
+  }
+  return Status::OK();
+}
+
+void ThreadPool::WorkerLoop(uint32_t worker_id) {
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [&] { return shutdown_ || epoch_ != seen_epoch; });
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+      job = job_;
+    }
+    RunMorsels(*job, worker_id);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--unfinished_workers_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::RunMorsels(Job& job, uint32_t worker_id) {
+  try {
+    for (;;) {
+      if (job.abort.load(std::memory_order_relaxed)) return;
+      if (job.external_stop != nullptr &&
+          job.external_stop->load(std::memory_order_relaxed)) {
+        return;
+      }
+      // The per-morsel deadline probe is the amortized check the engines
+      // rely on: one clock read per morsel_size items.
+      if (job.deadline.Expired()) {
+        job.timed_out.store(true, std::memory_order_relaxed);
+        job.abort.store(true, std::memory_order_relaxed);
+        return;
+      }
+      const uint64_t begin =
+          job.next.fetch_add(job.morsel, std::memory_order_relaxed);
+      if (begin >= job.n) return;
+      (*job.body)(worker_id, begin, std::min(job.n, begin + job.morsel));
+    }
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (job.exception == nullptr) job.exception = std::current_exception();
+    job.abort.store(true, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace wireframe

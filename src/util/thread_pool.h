@@ -1,0 +1,112 @@
+#ifndef WIREFRAME_UTIL_THREAD_POOL_H_
+#define WIREFRAME_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace wireframe {
+
+/// Tuning knobs of one ParallelFor call.
+struct ParallelForOptions {
+  /// Indices are handed out in contiguous chunks of this size; every chunk
+  /// starts at a multiple of it, so chunk boundaries — and therefore any
+  /// per-morsel shard layout — depend only on `n` and the morsel size,
+  /// never on the number of threads or scheduling order.
+  uint64_t morsel_size = 1024;
+  /// Checked between morsels (amortized over the morsel's items); an
+  /// expired deadline stops dispatch and ParallelFor returns TimedOut.
+  Deadline deadline;
+  /// Optional cooperative early-stop: when some worker sets it, no further
+  /// morsels are dispatched and ParallelFor returns OK (mirrors a sink
+  /// declining more rows — a result, not an error). May be null.
+  std::atomic<bool>* stop = nullptr;
+};
+
+/// A fixed pool of worker threads driving morsel-granular parallel loops.
+///
+/// There is no task queue and no work stealing: the only primitive is
+/// ParallelFor, which carves [0, n) into morsels claimed off a shared
+/// atomic counter. The calling thread participates as worker 0, so
+/// ThreadPool(n) spawns n-1 threads and ThreadPool(1) spawns none and runs
+/// everything inline on the caller — the serial path stays the serial
+/// path. One ParallelFor runs at a time per pool (callers of different
+/// pools are independent); the pool is not re-entrant from inside a body.
+///
+/// Error model: the first exception thrown by a body is captured, dispatch
+/// is aborted, and the exception is rethrown on the calling thread once
+/// every worker has quiesced. Deadline expiry surfaces as Status::TimedOut
+/// the same way. Either way no body is left running when ParallelFor
+/// returns, so per-morsel shards are safe to merge immediately.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads - 1` workers (the caller is the extra worker).
+  /// `num_threads` must be >= 1; use ResolveThreads to map a user-facing
+  /// thread count (where 0 means "all cores") to a concrete value.
+  explicit ThreadPool(uint32_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Maps an EngineOptions-style thread request to a concrete count:
+  /// 0 means hardware concurrency (at least 1), anything else is taken
+  /// as-is.
+  static uint32_t ResolveThreads(uint32_t requested);
+
+  uint32_t num_threads() const { return num_threads_; }
+
+  /// Invokes body(worker, begin, end) for consecutive morsels covering
+  /// [0, n), in parallel across the pool. `worker` is in [0,
+  /// num_threads()): stable per thread within one call, so bodies may
+  /// index per-worker state with it. Blocks until every dispatched morsel
+  /// finished. Returns TimedOut if the deadline expired before all
+  /// morsels ran; rethrows the first body exception.
+  Status ParallelFor(
+      uint64_t n, const ParallelForOptions& options,
+      const std::function<void(uint32_t worker, uint64_t begin, uint64_t end)>&
+          body);
+
+ private:
+  /// State of one ParallelFor, shared by the caller and the workers. Lives
+  /// on the caller's stack; workers are quiesced before it dies.
+  struct Job {
+    const std::function<void(uint32_t, uint64_t, uint64_t)>* body = nullptr;
+    uint64_t n = 0;
+    uint64_t morsel = 1;
+    Deadline deadline;
+    std::atomic<bool>* external_stop = nullptr;
+    std::atomic<uint64_t> next{0};
+    std::atomic<bool> abort{false};
+    std::atomic<bool> timed_out{false};
+    std::exception_ptr exception;  // guarded by the pool mutex
+  };
+
+  void WorkerLoop(uint32_t worker_id);
+  /// Claims and runs morsels until the range, the deadline, a stop flag,
+  /// or an exception ends the job.
+  void RunMorsels(Job& job, uint32_t worker_id);
+
+  const uint32_t num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for a new epoch
+  std::condition_variable done_cv_;   // caller waits for quiescence
+  uint64_t epoch_ = 0;                // bumped once per ParallelFor
+  uint32_t unfinished_workers_ = 0;   // workers still inside the epoch
+  Job* job_ = nullptr;
+  bool shutdown_ = false;
+};
+
+}  // namespace wireframe
+
+#endif  // WIREFRAME_UTIL_THREAD_POOL_H_

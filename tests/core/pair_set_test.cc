@@ -168,6 +168,66 @@ TEST(PairSetTest, CompactIsIdempotent) {
   EXPECT_EQ(s.DistinctDstCount(), 1u);
 }
 
+TEST(PairSetShardTest, MergeShardMatchesDirectAdds) {
+  // Build the same pair set twice: direct Adds in one stream, and the
+  // same stream partitioned into shards merged in order. Everything
+  // observable must coincide.
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  for (NodeId u = 0; u < 40; ++u) {
+    for (NodeId v = 0; v < 7; ++v) pairs.emplace_back(u, (u + v) % 25);
+  }
+
+  PairSet direct;
+  for (auto [u, v] : pairs) direct.Add(u, v);
+
+  PairSet merged;
+  constexpr size_t kShardSize = 23;  // deliberately not a divisor
+  for (size_t begin = 0; begin < pairs.size(); begin += kShardSize) {
+    PairSetShard shard;
+    const size_t end = std::min(pairs.size(), begin + kShardSize);
+    for (size_t i = begin; i < end; ++i) {
+      shard.Add(pairs[i].first, pairs[i].second);
+    }
+    EXPECT_EQ(shard.Size(), end - begin);
+    merged.MergeShard(shard);
+  }
+
+  ASSERT_EQ(merged.Size(), direct.Size());
+  EXPECT_EQ(merged.DistinctSrcCount(), direct.DistinctSrcCount());
+  EXPECT_EQ(merged.DistinctDstCount(), direct.DistinctDstCount());
+  std::set<std::pair<NodeId, NodeId>> direct_pairs, merged_pairs;
+  direct.ForEachPair(
+      [&](NodeId u, NodeId v) { direct_pairs.emplace(u, v); });
+  merged.ForEachPair(
+      [&](NodeId u, NodeId v) { merged_pairs.emplace(u, v); });
+  EXPECT_EQ(merged_pairs, direct_pairs);
+  for (NodeId u = 0; u < 40; ++u) {
+    EXPECT_EQ(merged.SrcCount(u), direct.SrcCount(u)) << "u=" << u;
+  }
+}
+
+TEST(PairSetShardTest, MergeShardDeduplicatesAcrossShards) {
+  PairSet set;
+  PairSetShard a, b;
+  a.Add(1, 2);
+  a.Add(3, 4);
+  b.Add(1, 2);  // duplicate of a's pair
+  b.Add(5, 6);
+  EXPECT_EQ(set.MergeShard(a), 2u);
+  EXPECT_EQ(set.MergeShard(b), 1u) << "duplicate must not re-insert";
+  EXPECT_EQ(set.Size(), 3u);
+  EXPECT_EQ(set.SrcCount(1), 1u);
+}
+
+TEST(PairSetShardTest, EmptyShardIsANoOp) {
+  PairSet set;
+  set.Add(7, 8);
+  PairSetShard empty;
+  EXPECT_TRUE(empty.Empty());
+  EXPECT_EQ(set.MergeShard(empty), 0u);
+  EXPECT_EQ(set.Size(), 1u);
+}
+
 TEST(PairSetTest, StressManyPairs) {
   PairSet s;
   for (NodeId u = 0; u < 100; ++u) {

@@ -1,0 +1,171 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace wireframe {
+namespace {
+
+TEST(ThreadPoolTest, ResolveThreadsMapsZeroToHardware) {
+  EXPECT_GE(ThreadPool::ResolveThreads(0), 1u);
+  EXPECT_EQ(ThreadPool::ResolveThreads(1), 1u);
+  EXPECT_EQ(ThreadPool::ResolveThreads(7), 7u);
+}
+
+TEST(ThreadPoolTest, EmptyRangeRunsNothing) {
+  ThreadPool pool(4);
+  std::atomic<uint64_t> calls{0};
+  Status st = pool.ParallelFor(
+      0, {}, [&](uint32_t, uint64_t, uint64_t) { ++calls; });
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(calls.load(), 0u);
+}
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  for (uint32_t threads : {1u, 2u, 4u}) {
+    ThreadPool pool(threads);
+    constexpr uint64_t kN = 10000;
+    std::vector<std::atomic<uint32_t>> visits(kN);
+    ParallelForOptions options;
+    options.morsel_size = 7;  // deliberately not a divisor of kN
+    Status st = pool.ParallelFor(
+        kN, options, [&](uint32_t, uint64_t begin, uint64_t end) {
+          ASSERT_EQ(begin % 7, 0u) << "morsels start at morsel multiples";
+          for (uint64_t i = begin; i < end; ++i) {
+            visits[i].fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+    ASSERT_TRUE(st.ok());
+    for (uint64_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(visits[i].load(), 1u) << "index " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, WorkerIdsAreInRangeAndZeroIsTheCaller) {
+  ThreadPool pool(4);
+  std::atomic<uint32_t> max_worker{0};
+  const std::thread::id caller = std::this_thread::get_id();
+  ParallelForOptions options;
+  options.morsel_size = 1;
+  Status st = pool.ParallelFor(
+      1000, options, [&](uint32_t worker, uint64_t, uint64_t) {
+        uint32_t seen = max_worker.load();
+        while (worker > seen && !max_worker.compare_exchange_weak(seen, worker)) {
+        }
+        // Worker id 0 is reserved for the calling thread; whether the
+        // caller actually claims a morsel is a scheduling race (spawned
+        // workers may drain the range first), so only the id mapping is
+        // asserted.
+        if (std::this_thread::get_id() == caller) {
+          EXPECT_EQ(worker, 0u);
+        } else {
+          EXPECT_NE(worker, 0u);
+        }
+      });
+  ASSERT_TRUE(st.ok());
+  EXPECT_LT(max_worker.load(), 4u);
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInlineOnCaller) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  uint64_t sum = 0;  // unsynchronized on purpose: everything is inline
+  Status st = pool.ParallelFor(
+      100, {}, [&](uint32_t worker, uint64_t begin, uint64_t end) {
+        EXPECT_EQ(worker, 0u);
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        for (uint64_t i = begin; i < end; ++i) sum += i;
+      });
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(sum, 99ull * 100 / 2);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  ParallelForOptions options;
+  options.morsel_size = 1;
+  EXPECT_THROW(
+      {
+        pool.ParallelFor(1000, options,
+                         [&](uint32_t, uint64_t begin, uint64_t) {
+                           if (begin == 500) {
+                             throw std::runtime_error("body failed");
+                           }
+                         });
+      },
+      std::runtime_error);
+
+  // The pool survives a throwing job and runs the next one.
+  std::atomic<uint64_t> calls{0};
+  Status st = pool.ParallelFor(
+      64, options, [&](uint32_t, uint64_t, uint64_t) { ++calls; });
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(calls.load(), 64u);
+}
+
+TEST(ThreadPoolTest, DeadlineExpiryMidRunReturnsTimedOut) {
+  ThreadPool pool(2);
+  ParallelForOptions options;
+  options.morsel_size = 1;
+  options.deadline = Deadline::AfterSeconds(0.02);
+  std::atomic<uint64_t> calls{0};
+  Status st = pool.ParallelFor(
+      1u << 20, options, [&](uint32_t, uint64_t, uint64_t) {
+        ++calls;
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      });
+  EXPECT_TRUE(st.IsTimedOut()) << st.ToString();
+  EXPECT_LT(calls.load(), 1u << 20) << "dispatch must stop at the deadline";
+}
+
+TEST(ThreadPoolTest, AlreadyExpiredDeadlineRunsNoBody) {
+  ThreadPool pool(2);
+  ParallelForOptions options;
+  options.deadline = Deadline::AlreadyExpired();
+  std::atomic<uint64_t> calls{0};
+  Status st = pool.ParallelFor(
+      1000, options, [&](uint32_t, uint64_t, uint64_t) { ++calls; });
+  EXPECT_TRUE(st.IsTimedOut());
+  EXPECT_EQ(calls.load(), 0u);
+}
+
+TEST(ThreadPoolTest, StopFlagEndsDispatchWithOkStatus) {
+  ThreadPool pool(2);
+  std::atomic<bool> stop{false};
+  ParallelForOptions options;
+  options.morsel_size = 1;
+  options.stop = &stop;
+  std::atomic<uint64_t> calls{0};
+  Status st = pool.ParallelFor(
+      1u << 20, options, [&](uint32_t, uint64_t, uint64_t) {
+        if (calls.fetch_add(1) == 100) stop.store(true);
+      });
+  EXPECT_TRUE(st.ok()) << "early stop is a result, not an error";
+  EXPECT_LT(calls.load(), 1u << 20);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossManyLoops) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<uint64_t> sum{0};
+    ParallelForOptions options;
+    options.morsel_size = 16;
+    Status st = pool.ParallelFor(
+        256, options, [&](uint32_t, uint64_t begin, uint64_t end) {
+          uint64_t local = 0;
+          for (uint64_t i = begin; i < end; ++i) local += i;
+          sum.fetch_add(local, std::memory_order_relaxed);
+        });
+    ASSERT_TRUE(st.ok());
+    ASSERT_EQ(sum.load(), 255ull * 256 / 2) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace wireframe
