@@ -133,6 +133,16 @@ int RunThreadsSweep(const Flags& flags) {
             << ThreadPool::ResolveThreads(0) << "\n\n";
 
   JsonResultWriter json;
+  // Provenance: a sweep recorded on a single-core box legitimately shows
+  // a flat curve, so the JSON must say what it ran on. The scale is the
+  // resolved value the graph was actually built with.
+  char scale_meta[32];
+  std::snprintf(scale_meta, sizeof(scale_meta), "%g", config.scale);
+  json.SetMeta("bench", "bench_scaling --threads_sweep");
+  json.SetMeta("hardware_threads",
+               std::to_string(ThreadPool::ResolveThreads(0)));
+  json.SetMeta("scale", scale_meta);
+  json.SetMeta("reps", std::to_string(reps));
   const std::string query_id = "T1-Q" + std::to_string(query_index + 1);
 
   TablePrinter table({"threads", "WF total (s)", "phase1 (s)", "phase2 (s)",

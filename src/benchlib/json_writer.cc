@@ -47,12 +47,33 @@ std::string FormatDouble(double v) {
 
 }  // namespace
 
+void JsonResultWriter::SetMeta(const std::string& key,
+                               const std::string& value) {
+  for (auto& [k, v] : meta_) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  meta_.emplace_back(key, value);
+}
+
 std::string JsonResultWriter::ToJson() const {
   std::ostringstream os;
+  const char* indent = "  ";
+  if (!meta_.empty()) {
+    indent = "    ";
+    os << "{\n  \"meta\": {";
+    for (size_t i = 0; i < meta_.size(); ++i) {
+      os << (i == 0 ? "" : ",") << "\n    \"" << Escape(meta_[i].first)
+         << "\": \"" << Escape(meta_[i].second) << "\"";
+    }
+    os << "\n  },\n  \"records\": ";
+  }
   os << "[\n";
   for (size_t i = 0; i < records_.size(); ++i) {
     const BenchRecord& r = records_[i];
-    os << "  {\"engine\": \"" << Escape(r.engine) << "\""
+    os << indent << "{\"engine\": \"" << Escape(r.engine) << "\""
        << ", \"query\": \"" << Escape(r.query) << "\""
        << ", \"ok\": " << (r.ok ? "true" : "false")
        << ", \"timed_out\": " << (r.timed_out ? "true" : "false")
@@ -62,10 +83,16 @@ std::string JsonResultWriter::ToJson() const {
        << ", \"ag_pairs\": " << r.ag_pairs
        << ", \"threads\": " << r.threads
        << ", \"phase1_seconds\": " << FormatDouble(r.phase1_seconds)
-       << ", \"phase2_seconds\": " << FormatDouble(r.phase2_seconds) << "}"
+       << ", \"phase2_seconds\": " << FormatDouble(r.phase2_seconds)
+       << ", \"p50_seconds\": " << FormatDouble(r.p50_seconds)
+       << ", \"p99_seconds\": " << FormatDouble(r.p99_seconds) << "}"
        << (i + 1 < records_.size() ? "," : "") << "\n";
   }
-  os << "]\n";
+  if (!meta_.empty()) {
+    os << "  ]\n}\n";
+  } else {
+    os << "]\n";
+  }
   return os.str();
 }
 

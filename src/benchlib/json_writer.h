@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace wireframe {
@@ -23,19 +24,33 @@ struct BenchRecord {
   /// Wireframe phase split (0 for baselines and when not measured).
   double phase1_seconds = 0.0;
   double phase2_seconds = 0.0;
+  /// Per-query latency percentiles of a concurrent-serving cell
+  /// (bench_concurrent; 0 when the cell is a single run).
+  double p50_seconds = 0.0;
+  double p99_seconds = 0.0;
 };
 
 /// Collects BenchRecords and serializes them as a JSON array. No external
 /// JSON dependency: the schema is flat, so hand-rolled serialization with
 /// string escaping is all that is needed.
+///
+/// Provenance metadata (hardware core count, dataset scale, ...) can be
+/// attached with SetMeta; with any metadata present the output becomes
+/// `{"meta": {...}, "records": [...]}` instead of the bare legacy array
+/// (scripts/bench_diff.py reads both shapes).
 class JsonResultWriter {
  public:
   void Add(BenchRecord record) { records_.push_back(std::move(record)); }
 
+  /// Attaches one provenance key/value (insertion-ordered; setting an
+  /// existing key overwrites it).
+  void SetMeta(const std::string& key, const std::string& value);
+
   bool empty() const { return records_.empty(); }
   const std::vector<BenchRecord>& records() const { return records_; }
 
-  /// The records as a pretty-printed JSON array.
+  /// The records as pretty-printed JSON (array, or object when metadata
+  /// is attached).
   std::string ToJson() const;
 
   /// Writes ToJson() to `path`. Returns false (and prints to stderr) on
@@ -43,6 +58,7 @@ class JsonResultWriter {
   bool WriteTo(const std::string& path) const;
 
  private:
+  std::vector<std::pair<std::string, std::string>> meta_;
   std::vector<BenchRecord> records_;
 };
 

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "util/hash.h"
+#include "util/interrupt.h"
 #include "util/logging.h"
 
 namespace wireframe {
@@ -62,6 +63,11 @@ Result<DefactorizerStats> BushyExecutor::Emit(
   ThreadPool* pool = options.pool;
   const bool parallel = pool != nullptr && pool->num_threads() > 1;
 
+  // Serial-path interrupt probe; the parallel loops get the same checks
+  // per morsel from ParallelFor. (`probe` would shadow the join's probe
+  // side, hence the name.)
+  InterruptProbe interrupt(options.deadline, options.cancel);
+
   auto materialize = [&](auto&& self,
                          int index) -> Result<Relation> {
     const BushyPlan::Node& node = plan.nodes[index];
@@ -80,9 +86,7 @@ Result<DefactorizerStats> BushyExecutor::Emit(
     } else {
       WF_ASSIGN_OR_RETURN(Relation left, self(self, node.left));
       WF_ASSIGN_OR_RETURN(Relation right, self(self, node.right));
-      if (options.deadline.Expired()) {
-        return Status::TimedOut("bushy join");
-      }
+      WF_RETURN_NOT_OK(interrupt.CheckNow("bushy join"));
 
       // Join columns: variables present on both sides.
       std::vector<int> lcols, rcols;
@@ -152,6 +156,7 @@ Result<DefactorizerStats> BushyExecutor::Emit(
         pf.morsel_size = kProbeMorsel;
         pf.deadline = options.deadline;
         pf.stop = &over_budget;
+        pf.cancel = options.cancel;
         const Status st = pool->ParallelFor(
             num_probe, pf,
             [&](uint32_t, uint64_t begin, uint64_t end) {
@@ -166,6 +171,7 @@ Result<DefactorizerStats> BushyExecutor::Emit(
                 over_budget.store(true, std::memory_order_relaxed);
               }
             });
+        if (st.IsCancelled()) return Status::Cancelled("bushy join");
         if (st.IsTimedOut()) return Status::TimedOut("bushy join");
         uint64_t merged = 0;
         for (const std::vector<NodeId>& chunk : chunks) {
@@ -183,11 +189,8 @@ Result<DefactorizerStats> BushyExecutor::Emit(
           stats.extensions += chunk_matches[m];
         }
       } else {
-        uint32_t tick = 0;
         for (size_t r = 0; r < probe.NumRows(); ++r) {
-          if (++tick % 4096 == 0 && options.deadline.Expired()) {
-            return Status::TimedOut("bushy join");
-          }
+          if (interrupt.Hit()) return interrupt.StatusFor("bushy join");
           probe_one(r, out.cells, stats.extensions);
           if (out.cells.size() + total_cells > options.max_cells) {
             return Status::OutOfRange(
@@ -229,6 +232,7 @@ Result<DefactorizerStats> BushyExecutor::Emit(
     pf.morsel_size = kEmitMorsel;
     pf.deadline = options.deadline;
     pf.stop = &stop;
+    pf.cancel = options.cancel;
     const Status st = pool->ParallelFor(
         result.NumRows(), pf,
         [&](uint32_t worker, uint64_t begin, uint64_t end) {
@@ -237,6 +241,7 @@ Result<DefactorizerStats> BushyExecutor::Emit(
             if (!shards[worker].Emit(bindings[worker])) break;
           }
         });
+    if (st.IsCancelled()) return Status::Cancelled("bushy emit");
     if (st.IsTimedOut()) return Status::TimedOut("bushy emit");
     for (SinkShard& shard : shards) {
       shard.Flush();
@@ -244,11 +249,8 @@ Result<DefactorizerStats> BushyExecutor::Emit(
     }
   } else {
     std::vector<NodeId> binding(query_->NumVars(), kInvalidNode);
-    uint32_t tick = 0;
     for (size_t r = 0; r < result.NumRows(); ++r) {
-      if (++tick % 4096 == 0 && options.deadline.Expired()) {
-        return Status::TimedOut("bushy emit");
-      }
+      if (interrupt.Hit()) return interrupt.StatusFor("bushy emit");
       fill_binding(result.Row(r), binding);
       ++stats.emitted;
       if (!sink->Emit(binding)) break;

@@ -1,6 +1,8 @@
 #ifndef WIREFRAME_CORE_BUSHY_EXECUTOR_H_
 #define WIREFRAME_CORE_BUSHY_EXECUTOR_H_
 
+#include <atomic>
+
 #include "core/answer_graph.h"
 #include "core/defactorizer.h"
 #include "exec/sink.h"
@@ -24,6 +26,10 @@ struct BushyExecutorOptions {
   /// every intermediate relation is bit-identical to the serial run) and
   /// over the final emit scan.
   ThreadPool* pool = nullptr;
+  /// Optional cooperative cancellation (borrowed, may be null): polled on
+  /// the same amortized cadence as the deadline; once set, execution
+  /// stops and Emit returns Status::Cancelled.
+  std::atomic<bool>* cancel = nullptr;
 };
 
 /// Executes a BushyPlan over the answer graph: leaves scan AG edge sets,

@@ -1,13 +1,30 @@
 #include "core/chords.h"
 
-#include <unordered_set>
+#include <algorithm>
+#include <utility>
 
 #include "util/hash.h"
+#include "util/interrupt.h"
 #include "util/logging.h"
 
 namespace wireframe {
 
 namespace {
+
+/// Endpoint-candidate items per morsel on the parallel chord paths. Each
+/// item expands into a partner scan (like a frontier node in regular edge
+/// extension), so morsels stay small to balance skewed degrees.
+constexpr uint64_t kChordMorsel = 128;
+
+/// Serial-path interrupt probes (deadline + cancel) run on this cadence.
+constexpr uint32_t kProbeStride = 4096;
+
+/// Sorts ascending and drops duplicates — the canonical form chord pair
+/// lists are kept in (see MaterializeChords).
+void SortUnique(std::vector<uint64_t>& keys) {
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+}
 
 /// Iterates partners of `node` (sitting at var `from`) across slot `slot`
 /// of `ag`, i.e. all y with an oriented live pair (node@from, y@other).
@@ -44,6 +61,17 @@ void ForEachOrientedPair(const AnswerGraph& ag, uint32_t slot, VarId u,
       fn(y, x);
     }
   });
+}
+
+/// Snapshots slot's live pairs reoriented so .first sits at var `u` —
+/// the indexable frontier the parallel chord join shards over.
+std::vector<std::pair<NodeId, NodeId>> CollectOrientedPairs(
+    const AnswerGraph& ag, uint32_t slot, VarId u) {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  out.reserve(ag.Set(slot).Size());
+  ForEachOrientedPair(ag, slot, u,
+                      [&](NodeId a, NodeId b) { out.emplace_back(a, b); });
+  return out;
 }
 
 }  // namespace
@@ -96,10 +124,40 @@ std::vector<ChordEvaluator::ResolvedTriangle> ChordEvaluator::AllTriangles()
   return out;
 }
 
-Status ChordEvaluator::MaterializeChords(const Deadline& deadline,
-                                         uint64_t* walks) {
+Status ChordEvaluator::MaterializeChords(
+    const ChordMaterializeOptions& options, uint64_t* walks) {
   WF_CHECK(chord_slots_.size() == chordification_->chords.size())
       << "RegisterChordSlots must run first";
+
+  ThreadPool* pool = options.pool;
+  const bool pool_parallel = pool != nullptr && pool->num_threads() > 1;
+
+  // Serial-path interrupt probe, amortized over kProbeStride partner
+  // scans; the parallel paths get the same checks per morsel from
+  // ParallelFor.
+  InterruptProbe probe(options.deadline, options.cancel, kProbeStride);
+
+  // Parallel driver shared by the triangle join and the intersection
+  // pass: shards [0, n) into kChordMorsel morsels on the pool, where
+  // body(m, begin, end, walks) handles one whole morsel and charges its
+  // retrievals to `walks`; per-morsel walk counts merge at the barrier.
+  // Deadline/cancel surface as the corresponding non-OK status.
+  auto sharded = [&](uint64_t n, auto&& body) -> Status {
+    const uint64_t num_morsels = (n + kChordMorsel - 1) / kChordMorsel;
+    std::vector<uint64_t> morsel_walks(num_morsels, 0);
+    ParallelForOptions pf;
+    pf.morsel_size = kChordMorsel;
+    pf.deadline = options.deadline;
+    pf.cancel = options.cancel;
+    const Status st = pool->ParallelFor(
+        n, pf, [&](uint32_t, uint64_t begin, uint64_t end) {
+          const uint64_t m = begin / kChordMorsel;
+          body(m, begin, end, morsel_walks[m]);
+        });
+    if (!st.ok()) return st;
+    for (uint64_t w : morsel_walks) *walks += w;
+    return Status::OK();
+  };
 
   // Innermost chords first: the chord vector is built in DP-tree preorder,
   // so reverse order guarantees a chord's own-triangle sides (query edges
@@ -108,7 +166,11 @@ Status ChordEvaluator::MaterializeChords(const Deadline& deadline,
     const Chord& chord = chordification_->chords[c];
     const uint32_t slot = chord_slots_[c];
 
-    std::unordered_set<uint64_t, Hash64> pairs;
+    // Working chord pairs, packed (chord.u endpoint, chord.v endpoint).
+    // Kept sorted ascending after the first triangle: the canonical order
+    // makes the materialized PairSet — including adjacency order —
+    // identical for every thread count.
+    std::vector<uint64_t> pairs;
     bool first_triangle = true;
     for (const Triangle& tri : chord.triangles) {
       if (!ag_->IsMaterialized(SlotOf(tri.side_uw)) ||
@@ -121,34 +183,106 @@ Status ChordEvaluator::MaterializeChords(const Deadline& deadline,
       // Orient so `a` ranges over chord.u and `b` over chord.v.
       const bool chord_straight = r.u == chord.u;
       if (first_triangle) {
-        // Join side_uw ⋈ side_wv on the apex.
-        ForEachOrientedPair(*ag_, r.uw_slot, r.u, [&](NodeId a, NodeId w) {
-          ForEachPartner(*ag_, r.wv_slot, r.w, w, [&](NodeId b) {
-            ++*walks;
-            pairs.insert(chord_straight ? PackPair(a, b) : PackPair(b, a));
+        // Join side_uw ⋈ side_wv on the apex, sharded over side_uw's
+        // endpoint-candidate pairs like regular edge extension. Only the
+        // parallel path snapshots the frontier (sharding needs random
+        // access); the serial path streams it.
+        const uint64_t frontier_size = ag_->Set(r.uw_slot).Size();
+        if (pool_parallel && frontier_size > kChordMorsel) {
+          const std::vector<std::pair<NodeId, NodeId>> frontier =
+              CollectOrientedPairs(*ag_, r.uw_slot, r.u);
+          std::vector<std::vector<uint64_t>> found(
+              (frontier.size() + kChordMorsel - 1) / kChordMorsel);
+          WF_RETURN_NOT_OK(sharded(
+              frontier.size(), [&](uint64_t m, uint64_t begin, uint64_t end,
+                                   uint64_t& morsel_walks) {
+                for (uint64_t i = begin; i < end; ++i) {
+                  const auto [a, w] = frontier[i];
+                  ForEachPartner(
+                      *ag_, r.wv_slot, r.w, w, [&](NodeId b) {
+                        ++morsel_walks;
+                        found[m].push_back(chord_straight ? PackPair(a, b)
+                                                          : PackPair(b, a));
+                      });
+                }
+                // Dedup inside the morsel, so a skewed join holds
+                // duplicates only morsel-locally, never in the merge.
+                SortUnique(found[m]);
+              }));
+          size_t total = 0;
+          for (const std::vector<uint64_t>& chunk : found) {
+            total += chunk.size();
+          }
+          pairs.reserve(total);
+          for (const std::vector<uint64_t>& chunk : found) {
+            pairs.insert(pairs.end(), chunk.begin(), chunk.end());
+          }
+        } else {
+          // Duplicates are compacted whenever the buffer doubles, so the
+          // serial path also peaks at O(distinct + recent walks), not
+          // O(total walks). The probe is sticky, so the visitor is cheap
+          // once interrupted.
+          size_t next_compact = 1024;
+          ForEachOrientedPair(*ag_, r.uw_slot, r.u, [&](NodeId a, NodeId w) {
+            if (probe.Hit()) return;
+            ForEachPartner(*ag_, r.wv_slot, r.w, w, [&](NodeId b) {
+              ++*walks;
+              pairs.push_back(chord_straight ? PackPair(a, b)
+                                             : PackPair(b, a));
+            });
+            if (pairs.size() >= next_compact) {
+              SortUnique(pairs);
+              next_compact = std::max<size_t>(1024, pairs.size() * 2);
+            }
           });
-        });
+          if (probe.triggered()) {
+            return probe.StatusFor("chord materialization");
+          }
+        }
+        // Canonicalize: different (a,w) frontier items can produce the
+        // same chord pair, so dedup; ascending order fixes the insertion
+        // order below independently of sharding.
+        SortUnique(pairs);
         first_triangle = false;
       } else {
-        // Intersect with this triangle's join.
-        std::unordered_set<uint64_t, Hash64> kept;
-        for (uint64_t key : pairs) {
-          auto [x, y] = UnpackPair(key);
+        // Intersect with this triangle's join: keep a pair iff some apex
+        // witness supports it. Sharded over the surviving pairs.
+        std::vector<uint8_t> keep(pairs.size(), 0);
+        auto support_one = [&](uint64_t i, uint64_t& walk_count) {
+          const auto [x, y] = UnpackPair(pairs[i]);
           const NodeId a = chord_straight ? x : y;
           const NodeId b = chord_straight ? y : x;
           bool supported = false;
           ForEachPartner(*ag_, r.uw_slot, r.u, a, [&](NodeId w) {
-            ++*walks;
+            ++walk_count;
             if (!supported &&
                 ContainsOriented(*ag_, r.wv_slot, r.w, w, b)) {
               supported = true;
             }
           });
-          if (supported) kept.insert(key);
+          keep[i] = supported ? 1 : 0;
+        };
+        if (pool_parallel && pairs.size() > kChordMorsel) {
+          WF_RETURN_NOT_OK(sharded(
+              pairs.size(), [&](uint64_t, uint64_t begin, uint64_t end,
+                                uint64_t& morsel_walks) {
+                for (uint64_t i = begin; i < end; ++i) {
+                  support_one(i, morsel_walks);
+                }
+              }));
+        } else {
+          for (uint64_t i = 0; i < pairs.size(); ++i) {
+            if (probe.Hit()) return probe.StatusFor("chord materialization");
+            support_one(i, *walks);
+          }
         }
-        pairs = std::move(kept);
+        // In-order compaction preserves the canonical ascending order.
+        size_t out = 0;
+        for (size_t i = 0; i < pairs.size(); ++i) {
+          if (keep[i] != 0) pairs[out++] = pairs[i];
+        }
+        pairs.resize(out);
       }
-      if (deadline.Expired()) return Status::TimedOut("chord materialization");
     }
     WF_CHECK(!first_triangle)
         << "chord " << c << " had no materializable triangle";
@@ -160,10 +294,11 @@ Status ChordEvaluator::MaterializeChords(const Deadline& deadline,
     }
     ag_->MarkMaterialized(slot);
     // Chords constrain node sets too: burn back endpoints that lost all
-    // support (both endpoints were necessarily touched already).
+    // support (both endpoints were necessarily touched already). Burnback
+    // cascades serially at this barrier, as in regular edge extension.
     burnback_->PruneAfterExtension(slot, /*src_was_touched=*/true,
                                    /*dst_was_touched=*/true);
-    if (deadline.Expired()) return Status::TimedOut("chord materialization");
+    WF_RETURN_NOT_OK(probe.CheckNow("chord materialization"));
   }
   return Status::OK();
 }

@@ -1,6 +1,7 @@
 #ifndef WIREFRAME_CORE_CHORDS_H_
 #define WIREFRAME_CORE_CHORDS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -8,9 +9,24 @@
 #include "core/burnback.h"
 #include "planner/triangulator.h"
 #include "util/result.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace wireframe {
+
+/// Knobs of one MaterializeChords run.
+struct ChordMaterializeOptions {
+  Deadline deadline;
+  /// Worker pool (borrowed, may be null): each chord's triangle joins and
+  /// intersections shard over the triangle's endpoint-candidate pairs,
+  /// exactly like regular edge extension. Null or single-threaded runs
+  /// the serial path; either way the materialized chord sets are
+  /// identical (pairs are canonicalized into ascending packed order
+  /// before insertion, so the AG is thread-count-invariant).
+  ThreadPool* pool = nullptr;
+  /// Cooperative cancellation, polled amortized like the deadline.
+  std::atomic<bool>* cancel = nullptr;
+};
 
 /// Runtime counterpart of the Triangulator's chordification (paper §4):
 /// materializes chord pair sets and, optionally, runs the edge-burnback
@@ -34,8 +50,11 @@ class ChordEvaluator {
 
   /// Materializes every chord, innermost (DP-tree leaves) first, applying
   /// node burnback after each. Requires all query edges materialized.
-  /// Adds the pairs it retrieves to `walks`.
-  Status MaterializeChords(const Deadline& deadline, uint64_t* walks);
+  /// Adds the pairs it retrieves to `walks`. Deadline expiry and
+  /// cancellation are polled amortized (per morsel on the parallel path,
+  /// every few thousand probes on the serial one).
+  Status MaterializeChords(const ChordMaterializeOptions& options,
+                           uint64_t* walks);
 
   /// Edge burnback: repeatedly enforces, for every triangle, that each
   /// side pair is witnessed by compatible pairs of the other two sides;

@@ -4,6 +4,7 @@
 #include <mutex>
 #include <utility>
 
+#include "util/interrupt.h"
 #include "util/logging.h"
 
 namespace wireframe {
@@ -24,20 +25,18 @@ struct EmitContext {
   /// edge at depth d has been joined.
   const std::vector<std::vector<uint32_t>>* chord_checks;
   Sink* sink;
-  const Deadline* deadline;
+  InterruptProbe probe;
   std::vector<NodeId> binding;
   DefactorizerStats stats;
-  uint32_t tick = 0;
-  bool stop = false;       // sink asked to stop (not an error)
-  bool timed_out = false;
+  bool stop = false;  // sink asked to stop (not an error)
 
+  /// Amortized deadline + cancellation probe; also true once the sink
+  /// declined more rows.
   bool DeadlineHit() {
-    if (++tick % 4096 != 0) return false;
-    if (deadline->Expired()) {
-      timed_out = true;
-      stop = true;
-    }
-    return timed_out;
+    if (stop) return true;
+    if (!probe.Hit()) return false;
+    stop = true;
+    return true;
   }
 };
 
@@ -169,7 +168,7 @@ Result<DefactorizerStats> Defactorizer::Emit(
       ctx.ag = ag_;
       ctx.order = &plan.join_order;
       ctx.chord_checks = &chord_checks;
-      ctx.deadline = &options.deadline;
+      ctx.probe = InterruptProbe(options.deadline, options.cancel);
       ctx.binding.assign(query_->NumVars(), kInvalidNode);
     }
     for (uint32_t w = 0; w < workers; ++w) ctxs[w].sink = &shards[w];
@@ -178,6 +177,7 @@ Result<DefactorizerStats> Defactorizer::Emit(
     pf.morsel_size = kRootMorsel;
     pf.deadline = options.deadline;
     pf.stop = &stop;
+    pf.cancel = options.cancel;
     const Status st = pool->ParallelFor(
         roots.size(), pf,
         [&](uint32_t worker, uint64_t begin, uint64_t end) {
@@ -195,11 +195,14 @@ Result<DefactorizerStats> Defactorizer::Emit(
 
     DefactorizerStats stats;
     bool timed_out = st.IsTimedOut();
+    bool cancelled = st.IsCancelled();
     for (uint32_t w = 0; w < workers; ++w) {
-      timed_out |= ctxs[w].timed_out;
+      timed_out |= ctxs[w].probe.timed_out();
+      cancelled |= ctxs[w].probe.cancelled();
       stats.extensions += ctxs[w].stats.extensions;
       stats.chord_rejections += ctxs[w].stats.chord_rejections;
     }
+    if (cancelled) return Status::Cancelled("embedding generation");
     if (timed_out) return Status::TimedOut("embedding generation");
     for (SinkShard& shard : shards) {
       shard.Flush();
@@ -214,10 +217,10 @@ Result<DefactorizerStats> Defactorizer::Emit(
   ctx.order = &plan.join_order;
   ctx.chord_checks = &chord_checks;
   ctx.sink = sink;
-  ctx.deadline = &options.deadline;
+  ctx.probe = InterruptProbe(options.deadline, options.cancel);
   ctx.binding.assign(query_->NumVars(), kInvalidNode);
   EmitStep(ctx, 0);
-  if (ctx.timed_out) return Status::TimedOut("embedding generation");
+  WF_RETURN_NOT_OK(ctx.probe.StatusFor("embedding generation"));
   return ctx.stats;
 }
 

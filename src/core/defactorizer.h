@@ -1,6 +1,8 @@
 #ifndef WIREFRAME_CORE_DEFACTORIZER_H_
 #define WIREFRAME_CORE_DEFACTORIZER_H_
 
+#include <atomic>
+
 #include "core/answer_graph.h"
 #include "exec/sink.h"
 #include "planner/plan.h"
@@ -21,6 +23,11 @@ struct DefactorizerOptions {
   /// sink is only locked at batch granularity. The embedding multiset is
   /// identical for every thread count; only emission order differs.
   ThreadPool* pool = nullptr;
+  /// Optional cooperative cancellation (borrowed, may be null): polled on
+  /// the same amortized cadence as the deadline; once set, enumeration
+  /// stops and Emit returns Status::Cancelled (rows already handed to the
+  /// sink stay emitted).
+  std::atomic<bool>* cancel = nullptr;
   /// Use materialized chord pair sets as early filters: as soon as both
   /// endpoints of a chord are bound, a binding not in the chord set is
   /// abandoned. Sound (chord sets are supersets of the embedding

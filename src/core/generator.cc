@@ -7,6 +7,7 @@
 
 #include "core/burnback.h"
 #include "core/chords.h"
+#include "util/interrupt.h"
 #include "util/logging.h"
 
 namespace wireframe {
@@ -61,11 +62,10 @@ Result<GeneratorResult> AgGenerator::Generate(
     chord_eval.RegisterChordSlots();
   }
 
-  uint32_t probe_tick = 0;
-  auto deadline_hit = [&]() -> bool {
-    if (++probe_tick % kDeadlineStride != 0) return false;
-    return options.deadline.Expired();
-  };
+  // Serial-path interrupt probe (cancel + deadline), amortized over
+  // kDeadlineStride items; the parallel paths get the same checks per
+  // morsel from ParallelFor.
+  InterruptProbe probe(options.deadline, options.cancel, kDeadlineStride);
 
   // Lookahead filter support: for a node landing on a fresh variable v
   // via edge e, every other not-yet-materialized query edge incident to v
@@ -94,25 +94,27 @@ Result<GeneratorResult> AgGenerator::Generate(
   // each morsel filling a private PairSetShard, then merges the shards
   // into `set` in morsel order. The body only reads shared state (store,
   // AG sets of earlier levels); the merge at the barrier is the only
-  // writer of `set`. Returns false iff the deadline expired.
+  // writer of `set`. Deadline expiry and cancellation surface as the
+  // corresponding non-OK status, in which case nothing is merged.
   auto sharded_extend = [&](uint64_t n, uint64_t morsel, PairSet& set,
-                            auto&& body) -> bool {
+                            auto&& body) -> Status {
     const uint64_t num_morsels = n == 0 ? 0 : (n + morsel - 1) / morsel;
     std::vector<PairSetShard> shards(num_morsels);
     ParallelForOptions pf;
     pf.morsel_size = morsel;
     pf.deadline = options.deadline;
+    pf.cancel = options.cancel;
     const Status st = pool->ParallelFor(
         n, pf, [&](uint32_t /*worker*/, uint64_t begin, uint64_t end) {
           PairSetShard& shard = shards[begin / morsel];
           for (uint64_t i = begin; i < end; ++i) body(i, shard);
         });
-    if (!st.ok()) return false;
+    if (!st.ok()) return st;
     for (const PairSetShard& shard : shards) {
       set.MergeShard(shard);
       result.edge_walks += shard.edge_walks;
     }
-    return true;
+    return Status::OK();
   };
 
   // --- Edge extension + node burnback, one query edge at a time. ---
@@ -122,7 +124,7 @@ Result<GeneratorResult> AgGenerator::Generate(
     PairSet& set = ag.Set(e);
     const bool src_touched = ag.IsTouched(qe.src);
     const bool dst_touched = ag.IsTouched(qe.dst);
-    bool timed_out = false;
+    Status level_status;  // non-OK on a parallel-path interrupt
 
     if (p >= store.NumPredicates()) {
       // Label exists in the dictionary but has no triples: the edge set
@@ -135,7 +137,7 @@ Result<GeneratorResult> AgGenerator::Generate(
         // ascend and objects ascend within each subject, so the merged
         // insertion order equals the serial ForEachEdge order.
         const std::span<const NodeId> subjects = store.DistinctSubjects(p);
-        timed_out = !sharded_extend(
+        level_status = sharded_extend(
             subjects.size(), kFrontierMorsel, set,
             [&](uint64_t i, PairSetShard& shard) {
               const NodeId s = subjects[i];
@@ -149,6 +151,7 @@ Result<GeneratorResult> AgGenerator::Generate(
             });
       } else {
         store.ForEachEdge(p, [&](NodeId s, NodeId o) {
+          if (probe.Hit()) return;  // sticky: the rest of the scan is cheap
           ++result.edge_walks;
           if (passes_lookahead(qe.src, s, e, result.edge_walks) &&
               passes_lookahead(qe.dst, o, e, result.edge_walks)) {
@@ -159,7 +162,7 @@ Result<GeneratorResult> AgGenerator::Generate(
     } else if (src_touched && !dst_touched) {
       if (parallel) {
         const std::vector<NodeId> frontier = CollectCandidates(ag, qe.src);
-        timed_out = !sharded_extend(
+        level_status = sharded_extend(
             frontier.size(), kFrontierMorsel, set,
             [&](uint64_t i, PairSetShard& shard) {
               const NodeId u = frontier[i];
@@ -173,7 +176,7 @@ Result<GeneratorResult> AgGenerator::Generate(
             });
       } else {
         ag.ForEachCandidate(qe.src, [&](NodeId u) {
-          if (timed_out || (timed_out = deadline_hit())) return;
+          if (probe.Hit()) return;
           ++result.edge_walks;  // one index probe
           for (NodeId o : store.OutNeighbors(p, u)) {
             ++result.edge_walks;
@@ -186,7 +189,7 @@ Result<GeneratorResult> AgGenerator::Generate(
     } else if (!src_touched && dst_touched) {
       if (parallel) {
         const std::vector<NodeId> frontier = CollectCandidates(ag, qe.dst);
-        timed_out = !sharded_extend(
+        level_status = sharded_extend(
             frontier.size(), kFrontierMorsel, set,
             [&](uint64_t i, PairSetShard& shard) {
               const NodeId w = frontier[i];
@@ -200,7 +203,7 @@ Result<GeneratorResult> AgGenerator::Generate(
             });
       } else {
         ag.ForEachCandidate(qe.dst, [&](NodeId w) {
-          if (timed_out || (timed_out = deadline_hit())) return;
+          if (probe.Hit()) return;
           ++result.edge_walks;
           for (NodeId s : store.InNeighbors(p, w)) {
             ++result.edge_walks;
@@ -218,7 +221,7 @@ Result<GeneratorResult> AgGenerator::Generate(
       if (src_cand <= dst_cand) {
         if (parallel) {
           const std::vector<NodeId> frontier = CollectCandidates(ag, qe.src);
-          timed_out = !sharded_extend(
+          level_status = sharded_extend(
               frontier.size(), kFrontierMorsel, set,
               [&](uint64_t i, PairSetShard& shard) {
                 const NodeId u = frontier[i];
@@ -230,7 +233,7 @@ Result<GeneratorResult> AgGenerator::Generate(
               });
         } else {
           ag.ForEachCandidate(qe.src, [&](NodeId u) {
-            if (timed_out || (timed_out = deadline_hit())) return;
+            if (probe.Hit()) return;
             ++result.edge_walks;
             for (NodeId o : store.OutNeighbors(p, u)) {
               ++result.edge_walks;
@@ -241,7 +244,7 @@ Result<GeneratorResult> AgGenerator::Generate(
       } else {
         if (parallel) {
           const std::vector<NodeId> frontier = CollectCandidates(ag, qe.dst);
-          timed_out = !sharded_extend(
+          level_status = sharded_extend(
               frontier.size(), kFrontierMorsel, set,
               [&](uint64_t i, PairSetShard& shard) {
                 const NodeId w = frontier[i];
@@ -253,7 +256,7 @@ Result<GeneratorResult> AgGenerator::Generate(
               });
         } else {
           ag.ForEachCandidate(qe.dst, [&](NodeId w) {
-            if (timed_out || (timed_out = deadline_hit())) return;
+            if (probe.Hit()) return;
             ++result.edge_walks;
             for (NodeId s : store.InNeighbors(p, w)) {
               ++result.edge_walks;
@@ -263,7 +266,8 @@ Result<GeneratorResult> AgGenerator::Generate(
         }
       }
     }
-    if (timed_out) return Status::TimedOut("answer-graph generation");
+    if (!level_status.ok()) return level_status;
+    if (probe.triggered()) return probe.StatusFor("answer-graph generation");
 
     const uint64_t added = set.Size();
     ag.MarkMaterialized(e);
@@ -276,16 +280,18 @@ Result<GeneratorResult> AgGenerator::Generate(
       options.trace({GeneratorTraceStep::Kind::kExtension, e, added, burned,
                      ag.TotalQueryEdgePairs()});
     }
-    if (options.deadline.Expired()) {
-      return Status::TimedOut("answer-graph generation");
-    }
+    WF_RETURN_NOT_OK(probe.CheckNow("answer-graph generation"));
   }
 
   // --- Chord materialization (cyclic queries). ---
   if (use_chords) {
     result.used_chords = true;
     uint64_t walks = 0;
-    Status st = chord_eval.MaterializeChords(options.deadline, &walks);
+    ChordMaterializeOptions chord_options;
+    chord_options.deadline = options.deadline;
+    chord_options.pool = pool;
+    chord_options.cancel = options.cancel;
+    Status st = chord_eval.MaterializeChords(chord_options, &walks);
     if (!st.ok()) return st;
     result.edge_walks += walks;
     for (size_t c = 0; c < plan.chords.size(); ++c) {

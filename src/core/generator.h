@@ -1,6 +1,7 @@
 #ifndef WIREFRAME_CORE_GENERATOR_H_
 #define WIREFRAME_CORE_GENERATOR_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 
@@ -56,6 +57,10 @@ struct GeneratorOptions {
   /// order — is identical for every thread count. Burnback and chord
   /// materialization stay serial (they run at the barrier).
   ThreadPool* pool = nullptr;
+  /// Optional cooperative cancellation (borrowed, may be null): polled on
+  /// the same amortized cadence as the deadline; once set, generation
+  /// stops and Generate returns Status::Cancelled.
+  std::atomic<bool>* cancel = nullptr;
   /// Optional step observer.
   std::function<void(const GeneratorTraceStep&)> trace;
 };

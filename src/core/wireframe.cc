@@ -11,12 +11,13 @@ Result<WireframeRunDetail> WireframeEngine::RunDetailed(
   WireframeRunDetail detail;
   Stopwatch total;
 
-  // One pool serves both phases; threads==1 (the default) never builds a
-  // pool, so the serial paths run exactly as before.
-  const uint32_t threads = ThreadPool::ResolveThreads(options.threads);
-  std::unique_ptr<ThreadPool> pool;
-  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
-  detail.threads = threads;
+  // One pool serves both phases: the shared runtime pool when this run is
+  // part of a QueryRuntime, otherwise a private pool (threads==1, the
+  // default, never builds one, so the serial paths run exactly as
+  // before).
+  PoolLease lease(options);
+  ThreadPool* pool = lease.get();
+  detail.threads = lease.threads();
 
   // --- Planning: Edgifier (+ Triangulator for cyclic queries). ---
   Stopwatch plan_watch;
@@ -44,7 +45,8 @@ Result<WireframeRunDetail> WireframeEngine::RunDetailed(
   gen_options.edge_burnback = options_.edge_burnback;
   gen_options.lookahead = options_.lookahead;
   gen_options.deadline = options.deadline;
-  gen_options.pool = pool.get();
+  gen_options.pool = pool;
+  gen_options.cancel = options.runtime.cancel;
   AgGenerator generator(db, catalog);
   WF_ASSIGN_OR_RETURN(GeneratorResult gen,
                       generator.Generate(query, detail.ag_plan, gen_options));
@@ -62,7 +64,8 @@ Result<WireframeRunDetail> WireframeEngine::RunDetailed(
       BushyExecutor executor(query, *gen.ag);
       BushyExecutorOptions bushy_options;
       bushy_options.deadline = options.deadline;
-      bushy_options.pool = pool.get();
+      bushy_options.pool = pool;
+      bushy_options.cancel = options.runtime.cancel;
       WF_ASSIGN_OR_RETURN(detail.phase2_stats,
                           executor.Emit(*bushy_plan, sink, bushy_options));
       emitted_by_bushy = true;
@@ -78,7 +81,8 @@ Result<WireframeRunDetail> WireframeEngine::RunDetailed(
     DefactorizerOptions defac_options;
     defac_options.deadline = options.deadline;
     defac_options.use_chords = options_.chords_in_phase2;
-    defac_options.pool = pool.get();
+    defac_options.pool = pool;
+    defac_options.cancel = options.runtime.cancel;
     WF_ASSIGN_OR_RETURN(
         detail.phase2_stats,
         defactorizer.Emit(detail.embedding_plan, sink, defac_options));

@@ -10,8 +10,8 @@ Result<EngineStats> ColumnarEngine::Run(const Database& db,
                                         Sink* sink) {
   (void)catalog;  // written order: no statistics consulted
   const std::vector<uint32_t> order = OrderAsWrittenConnected(query);
-  return RunMaterializing(db, query, order, options.deadline, kMaxCells,
-                          sink);
+  return RunMaterializing(db, query, order, options.deadline,
+                          options.runtime.cancel, kMaxCells, sink);
 }
 
 }  // namespace wireframe

@@ -15,12 +15,11 @@ Result<EngineStats> HashJoinEngine::Run(const Database& db,
   const std::vector<uint32_t> order = OrderByEstimatedGrowth(query, estimator);
   // The build side of every join step is morsel-parallel (Table-1 stays
   // apples-to-apples with the parallel Wireframe phases); threads==1
-  // keeps the serial path.
-  const uint32_t threads = ThreadPool::ResolveThreads(options.threads);
-  std::unique_ptr<ThreadPool> pool;
-  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
-  return RunMaterializing(db, query, order, options.deadline, kMaxCells,
-                          sink, pool.get());
+  // with no shared runtime keeps the serial path.
+  PoolLease lease(options);
+  return RunMaterializing(db, query, order, options.deadline,
+                          options.runtime.cancel, kMaxCells, sink,
+                          lease.get());
 }
 
 }  // namespace wireframe

@@ -10,7 +10,8 @@ Result<EngineStats> IndexNestedLoopEngine::Run(const Database& db,
                                                Sink* sink) {
   CardinalityEstimator estimator(catalog);
   const std::vector<uint32_t> order = OrderByEstimatedGrowth(query, estimator);
-  return RunPipelined(db, query, order, options.deadline, sink);
+  return RunPipelined(db, query, order, options.deadline,
+                      options.runtime.cancel, sink);
 }
 
 }  // namespace wireframe

@@ -1,6 +1,7 @@
 #ifndef WIREFRAME_EXEC_ENGINE_H_
 #define WIREFRAME_EXEC_ENGINE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -15,6 +16,24 @@
 
 namespace wireframe {
 
+class ThreadPool;
+
+/// Ties one engine Run into a shared query runtime. Both fields are
+/// borrowed (the runtime outlives the Run) and both may be null: a null
+/// pool means the engine owns its parallelism (EngineOptions::threads),
+/// a null cancel means the run cannot be revoked.
+struct RuntimeHandle {
+  /// Process-wide worker pool shared by every in-flight query. When set,
+  /// EngineOptions::threads is ignored and every morsel-parallel loop of
+  /// the run is submitted to this pool as a fairly-scheduled task-group,
+  /// interleaving with the other queries' loops at morsel granularity.
+  ThreadPool* pool = nullptr;
+  /// Cooperative cancellation: engines poll this flag on the same
+  /// amortized cadence as the deadline and return Status::Cancelled once
+  /// it is set. Results already emitted to the sink stay emitted.
+  std::atomic<bool>* cancel = nullptr;
+};
+
 /// Per-run knobs common to every engine.
 struct EngineOptions {
   /// Wall-clock budget; expired runs return Status::TimedOut (the paper
@@ -24,8 +43,35 @@ struct EngineOptions {
   /// generation and defactorization, the hash-join baseline's build
   /// side). 1 runs the exact serial code paths; 0 means one thread per
   /// hardware core. Results are thread-count-invariant: the embedding
-  /// multiset and |AG| are identical for every value.
+  /// multiset and |AG| are identical for every value. Ignored when
+  /// `runtime.pool` is set — the shared pool's size governs.
   uint32_t threads = 1;
+  /// Shared-runtime variant: borrowed pool + cancellation (see
+  /// RuntimeHandle). Default-empty keeps the historical one-pool-per-Run
+  /// behavior.
+  RuntimeHandle runtime;
+};
+
+/// Resolves EngineOptions to the worker pool a Run should use: the shared
+/// runtime pool when one is handed in, otherwise a privately owned pool
+/// when threads > 1, otherwise none (exact serial paths). Engines hold
+/// one lease for the duration of Run.
+class PoolLease {
+ public:
+  explicit PoolLease(const EngineOptions& options);
+  ~PoolLease();
+
+  PoolLease(const PoolLease&) = delete;
+  PoolLease& operator=(const PoolLease&) = delete;
+
+  /// The pool to run morsel loops on; null means stay serial.
+  ThreadPool* get() const { return pool_; }
+  /// Worker slots available to this run (1 when serial).
+  uint32_t threads() const;
+
+ private:
+  ThreadPool* pool_ = nullptr;
+  std::unique_ptr<ThreadPool> owned_;
 };
 
 /// Execution metrics an engine reports alongside its results.

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <limits>
 
+#include "util/interrupt.h"
 #include "util/logging.h"
 
 namespace wireframe {
@@ -111,21 +112,19 @@ struct PipelineContext {
   const QueryGraph* query;
   const std::vector<uint32_t>* order;
   Sink* sink;
-  const Deadline* deadline;
+  InterruptProbe probe;
   std::vector<NodeId> binding;
   uint64_t walks = 0;
   uint64_t emitted = 0;
-  uint32_t tick = 0;
   bool stop = false;
-  bool timed_out = false;
 
+  /// Amortized deadline + cancellation probe; also true once the sink
+  /// declined more rows.
   bool DeadlineHit() {
-    if (++tick % 4096 != 0) return false;
-    if (deadline->Expired()) {
-      timed_out = true;
-      stop = true;
-    }
-    return timed_out;
+    if (stop) return true;
+    if (!probe.Hit()) return false;
+    stop = true;
+    return true;
   }
 };
 
@@ -190,17 +189,18 @@ void PipelineStep(PipelineContext& ctx, size_t depth) {
 
 Result<EngineStats> RunPipelined(const Database& db, const QueryGraph& query,
                                  const std::vector<uint32_t>& order,
-                                 const Deadline& deadline, Sink* sink) {
+                                 const Deadline& deadline,
+                                 std::atomic<bool>* cancel, Sink* sink) {
   Stopwatch watch;
   PipelineContext ctx;
   ctx.store = &db.store();
   ctx.query = &query;
   ctx.order = &order;
   ctx.sink = sink;
-  ctx.deadline = &deadline;
+  ctx.probe = InterruptProbe(deadline, cancel);
   ctx.binding.assign(query.NumVars(), kInvalidNode);
   PipelineStep(ctx, 0);
-  if (ctx.timed_out) return Status::TimedOut("pipelined evaluation");
+  WF_RETURN_NOT_OK(ctx.probe.StatusFor("pipelined evaluation"));
   EngineStats stats;
   stats.seconds = watch.ElapsedSeconds();
   stats.edge_walks = ctx.walks;
@@ -219,6 +219,7 @@ Result<EngineStats> RunMaterializing(const Database& db,
                                      const QueryGraph& query,
                                      const std::vector<uint32_t>& order,
                                      const Deadline& deadline,
+                                     std::atomic<bool>* cancel,
                                      uint64_t max_cells, Sink* sink,
                                      ThreadPool* pool) {
   Stopwatch watch;
@@ -229,10 +230,7 @@ Result<EngineStats> RunMaterializing(const Database& db,
   // Rows are full-width bindings; unbound slots hold kInvalidNode.
   std::vector<std::vector<NodeId>> rows;
   EngineStats stats;
-  uint32_t tick = 0;
-  auto deadline_hit = [&]() {
-    return ++tick % 1024 == 0 && deadline.Expired();
-  };
+  InterruptProbe probe(deadline, cancel, /*stride=*/1024);
 
   bool first = true;
   for (uint32_t e : order) {
@@ -297,6 +295,7 @@ Result<EngineStats> RunMaterializing(const Database& db,
       pf.morsel_size = kBuildMorsel;
       pf.deadline = deadline;
       pf.stop = &over_budget;
+      pf.cancel = cancel;
       const Status st = pool->ParallelFor(
           rows.size(), pf, [&](uint32_t, uint64_t begin, uint64_t end) {
             const uint64_t m = begin / kBuildMorsel;
@@ -309,6 +308,7 @@ Result<EngineStats> RunMaterializing(const Database& db,
               over_budget.store(true, std::memory_order_relaxed);
             }
           });
+      if (st.IsCancelled()) return Status::Cancelled("materializing join");
       if (st.IsTimedOut()) return Status::TimedOut("materializing join");
       uint64_t merged = 0;
       for (const auto& chunk : chunks) merged += chunk.size();
@@ -326,7 +326,7 @@ Result<EngineStats> RunMaterializing(const Database& db,
       }
     } else {
       for (std::vector<NodeId>& row : rows) {
-        if (deadline_hit()) return Status::TimedOut("materializing join");
+        if (probe.Hit()) return probe.StatusFor("materializing join");
         extend_row(row, next, stats.edge_walks);
         if (static_cast<uint64_t>(next.size()) * num_vars > max_cells) {
           return Status::OutOfRange(
@@ -337,20 +337,17 @@ Result<EngineStats> RunMaterializing(const Database& db,
     rows = std::move(next);
     stats.peak_intermediate =
         std::max(stats.peak_intermediate, static_cast<uint64_t>(rows.size()));
-    if (deadline.Expired()) return Status::TimedOut("materializing join");
+    WF_RETURN_NOT_OK(probe.CheckNow("materializing join"));
     if (static_cast<uint64_t>(rows.size()) * num_vars > max_cells) {
       return Status::OutOfRange(
           "intermediate result exceeded the memory budget");
     }
   }
 
-  tick = 0;
   for (const std::vector<NodeId>& row : rows) {
-    // The final scan honors the run deadline too, so oversized results
-    // cannot stretch a 300 s-style budget unchecked.
-    if (++tick % 4096 == 0 && deadline.Expired()) {
-      return Status::TimedOut("materializing join");
-    }
+    // The final scan honors the run deadline (and cancellation) too, so
+    // oversized results cannot stretch a 300 s-style budget unchecked.
+    if (probe.Hit()) return probe.StatusFor("materializing join");
     ++stats.output_tuples;
     if (!sink->Emit(row)) break;
   }

@@ -1,6 +1,7 @@
 #ifndef WIREFRAME_EXEC_JOIN_COMMON_H_
 #define WIREFRAME_EXEC_JOIN_COMMON_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -38,10 +39,14 @@ std::vector<uint32_t> OrderAsWrittenConnected(const QueryGraph& query);
 
 /// Pipelined (tuple-at-a-time, index nested loop) evaluation directly over
 /// the triple store: depth-first extension of one binding at a time, no
-/// intermediate materialization. Neo4J/Virtuoso regime.
+/// intermediate materialization. Neo4J/Virtuoso regime. `cancel`
+/// (borrowed, may be null) is the cooperative cancellation flag; it is
+/// polled on the same amortized cadence as the deadline and surfaces as
+/// Status::Cancelled.
 Result<EngineStats> RunPipelined(const Database& db, const QueryGraph& query,
                                  const std::vector<uint32_t>& order,
-                                 const Deadline& deadline, Sink* sink);
+                                 const Deadline& deadline,
+                                 std::atomic<bool>* cancel, Sink* sink);
 
 /// Fully materializing (relation-at-a-time) evaluation: every join step
 /// produces the complete intermediate binding table before the next step
@@ -58,6 +63,7 @@ Result<EngineStats> RunMaterializing(const Database& db,
                                      const QueryGraph& query,
                                      const std::vector<uint32_t>& order,
                                      const Deadline& deadline,
+                                     std::atomic<bool>* cancel,
                                      uint64_t max_cells, Sink* sink,
                                      ThreadPool* pool = nullptr);
 

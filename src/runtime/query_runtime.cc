@@ -1,0 +1,325 @@
+#include "runtime/query_runtime.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace wireframe {
+namespace runtime {
+
+namespace {
+
+/// Caps the rows a run may hand to the request sink. A row beyond the
+/// budget is refused (never forwarded) and returning false asks the
+/// engine to stop — engines treat a declining sink as a result, not an
+/// error, so a budget-clamped run finishes with OK and the runtime
+/// reports kBudgetExhausted from the `exhausted` flag. The flag is only
+/// raised by an actual refusal: a result with exactly `budget` rows
+/// completes naturally and reports kCompleted (at the price of the
+/// engine producing one surplus row to discover the end).
+class RowBudgetSink : public Sink {
+ public:
+  RowBudgetSink(Sink* inner, uint64_t budget)
+      : inner_(inner), budget_(budget) {}
+
+  bool Emit(const std::vector<NodeId>& binding) override {
+    if (count_ >= budget_) {
+      exhausted_ = true;
+      return false;
+    }
+    const bool inner_wants_more = inner_->Emit(binding);
+    ++count_;
+    return inner_wants_more;
+  }
+  uint64_t count() const override { return count_; }
+  bool exhausted() const { return exhausted_; }
+
+ private:
+  Sink* inner_;
+  uint64_t budget_;
+  uint64_t count_ = 0;
+  bool exhausted_ = false;
+};
+
+}  // namespace
+
+const char* QueryOutcomeName(QueryOutcome outcome) {
+  switch (outcome) {
+    case QueryOutcome::kPending:
+      return "pending";
+    case QueryOutcome::kCompleted:
+      return "completed";
+    case QueryOutcome::kBudgetExhausted:
+      return "budget_exhausted";
+    case QueryOutcome::kTimedOut:
+      return "timed_out";
+    case QueryOutcome::kCancelled:
+      return "cancelled";
+    case QueryOutcome::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+bool QuerySession::done() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return done_;
+}
+
+void QuerySession::Wait() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return done_; });
+}
+
+QueryOutcome QuerySession::outcome() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return outcome_;
+}
+
+Status QuerySession::status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return status_;
+}
+
+EngineStats QuerySession::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+uint64_t QuerySession::rows_emitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rows_emitted_;
+}
+
+double QuerySession::queue_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_seconds_;
+}
+
+double QuerySession::run_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return run_seconds_;
+}
+
+QueryRuntime::QueryRuntime(RuntimeOptions options)
+    : options_([&] {
+        RuntimeOptions o = options;
+        o.admission.max_inflight = std::max(1u, o.admission.max_inflight);
+        return o;
+      }()),
+      pool_(ThreadPool::ResolveThreads(options_.pool_threads)) {
+  active_.resize(options_.admission.max_inflight);
+  drivers_.reserve(options_.admission.max_inflight);
+  for (uint32_t i = 0; i < options_.admission.max_inflight; ++i) {
+    drivers_.emplace_back([this, i] { DriverLoop(i); });
+  }
+}
+
+QueryRuntime::~QueryRuntime() {
+  std::deque<std::shared_ptr<QuerySession>> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    orphaned.swap(queue_);
+    // Running queries are revoked cooperatively; their drivers finish the
+    // session (with kCancelled) before observing shutdown.
+    for (const std::shared_ptr<QuerySession>& s : active_) {
+      if (s != nullptr) s->Cancel();
+    }
+  }
+  queue_cv_.notify_all();
+  vacancy_cv_.notify_all();
+  {
+    // Blocked submitters woke on shutdown_ and are returning Cancelled;
+    // they still touch mu_/stats_ on the way out, so drain them before
+    // member destruction.
+    std::unique_lock<std::mutex> lock(mu_);
+    vacancy_cv_.wait(lock, [&] { return waiting_submitters_ == 0; });
+  }
+  for (std::thread& t : drivers_) t.join();
+  for (const std::shared_ptr<QuerySession>& s : orphaned) {
+    Finish(*s, QueryOutcome::kCancelled,
+           Status::Cancelled("query runtime shut down"));
+    ++stats_.completed;  // drivers are joined: no further writers
+  }
+}
+
+Result<std::shared_ptr<QuerySession>> QueryRuntime::Submit(
+    QueryRequest request) {
+  if (request.db == nullptr || request.catalog == nullptr) {
+    return Status::InvalidArgument("QueryRequest needs a db and a catalog");
+  }
+  if (MakeEngine(request.engine) == nullptr) {
+    return Status::InvalidArgument("unknown engine '" + request.engine + "'");
+  }
+
+  auto session = std::make_shared<QuerySession>();
+  session->engine_ = request.engine;
+  session->request_ = std::move(request);
+
+  const AdmissionControl& adm = options_.admission;
+  const uint64_t capacity =
+      static_cast<uint64_t>(adm.max_inflight) + adm.max_queued;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++stats_.submitted;
+    ReapCancelledLocked();
+    // Admission counts queries in the system (queued + running) against
+    // max_inflight + max_queued, so a full runtime sheds or blocks even
+    // while an idle driver is mid-handoff.
+    auto has_room = [&] { return running_ + queue_.size() < capacity; };
+    if (!has_room()) {
+      if (!adm.block_when_full) {
+        ++stats_.rejected;
+        return Status::ResourceExhausted(
+            "query runtime saturated (" + std::to_string(running_) +
+            " running, " + std::to_string(queue_.size()) + " queued)");
+      }
+      // The waiter count keeps the destructor from tearing the runtime
+      // down under a parked submitter: it wakes us (shutdown_) and waits
+      // for this count to drain before members die.
+      ++waiting_submitters_;
+      vacancy_cv_.wait(lock, [&] { return shutdown_ || has_room(); });
+      --waiting_submitters_;
+      if (shutdown_) vacancy_cv_.notify_all();  // destructor may be waiting
+    }
+    if (shutdown_) {
+      ++stats_.rejected;
+      return Status::Cancelled("query runtime shutting down");
+    }
+    session->id_ = next_id_++;
+    session->submit_watch_.Restart();
+    queue_.push_back(session);
+  }
+  queue_cv_.notify_one();
+  return session;
+}
+
+RuntimeStats QueryRuntime::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+uint32_t QueryRuntime::waiting_submitters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return waiting_submitters_;
+}
+
+void QueryRuntime::ReapCancelledLocked() {
+  bool reaped = false;
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if ((*it)->cancel_.load(std::memory_order_relaxed)) {
+      Finish(**it, QueryOutcome::kCancelled,
+             Status::Cancelled("cancelled while queued"));
+      ++stats_.completed;
+      it = queue_.erase(it);
+      reaped = true;
+    } else {
+      ++it;
+    }
+  }
+  // Reaping frees admission capacity: submitters blocked on a full
+  // runtime (block_when_full) must re-check, or they would sleep on
+  // room that already exists.
+  if (reaped) vacancy_cv_.notify_all();
+}
+
+void QueryRuntime::DriverLoop(uint32_t driver_index) {
+  for (;;) {
+    std::shared_ptr<QuerySession> session;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+      if (shutdown_) return;  // the destructor finishes what is queued
+      session = std::move(queue_.front());
+      queue_.pop_front();
+      ++running_;
+      active_[driver_index] = session;
+    }
+    Execute(*session);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --running_;
+      ++stats_.completed;
+      active_[driver_index] = nullptr;
+    }
+    vacancy_cv_.notify_all();
+  }
+}
+
+void QueryRuntime::Execute(QuerySession& session) {
+  const QueryRequest& req = session.request_;
+  const AdmissionControl& adm = options_.admission;
+  {
+    std::lock_guard<std::mutex> lock(session.mu_);
+    session.queue_seconds_ = session.submit_watch_.ElapsedSeconds();
+  }
+  if (session.cancel_.load(std::memory_order_relaxed)) {
+    Finish(session, QueryOutcome::kCancelled,
+           Status::Cancelled("cancelled while queued"));
+    return;
+  }
+
+  const double timeout = req.timeout_seconds >= 0.0
+                             ? req.timeout_seconds
+                             : adm.default_timeout_seconds;
+  const uint64_t row_budget =
+      req.row_budget >= 0 ? static_cast<uint64_t>(req.row_budget)
+                          : adm.default_row_budget;
+
+  CountingSink fallback;
+  Sink* sink = req.sink != nullptr ? req.sink : &fallback;
+  RowBudgetSink budget_sink(sink, row_budget == 0 ? UINT64_MAX : row_budget);
+  Sink* run_sink = row_budget > 0 ? &budget_sink : sink;
+
+  EngineOptions options;
+  if (timeout > 0.0) options.deadline = Deadline::AfterSeconds(timeout);
+  options.runtime.pool = &pool_;
+  options.runtime.cancel = &session.cancel_;
+
+  std::unique_ptr<Engine> engine = MakeEngine(req.engine);
+  WF_CHECK(engine != nullptr) << "engine validated at Submit";
+  Stopwatch run_watch;
+  Result<EngineStats> result =
+      engine->Run(*req.db, *req.catalog, req.query, options, run_sink);
+  const double run_seconds = run_watch.ElapsedSeconds();
+
+  QueryOutcome outcome;
+  Status status;
+  if (result.ok()) {
+    outcome = budget_sink.exhausted() ? QueryOutcome::kBudgetExhausted
+                                      : QueryOutcome::kCompleted;
+  } else if (result.status().IsCancelled()) {
+    outcome = QueryOutcome::kCancelled;
+    status = result.status();
+  } else if (result.status().IsTimedOut()) {
+    outcome = QueryOutcome::kTimedOut;
+    status = result.status();
+  } else {
+    outcome = QueryOutcome::kFailed;
+    status = result.status();
+  }
+  {
+    std::lock_guard<std::mutex> lock(session.mu_);
+    session.run_seconds_ = run_seconds;
+    if (result.ok()) session.stats_ = result.value();
+    session.rows_emitted_ = run_sink->count();
+  }
+  Finish(session, outcome, std::move(status));
+}
+
+void QueryRuntime::Finish(QuerySession& session, QueryOutcome outcome,
+                          Status status) {
+  {
+    std::lock_guard<std::mutex> lock(session.mu_);
+    session.outcome_ = outcome;
+    session.status_ = std::move(status);
+    session.done_ = true;
+  }
+  session.done_cv_.notify_all();
+}
+
+}  // namespace runtime
+}  // namespace wireframe

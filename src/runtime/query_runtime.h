@@ -1,0 +1,223 @@
+#ifndef WIREFRAME_RUNTIME_QUERY_RUNTIME_H_
+#define WIREFRAME_RUNTIME_QUERY_RUNTIME_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "exec/engine.h"
+#include "exec/sink.h"
+#include "query/query_graph.h"
+#include "storage/database.h"
+#include "util/result.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace wireframe {
+namespace runtime {
+
+/// Admission policy of a QueryRuntime: how many queries run at once, how
+/// many may wait, and the per-query defaults a request inherits when it
+/// does not override them.
+struct AdmissionControl {
+  /// Queries executing concurrently (each owns one driver thread whose
+  /// morsel loops interleave on the shared pool). Must be >= 1.
+  uint32_t max_inflight = 4;
+  /// Admitted-but-waiting queries beyond the in-flight ones. 0 turns the
+  /// runtime into pure reject-when-saturated.
+  uint32_t max_queued = 64;
+  /// Queue-or-reject policy when both the in-flight slots and the queue
+  /// are full: false rejects the Submit with ResourceExhausted (load
+  /// shedding), true blocks the submitting thread until a slot frees.
+  bool block_when_full = false;
+  /// Default per-query wall-clock budget in seconds, measured from the
+  /// moment the query starts running (queue wait is excluded, as the
+  /// paper's 300 s budget is an execution budget). 0 = unlimited.
+  double default_timeout_seconds = 0.0;
+  /// Default per-query row budget: once this many rows reached the sink,
+  /// the run stops and reports kBudgetExhausted. 0 = unlimited.
+  uint64_t default_row_budget = 0;
+};
+
+/// Configuration of one QueryRuntime.
+struct RuntimeOptions {
+  /// Worker threads of the single shared pool (0 = one per hardware
+  /// core). Every in-flight query's parallel phases multiplex onto this
+  /// pool at morsel granularity.
+  uint32_t pool_threads = 0;
+  AdmissionControl admission;
+};
+
+/// One query of a Submit call. `db`/`catalog` are borrowed and must
+/// outlive the session (the runtime serves immutable, already-loaded
+/// data; PR 2 made stores and catalog reader-safe).
+struct QueryRequest {
+  const Database* db = nullptr;
+  const Catalog* catalog = nullptr;
+  QueryGraph query;
+  /// Engine tag as understood by MakeEngine ("WF", "PG", ...).
+  std::string engine = "WF";
+  /// Optional result consumer (borrowed). Null counts rows only. Emit
+  /// calls are mutually excluded (engines drain per-worker shards under
+  /// one mutex) but may arrive from different pool threads, so the sink
+  /// needs no locking of its own yet must not assume thread identity
+  /// (no thread_local state or event-loop affinity).
+  Sink* sink = nullptr;
+  /// Per-query overrides of the admission defaults; negative values mean
+  /// "use the default" (0 is a real value: unlimited).
+  double timeout_seconds = -1.0;
+  int64_t row_budget = -1;
+};
+
+/// How a finished query ended.
+enum class QueryOutcome {
+  kPending,          // not finished yet
+  kCompleted,        // ran to completion (or its sink declined more rows)
+  /// A row beyond the budget was produced and refused; the sink received
+  /// exactly `row_budget` rows and more existed. A result with exactly
+  /// `row_budget` rows reports kCompleted.
+  kBudgetExhausted,
+  kTimedOut,   // per-query deadline expired mid-run
+  kCancelled,  // Cancel() observed mid-run or while queued
+  kFailed,     // any other non-OK engine status (see status())
+};
+
+const char* QueryOutcomeName(QueryOutcome outcome);
+
+/// Handle to one admitted query. Created by QueryRuntime::Submit; shared
+/// between the caller and the runtime's driver threads. All methods are
+/// thread-safe.
+class QuerySession {
+ public:
+  uint64_t id() const { return id_; }
+  const std::string& engine() const { return engine_; }
+
+  /// Requests cooperative cancellation. A running query stops at its
+  /// next amortized interrupt probe; a queued one never runs — it is
+  /// finished with kCancelled (and its admission slot reclaimed) the
+  /// next time anything touches the queue: a driver freeing up or a
+  /// later Submit. Idempotent.
+  void Cancel() { cancel_.store(true, std::memory_order_relaxed); }
+
+  bool done() const;
+  /// Blocks until the query finished (any outcome).
+  void Wait() const;
+
+  // Snapshots, safe to call at any time; settle once done(). Returned by
+  // value: a reference into the session would outlive the lock and race
+  // the driver's final write.
+  QueryOutcome outcome() const;
+  Status status() const;
+  EngineStats stats() const;
+  /// Rows that reached the request sink (after any budget clamp).
+  uint64_t rows_emitted() const;
+  /// Seconds spent waiting for a driver slot / executing.
+  double queue_seconds() const;
+  double run_seconds() const;
+
+ private:
+  friend class QueryRuntime;
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable done_cv_;
+  uint64_t id_ = 0;
+  std::string engine_;
+  QueryRequest request_;  // moved in at Submit
+  Stopwatch submit_watch_;  // restarted at admission
+  std::atomic<bool> cancel_{false};
+  // Guarded by mu_:
+  bool done_ = false;
+  QueryOutcome outcome_ = QueryOutcome::kPending;
+  Status status_;
+  EngineStats stats_;
+  uint64_t rows_emitted_ = 0;
+  double queue_seconds_ = 0.0;
+  double run_seconds_ = 0.0;
+};
+
+/// Aggregate counters of a runtime's lifetime, for load-shedding
+/// dashboards and tests.
+struct RuntimeStats {
+  uint64_t submitted = 0;
+  uint64_t rejected = 0;
+  uint64_t completed = 0;  // any terminal outcome, including cancelled
+};
+
+/// The shared query runtime (ROADMAP: "Concurrent multi-query serving"):
+/// one process-wide ThreadPool, a FIFO admission queue in front of a
+/// fixed set of driver threads, and per-query sessions carrying stats and
+/// cancellation.
+///
+/// Each admitted query executes on one driver thread; every
+/// morsel-parallel loop the engine runs is submitted to the shared pool
+/// as a fairly-scheduled task-group, so N in-flight queries interleave at
+/// morsel granularity instead of fighting over private pools (or
+/// serializing). Engines are stateless per Run and the stores/catalog are
+/// immutable, so cross-query state is confined to this class and the
+/// pool.
+class QueryRuntime {
+ public:
+  explicit QueryRuntime(RuntimeOptions options = {});
+  /// Cancels everything still queued or running, then joins the drivers.
+  ~QueryRuntime();
+
+  QueryRuntime(const QueryRuntime&) = delete;
+  QueryRuntime& operator=(const QueryRuntime&) = delete;
+
+  /// Admits `request` (FIFO) or rejects it with ResourceExhausted when
+  /// the runtime is saturated and the policy is reject. The session is
+  /// live from the moment this returns.
+  Result<std::shared_ptr<QuerySession>> Submit(QueryRequest request);
+
+  /// The shared worker pool (exposed so callers can co-schedule their own
+  /// morsel loops with the runtime's queries).
+  ThreadPool& pool() { return pool_; }
+  const RuntimeOptions& options() const { return options_; }
+  RuntimeStats stats() const;
+  /// Submitters currently parked in Submit (block_when_full). Exposed for
+  /// saturation dashboards and the shutdown tests.
+  uint32_t waiting_submitters() const;
+
+ private:
+  void DriverLoop(uint32_t driver_index);
+  /// Runs one admitted session to completion on the calling driver.
+  void Execute(QuerySession& session);
+  /// Finishes and drops queued sessions whose cancel flag is set, so a
+  /// cancelled-but-never-run query stops holding an admission slot.
+  /// Caller holds mu_.
+  void ReapCancelledLocked();
+  static void Finish(QuerySession& session, QueryOutcome outcome,
+                     Status status);
+
+  const RuntimeOptions options_;
+  ThreadPool pool_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;   // drivers: work available
+  std::condition_variable vacancy_cv_; // blocking submitters: room freed
+  std::deque<std::shared_ptr<QuerySession>> queue_;
+  /// active_[i] is driver i's currently executing session (null when
+  /// idle); the destructor uses it to revoke in-flight queries.
+  std::vector<std::shared_ptr<QuerySession>> active_;
+  uint32_t running_ = 0;
+  /// Submitters parked in Submit under block_when_full; the destructor
+  /// drains this to zero before members die.
+  uint32_t waiting_submitters_ = 0;
+  uint64_t next_id_ = 1;
+  bool shutdown_ = false;
+  RuntimeStats stats_;
+
+  std::vector<std::thread> drivers_;
+};
+
+}  // namespace runtime
+}  // namespace wireframe
+
+#endif  // WIREFRAME_RUNTIME_QUERY_RUNTIME_H_

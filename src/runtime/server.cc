@@ -1,0 +1,77 @@
+#include "runtime/server.h"
+
+#include <utility>
+
+namespace wireframe {
+namespace runtime {
+
+Server::Server(const Database& db, const Catalog& catalog,
+               ServerOptions options)
+    : db_(&db),
+      catalog_(&catalog),
+      options_(std::move(options)),
+      runtime_(options_.runtime) {}
+
+QueryRequest Server::MakeRequest(QueryGraph query, Sink* sink) const {
+  QueryRequest request;
+  request.db = db_;
+  request.catalog = catalog_;
+  request.query = std::move(query);
+  request.engine = options_.default_engine;
+  request.sink = sink;
+  request.timeout_seconds = options_.timeout_seconds;
+  request.row_budget = options_.row_budget;
+  return request;
+}
+
+Result<std::shared_ptr<QuerySession>> Server::Submit(std::string_view sparql,
+                                                     Sink* sink) {
+  WF_ASSIGN_OR_RETURN(QueryGraph query,
+                      SparqlParser::ParseAndBind(sparql, *db_));
+  return runtime_.Submit(MakeRequest(std::move(query), sink));
+}
+
+Result<std::shared_ptr<QuerySession>> Server::Submit(const QueryGraph& query,
+                                                     Sink* sink) {
+  return runtime_.Submit(MakeRequest(query, sink));
+}
+
+std::vector<QueryReport> Server::RunBatch(
+    const std::vector<std::string>& queries,
+    const std::vector<Sink*>* sinks) {
+  std::vector<QueryReport> reports(queries.size());
+  std::vector<std::shared_ptr<QuerySession>> sessions(queries.size());
+
+  for (size_t i = 0; i < queries.size(); ++i) {
+    QueryReport& report = reports[i];
+    report.index = i;
+    Sink* sink =
+        sinks != nullptr && i < sinks->size() ? (*sinks)[i] : nullptr;
+    Result<std::shared_ptr<QuerySession>> session =
+        Submit(queries[i], sink);
+    if (!session.ok()) {
+      // Parse error or admission rejection: terminal immediately.
+      report.status = session.status();
+      continue;
+    }
+    report.admitted = true;
+    sessions[i] = std::move(session).value();
+  }
+
+  for (size_t i = 0; i < sessions.size(); ++i) {
+    if (sessions[i] == nullptr) continue;
+    const QuerySession& session = *sessions[i];
+    session.Wait();
+    QueryReport& report = reports[i];
+    report.outcome = session.outcome();
+    report.status = session.status();
+    report.stats = session.stats();
+    report.rows = session.rows_emitted();
+    report.queue_seconds = session.queue_seconds();
+    report.run_seconds = session.run_seconds();
+  }
+  return reports;
+}
+
+}  // namespace runtime
+}  // namespace wireframe

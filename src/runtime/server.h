@@ -1,0 +1,90 @@
+#ifndef WIREFRAME_RUNTIME_SERVER_H_
+#define WIREFRAME_RUNTIME_SERVER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "query/parser.h"
+#include "runtime/query_runtime.h"
+
+namespace wireframe {
+namespace runtime {
+
+/// Server configuration: the runtime knobs plus per-query defaults
+/// applied to every submission.
+struct ServerOptions {
+  RuntimeOptions runtime;
+  /// Engine every query runs on (MakeEngine tag).
+  std::string default_engine = "WF";
+  /// Per-query execution budget in seconds; negative inherits the
+  /// admission default, 0 is unlimited.
+  double timeout_seconds = -1.0;
+  /// Per-query row budget; negative inherits the admission default, 0 is
+  /// unlimited.
+  int64_t row_budget = -1;
+};
+
+/// Outcome of one query of a batch, flattened for callers that do not
+/// want to hold sessions.
+struct QueryReport {
+  /// Position in the submitted batch.
+  size_t index = 0;
+  /// True once the query was admitted past admission control (false for
+  /// parse errors and rejections; `status` then says why).
+  bool admitted = false;
+  QueryOutcome outcome = QueryOutcome::kFailed;
+  Status status;
+  EngineStats stats;
+  uint64_t rows = 0;
+  double queue_seconds = 0.0;
+  double run_seconds = 0.0;
+};
+
+/// Front-end of the shared query runtime: accepts SPARQL text (or
+/// pre-bound QueryGraphs), parses and binds it against one immutable
+/// database, and runs any number of in-flight queries concurrently
+/// against the runtime's single pool. This is the serving shape the
+/// ROADMAP's "concurrent multi-query serving" item asks for: stores and
+/// catalog are shared read-only, per-query state lives in the sessions.
+class Server {
+ public:
+  /// `db` and `catalog` are borrowed and must outlive the server.
+  Server(const Database& db, const Catalog& catalog,
+         ServerOptions options = {});
+
+  /// Parses, binds, and submits one query. Parse/bind errors surface
+  /// immediately; admission rejections surface as ResourceExhausted.
+  /// `sink` (borrowed, may be null) receives the embeddings.
+  Result<std::shared_ptr<QuerySession>> Submit(std::string_view sparql,
+                                               Sink* sink = nullptr);
+
+  /// Submits a pre-bound query graph (no parsing).
+  Result<std::shared_ptr<QuerySession>> Submit(const QueryGraph& query,
+                                               Sink* sink = nullptr);
+
+  /// Runs a whole batch concurrently (bounded by the runtime's admission
+  /// limits) and blocks until every query finished. Reports are in batch
+  /// order. `sinks`, when given, must parallel `queries`; null entries
+  /// count rows only.
+  std::vector<QueryReport> RunBatch(const std::vector<std::string>& queries,
+                                    const std::vector<Sink*>* sinks = nullptr);
+
+  QueryRuntime& runtime() { return runtime_; }
+  const Database& db() const { return *db_; }
+  const Catalog& catalog() const { return *catalog_; }
+
+ private:
+  QueryRequest MakeRequest(QueryGraph query, Sink* sink) const;
+
+  const Database* db_;
+  const Catalog* catalog_;
+  ServerOptions options_;
+  QueryRuntime runtime_;
+};
+
+}  // namespace runtime
+}  // namespace wireframe
+
+#endif  // WIREFRAME_RUNTIME_SERVER_H_

@@ -24,6 +24,10 @@ std::string_view StatusCodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kNotImplemented:
       return "NotImplemented";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

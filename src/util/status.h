@@ -20,6 +20,8 @@ enum class StatusCode {
   kParseError,
   kInternal,
   kNotImplemented,
+  kCancelled,
+  kResourceExhausted,
 };
 
 /// Returns the canonical name for a status code (e.g. "InvalidArgument").
@@ -61,6 +63,12 @@ class Status {
   static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }
@@ -68,6 +76,10 @@ class Status {
   bool IsParseError() const { return code_ == StatusCode::kParseError; }
   bool IsInvalidArgument() const {
     return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
   }
 
   StatusCode code() const { return code_; }

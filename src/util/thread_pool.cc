@@ -28,6 +28,17 @@ uint32_t ThreadPool::ResolveThreads(uint32_t requested) {
   return std::max(1u, std::thread::hardware_concurrency());
 }
 
+bool ThreadPool::Dispatchable(const Job& job) {
+  return !job.abort.load(std::memory_order_relaxed) &&
+         job.next.load(std::memory_order_relaxed) < job.n;
+}
+
+bool ThreadPool::Quiesced(const Job& job) {
+  return job.in_flight == 0 &&
+         (job.abort.load(std::memory_order_relaxed) ||
+          job.next.load(std::memory_order_relaxed) >= job.n);
+}
+
 Status ThreadPool::ParallelFor(
     uint64_t n, const ParallelForOptions& options,
     const std::function<void(uint32_t, uint64_t, uint64_t)>& body) {
@@ -40,29 +51,34 @@ Status ThreadPool::ParallelFor(
   job.morsel = options.morsel_size;
   job.deadline = options.deadline;
   job.external_stop = options.stop;
+  job.external_cancel = options.cancel;
 
   // One morsel, or no workers: run inline — the exception/timeout contract
-  // is identical, just without the hand-off machinery.
-  const bool inline_only = workers_.empty() || n <= options.morsel_size;
-  if (!inline_only) {
+  // is identical, just without the scheduler hand-off.
+  const bool shared = !workers_.empty() && n > options.morsel_size;
+  if (shared) {
     {
       std::lock_guard<std::mutex> lock(mu_);
-      job_ = &job;
-      ++epoch_;
-      unfinished_workers_ = static_cast<uint32_t>(workers_.size());
+      jobs_.push_back(&job);
+      num_jobs_.store(jobs_.size(), std::memory_order_relaxed);
     }
     work_cv_.notify_all();
   }
 
   RunMorsels(job, /*worker_id=*/0);
 
-  if (!inline_only) {
+  if (shared) {
     std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [&] { return unfinished_workers_ == 0; });
-    job_ = nullptr;
+    done_cv_.wait(lock, [&] { return Quiesced(job); });
+    jobs_.erase(std::find(jobs_.begin(), jobs_.end(), &job));
+    num_jobs_.store(jobs_.size(), std::memory_order_relaxed);
+    if (rr_cursor_ >= jobs_.size()) rr_cursor_ = 0;
   }
 
   if (job.exception != nullptr) std::rethrow_exception(job.exception);
+  if (job.cancelled.load(std::memory_order_relaxed)) {
+    return Status::Cancelled("parallel for");
+  }
   if (job.timed_out.load(std::memory_order_relaxed)) {
     return Status::TimedOut("parallel for");
   }
@@ -70,49 +86,87 @@ Status ThreadPool::ParallelFor(
 }
 
 void ThreadPool::WorkerLoop(uint32_t worker_id) {
-  uint64_t seen_epoch = 0;
+  std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
+    work_cv_.wait(lock, [&] {
+      if (shutdown_) return true;
+      for (const Job* j : jobs_) {
+        if (Dispatchable(*j)) return true;
+      }
+      return false;
+    });
+    if (shutdown_) return;
+
+    // Fair pick: the first runnable group at or after the round-robin
+    // cursor. Advancing the cursor past the pick makes every group take
+    // turns at morsel granularity, so no query's loop monopolizes the
+    // pool while another is in flight.
     Job* job = nullptr;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock,
-                    [&] { return shutdown_ || epoch_ != seen_epoch; });
-      if (shutdown_) return;
-      seen_epoch = epoch_;
-      job = job_;
+    const size_t count = jobs_.size();
+    for (size_t k = 0; k < count; ++k) {
+      Job* candidate = jobs_[(rr_cursor_ + k) % count];
+      if (Dispatchable(*candidate)) {
+        job = candidate;
+        rr_cursor_ = (rr_cursor_ + k + 1) % count;
+        break;
+      }
     }
-    RunMorsels(*job, worker_id);
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (--unfinished_workers_ == 0) done_cv_.notify_one();
+    if (job == nullptr) continue;  // raced with the last claim; re-wait
+
+    // in_flight is raised before the lock drops, so a caller can never
+    // observe its group quiesced while this worker is committed to it.
+    ++job->in_flight;
+    lock.unlock();
+    // Fast path: while this is the only registered group, keep claiming
+    // its morsels off the atomic counter without retaking the mutex —
+    // single-query dispatch stays as lock-free as the old epoch design.
+    // The moment another group registers (stale reads cost one morsel),
+    // fall back to one-morsel-per-pick round-robin for fairness.
+    while (RunOneMorsel(*job, worker_id) &&
+           num_jobs_.load(std::memory_order_relaxed) == 1) {
     }
+    lock.lock();
+    --job->in_flight;
+    if (Quiesced(*job)) done_cv_.notify_all();
   }
 }
 
 void ThreadPool::RunMorsels(Job& job, uint32_t worker_id) {
+  while (RunOneMorsel(job, worker_id)) {
+  }
+}
+
+bool ThreadPool::RunOneMorsel(Job& job, uint32_t worker_id) {
   try {
-    for (;;) {
-      if (job.abort.load(std::memory_order_relaxed)) return;
-      if (job.external_stop != nullptr &&
-          job.external_stop->load(std::memory_order_relaxed)) {
-        return;
-      }
-      // The per-morsel deadline probe is the amortized check the engines
-      // rely on: one clock read per morsel_size items.
-      if (job.deadline.Expired()) {
-        job.timed_out.store(true, std::memory_order_relaxed);
-        job.abort.store(true, std::memory_order_relaxed);
-        return;
-      }
-      const uint64_t begin =
-          job.next.fetch_add(job.morsel, std::memory_order_relaxed);
-      if (begin >= job.n) return;
-      (*job.body)(worker_id, begin, std::min(job.n, begin + job.morsel));
+    if (job.abort.load(std::memory_order_relaxed)) return false;
+    if (job.external_cancel != nullptr &&
+        job.external_cancel->load(std::memory_order_relaxed)) {
+      job.cancelled.store(true, std::memory_order_relaxed);
+      job.abort.store(true, std::memory_order_relaxed);
+      return false;
     }
+    if (job.external_stop != nullptr &&
+        job.external_stop->load(std::memory_order_relaxed)) {
+      job.abort.store(true, std::memory_order_relaxed);
+      return false;
+    }
+    // The per-morsel deadline probe is the amortized check the engines
+    // rely on: one clock read per morsel_size items.
+    if (job.deadline.Expired()) {
+      job.timed_out.store(true, std::memory_order_relaxed);
+      job.abort.store(true, std::memory_order_relaxed);
+      return false;
+    }
+    const uint64_t begin =
+        job.next.fetch_add(job.morsel, std::memory_order_relaxed);
+    if (begin >= job.n) return false;
+    (*job.body)(worker_id, begin, std::min(job.n, begin + job.morsel));
+    return true;
   } catch (...) {
     std::lock_guard<std::mutex> lock(mu_);
     if (job.exception == nullptr) job.exception = std::current_exception();
     job.abort.store(true, std::memory_order_relaxed);
+    return false;
   }
 }
 

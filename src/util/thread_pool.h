@@ -29,23 +29,41 @@ struct ParallelForOptions {
   /// morsels are dispatched and ParallelFor returns OK (mirrors a sink
   /// declining more rows — a result, not an error). May be null.
   std::atomic<bool>* stop = nullptr;
+  /// Optional cooperative cancellation (a query runtime revoking the
+  /// task-group): when set, no further morsels are dispatched and
+  /// ParallelFor returns Status::Cancelled. Checked between morsels, like
+  /// the deadline. May be null.
+  std::atomic<bool>* cancel = nullptr;
 };
 
-/// A fixed pool of worker threads driving morsel-granular parallel loops.
+/// A fixed pool of worker threads driving morsel-granular parallel loops
+/// for any number of concurrent callers.
 ///
-/// There is no task queue and no work stealing: the only primitive is
-/// ParallelFor, which carves [0, n) into morsels claimed off a shared
-/// atomic counter. The calling thread participates as worker 0, so
-/// ThreadPool(n) spawns n-1 threads and ThreadPool(1) spawns none and runs
-/// everything inline on the caller — the serial path stays the serial
-/// path. One ParallelFor runs at a time per pool (callers of different
-/// pools are independent); the pool is not re-entrant from inside a body.
+/// The only primitive is ParallelFor, which carves [0, n) into morsels
+/// claimed off a per-call atomic counter. Each ParallelFor registers one
+/// task-group with the pool's scheduler; workers pick runnable groups in
+/// round-robin order and run ONE morsel before re-picking, so loops
+/// submitted by different threads (different queries of a shared runtime)
+/// interleave at morsel granularity instead of serializing behind each
+/// other. The calling thread participates as worker 0 of its own group
+/// only, so ThreadPool(n) spawns n-1 threads and ThreadPool(1) spawns
+/// none and runs everything inline on the caller — the serial path stays
+/// the serial path. The pool is not re-entrant from inside a body, but
+/// ParallelFor may be called concurrently from any number of external
+/// threads.
 ///
-/// Error model: the first exception thrown by a body is captured, dispatch
-/// is aborted, and the exception is rethrown on the calling thread once
-/// every worker has quiesced. Deadline expiry surfaces as Status::TimedOut
-/// the same way. Either way no body is left running when ParallelFor
-/// returns, so per-morsel shards are safe to merge immediately.
+/// Worker-id contract: `worker` is in [0, num_threads()) and is unique
+/// among the threads concurrently executing one task-group (spawned
+/// worker i always reports id i; the group's caller reports 0), so bodies
+/// may index per-worker state with it exactly as before.
+///
+/// Error model: the first exception thrown by a body is captured, the
+/// group's dispatch is aborted, and the exception is rethrown on the
+/// calling thread once the group has quiesced. Deadline expiry surfaces
+/// as Status::TimedOut and cancellation as Status::Cancelled the same
+/// way. Either way no body of the group is left running when ParallelFor
+/// returns, so per-morsel shards are safe to merge immediately. Other
+/// groups are unaffected.
 class ThreadPool {
  public:
   /// Spawns `num_threads - 1` workers (the caller is the extra worker).
@@ -65,45 +83,66 @@ class ThreadPool {
   uint32_t num_threads() const { return num_threads_; }
 
   /// Invokes body(worker, begin, end) for consecutive morsels covering
-  /// [0, n), in parallel across the pool. `worker` is in [0,
-  /// num_threads()): stable per thread within one call, so bodies may
-  /// index per-worker state with it. Blocks until every dispatched morsel
-  /// finished. Returns TimedOut if the deadline expired before all
-  /// morsels ran; rethrows the first body exception.
+  /// [0, n), in parallel across the pool. Blocks until every dispatched
+  /// morsel finished. Returns TimedOut if the deadline expired (Cancelled
+  /// if the cancel flag fired) before all morsels ran; rethrows the first
+  /// body exception. Safe to call from multiple threads concurrently;
+  /// each call is an independent, fairly-scheduled task-group.
   Status ParallelFor(
       uint64_t n, const ParallelForOptions& options,
       const std::function<void(uint32_t worker, uint64_t begin, uint64_t end)>&
           body);
 
  private:
-  /// State of one ParallelFor, shared by the caller and the workers. Lives
-  /// on the caller's stack; workers are quiesced before it dies.
+  /// State of one ParallelFor task-group, shared by its caller and the
+  /// workers. Lives on the caller's stack; the caller removes it from the
+  /// scheduler and waits for quiescence before it dies.
   struct Job {
     const std::function<void(uint32_t, uint64_t, uint64_t)>* body = nullptr;
     uint64_t n = 0;
     uint64_t morsel = 1;
     Deadline deadline;
     std::atomic<bool>* external_stop = nullptr;
+    std::atomic<bool>* external_cancel = nullptr;
     std::atomic<uint64_t> next{0};
+    /// Dispatch fence: once set no new morsel of this group is claimed.
     std::atomic<bool> abort{false};
     std::atomic<bool> timed_out{false};
+    std::atomic<bool> cancelled{false};
+    /// Spawned workers currently inside (or committed to entering) this
+    /// group. Modified under the pool mutex; the caller's own morsel loop
+    /// is not counted (the caller knows when it is done).
+    uint32_t in_flight = 0;
     std::exception_ptr exception;  // guarded by the pool mutex
   };
 
   void WorkerLoop(uint32_t worker_id);
-  /// Claims and runs morsels until the range, the deadline, a stop flag,
-  /// or an exception ends the job.
+  /// Claims and runs morsels of `job` on the calling thread until the
+  /// range, the deadline, a stop/cancel flag, or an exception ends the
+  /// group's dispatch (old single-group behavior; used by the caller).
   void RunMorsels(Job& job, uint32_t worker_id);
+  /// Runs one morsel of `job`, honoring the group's stop conditions.
+  /// Returns false once the group has nothing left to dispatch.
+  bool RunOneMorsel(Job& job, uint32_t worker_id);
+  /// True when a spawned worker could claim a morsel of `job` right now.
+  static bool Dispatchable(const Job& job);
+  /// True when no morsel of `job` will run again (dispatch fenced or
+  /// exhausted, and no spawned worker inside).
+  static bool Quiesced(const Job& job);
 
   const uint32_t num_threads_;
   std::vector<std::thread> workers_;
 
   std::mutex mu_;
-  std::condition_variable work_cv_;   // workers wait for a new epoch
-  std::condition_variable done_cv_;   // caller waits for quiescence
-  uint64_t epoch_ = 0;                // bumped once per ParallelFor
-  uint32_t unfinished_workers_ = 0;   // workers still inside the epoch
-  Job* job_ = nullptr;
+  std::condition_variable work_cv_;   // workers wait for runnable groups
+  std::condition_variable done_cv_;   // callers wait for group quiescence
+  std::vector<Job*> jobs_;            // registered, not-yet-removed groups
+  size_t rr_cursor_ = 0;              // round-robin pick position
+  /// jobs_.size() mirrored relaxed-atomically: lets a worker stay on its
+  /// current group without retaking mu_ while no other group exists (the
+  /// dominant single-query case keeps the old lock-free dispatch; a
+  /// stale read costs at most one extra morsel before rotation).
+  std::atomic<size_t> num_jobs_{0};
   bool shutdown_ = false;
 };
 

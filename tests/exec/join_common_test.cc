@@ -73,7 +73,7 @@ TEST_F(JoinCommonTest, OrderAsWrittenRepairsConnectivity) {
 TEST_F(JoinCommonTest, PipelinedFindsAllEmbeddings) {
   QueryGraph q = Chain();
   CountingSink sink;
-  auto stats = RunPipelined(db_, q, {0, 1, 2}, Deadline{}, &sink);
+  auto stats = RunPipelined(db_, q, {0, 1, 2}, Deadline{}, nullptr, &sink);
   ASSERT_TRUE(stats.ok());
   EXPECT_EQ(stats->output_tuples, kFig1Embeddings);
   EXPECT_GT(stats->edge_walks, 0u);
@@ -82,7 +82,7 @@ TEST_F(JoinCommonTest, PipelinedFindsAllEmbeddings) {
 TEST_F(JoinCommonTest, PipelinedBackwardOrder) {
   QueryGraph q = Chain();
   CountingSink sink;
-  auto stats = RunPipelined(db_, q, {2, 1, 0}, Deadline{}, &sink);
+  auto stats = RunPipelined(db_, q, {2, 1, 0}, Deadline{}, nullptr, &sink);
   ASSERT_TRUE(stats.ok());
   EXPECT_EQ(stats->output_tuples, kFig1Embeddings);
 }
@@ -91,7 +91,8 @@ TEST_F(JoinCommonTest, MaterializingFindsAllEmbeddings) {
   QueryGraph q = Chain();
   CountingSink sink;
   auto stats =
-      RunMaterializing(db_, q, {0, 1, 2}, Deadline{}, 1 << 20, &sink);
+      RunMaterializing(db_, q, {0, 1, 2}, Deadline{}, nullptr,
+                       1 << 20, &sink);
   ASSERT_TRUE(stats.ok());
   EXPECT_EQ(stats->output_tuples, kFig1Embeddings);
   EXPECT_GE(stats->peak_intermediate, kFig1Embeddings);
@@ -100,7 +101,7 @@ TEST_F(JoinCommonTest, MaterializingFindsAllEmbeddings) {
 TEST_F(JoinCommonTest, MaterializingRespectsMemoryBudget) {
   QueryGraph q = Chain();
   CountingSink sink;
-  auto stats = RunMaterializing(db_, q, {0, 1, 2}, Deadline{}, 8, &sink);
+  auto stats = RunMaterializing(db_, q, {0, 1, 2}, Deadline{}, nullptr, 8, &sink);
   ASSERT_FALSE(stats.ok());
   EXPECT_EQ(stats.status().code(), StatusCode::kOutOfRange);
 }
@@ -112,7 +113,7 @@ TEST_F(JoinCommonTest, PipelinedHonorsDeadline) {
   // query whose enumeration would exceed it.
   Database big = MakeFig1Graph();
   auto stats = RunPipelined(big, q, {0, 1, 2}, Deadline::AfterSeconds(1000),
-                            &sink);
+                            nullptr, &sink);
   EXPECT_TRUE(stats.ok());
 }
 
@@ -120,7 +121,8 @@ TEST_F(JoinCommonTest, MaterializingHonorsExpiredDeadline) {
   QueryGraph q = Chain();
   CountingSink sink;
   auto stats = RunMaterializing(db_, q, {0, 1, 2},
-                                Deadline::AlreadyExpired(), 1 << 20, &sink);
+                                Deadline::AlreadyExpired(), nullptr,
+                                1 << 20, &sink);
   ASSERT_FALSE(stats.ok());
   EXPECT_TRUE(stats.status().IsTimedOut());
 }

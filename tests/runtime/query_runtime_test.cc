@@ -1,0 +1,359 @@
+// Admission control and session lifecycle of the shared QueryRuntime:
+// reject vs queue vs block policies, per-query row budgets and deadlines,
+// and cooperative cancellation while queued and mid-phase. These run
+// under the TSan CI job (smoke label): every test drives real engine Runs
+// from multiple driver threads against one shared pool.
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datagen/synthetic.h"
+#include "query/parser.h"
+#include "runtime/query_runtime.h"
+#include "runtime/server.h"
+
+namespace wireframe {
+namespace runtime {
+namespace {
+
+/// Blocks the engine inside phase 2 on the first emitted row until the
+/// test releases it — the deterministic way to hold a query "running"
+/// while the test probes admission control or cancels mid-phase.
+class GateSink : public Sink {
+ public:
+  bool Emit(const std::vector<NodeId>&) override {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!started_) {
+      started_ = true;
+      started_cv_.notify_all();
+    }
+    release_cv_.wait(lock, [&] { return released_; });
+    ++count_;
+    return true;
+  }
+  uint64_t count() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_;
+  }
+
+  /// Blocks until the engine delivered the first row.
+  void WaitStarted() {
+    std::unique_lock<std::mutex> lock(mu_);
+    started_cv_.wait(lock, [&] { return started_; });
+  }
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      released_ = true;
+    }
+    release_cv_.notify_all();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable started_cv_;
+  std::condition_variable release_cv_;
+  bool started_ = false;
+  bool released_ = false;
+  uint64_t count_ = 0;
+};
+
+/// Shared test workload: a chain query with a 40k-embedding blow-up, big
+/// enough that cancellation and budgets land mid-enumeration.
+class QueryRuntimeTest : public ::testing::Test {
+ protected:
+  QueryRuntimeTest()
+      : db_(MakeChainBlowupGraph(200, 200, /*noise=*/20)),
+        cat_(Catalog::Build(db_.store())) {
+    auto q = SparqlParser::ParseAndBind(
+        "select * where { ?w A ?x . ?x B ?y . ?y C ?z . }", db_);
+    EXPECT_TRUE(q.ok());
+    query_ = std::move(q).value();
+  }
+
+  QueryRequest Request(Sink* sink = nullptr) const {
+    QueryRequest request;
+    request.db = &db_;
+    request.catalog = &cat_;
+    request.query = query_;
+    request.sink = sink;
+    return request;
+  }
+
+  Database db_;
+  Catalog cat_;
+  QueryGraph query_;
+};
+
+RuntimeOptions SmallRuntime(uint32_t max_inflight, uint32_t max_queued) {
+  RuntimeOptions options;
+  options.pool_threads = 2;
+  options.admission.max_inflight = max_inflight;
+  options.admission.max_queued = max_queued;
+  return options;
+}
+
+TEST_F(QueryRuntimeTest, RunsOneQueryToCompletion) {
+  QueryRuntime runtime(SmallRuntime(2, 4));
+  auto session = runtime.Submit(Request());
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  (*session)->Wait();
+  EXPECT_EQ((*session)->outcome(), QueryOutcome::kCompleted);
+  EXPECT_EQ((*session)->rows_emitted(), 200u * 200u);
+  EXPECT_EQ((*session)->stats().output_tuples, 200u * 200u);
+  EXPECT_TRUE((*session)->status().ok());
+  const RuntimeStats stats = runtime.stats();
+  EXPECT_EQ(stats.submitted, 1u);
+  EXPECT_EQ(stats.rejected, 0u);
+}
+
+TEST_F(QueryRuntimeTest, UnknownEngineIsRejectedAtSubmit) {
+  QueryRuntime runtime(SmallRuntime(1, 0));
+  QueryRequest request = Request();
+  request.engine = "nope";
+  auto session = runtime.Submit(std::move(request));
+  EXPECT_FALSE(session.ok());
+  EXPECT_TRUE(session.status().IsInvalidArgument());
+}
+
+TEST_F(QueryRuntimeTest, SaturatedRuntimeRejectsWhenQueueIsZero) {
+  QueryRuntime runtime(SmallRuntime(/*max_inflight=*/1, /*max_queued=*/0));
+  GateSink gate;
+  auto running = runtime.Submit(Request(&gate));
+  ASSERT_TRUE(running.ok());
+  gate.WaitStarted();  // the single driver slot is now provably occupied
+
+  auto rejected = runtime.Submit(Request());
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_TRUE(rejected.status().IsResourceExhausted())
+      << rejected.status().ToString();
+  EXPECT_EQ(runtime.stats().rejected, 1u);
+
+  gate.Release();
+  (*running)->Wait();
+  EXPECT_EQ((*running)->outcome(), QueryOutcome::kCompleted);
+}
+
+TEST_F(QueryRuntimeTest, SecondQueryQueuesThenRuns) {
+  QueryRuntime runtime(SmallRuntime(/*max_inflight=*/1, /*max_queued=*/1));
+  GateSink gate;
+  auto first = runtime.Submit(Request(&gate));
+  ASSERT_TRUE(first.ok());
+  gate.WaitStarted();
+
+  auto queued = runtime.Submit(Request());
+  ASSERT_TRUE(queued.ok()) << queued.status().ToString();
+  EXPECT_FALSE((*queued)->done()) << "must wait behind the gated query";
+  // A third submission overflows the queue and is shed.
+  auto shed = runtime.Submit(Request());
+  EXPECT_FALSE(shed.ok());
+  EXPECT_TRUE(shed.status().IsResourceExhausted());
+
+  gate.Release();
+  (*queued)->Wait();
+  EXPECT_EQ((*queued)->outcome(), QueryOutcome::kCompleted);
+  EXPECT_GE((*queued)->queue_seconds(), 0.0);
+}
+
+TEST_F(QueryRuntimeTest, BlockWhenFullWaitsInsteadOfRejecting) {
+  RuntimeOptions options = SmallRuntime(/*max_inflight=*/1, /*max_queued=*/0);
+  options.admission.block_when_full = true;
+  QueryRuntime runtime(options);
+  GateSink gate;
+  auto first = runtime.Submit(Request(&gate));
+  ASSERT_TRUE(first.ok());
+  gate.WaitStarted();
+
+  std::atomic<bool> second_admitted{false};
+  std::thread submitter([&] {
+    auto second = runtime.Submit(Request());
+    ASSERT_TRUE(second.ok()) << second.status().ToString();
+    second_admitted.store(true);
+    (*second)->Wait();
+    EXPECT_EQ((*second)->outcome(), QueryOutcome::kCompleted);
+  });
+  // The submitter must be blocked while the slot is held.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(second_admitted.load());
+  gate.Release();
+  submitter.join();
+  EXPECT_EQ(runtime.stats().rejected, 0u);
+}
+
+TEST_F(QueryRuntimeTest, RowBudgetStopsTheRunAndReportsExhaustion) {
+  RuntimeOptions options = SmallRuntime(2, 4);
+  options.admission.default_row_budget = 100;
+  QueryRuntime runtime(options);
+  auto session = runtime.Submit(Request());
+  ASSERT_TRUE(session.ok());
+  (*session)->Wait();
+  EXPECT_EQ((*session)->outcome(), QueryOutcome::kBudgetExhausted);
+  EXPECT_EQ((*session)->rows_emitted(), 100u);
+  EXPECT_TRUE((*session)->status().ok()) << "budget stop is not an error";
+}
+
+TEST_F(QueryRuntimeTest, ExactBudgetResultCompletesNaturally) {
+  RuntimeOptions options = SmallRuntime(2, 4);
+  QueryRuntime runtime(options);
+  QueryRequest request = Request();
+  request.row_budget = 200 * 200;  // exactly the result size
+  auto session = runtime.Submit(std::move(request));
+  ASSERT_TRUE(session.ok());
+  (*session)->Wait();
+  EXPECT_EQ((*session)->outcome(), QueryOutcome::kCompleted)
+      << "a budget equal to the result size is not exhaustion";
+  EXPECT_EQ((*session)->rows_emitted(), 200u * 200u);
+}
+
+TEST_F(QueryRuntimeTest, PerRequestRowBudgetOverridesDefault) {
+  RuntimeOptions options = SmallRuntime(2, 4);
+  options.admission.default_row_budget = 100;
+  QueryRuntime runtime(options);
+  QueryRequest request = Request();
+  request.row_budget = 0;  // explicit unlimited beats the default
+  auto session = runtime.Submit(std::move(request));
+  ASSERT_TRUE(session.ok());
+  (*session)->Wait();
+  EXPECT_EQ((*session)->outcome(), QueryOutcome::kCompleted);
+  EXPECT_EQ((*session)->rows_emitted(), 200u * 200u);
+}
+
+TEST_F(QueryRuntimeTest, DefaultDeadlineTimesOutTheRun) {
+  RuntimeOptions options = SmallRuntime(1, 0);
+  options.admission.default_timeout_seconds = 1e-4;
+  QueryRuntime runtime(options);
+  auto session = runtime.Submit(Request());
+  ASSERT_TRUE(session.ok());
+  (*session)->Wait();
+  EXPECT_EQ((*session)->outcome(), QueryOutcome::kTimedOut);
+  EXPECT_TRUE((*session)->status().IsTimedOut());
+}
+
+TEST_F(QueryRuntimeTest, CancelMidPhaseStopsTheQuery) {
+  QueryRuntime runtime(SmallRuntime(1, 0));
+  GateSink gate;
+  auto session = runtime.Submit(Request(&gate));
+  ASSERT_TRUE(session.ok());
+  gate.WaitStarted();  // provably inside phase-2 enumeration
+  (*session)->Cancel();
+  gate.Release();
+  (*session)->Wait();
+  EXPECT_EQ((*session)->outcome(), QueryOutcome::kCancelled);
+  EXPECT_TRUE((*session)->status().IsCancelled())
+      << (*session)->status().ToString();
+  EXPECT_LT((*session)->rows_emitted(), 200u * 200u);
+}
+
+TEST_F(QueryRuntimeTest, CancelWhileQueuedNeverRuns) {
+  QueryRuntime runtime(SmallRuntime(/*max_inflight=*/1, /*max_queued=*/1));
+  GateSink gate;
+  auto running = runtime.Submit(Request(&gate));
+  ASSERT_TRUE(running.ok());
+  gate.WaitStarted();
+  auto queued = runtime.Submit(Request());
+  ASSERT_TRUE(queued.ok());
+  (*queued)->Cancel();
+
+  // The cancelled session stops holding its admission slot: the next
+  // Submit reaps it (finishing it with kCancelled) and takes the slot.
+  auto replacement = runtime.Submit(Request());
+  ASSERT_TRUE(replacement.ok()) << replacement.status().ToString();
+  EXPECT_TRUE((*queued)->done());
+  EXPECT_EQ((*queued)->outcome(), QueryOutcome::kCancelled);
+  EXPECT_EQ((*queued)->rows_emitted(), 0u);
+
+  gate.Release();
+  (*running)->Wait();
+  EXPECT_EQ((*running)->outcome(), QueryOutcome::kCompleted);
+  (*replacement)->Wait();
+  EXPECT_EQ((*replacement)->outcome(), QueryOutcome::kCompleted);
+}
+
+// Destroying the runtime while a submitter is parked in Submit
+// (block_when_full) must hand that submitter a clean Cancelled-or-
+// admitted outcome, never a use-after-free (TSan guards this).
+TEST_F(QueryRuntimeTest, ShutdownReleasesBlockedSubmitter) {
+  GateSink gate;
+  std::thread submitter;
+  Status second_status;
+  std::shared_ptr<QuerySession> second_session;
+  {
+    RuntimeOptions options = SmallRuntime(/*max_inflight=*/1,
+                                          /*max_queued=*/0);
+    options.admission.block_when_full = true;
+    QueryRuntime runtime(options);
+    auto running = runtime.Submit(Request(&gate));
+    ASSERT_TRUE(running.ok());
+    gate.WaitStarted();
+    submitter = std::thread([&] {
+      auto second = runtime.Submit(Request());
+      if (second.ok()) {
+        second_session = std::move(second).value();
+      } else {
+        second_status = second.status();
+      }
+    });
+    while (runtime.waiting_submitters() == 0) {
+      std::this_thread::yield();  // provably parked before teardown
+    }
+    gate.Release();
+    // Scope end: the destructor must drain the parked submitter before
+    // members die, then cancel/finish whatever it still holds.
+  }
+  submitter.join();
+  if (second_session != nullptr) {
+    // Admitted in the race window before shutdown: must still be
+    // finished by the destructor.
+    EXPECT_TRUE(second_session->done());
+  } else {
+    EXPECT_TRUE(second_status.IsCancelled()) << second_status.ToString();
+  }
+}
+
+TEST_F(QueryRuntimeTest, ShutdownFinishesEverySession) {
+  std::vector<std::shared_ptr<QuerySession>> sessions;
+  {
+    QueryRuntime runtime(SmallRuntime(/*max_inflight=*/1, /*max_queued=*/8));
+    for (int i = 0; i < 6; ++i) {
+      auto session = runtime.Submit(Request());
+      ASSERT_TRUE(session.ok());
+      sessions.push_back(std::move(session).value());
+    }
+    // Destructor: cancels what is still queued, revokes what runs.
+  }
+  for (const auto& session : sessions) {
+    EXPECT_TRUE(session->done());
+    const QueryOutcome outcome = session->outcome();
+    EXPECT_TRUE(outcome == QueryOutcome::kCompleted ||
+                outcome == QueryOutcome::kCancelled)
+        << QueryOutcomeName(outcome);
+  }
+}
+
+TEST_F(QueryRuntimeTest, ServerBatchReportsMatchSequentialRuns) {
+  ServerOptions options;
+  options.runtime = SmallRuntime(/*max_inflight=*/3, /*max_queued=*/16);
+  Server server(db_, cat_, options);
+  const std::string text =
+      "select * where { ?w A ?x . ?x B ?y . ?y C ?z . }";
+  std::vector<std::string> batch = {text, "select * where { broken",
+                                    text, text};
+  const std::vector<QueryReport> reports = server.RunBatch(batch);
+  ASSERT_EQ(reports.size(), 4u);
+  for (size_t i : {size_t{0}, size_t{2}, size_t{3}}) {
+    EXPECT_TRUE(reports[i].admitted);
+    EXPECT_EQ(reports[i].outcome, QueryOutcome::kCompleted) << "query " << i;
+    EXPECT_EQ(reports[i].rows, 200u * 200u) << "query " << i;
+  }
+  EXPECT_FALSE(reports[1].admitted);
+  EXPECT_FALSE(reports[1].status.ok());
+}
+
+}  // namespace
+}  // namespace runtime
+}  // namespace wireframe

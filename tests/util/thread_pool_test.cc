@@ -150,6 +150,142 @@ TEST(ThreadPoolTest, StopFlagEndsDispatchWithOkStatus) {
   EXPECT_LT(calls.load(), 1u << 20);
 }
 
+TEST(ThreadPoolTest, CancelFlagSurfacesAsCancelled) {
+  ThreadPool pool(2);
+  std::atomic<bool> cancel{false};
+  ParallelForOptions options;
+  options.morsel_size = 1;
+  options.cancel = &cancel;
+  std::atomic<uint64_t> calls{0};
+  Status st = pool.ParallelFor(
+      1u << 20, options, [&](uint32_t, uint64_t, uint64_t) {
+        if (calls.fetch_add(1) == 100) cancel.store(true);
+      });
+  EXPECT_TRUE(st.IsCancelled()) << st.ToString();
+  EXPECT_LT(calls.load(), 1u << 20) << "dispatch must stop on cancel";
+}
+
+TEST(ThreadPoolTest, PreSetCancelRunsNoBody) {
+  ThreadPool pool(2);
+  std::atomic<bool> cancel{true};
+  ParallelForOptions options;
+  options.cancel = &cancel;
+  std::atomic<uint64_t> calls{0};
+  Status st = pool.ParallelFor(
+      1000, options, [&](uint32_t, uint64_t, uint64_t) { ++calls; });
+  EXPECT_TRUE(st.IsCancelled());
+  EXPECT_EQ(calls.load(), 0u);
+}
+
+// The shared-runtime contract: ParallelFor may be called concurrently
+// from many external threads against one pool, and every call covers its
+// own range exactly once.
+TEST(ThreadPoolTest, ConcurrentSubmissionsFromManyThreads) {
+  ThreadPool pool(4);
+  constexpr int kCallers = 6;
+  constexpr uint64_t kN = 20000;
+  std::vector<uint64_t> sums(kCallers, 0);
+  std::vector<Status> statuses(kCallers);
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      std::atomic<uint64_t> sum{0};
+      ParallelForOptions options;
+      options.morsel_size = 16;
+      statuses[c] = pool.ParallelFor(
+          kN, options, [&](uint32_t, uint64_t begin, uint64_t end) {
+            uint64_t local = 0;
+            for (uint64_t i = begin; i < end; ++i) local += i;
+            sum.fetch_add(local, std::memory_order_relaxed);
+          });
+      sums[c] = sum.load();
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  for (int c = 0; c < kCallers; ++c) {
+    EXPECT_TRUE(statuses[c].ok()) << "caller " << c;
+    EXPECT_EQ(sums[c], (kN - 1) * kN / 2) << "caller " << c;
+  }
+}
+
+// One caller's deadline expiry (or exception) must not disturb another
+// in-flight task-group on the same pool.
+TEST(ThreadPoolTest, FailingGroupLeavesConcurrentGroupIntact) {
+  ThreadPool pool(4);
+  std::atomic<uint64_t> good_calls{0};
+  Status good_status;
+  std::thread good([&] {
+    ParallelForOptions options;
+    options.morsel_size = 4;
+    good_status = pool.ParallelFor(
+        4096, options, [&](uint32_t, uint64_t begin, uint64_t end) {
+          good_calls.fetch_add(end - begin, std::memory_order_relaxed);
+          std::this_thread::sleep_for(std::chrono::microseconds(20));
+        });
+  });
+  std::thread bad([&] {
+    ParallelForOptions options;
+    options.morsel_size = 1;
+    options.deadline = Deadline::AlreadyExpired();
+    Status st = pool.ParallelFor(
+        1u << 20, options, [&](uint32_t, uint64_t, uint64_t) {});
+    EXPECT_TRUE(st.IsTimedOut());
+  });
+  bad.join();
+  good.join();
+  EXPECT_TRUE(good_status.ok()) << good_status.ToString();
+  EXPECT_EQ(good_calls.load(), 4096u);
+}
+
+// Fairness: while a long task-group holds the pool, the single spawned
+// worker must round-robin into a newly submitted short group (its caller
+// drains its own morsels anyway, so worker participation — not mere
+// completion — is what proves the scheduler interleaves groups).
+TEST(ThreadPoolTest, WorkerServesShortGroupWhileLongGroupRuns) {
+  ThreadPool pool(2);  // exactly one spawned worker
+  std::atomic<bool> stop_long{false};
+  std::atomic<uint64_t> long_calls{0};
+  std::atomic<bool> long_done{false};
+  std::thread long_caller([&] {
+    ParallelForOptions options;
+    options.morsel_size = 1;
+    options.stop = &stop_long;
+    Status st = pool.ParallelFor(
+        1u << 20, options, [&](uint32_t, uint64_t, uint64_t) {
+          long_calls.fetch_add(1, std::memory_order_relaxed);
+          std::this_thread::sleep_for(std::chrono::microseconds(100));
+        });
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    long_done.store(true);
+  });
+  while (long_calls.load(std::memory_order_relaxed) == 0) {
+    std::this_thread::yield();  // long group provably occupies the pool
+  }
+
+  // Short group: slow morsels keep it dispatchable long enough that the
+  // worker, alternating between the two groups, must claim some.
+  const std::thread::id caller = std::this_thread::get_id();
+  std::atomic<uint64_t> short_worker_morsels{0};
+  ParallelForOptions options;
+  options.morsel_size = 1;
+  Status st = pool.ParallelFor(
+      128, options, [&](uint32_t worker, uint64_t, uint64_t) {
+        if (std::this_thread::get_id() != caller) {
+          EXPECT_GT(worker, 0u);
+          short_worker_morsels.fetch_add(1, std::memory_order_relaxed);
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      });
+  EXPECT_TRUE(st.ok());
+  EXPECT_FALSE(long_done.load())
+      << "the short group must finish while the long group runs";
+  EXPECT_GT(short_worker_morsels.load(), 0u)
+      << "round-robin must hand the worker short-group morsels";
+  stop_long.store(true);
+  long_caller.join();
+}
+
 TEST(ThreadPoolTest, PoolIsReusableAcrossManyLoops) {
   ThreadPool pool(4);
   for (int round = 0; round < 50; ++round) {
