@@ -3,7 +3,8 @@
 // embedding plan, then quantifies plan quality: the DP plan's *actual*
 // edge walks versus random and adversarial (reversed-DP) orders.
 //
-// Usage: bench_fig3_planner [--scale=0.2] [--orders=40] [--query=0 (Fig.3) | 1..10 (Table 1 row)]
+// Usage: bench_fig3_planner [--scale=0.2] [--orders=40]
+//                            [--query=0 (Fig.3) | 1..10 (Table 1 row)]
 
 #include <algorithm>
 #include <iostream>

@@ -70,7 +70,8 @@ double CardinalityEstimator::JoinFanout(LabelId from_label, End from_end,
                                         LabelId to_label, End to_end) const {
   const Catalog& cat = *catalog_;
   return SafeDiv(
-      static_cast<double>(cat.JoinCount(from_label, from_end, to_label, to_end)),
+      static_cast<double>(
+          cat.JoinCount(from_label, from_end, to_label, to_end)),
       static_cast<double>(cat.DistinctCount(from_label, from_end)));
 }
 

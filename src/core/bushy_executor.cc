@@ -157,6 +157,7 @@ Result<DefactorizerStats> BushyExecutor::Emit(
         pf.deadline = options.deadline;
         pf.stop = &over_budget;
         pf.cancel = options.cancel;
+        pf.weight = options.weight;
         const Status st = pool->ParallelFor(
             num_probe, pf,
             [&](uint32_t, uint64_t begin, uint64_t end) {
@@ -233,6 +234,7 @@ Result<DefactorizerStats> BushyExecutor::Emit(
     pf.deadline = options.deadline;
     pf.stop = &stop;
     pf.cancel = options.cancel;
+    pf.weight = options.weight;
     const Status st = pool->ParallelFor(
         result.NumRows(), pf,
         [&](uint32_t worker, uint64_t begin, uint64_t end) {

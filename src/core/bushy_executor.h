@@ -30,6 +30,9 @@ struct BushyExecutorOptions {
   /// the same amortized cadence as the deadline; once set, execution
   /// stops and Emit returns Status::Cancelled.
   std::atomic<bool>* cancel = nullptr;
+  /// Scheduler weight of every task-group this run submits to `pool`
+  /// (service class of the owning query; see ParallelForOptions::weight).
+  uint32_t weight = 1;
 };
 
 /// Executes a BushyPlan over the answer graph: leaves scan AG edge sets,

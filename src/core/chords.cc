@@ -149,6 +149,7 @@ Status ChordEvaluator::MaterializeChords(
     pf.morsel_size = kChordMorsel;
     pf.deadline = options.deadline;
     pf.cancel = options.cancel;
+    pf.weight = options.weight;
     const Status st = pool->ParallelFor(
         n, pf, [&](uint32_t, uint64_t begin, uint64_t end) {
           const uint64_t m = begin / kChordMorsel;

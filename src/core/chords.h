@@ -26,6 +26,9 @@ struct ChordMaterializeOptions {
   ThreadPool* pool = nullptr;
   /// Cooperative cancellation, polled amortized like the deadline.
   std::atomic<bool>* cancel = nullptr;
+  /// Scheduler weight of every task-group this run submits to `pool`
+  /// (service class of the owning query; see ParallelForOptions::weight).
+  uint32_t weight = 1;
 };
 
 /// Runtime counterpart of the Triangulator's chordification (paper §4):

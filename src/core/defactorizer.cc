@@ -178,6 +178,7 @@ Result<DefactorizerStats> Defactorizer::Emit(
     pf.deadline = options.deadline;
     pf.stop = &stop;
     pf.cancel = options.cancel;
+    pf.weight = options.weight;
     const Status st = pool->ParallelFor(
         roots.size(), pf,
         [&](uint32_t worker, uint64_t begin, uint64_t end) {

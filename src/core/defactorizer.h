@@ -28,6 +28,9 @@ struct DefactorizerOptions {
   /// stops and Emit returns Status::Cancelled (rows already handed to the
   /// sink stay emitted).
   std::atomic<bool>* cancel = nullptr;
+  /// Scheduler weight of every task-group this run submits to `pool`
+  /// (service class of the owning query; see ParallelForOptions::weight).
+  uint32_t weight = 1;
   /// Use materialized chord pair sets as early filters: as soon as both
   /// endpoints of a chord are bound, a binding not in the chord set is
   /// abandoned. Sound (chord sets are supersets of the embedding

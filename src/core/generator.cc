@@ -104,6 +104,7 @@ Result<GeneratorResult> AgGenerator::Generate(
     pf.morsel_size = morsel;
     pf.deadline = options.deadline;
     pf.cancel = options.cancel;
+    pf.weight = options.weight;
     const Status st = pool->ParallelFor(
         n, pf, [&](uint32_t /*worker*/, uint64_t begin, uint64_t end) {
           PairSetShard& shard = shards[begin / morsel];
@@ -291,6 +292,7 @@ Result<GeneratorResult> AgGenerator::Generate(
     chord_options.deadline = options.deadline;
     chord_options.pool = pool;
     chord_options.cancel = options.cancel;
+    chord_options.weight = options.weight;
     Status st = chord_eval.MaterializeChords(chord_options, &walks);
     if (!st.ok()) return st;
     result.edge_walks += walks;
@@ -324,6 +326,7 @@ Result<GeneratorResult> AgGenerator::Generate(
   if (parallel && ag.NumEdgeSets() > 1) {
     ParallelForOptions pf;
     pf.morsel_size = 1;
+    pf.weight = options.weight;
     Status st = pool->ParallelFor(
         ag.NumEdgeSets(), pf,
         [&](uint32_t, uint64_t begin, uint64_t end) {

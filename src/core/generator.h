@@ -61,6 +61,9 @@ struct GeneratorOptions {
   /// the same amortized cadence as the deadline; once set, generation
   /// stops and Generate returns Status::Cancelled.
   std::atomic<bool>* cancel = nullptr;
+  /// Scheduler weight of every task-group this run submits to `pool`
+  /// (service class of the owning query; see ParallelForOptions::weight).
+  uint32_t weight = 1;
   /// Optional step observer.
   std::function<void(const GeneratorTraceStep&)> trace;
 };

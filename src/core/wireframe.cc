@@ -47,6 +47,7 @@ Result<WireframeRunDetail> WireframeEngine::RunDetailed(
   gen_options.deadline = options.deadline;
   gen_options.pool = pool;
   gen_options.cancel = options.runtime.cancel;
+  gen_options.weight = options.runtime.weight;
   AgGenerator generator(db, catalog);
   WF_ASSIGN_OR_RETURN(GeneratorResult gen,
                       generator.Generate(query, detail.ag_plan, gen_options));
@@ -66,6 +67,7 @@ Result<WireframeRunDetail> WireframeEngine::RunDetailed(
       bushy_options.deadline = options.deadline;
       bushy_options.pool = pool;
       bushy_options.cancel = options.runtime.cancel;
+      bushy_options.weight = options.runtime.weight;
       WF_ASSIGN_OR_RETURN(detail.phase2_stats,
                           executor.Emit(*bushy_plan, sink, bushy_options));
       emitted_by_bushy = true;
@@ -83,6 +85,7 @@ Result<WireframeRunDetail> WireframeEngine::RunDetailed(
     defac_options.use_chords = options_.chords_in_phase2;
     defac_options.pool = pool;
     defac_options.cancel = options.runtime.cancel;
+    defac_options.weight = options.runtime.weight;
     WF_ASSIGN_OR_RETURN(
         detail.phase2_stats,
         defactorizer.Emit(detail.embedding_plan, sink, defac_options));

@@ -129,13 +129,16 @@ Database MakeYagoLike(const YagoLikeConfig& config, YagoLikeInfo* info) {
   const Range persons = InternRange(b, "Person_", Scaled(30000, s));
   const Range movies = InternRange(b, "Movie_", Scaled(8000, s));
   const Range cities = InternRange(b, "City_", Scaled(1500, s));
-  const Range countries = InternRange(b, "Country_", Scaled(150, std::min(1.0, s)));
+  const Range countries =
+      InternRange(b, "Country_", Scaled(150, std::min(1.0, s)));
   const Range orgs = InternRange(b, "Org_", Scaled(2000, s));
   const Range events = InternRange(b, "Event_", Scaled(2000, s));
   const Range dates = InternRange(b, "Date_", Scaled(6000, s));
-  const Range durations = InternRange(b, "Duration_", Scaled(200, std::min(1.0, s)));
+  const Range durations =
+      InternRange(b, "Duration_", Scaled(200, std::min(1.0, s)));
   const Range prizes = InternRange(b, "Prize_", Scaled(200, std::min(1.0, s)));
-  const Range products = InternRange(b, "Product_", Scaled(400, std::min(1.0, s)));
+  const Range products =
+      InternRange(b, "Product_", Scaled(400, std::min(1.0, s)));
   const Range words = InternRange(b, "Word_", Scaled(3000, s));
   const Range all_entities{0, b.nodes().Size()};
 

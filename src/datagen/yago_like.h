@@ -48,7 +48,8 @@ struct YagoLikeInfo {
 };
 
 /// Generates the database. Deterministic in config.seed.
-Database MakeYagoLike(const YagoLikeConfig& config, YagoLikeInfo* info = nullptr);
+Database MakeYagoLike(const YagoLikeConfig& config,
+                      YagoLikeInfo* info = nullptr);
 
 /// The ten Table-1 queries, expressed in the SPARQL fragment the parser
 /// accepts, against MakeYagoLike's predicate vocabulary. Index 0..4 are

@@ -19,7 +19,7 @@ Result<EngineStats> HashJoinEngine::Run(const Database& db,
   PoolLease lease(options);
   return RunMaterializing(db, query, order, options.deadline,
                           options.runtime.cancel, kMaxCells, sink,
-                          lease.get());
+                          lease.get(), options.runtime.weight);
 }
 
 }  // namespace wireframe

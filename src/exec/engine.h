@@ -32,6 +32,12 @@ struct RuntimeHandle {
   /// amortized cadence as the deadline and return Status::Cancelled once
   /// it is set. Results already emitted to the sink stay emitted.
   std::atomic<bool>* cancel = nullptr;
+  /// Scheduler weight of every task-group this run submits to the shared
+  /// pool (service class, see runtime::TenantSpec): pool workers divide
+  /// themselves between concurrent queries' morsel loops in proportion to
+  /// this, so a latency-class run preempts batch runs at morsel
+  /// granularity without starving them. Ignored when `pool` is null.
+  uint32_t weight = 1;
 };
 
 /// Per-run knobs common to every engine.

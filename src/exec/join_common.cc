@@ -221,7 +221,7 @@ Result<EngineStats> RunMaterializing(const Database& db,
                                      const Deadline& deadline,
                                      std::atomic<bool>* cancel,
                                      uint64_t max_cells, Sink* sink,
-                                     ThreadPool* pool) {
+                                     ThreadPool* pool, uint32_t weight) {
   Stopwatch watch;
   const TripleStore& store = db.store();
   const uint32_t num_vars = query.NumVars();
@@ -296,6 +296,7 @@ Result<EngineStats> RunMaterializing(const Database& db,
       pf.deadline = deadline;
       pf.stop = &over_budget;
       pf.cancel = cancel;
+      pf.weight = weight;
       const Status st = pool->ParallelFor(
           rows.size(), pf, [&](uint32_t, uint64_t begin, uint64_t end) {
             const uint64_t m = begin / kBuildMorsel;

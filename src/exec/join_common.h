@@ -58,14 +58,17 @@ Result<EngineStats> RunPipelined(const Database& db, const QueryGraph& query,
 /// of the previous intermediate; per-morsel row chunks concatenate in
 /// morsel order, so every intermediate — and the final result — is
 /// bit-identical to the serial run. Null or single-threaded takes the
-/// exact serial code path.
+/// exact serial code path. `weight` is the scheduler share of the build
+/// loops on a shared pool (service class of the owning query; see
+/// ParallelForOptions::weight).
 Result<EngineStats> RunMaterializing(const Database& db,
                                      const QueryGraph& query,
                                      const std::vector<uint32_t>& order,
                                      const Deadline& deadline,
                                      std::atomic<bool>* cancel,
                                      uint64_t max_cells, Sink* sink,
-                                     ThreadPool* pool = nullptr);
+                                     ThreadPool* pool = nullptr,
+                                     uint32_t weight = 1);
 
 }  // namespace wireframe
 

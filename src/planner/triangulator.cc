@@ -58,7 +58,8 @@ void Triangulator::ChordifyCycle(const QueryCycle& cycle, bool exhaustive,
   // Base: adjacent sides are original cycle edges.
   for (uint32_t i = 0; i + 1 < m; ++i) {
     ctx.pairs[i][i + 1] =
-        static_cast<double>(catalog.EdgeCount(query.Edge(cycle.edges[i]).label));
+        static_cast<double>(
+            catalog.EdgeCount(query.Edge(cycle.edges[i]).label));
     ctx.cost[i][i + 1] = 0.0;
   }
 

@@ -107,9 +107,28 @@ QueryRuntime::QueryRuntime(RuntimeOptions options)
     : options_([&] {
         RuntimeOptions o = options;
         o.admission.max_inflight = std::max(1u, o.admission.max_inflight);
+        for (TenantSpec& spec : o.admission.tenants) {
+          spec.weight = std::max(1u, spec.weight);
+        }
         return o;
       }()),
       pool_(ThreadPool::ResolveThreads(options_.pool_threads)) {
+  // Tenant table: the implicit default class first, then the configured
+  // specs. A spec named "default" (or "") re-configures slot 0 instead
+  // of adding a class.
+  Tenant default_tenant;
+  default_tenant.spec.name = "default";
+  tenants_.push_back(std::move(default_tenant));
+  for (const TenantSpec& spec : options_.admission.tenants) {
+    if (spec.name.empty() || spec.name == "default") {
+      tenants_[0].spec = spec;
+      tenants_[0].spec.name = "default";
+    } else {
+      Tenant tenant;
+      tenant.spec = spec;
+      tenants_.push_back(std::move(tenant));
+    }
+  }
   active_.resize(options_.admission.max_inflight);
   drivers_.reserve(options_.admission.max_inflight);
   for (uint32_t i = 0; i < options_.admission.max_inflight; ++i) {
@@ -122,7 +141,13 @@ QueryRuntime::~QueryRuntime() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     shutdown_ = true;
-    orphaned.swap(queue_);
+    for (Tenant& tenant : tenants_) {
+      for (std::shared_ptr<QuerySession>& s : tenant.queue) {
+        orphaned.push_back(std::move(s));
+      }
+      tenant.queue.clear();
+    }
+    queued_total_ = 0;
     // Running queries are revoked cooperatively; their drivers finish the
     // session (with kCancelled) before observing shutdown.
     for (const std::shared_ptr<QuerySession>& s : active_) {
@@ -143,6 +168,7 @@ QueryRuntime::~QueryRuntime() {
     Finish(*s, QueryOutcome::kCancelled,
            Status::Cancelled("query runtime shut down"));
     ++stats_.completed;  // drivers are joined: no further writers
+    ++tenants_[s->tenant_].completed;
   }
 }
 
@@ -157,6 +183,8 @@ Result<std::shared_ptr<QuerySession>> QueryRuntime::Submit(
 
   auto session = std::make_shared<QuerySession>();
   session->engine_ = request.engine;
+  session->tenant_ = ResolveTenant(request.service_class);
+  session->service_class_ = tenants_[session->tenant_].spec.name;
   session->request_ = std::move(request);
 
   const AdmissionControl& adm = options_.admission;
@@ -164,18 +192,42 @@ Result<std::shared_ptr<QuerySession>> QueryRuntime::Submit(
       static_cast<uint64_t>(adm.max_inflight) + adm.max_queued;
   {
     std::unique_lock<std::mutex> lock(mu_);
+    Tenant& tenant = tenants_[session->tenant_];
     ++stats_.submitted;
+    ++tenant.submitted;
     ReapCancelledLocked();
+    // Per-tenant quota first: a kReject tenant is shed the moment its
+    // own slice of the runtime — running plus its queue — is at quota,
+    // no matter how idle the rest of the runtime is. (kQueue tenants
+    // pass through here and wait for one of their own slots at dispatch
+    // time instead.)
+    auto at_reject_quota = [&] {
+      return tenant.spec.max_inflight > 0 &&
+             tenant.spec.when_at_quota == QuotaPolicy::kReject &&
+             tenant.running + tenant.queue.size() >=
+                 tenant.spec.max_inflight;
+    };
+    auto shed_at_quota = [&]() -> Status {
+      ++stats_.rejected;
+      ++tenant.rejected;
+      return Status::ResourceExhausted(
+          "tenant '" + tenant.spec.name + "' at quota (" +
+          std::to_string(tenant.running) + " running, " +
+          std::to_string(tenant.queue.size()) + " queued, quota " +
+          std::to_string(tenant.spec.max_inflight) + ")");
+    };
+    if (at_reject_quota()) return shed_at_quota();
     // Admission counts queries in the system (queued + running) against
     // max_inflight + max_queued, so a full runtime sheds or blocks even
     // while an idle driver is mid-handoff.
-    auto has_room = [&] { return running_ + queue_.size() < capacity; };
+    auto has_room = [&] { return running_ + queued_total_ < capacity; };
     if (!has_room()) {
       if (!adm.block_when_full) {
         ++stats_.rejected;
+        ++tenant.rejected;
         return Status::ResourceExhausted(
             "query runtime saturated (" + std::to_string(running_) +
-            " running, " + std::to_string(queue_.size()) + " queued)");
+            " running, " + std::to_string(queued_total_) + " queued)");
       }
       // The waiter count keeps the destructor from tearing the runtime
       // down under a parked submitter: it wakes us (shutdown_) and waits
@@ -187,19 +239,81 @@ Result<std::shared_ptr<QuerySession>> QueryRuntime::Submit(
     }
     if (shutdown_) {
       ++stats_.rejected;
+      ++tenant.rejected;
       return Status::Cancelled("query runtime shutting down");
     }
+    // Re-check after the block_when_full park: several submitters of the
+    // same kReject tenant can pass the pre-wait quota check, park on a
+    // full runtime, and wake together — only as many as the quota allows
+    // may enqueue, or the tenant would hold more than it ever could
+    // under the documented policy.
+    if (at_reject_quota()) return shed_at_quota();
     session->id_ = next_id_++;
     session->submit_watch_.Restart();
-    queue_.push_back(session);
+    tenant.queue.push_back(session);
+    ++queued_total_;
   }
   queue_cv_.notify_one();
   return session;
 }
 
+size_t QueryRuntime::ResolveTenant(const std::string& service_class) const {
+  if (service_class.empty()) return 0;
+  for (size_t i = 1; i < tenants_.size(); ++i) {
+    if (tenants_[i].spec.name == service_class) return i;
+  }
+  // "default" itself, and any class no spec names, land on slot 0.
+  return 0;
+}
+
+bool QueryRuntime::HasDispatchableLocked() const {
+  for (const Tenant& tenant : tenants_) {
+    if (tenant.queue.empty()) continue;
+    if (tenant.spec.max_inflight == 0 ||
+        tenant.running < tenant.spec.max_inflight) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::shared_ptr<QuerySession> QueryRuntime::PickLocked() {
+  Tenant* picked = nullptr;
+  for (Tenant& tenant : tenants_) {
+    if (tenant.queue.empty()) continue;
+    if (tenant.spec.max_inflight > 0 &&
+        tenant.running >= tenant.spec.max_inflight) {
+      continue;  // at quota: its queue waits for one of its own slots
+    }
+    if (picked == nullptr || tenant.pass < picked->pass) picked = &tenant;
+  }
+  if (picked == nullptr) return nullptr;
+  // Stride accounting: re-enter at the current virtual time after an
+  // idle stretch (no banked burst), then pay for this dispatch.
+  picked->pass = std::max(picked->pass, dispatch_virtual_time_);
+  dispatch_virtual_time_ = picked->pass;
+  picked->pass += std::max<uint64_t>(1, kDispatchStride / picked->spec.weight);
+  std::shared_ptr<QuerySession> session = std::move(picked->queue.front());
+  picked->queue.pop_front();
+  --queued_total_;
+  return session;
+}
+
 RuntimeStats QueryRuntime::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  RuntimeStats stats = stats_;
+  stats.tenants.reserve(tenants_.size());
+  for (const Tenant& tenant : tenants_) {
+    TenantStats ts;
+    ts.tenant = tenant.spec.name;
+    ts.submitted = tenant.submitted;
+    ts.rejected = tenant.rejected;
+    ts.completed = tenant.completed;
+    ts.running = tenant.running;
+    ts.queued = static_cast<uint32_t>(tenant.queue.size());
+    stats.tenants.push_back(std::move(ts));
+  }
+  return stats;
 }
 
 uint32_t QueryRuntime::waiting_submitters() const {
@@ -209,15 +323,19 @@ uint32_t QueryRuntime::waiting_submitters() const {
 
 void QueryRuntime::ReapCancelledLocked() {
   bool reaped = false;
-  for (auto it = queue_.begin(); it != queue_.end();) {
-    if ((*it)->cancel_.load(std::memory_order_relaxed)) {
-      Finish(**it, QueryOutcome::kCancelled,
-             Status::Cancelled("cancelled while queued"));
-      ++stats_.completed;
-      it = queue_.erase(it);
-      reaped = true;
-    } else {
-      ++it;
+  for (Tenant& tenant : tenants_) {
+    for (auto it = tenant.queue.begin(); it != tenant.queue.end();) {
+      if ((*it)->cancel_.load(std::memory_order_relaxed)) {
+        Finish(**it, QueryOutcome::kCancelled,
+               Status::Cancelled("cancelled while queued"));
+        ++stats_.completed;
+        ++tenant.completed;
+        it = tenant.queue.erase(it);
+        --queued_total_;
+        reaped = true;
+      } else {
+        ++it;
+      }
     }
   }
   // Reaping frees admission capacity: submitters blocked on a full
@@ -231,25 +349,37 @@ void QueryRuntime::DriverLoop(uint32_t driver_index) {
     std::shared_ptr<QuerySession> session;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      queue_cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+      queue_cv_.wait(lock,
+                     [&] { return shutdown_ || HasDispatchableLocked(); });
       if (shutdown_) return;  // the destructor finishes what is queued
-      session = std::move(queue_.front());
-      queue_.pop_front();
+      session = PickLocked();
+      if (session == nullptr) continue;  // lost the race to another driver
       ++running_;
+      ++tenants_[session->tenant_].running;
       active_[driver_index] = session;
     }
-    Execute(*session);
+    auto [outcome, status] = Execute(*session);
     {
       std::lock_guard<std::mutex> lock(mu_);
       --running_;
       ++stats_.completed;
+      Tenant& tenant = tenants_[session->tenant_];
+      --tenant.running;
+      ++tenant.completed;
       active_[driver_index] = nullptr;
     }
+    // Finish (which wakes Wait()ers) comes after the accounting above, so
+    // stats() observed right after Wait() already includes this query.
+    Finish(*session, outcome, std::move(status));
+    // A finished query frees global capacity (parked submitters) and,
+    // when its tenant was at quota, unblocks that tenant's queue for the
+    // other drivers.
     vacancy_cv_.notify_all();
+    queue_cv_.notify_all();
   }
 }
 
-void QueryRuntime::Execute(QuerySession& session) {
+std::pair<QueryOutcome, Status> QueryRuntime::Execute(QuerySession& session) {
   const QueryRequest& req = session.request_;
   const AdmissionControl& adm = options_.admission;
   {
@@ -257,9 +387,8 @@ void QueryRuntime::Execute(QuerySession& session) {
     session.queue_seconds_ = session.submit_watch_.ElapsedSeconds();
   }
   if (session.cancel_.load(std::memory_order_relaxed)) {
-    Finish(session, QueryOutcome::kCancelled,
-           Status::Cancelled("cancelled while queued"));
-    return;
+    return {QueryOutcome::kCancelled,
+            Status::Cancelled("cancelled while queued")};
   }
 
   const double timeout = req.timeout_seconds >= 0.0
@@ -278,6 +407,9 @@ void QueryRuntime::Execute(QuerySession& session) {
   if (timeout > 0.0) options.deadline = Deadline::AfterSeconds(timeout);
   options.runtime.pool = &pool_;
   options.runtime.cancel = &session.cancel_;
+  // The service class rides into every morsel loop of the run: pool
+  // workers split between concurrent queries by these weights.
+  options.runtime.weight = tenants_[session.tenant_].spec.weight;
 
   std::unique_ptr<Engine> engine = MakeEngine(req.engine);
   WF_CHECK(engine != nullptr) << "engine validated at Submit";
@@ -307,7 +439,7 @@ void QueryRuntime::Execute(QuerySession& session) {
     if (result.ok()) session.stats_ = result.value();
     session.rows_emitted_ = run_sink->count();
   }
-  Finish(session, outcome, std::move(status));
+  return {outcome, std::move(status)};
 }
 
 void QueryRuntime::Finish(QuerySession& session, QueryOutcome outcome,

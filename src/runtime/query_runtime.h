@@ -9,6 +9,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "catalog/catalog.h"
@@ -22,6 +23,39 @@
 
 namespace wireframe {
 namespace runtime {
+
+/// What a tenant's Submit does once the tenant already has
+/// `max_inflight` queries in the system.
+enum class QuotaPolicy {
+  /// Admit and queue; the query waits for one of the tenant's own slots
+  /// (and a driver). The tenant never loses work, it just backs up.
+  kQueue,
+  /// Shed immediately with ResourceExhausted. The tenant never holds
+  /// more than its quota in the runtime — queued included — so a
+  /// misbehaving batch client cannot fill the shared queue either.
+  kReject,
+};
+
+/// One named service class sharing the runtime. Queries pick their class
+/// via QueryRequest::service_class; an empty or unknown class runs as the
+/// implicit "default" tenant (weight 1, no quota) — configure a spec
+/// named "default" to change that.
+struct TenantSpec {
+  std::string name;
+  /// Scheduler share relative to the other tenants, applied at BOTH
+  /// levels: dispatch of queued queries to free drivers (stride-weighted
+  /// pick across tenant queues) and every morsel loop the query runs on
+  /// the shared pool (ParallelForOptions::weight). A weight-16 `latency`
+  /// tenant therefore preempts weight-1 `batch` work at morsel
+  /// granularity without starving it. Clamped to >= 1.
+  uint32_t weight = 1;
+  /// Cap on this tenant's queries in flight (running, plus queued for
+  /// kReject — see QuotaPolicy). 0 = no per-tenant cap; the runtime-wide
+  /// max_inflight/max_queued always applies on top.
+  uint32_t max_inflight = 0;
+  /// What happens at the quota.
+  QuotaPolicy when_at_quota = QuotaPolicy::kQueue;
+};
 
 /// Admission policy of a QueryRuntime: how many queries run at once, how
 /// many may wait, and the per-query defaults a request inherits when it
@@ -44,6 +78,10 @@ struct AdmissionControl {
   /// Default per-query row budget: once this many rows reached the sink,
   /// the run stops and reports kBudgetExhausted. 0 = unlimited.
   uint64_t default_row_budget = 0;
+  /// Named service classes (weights + quotas). Empty keeps the historic
+  /// single-class behavior: every query runs as the implicit "default"
+  /// tenant and dispatch is plain FIFO.
+  std::vector<TenantSpec> tenants;
 };
 
 /// Configuration of one QueryRuntime.
@@ -74,6 +112,9 @@ struct QueryRequest {
   /// "use the default" (0 is a real value: unlimited).
   double timeout_seconds = -1.0;
   int64_t row_budget = -1;
+  /// Service class this query runs as (AdmissionControl::tenants). Empty
+  /// or unknown names resolve to the implicit "default" tenant.
+  std::string service_class;
 };
 
 /// How a finished query ended.
@@ -98,6 +139,9 @@ class QuerySession {
  public:
   uint64_t id() const { return id_; }
   const std::string& engine() const { return engine_; }
+  /// Resolved service class this query runs as ("default" when the
+  /// request named none, or named one the runtime does not know).
+  const std::string& service_class() const { return service_class_; }
 
   /// Requests cooperative cancellation. A running query stops at its
   /// next amortized interrupt probe; a queued one never runs — it is
@@ -129,6 +173,10 @@ class QuerySession {
   mutable std::condition_variable done_cv_;
   uint64_t id_ = 0;
   std::string engine_;
+  std::string service_class_;
+  /// Index into the runtime's tenant table; resolved at Submit, constant
+  /// afterwards (read lock-free by the drivers and the destructor).
+  size_t tenant_ = 0;
   QueryRequest request_;  // moved in at Submit
   Stopwatch submit_watch_;  // restarted at admission
   std::atomic<bool> cancel_{false};
@@ -142,26 +190,44 @@ class QuerySession {
   double run_seconds_ = 0.0;
 };
 
+/// Per-tenant slice of RuntimeStats.
+struct TenantStats {
+  std::string tenant;
+  uint64_t submitted = 0;
+  /// Sheds: runtime-wide saturation plus this tenant's quota (kReject).
+  uint64_t rejected = 0;
+  uint64_t completed = 0;
+  /// Point-in-time gauges at the stats() call.
+  uint32_t running = 0;
+  uint32_t queued = 0;
+};
+
 /// Aggregate counters of a runtime's lifetime, for load-shedding
 /// dashboards and tests.
 struct RuntimeStats {
   uint64_t submitted = 0;
   uint64_t rejected = 0;
   uint64_t completed = 0;  // any terminal outcome, including cancelled
+  /// One entry per tenant, implicit "default" first, then the configured
+  /// specs in AdmissionControl::tenants order.
+  std::vector<TenantStats> tenants;
 };
 
-/// The shared query runtime (ROADMAP: "Concurrent multi-query serving"):
-/// one process-wide ThreadPool, a FIFO admission queue in front of a
-/// fixed set of driver threads, and per-query sessions carrying stats and
-/// cancellation.
+/// The shared query runtime (ROADMAP: "Concurrent multi-query serving" +
+/// "Runtime priorities"): one process-wide ThreadPool, per-tenant
+/// admission queues in front of a fixed set of driver threads, and
+/// per-query sessions carrying stats and cancellation.
 ///
 /// Each admitted query executes on one driver thread; every
 /// morsel-parallel loop the engine runs is submitted to the shared pool
-/// as a fairly-scheduled task-group, so N in-flight queries interleave at
-/// morsel granularity instead of fighting over private pools (or
-/// serializing). Engines are stateless per Run and the stores/catalog are
-/// immutable, so cross-query state is confined to this class and the
-/// pool.
+/// as a task-group weighted by the query's service class, so N in-flight
+/// queries interleave at morsel granularity — proportionally to their
+/// tenants' weights — instead of fighting over private pools (or
+/// serializing). Free drivers pick queued queries by the same weights
+/// (stride scheduling across tenants, FIFO within one), and per-tenant
+/// quotas cap how many drivers one class may hold. Engines are stateless
+/// per Run and the stores/catalog are immutable, so cross-query state is
+/// confined to this class and the pool.
 class QueryRuntime {
  public:
   explicit QueryRuntime(RuntimeOptions options = {});
@@ -186,13 +252,45 @@ class QueryRuntime {
   uint32_t waiting_submitters() const;
 
  private:
+  /// One service class and its scheduling state. Everything mutable is
+  /// guarded by the pool mutex mu_.
+  struct Tenant {
+    TenantSpec spec;
+    std::deque<std::shared_ptr<QuerySession>> queue;
+    uint32_t running = 0;
+    /// Stride virtual time of the dispatch scheduler: advanced by
+    /// kDispatchStride / weight per dispatched query; the dispatchable
+    /// tenant with the smallest pass goes next.
+    uint64_t pass = 0;
+    uint64_t submitted = 0;
+    uint64_t rejected = 0;
+    uint64_t completed = 0;
+  };
+
+  /// Pass increment of a weight-1 tenant per dispatched query (same
+  /// scale as the pool's morsel-level strides).
+  static constexpr uint64_t kDispatchStride = 1 << 20;
+
   void DriverLoop(uint32_t driver_index);
-  /// Runs one admitted session to completion on the calling driver.
-  void Execute(QuerySession& session);
+  /// Runs one admitted session on the calling driver and returns its
+  /// terminal outcome. Does NOT mark the session done — the driver
+  /// updates the runtime counters first and then calls Finish, so a
+  /// stats() call racing a Wait()er never misses a completion.
+  std::pair<QueryOutcome, Status> Execute(QuerySession& session);
   /// Finishes and drops queued sessions whose cancel flag is set, so a
   /// cancelled-but-never-run query stops holding an admission slot.
   /// Caller holds mu_.
   void ReapCancelledLocked();
+  /// Maps a request's service class to its tenant index ("default" = 0
+  /// for empty or unknown names).
+  size_t ResolveTenant(const std::string& service_class) const;
+  /// True when some tenant has a queued query it is allowed to run now
+  /// (nonempty queue, below quota). Caller holds mu_.
+  bool HasDispatchableLocked() const;
+  /// Pops the next query by stride-weighted pick across the dispatchable
+  /// tenants (FIFO within a tenant). Null when nothing is dispatchable.
+  /// Caller holds mu_.
+  std::shared_ptr<QuerySession> PickLocked();
   static void Finish(QuerySession& session, QueryOutcome outcome,
                      Status status);
 
@@ -200,9 +298,17 @@ class QueryRuntime {
   ThreadPool pool_;
 
   mutable std::mutex mu_;
-  std::condition_variable queue_cv_;   // drivers: work available
+  std::condition_variable queue_cv_;   // drivers: dispatchable work
   std::condition_variable vacancy_cv_; // blocking submitters: room freed
-  std::deque<std::shared_ptr<QuerySession>> queue_;
+  /// tenants_[0] is the implicit "default" class; configured specs
+  /// follow (a spec named "default" or "" overrides slot 0 instead).
+  std::vector<Tenant> tenants_;
+  /// Queries queued across all tenants (the global admission gauge).
+  size_t queued_total_ = 0;
+  /// Virtual time of the dispatch scheduler: pass of the most recently
+  /// dispatched tenant. A tenant whose queue was empty re-enters at this
+  /// time, so idling never banks a burst.
+  uint64_t dispatch_virtual_time_ = 0;
   /// active_[i] is driver i's currently executing session (null when
   /// idle); the destructor uses it to revoke in-flight queries.
   std::vector<std::shared_ptr<QuerySession>> active_;

@@ -12,7 +12,8 @@ Server::Server(const Database& db, const Catalog& catalog,
       options_(std::move(options)),
       runtime_(options_.runtime) {}
 
-QueryRequest Server::MakeRequest(QueryGraph query, Sink* sink) const {
+QueryRequest Server::MakeRequest(QueryGraph query, Sink* sink,
+                                 std::string_view service_class) const {
   QueryRequest request;
   request.db = db_;
   request.catalog = catalog_;
@@ -21,24 +22,28 @@ QueryRequest Server::MakeRequest(QueryGraph query, Sink* sink) const {
   request.sink = sink;
   request.timeout_seconds = options_.timeout_seconds;
   request.row_budget = options_.row_budget;
+  request.service_class = service_class.empty()
+                              ? options_.default_service_class
+                              : std::string(service_class);
   return request;
 }
 
-Result<std::shared_ptr<QuerySession>> Server::Submit(std::string_view sparql,
-                                                     Sink* sink) {
+Result<std::shared_ptr<QuerySession>> Server::Submit(
+    std::string_view sparql, Sink* sink, std::string_view service_class) {
   WF_ASSIGN_OR_RETURN(QueryGraph query,
                       SparqlParser::ParseAndBind(sparql, *db_));
-  return runtime_.Submit(MakeRequest(std::move(query), sink));
+  return runtime_.Submit(MakeRequest(std::move(query), sink, service_class));
 }
 
-Result<std::shared_ptr<QuerySession>> Server::Submit(const QueryGraph& query,
-                                                     Sink* sink) {
-  return runtime_.Submit(MakeRequest(query, sink));
+Result<std::shared_ptr<QuerySession>> Server::Submit(
+    const QueryGraph& query, Sink* sink, std::string_view service_class) {
+  return runtime_.Submit(MakeRequest(query, sink, service_class));
 }
 
 std::vector<QueryReport> Server::RunBatch(
     const std::vector<std::string>& queries,
-    const std::vector<Sink*>* sinks) {
+    const std::vector<Sink*>* sinks,
+    const std::vector<std::string>* service_classes) {
   std::vector<QueryReport> reports(queries.size());
   std::vector<std::shared_ptr<QuerySession>> sessions(queries.size());
 
@@ -47,8 +52,12 @@ std::vector<QueryReport> Server::RunBatch(
     report.index = i;
     Sink* sink =
         sinks != nullptr && i < sinks->size() ? (*sinks)[i] : nullptr;
+    const std::string_view service_class =
+        service_classes != nullptr && i < service_classes->size()
+            ? std::string_view((*service_classes)[i])
+            : std::string_view();
     Result<std::shared_ptr<QuerySession>> session =
-        Submit(queries[i], sink);
+        Submit(queries[i], sink, service_class);
     if (!session.ok()) {
       // Parse error or admission rejection: terminal immediately.
       report.status = session.status();
@@ -63,6 +72,7 @@ std::vector<QueryReport> Server::RunBatch(
     const QuerySession& session = *sessions[i];
     session.Wait();
     QueryReport& report = reports[i];
+    report.service_class = session.service_class();
     report.outcome = session.outcome();
     report.status = session.status();
     report.stats = session.stats();

@@ -24,6 +24,9 @@ struct ServerOptions {
   /// Per-query row budget; negative inherits the admission default, 0 is
   /// unlimited.
   int64_t row_budget = -1;
+  /// Service class queries run as when a Submit names none (see
+  /// AdmissionControl::tenants). Empty = the implicit "default" tenant.
+  std::string default_service_class;
 };
 
 /// Outcome of one query of a batch, flattened for callers that do not
@@ -31,6 +34,8 @@ struct ServerOptions {
 struct QueryReport {
   /// Position in the submitted batch.
   size_t index = 0;
+  /// Resolved service class the query ran as (empty when never admitted).
+  std::string service_class;
   /// True once the query was admitted past admission control (false for
   /// parse errors and rejections; `status` then says why).
   bool admitted = false;
@@ -55,28 +60,36 @@ class Server {
          ServerOptions options = {});
 
   /// Parses, binds, and submits one query. Parse/bind errors surface
-  /// immediately; admission rejections surface as ResourceExhausted.
-  /// `sink` (borrowed, may be null) receives the embeddings.
-  Result<std::shared_ptr<QuerySession>> Submit(std::string_view sparql,
-                                               Sink* sink = nullptr);
+  /// immediately; admission rejections (runtime saturation or tenant
+  /// quota) surface as ResourceExhausted. `sink` (borrowed, may be null)
+  /// receives the embeddings. `service_class` picks the tenant the query
+  /// runs as; empty inherits ServerOptions::default_service_class.
+  Result<std::shared_ptr<QuerySession>> Submit(
+      std::string_view sparql, Sink* sink = nullptr,
+      std::string_view service_class = {});
 
   /// Submits a pre-bound query graph (no parsing).
-  Result<std::shared_ptr<QuerySession>> Submit(const QueryGraph& query,
-                                               Sink* sink = nullptr);
+  Result<std::shared_ptr<QuerySession>> Submit(
+      const QueryGraph& query, Sink* sink = nullptr,
+      std::string_view service_class = {});
 
   /// Runs a whole batch concurrently (bounded by the runtime's admission
   /// limits) and blocks until every query finished. Reports are in batch
-  /// order. `sinks`, when given, must parallel `queries`; null entries
-  /// count rows only.
-  std::vector<QueryReport> RunBatch(const std::vector<std::string>& queries,
-                                    const std::vector<Sink*>* sinks = nullptr);
+  /// order. `sinks` and `service_classes`, when given, must parallel
+  /// `queries`; null sink entries count rows only, empty class entries
+  /// inherit the server default.
+  std::vector<QueryReport> RunBatch(
+      const std::vector<std::string>& queries,
+      const std::vector<Sink*>* sinks = nullptr,
+      const std::vector<std::string>* service_classes = nullptr);
 
   QueryRuntime& runtime() { return runtime_; }
   const Database& db() const { return *db_; }
   const Catalog& catalog() const { return *catalog_; }
 
  private:
-  QueryRequest MakeRequest(QueryGraph query, Sink* sink) const;
+  QueryRequest MakeRequest(QueryGraph query, Sink* sink,
+                           std::string_view service_class) const;
 
   const Database* db_;
   const Catalog* catalog_;

@@ -6,7 +6,13 @@
 
 namespace wireframe {
 
-enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4
+};
 
 /// Minimum level actually emitted; default kInfo. Not thread-safe to
 /// mutate concurrently with logging (set it once at startup).

@@ -52,6 +52,8 @@ Status ThreadPool::ParallelFor(
   job.deadline = options.deadline;
   job.external_stop = options.stop;
   job.external_cancel = options.cancel;
+  job.stride = std::max<uint64_t>(
+      1, kStrideScale / std::max<uint32_t>(1, options.weight));
 
   // One morsel, or no workers: run inline — the exception/timeout contract
   // is identical, just without the scheduler hand-off.
@@ -59,6 +61,7 @@ Status ThreadPool::ParallelFor(
   if (shared) {
     {
       std::lock_guard<std::mutex> lock(mu_);
+      job.pass = virtual_time_;
       jobs_.push_back(&job);
       num_jobs_.store(jobs_.size(), std::memory_order_relaxed);
     }
@@ -97,21 +100,30 @@ void ThreadPool::WorkerLoop(uint32_t worker_id) {
     });
     if (shutdown_) return;
 
-    // Fair pick: the first runnable group at or after the round-robin
-    // cursor. Advancing the cursor past the pick makes every group take
-    // turns at morsel granularity, so no query's loop monopolizes the
-    // pool while another is in flight.
+    // Weighted pick: the dispatchable group with the smallest stride pass
+    // goes next (strictly-smaller comparison while scanning from the
+    // round-robin cursor, so equal-pass groups — the all-weights-equal
+    // case — still rotate exactly as the old fair scheduler did). The
+    // picked group's pass advances by its stride, so over time worker
+    // picks divide between groups in proportion to their weights, and
+    // every group keeps getting picked: no weight can park another
+    // group's pass at the minimum forever.
     Job* job = nullptr;
     const size_t count = jobs_.size();
+    size_t picked = 0;
     for (size_t k = 0; k < count; ++k) {
-      Job* candidate = jobs_[(rr_cursor_ + k) % count];
-      if (Dispatchable(*candidate)) {
+      const size_t slot = (rr_cursor_ + k) % count;
+      Job* candidate = jobs_[slot];
+      if (!Dispatchable(*candidate)) continue;
+      if (job == nullptr || candidate->pass < job->pass) {
         job = candidate;
-        rr_cursor_ = (rr_cursor_ + k + 1) % count;
-        break;
+        picked = slot;
       }
     }
     if (job == nullptr) continue;  // raced with the last claim; re-wait
+    rr_cursor_ = (picked + 1) % count;
+    virtual_time_ = job->pass;
+    job->pass += job->stride;
 
     // in_flight is raised before the lock drops, so a caller can never
     // observe its group quiesced while this worker is committed to it.

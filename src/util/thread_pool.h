@@ -34,6 +34,15 @@ struct ParallelForOptions {
   /// ParallelFor returns Status::Cancelled. Checked between morsels, like
   /// the deadline. May be null.
   std::atomic<bool>* cancel = nullptr;
+  /// Scheduler share of this task-group relative to the other groups in
+  /// flight on the pool (stride-weighted round-robin: a weight-4 group is
+  /// handed 4x the morsels of a concurrent weight-1 group, service-time
+  /// permitting). 0 is clamped to 1. Weights only shape how the spawned
+  /// workers divide themselves between groups; every group additionally
+  /// keeps its calling thread, so even a weight-1 group next to a huge
+  /// weight never starves (and the stride math guarantees workers still
+  /// visit it, just proportionally rarely).
+  uint32_t weight = 1;
 };
 
 /// A fixed pool of worker threads driving morsel-granular parallel loops
@@ -41,16 +50,20 @@ struct ParallelForOptions {
 ///
 /// The only primitive is ParallelFor, which carves [0, n) into morsels
 /// claimed off a per-call atomic counter. Each ParallelFor registers one
-/// task-group with the pool's scheduler; workers pick runnable groups in
-/// round-robin order and run ONE morsel before re-picking, so loops
-/// submitted by different threads (different queries of a shared runtime)
-/// interleave at morsel granularity instead of serializing behind each
-/// other. The calling thread participates as worker 0 of its own group
-/// only, so ThreadPool(n) spawns n-1 threads and ThreadPool(1) spawns
-/// none and runs everything inline on the caller — the serial path stays
-/// the serial path. The pool is not re-entrant from inside a body, but
-/// ParallelFor may be called concurrently from any number of external
-/// threads.
+/// task-group with the pool's scheduler; workers pick runnable groups by
+/// stride-weighted round-robin (each group advances a virtual-time pass
+/// by kStrideScale/weight per pick; the dispatchable group with the
+/// smallest pass goes next) and run ONE morsel before re-picking, so
+/// loops submitted by different threads (different queries of a shared
+/// runtime) interleave at morsel granularity instead of serializing
+/// behind each other — and a high-weight group (a latency service class)
+/// soaks up proportionally more worker picks than a batch group without
+/// ever starving it. The calling thread participates as worker 0 of its
+/// own group only, so ThreadPool(n) spawns n-1 threads and ThreadPool(1)
+/// spawns none and runs everything inline on the caller — the serial
+/// path stays the serial path. The pool is not re-entrant from inside a
+/// body, but ParallelFor may be called concurrently from any number of
+/// external threads.
 ///
 /// Worker-id contract: `worker` is in [0, num_threads()) and is unique
 /// among the threads concurrently executing one task-group (spawned
@@ -104,6 +117,13 @@ class ThreadPool {
     Deadline deadline;
     std::atomic<bool>* external_stop = nullptr;
     std::atomic<bool>* external_cancel = nullptr;
+    /// Stride scheduling state, guarded by the pool mutex. `stride` is
+    /// kStrideScale / weight (>= 1, so `pass` always advances and no
+    /// group can pin the minimum forever); `pass` starts at the pool's
+    /// virtual time when the group registers, so a newcomer neither jumps
+    /// the queue nor inherits a debt it never accrued.
+    uint64_t stride = 0;
+    uint64_t pass = 0;
     std::atomic<uint64_t> next{0};
     /// Dispatch fence: once set no new morsel of this group is claimed.
     std::atomic<bool> abort{false};
@@ -133,11 +153,19 @@ class ThreadPool {
   const uint32_t num_threads_;
   std::vector<std::thread> workers_;
 
+  /// Pass increment of a weight-1 group per worker pick; a weight-w group
+  /// advances by kStrideScale / w, so relative pick rates match relative
+  /// weights to ~1/kStrideScale precision.
+  static constexpr uint64_t kStrideScale = 1 << 20;
+
   std::mutex mu_;
   std::condition_variable work_cv_;   // workers wait for runnable groups
   std::condition_variable done_cv_;   // callers wait for group quiescence
   std::vector<Job*> jobs_;            // registered, not-yet-removed groups
-  size_t rr_cursor_ = 0;              // round-robin pick position
+  size_t rr_cursor_ = 0;              // tie-break rotation for equal passes
+  /// Pass of the most recently picked group: the scheduler's virtual
+  /// time. New groups start here (see Job::pass).
+  uint64_t virtual_time_ = 0;
   /// jobs_.size() mirrored relaxed-atomically: lets a worker stay on its
   /// current group without retaking mu_ while no other group exists (the
   /// dominant single-query case keeps the old lock-free dispatch; a

@@ -101,7 +101,8 @@ TEST_F(JoinCommonTest, MaterializingFindsAllEmbeddings) {
 TEST_F(JoinCommonTest, MaterializingRespectsMemoryBudget) {
   QueryGraph q = Chain();
   CountingSink sink;
-  auto stats = RunMaterializing(db_, q, {0, 1, 2}, Deadline{}, nullptr, 8, &sink);
+  auto stats =
+      RunMaterializing(db_, q, {0, 1, 2}, Deadline{}, nullptr, 8, &sink);
   ASSERT_FALSE(stats.ok());
   EXPECT_EQ(stats.status().code(), StatusCode::kOutOfRange);
 }

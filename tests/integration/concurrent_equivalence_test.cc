@@ -195,5 +195,62 @@ TEST(ConcurrentEquivalenceTest, ServerBatchMatchesSerialRuns) {
   }
 }
 
+// Service classes are a scheduling knob, never a semantic one: the same
+// batch submitted under wildly different weights/quotas yields exactly
+// the serial embeddings and |AG| per query, while every report carries
+// its resolved class.
+TEST(ConcurrentEquivalenceTest, ServiceClassNeverChangesResults) {
+  Database db = MakeChainBlowupGraph(200, 200, /*noise=*/10);
+  Catalog cat = Catalog::Build(db.store());
+  const std::string chain =
+      "select * where { ?w A ?x . ?x B ?y . ?y C ?z . }";
+  const std::string pair = "select * where { ?x B ?y . ?y C ?z . }";
+  auto chain_q = SparqlParser::ParseAndBind(chain, db);
+  auto pair_q = SparqlParser::ParseAndBind(pair, db);
+  ASSERT_TRUE(chain_q.ok());
+  ASSERT_TRUE(pair_q.ok());
+  const SerialRun chain_expected = RunSerial(db, cat, *chain_q);
+  const SerialRun pair_expected = RunSerial(db, cat, *pair_q);
+
+  runtime::ServerOptions options;
+  options.runtime = ConcurrentOptions(4);
+  runtime::TenantSpec latency;
+  latency.name = "latency";
+  latency.weight = 1000;
+  runtime::TenantSpec batch_class;
+  batch_class.name = "batch";
+  batch_class.weight = 1;
+  batch_class.max_inflight = 2;
+  options.runtime.admission.tenants = {latency, batch_class};
+  runtime::Server server(db, cat, options);
+
+  std::vector<std::unique_ptr<CollectingSink>> sinks;
+  std::vector<Sink*> sink_ptrs;
+  for (int i = 0; i < 6; ++i) {
+    sinks.push_back(std::make_unique<CollectingSink>());
+    sink_ptrs.push_back(sinks.back().get());
+  }
+  const std::vector<std::string> queries = {chain, pair, chain,
+                                            pair, chain, pair};
+  const std::vector<std::string> classes = {"latency", "batch", "batch",
+                                            "latency", "", "unknown"};
+  const std::vector<runtime::QueryReport> reports =
+      server.RunBatch(queries, &sink_ptrs, &classes);
+  ASSERT_EQ(reports.size(), 6u);
+  const std::vector<std::string> resolved = {"latency", "batch", "batch",
+                                             "latency", "default", "default"};
+  for (size_t i = 0; i < reports.size(); ++i) {
+    ASSERT_TRUE(reports[i].admitted) << i;
+    EXPECT_EQ(reports[i].outcome, QueryOutcome::kCompleted)
+        << i << ": " << reports[i].status.ToString();
+    EXPECT_EQ(reports[i].service_class, resolved[i]) << i;
+    const SerialRun& expected = i % 2 == 0 ? chain_expected : pair_expected;
+    std::multiset<std::vector<NodeId>> rows = {sinks[i]->rows().begin(),
+                                               sinks[i]->rows().end()};
+    EXPECT_EQ(rows, expected.rows) << "batch query " << i;
+    EXPECT_EQ(reports[i].stats.ag_pairs, expected.ag_pairs) << i;
+  }
+}
+
 }  // namespace
 }  // namespace wireframe

@@ -4,9 +4,12 @@
 // under the TSan CI job (smoke label): every test drives real engine Runs
 // from multiple driver threads against one shared pool.
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -333,6 +336,296 @@ TEST_F(QueryRuntimeTest, ShutdownFinishesEverySession) {
                 outcome == QueryOutcome::kCancelled)
         << QueryOutcomeName(outcome);
   }
+}
+
+// --- Service classes: weights, quotas, and queue policies. ---
+
+/// Execution-order probe: records which query started running (first row
+/// reached the sink) in what order.
+class OrderSink : public Sink {
+ public:
+  OrderSink(std::vector<std::string>* log, std::mutex* mu, std::string tag)
+      : log_(log), mu_(mu), tag_(std::move(tag)) {}
+  bool Emit(const std::vector<NodeId>&) override {
+    if (!recorded_) {
+      recorded_ = true;
+      std::lock_guard<std::mutex> lock(*mu_);
+      log_->push_back(tag_);
+    }
+    ++count_;
+    return true;
+  }
+  uint64_t count() const override { return count_; }
+
+ private:
+  std::vector<std::string>* log_;
+  std::mutex* mu_;
+  std::string tag_;
+  bool recorded_ = false;
+  uint64_t count_ = 0;
+};
+
+RuntimeOptions TenantRuntime(uint32_t max_inflight,
+                             std::vector<TenantSpec> tenants) {
+  RuntimeOptions options;
+  options.pool_threads = 2;
+  options.admission.max_inflight = max_inflight;
+  options.admission.max_queued = 64;
+  options.admission.tenants = std::move(tenants);
+  return options;
+}
+
+TEST_F(QueryRuntimeTest, RejectQuotaShedsTenantButNotOthers) {
+  TenantSpec batch;
+  batch.name = "batch";
+  batch.max_inflight = 1;
+  batch.when_at_quota = QuotaPolicy::kReject;
+  QueryRuntime runtime(TenantRuntime(/*max_inflight=*/3, {batch}));
+
+  GateSink gate;
+  QueryRequest first = Request(&gate);
+  first.service_class = "batch";
+  auto running = runtime.Submit(std::move(first));
+  ASSERT_TRUE(running.ok());
+  gate.WaitStarted();  // the tenant's one slot is provably occupied
+
+  QueryRequest second = Request();
+  second.service_class = "batch";
+  auto shed = runtime.Submit(std::move(second));
+  EXPECT_FALSE(shed.ok());
+  EXPECT_TRUE(shed.status().IsResourceExhausted())
+      << shed.status().ToString();
+
+  // The runtime itself is far from saturated: other classes sail in.
+  auto other = runtime.Submit(Request());
+  ASSERT_TRUE(other.ok()) << other.status().ToString();
+  (*other)->Wait();
+  EXPECT_EQ((*other)->outcome(), QueryOutcome::kCompleted);
+
+  gate.Release();
+  (*running)->Wait();
+  EXPECT_EQ((*running)->outcome(), QueryOutcome::kCompleted);
+  EXPECT_EQ((*running)->service_class(), "batch");
+
+  const RuntimeStats stats = runtime.stats();
+  ASSERT_EQ(stats.tenants.size(), 2u);
+  EXPECT_EQ(stats.tenants[0].tenant, "default");
+  EXPECT_EQ(stats.tenants[1].tenant, "batch");
+  EXPECT_EQ(stats.tenants[1].submitted, 2u);
+  EXPECT_EQ(stats.tenants[1].rejected, 1u);
+  EXPECT_EQ(stats.tenants[1].completed, 1u);
+  EXPECT_EQ(stats.tenants[0].rejected, 0u);
+}
+
+TEST_F(QueryRuntimeTest, QueueQuotaWaitsForOwnSlotWhileOthersRun) {
+  TenantSpec batch;
+  batch.name = "batch";
+  batch.max_inflight = 1;
+  batch.when_at_quota = QuotaPolicy::kQueue;
+  QueryRuntime runtime(TenantRuntime(/*max_inflight=*/2, {batch}));
+
+  GateSink gate;
+  QueryRequest first = Request(&gate);
+  first.service_class = "batch";
+  auto running = runtime.Submit(std::move(first));
+  ASSERT_TRUE(running.ok());
+  gate.WaitStarted();
+
+  // Admitted, but must hold behind the tenant's own quota even though a
+  // second driver sits idle.
+  QueryRequest second = Request();
+  second.service_class = "batch";
+  auto queued = runtime.Submit(std::move(second));
+  ASSERT_TRUE(queued.ok()) << queued.status().ToString();
+  EXPECT_FALSE((*queued)->done());
+
+  // The idle driver still serves other classes meanwhile.
+  auto other = runtime.Submit(Request());
+  ASSERT_TRUE(other.ok());
+  (*other)->Wait();
+  EXPECT_EQ((*other)->outcome(), QueryOutcome::kCompleted);
+  EXPECT_FALSE((*queued)->done()) << "still quota-blocked";
+
+  gate.Release();
+  (*running)->Wait();
+  (*queued)->Wait();
+  EXPECT_EQ((*queued)->outcome(), QueryOutcome::kCompleted);
+}
+
+TEST_F(QueryRuntimeTest, WeightedDispatchFavorsLatencyClass) {
+  TenantSpec latency;
+  latency.name = "latency";
+  latency.weight = 4;
+  TenantSpec batch;
+  batch.name = "batch";
+  batch.weight = 1;
+  // One driver: dispatch order is the stride schedule, observable via
+  // each query's first emitted row.
+  QueryRuntime runtime(TenantRuntime(/*max_inflight=*/1, {latency, batch}));
+
+  GateSink gate;
+  auto gate_session = runtime.Submit(Request(&gate));
+  ASSERT_TRUE(gate_session.ok());
+  gate.WaitStarted();  // driver busy: everything below queues up
+
+  std::vector<std::string> order;
+  std::mutex order_mu;
+  std::vector<std::unique_ptr<OrderSink>> sinks;
+  std::vector<std::shared_ptr<QuerySession>> sessions;
+  auto enqueue = [&](const std::string& service_class) {
+    sinks.push_back(
+        std::make_unique<OrderSink>(&order, &order_mu, service_class));
+    QueryRequest request = Request(sinks.back().get());
+    request.service_class = service_class;
+    auto session = runtime.Submit(std::move(request));
+    ASSERT_TRUE(session.ok()) << session.status().ToString();
+    sessions.push_back(std::move(session).value());
+  };
+  // Batch floods the queue first; latency arrives last and must still
+  // dominate the head of the dispatch schedule.
+  for (int i = 0; i < 5; ++i) enqueue("batch");
+  for (int i = 0; i < 5; ++i) enqueue("latency");
+
+  gate.Release();
+  (*gate_session)->Wait();
+  for (auto& session : sessions) session->Wait();
+
+  ASSERT_EQ(order.size(), 10u);
+  const size_t latency_in_first_five =
+      static_cast<size_t>(std::count(order.begin(), order.begin() + 5,
+                                     std::string("latency")));
+  EXPECT_GE(latency_in_first_five, 3u)
+      << "weight 4:1 must front-load the latency class";
+  // FIFO within a class is preserved, and nothing is lost.
+  EXPECT_EQ(std::count(order.begin(), order.end(), std::string("batch")), 5);
+}
+
+TEST_F(QueryRuntimeTest, ExtremeWeightsStarveNoTenant) {
+  TenantSpec latency;
+  latency.name = "latency";
+  latency.weight = 1000;
+  TenantSpec batch;
+  batch.name = "batch";
+  batch.weight = 1;
+  QueryRuntime runtime(TenantRuntime(/*max_inflight=*/2, {latency, batch}));
+
+  std::vector<std::shared_ptr<QuerySession>> sessions;
+  for (int i = 0; i < 12; ++i) {
+    QueryRequest request = Request();
+    request.service_class = i % 3 == 0 ? "batch" : "latency";
+    auto session = runtime.Submit(std::move(request));
+    ASSERT_TRUE(session.ok());
+    sessions.push_back(std::move(session).value());
+  }
+  for (auto& session : sessions) {
+    session->Wait();
+    EXPECT_EQ(session->outcome(), QueryOutcome::kCompleted)
+        << session->service_class() << ": " << session->status().ToString();
+  }
+  const RuntimeStats stats = runtime.stats();
+  ASSERT_EQ(stats.tenants.size(), 3u);
+  EXPECT_EQ(stats.tenants[1].completed, 8u);  // latency
+  EXPECT_EQ(stats.tenants[2].completed, 4u);  // batch: never starved
+}
+
+// Several kReject-tenant submitters parked on a full runtime
+// (block_when_full) may wake together; only as many as the quota allows
+// may enqueue — the rest must shed on the post-wait re-check.
+TEST_F(QueryRuntimeTest, RejectQuotaHoldsAcrossBlockedSubmitters) {
+  TenantSpec batch;
+  batch.name = "batch";
+  batch.max_inflight = 1;
+  batch.when_at_quota = QuotaPolicy::kReject;
+  RuntimeOptions options = TenantRuntime(/*max_inflight=*/2, {batch});
+  options.admission.max_queued = 0;
+  options.admission.block_when_full = true;
+  QueryRuntime runtime(options);
+
+  // Two gated default-class queries occupy both drivers and the whole
+  // admission capacity.
+  GateSink gate_a;
+  GateSink gate_b;
+  auto running_a = runtime.Submit(Request(&gate_a));
+  auto running_b = runtime.Submit(Request(&gate_b));
+  ASSERT_TRUE(running_a.ok());
+  ASSERT_TRUE(running_b.ok());
+  gate_a.WaitStarted();
+  gate_b.WaitStarted();
+
+  // Two batch submitters both pass the pre-wait quota check (the tenant
+  // is empty) and park on the saturated runtime. The batch query itself
+  // is gated so the first admission provably still holds the tenant's
+  // one slot when the second submitter re-checks.
+  GateSink batch_gate;
+  std::atomic<int> admitted{0};
+  std::atomic<int> shed{0};
+  auto submit_batch = [&] {
+    QueryRequest request = Request(&batch_gate);
+    request.service_class = "batch";
+    auto session = runtime.Submit(std::move(request));
+    if (session.ok()) {
+      ++admitted;
+      (*session)->Wait();
+    } else {
+      EXPECT_TRUE(session.status().IsResourceExhausted())
+          << session.status().ToString();
+      ++shed;
+    }
+  };
+  std::thread first(submit_batch);
+  std::thread second(submit_batch);
+  while (runtime.waiting_submitters() < 2) {
+    std::this_thread::yield();  // both provably parked before the wake
+  }
+  gate_a.Release();
+  gate_b.Release();
+  (*running_a)->Wait();
+  (*running_b)->Wait();
+
+  // One submitter wins the tenant's slot; the other must shed on wake,
+  // not enqueue past the quota.
+  while (admitted.load() + shed.load() < 1) std::this_thread::yield();
+  while (shed.load() < 1 && admitted.load() < 2) std::this_thread::yield();
+  batch_gate.Release();
+  first.join();
+  second.join();
+  EXPECT_EQ(admitted.load(), 1);
+  EXPECT_EQ(shed.load(), 1);
+  EXPECT_EQ(runtime.stats().tenants[1].rejected, 1u);
+}
+
+TEST_F(QueryRuntimeTest, UnknownClassRunsAsDefaultTenant) {
+  QueryRuntime runtime(SmallRuntime(2, 4));
+  QueryRequest request = Request();
+  request.service_class = "no-such-class";
+  auto session = runtime.Submit(std::move(request));
+  ASSERT_TRUE(session.ok());
+  (*session)->Wait();
+  EXPECT_EQ((*session)->outcome(), QueryOutcome::kCompleted);
+  EXPECT_EQ((*session)->service_class(), "default");
+  const RuntimeStats stats = runtime.stats();
+  ASSERT_EQ(stats.tenants.size(), 1u);
+  EXPECT_EQ(stats.tenants[0].tenant, "default");
+  EXPECT_EQ(stats.tenants[0].submitted, 1u);
+}
+
+TEST_F(QueryRuntimeTest, DefaultSpecOverridesImplicitTenant) {
+  TenantSpec strict;
+  strict.name = "default";
+  strict.max_inflight = 1;
+  strict.when_at_quota = QuotaPolicy::kReject;
+  QueryRuntime runtime(TenantRuntime(/*max_inflight=*/3, {strict}));
+
+  GateSink gate;
+  auto running = runtime.Submit(Request(&gate));
+  ASSERT_TRUE(running.ok());
+  gate.WaitStarted();
+  auto shed = runtime.Submit(Request());
+  EXPECT_FALSE(shed.ok());
+  EXPECT_TRUE(shed.status().IsResourceExhausted());
+  gate.Release();
+  (*running)->Wait();
+  EXPECT_EQ((*running)->outcome(), QueryOutcome::kCompleted);
 }
 
 TEST_F(QueryRuntimeTest, ServerBatchReportsMatchSequentialRuns) {

@@ -56,7 +56,8 @@ TEST(ThreadPoolTest, WorkerIdsAreInRangeAndZeroIsTheCaller) {
   Status st = pool.ParallelFor(
       1000, options, [&](uint32_t worker, uint64_t, uint64_t) {
         uint32_t seen = max_worker.load();
-        while (worker > seen && !max_worker.compare_exchange_weak(seen, worker)) {
+        while (worker > seen &&
+               !max_worker.compare_exchange_weak(seen, worker)) {
         }
         // Worker id 0 is reserved for the calling thread; whether the
         // caller actually claims a morsel is a scheduling race (spawned
@@ -284,6 +285,133 @@ TEST(ThreadPoolTest, WorkerServesShortGroupWhileLongGroupRuns) {
       << "round-robin must hand the worker short-group morsels";
   stop_long.store(true);
   long_caller.join();
+}
+
+// Stride-weighted scheduling: with exactly one spawned worker and two
+// always-dispatchable groups of weights 4 and 1, the worker's picks must
+// divide roughly 4:1 (the stride math makes this deterministic up to the
+// rotation of the very first ties, so generous 2x bounds cannot flap).
+TEST(ThreadPoolTest, WorkerPicksSplitByWeight) {
+  ThreadPool pool(2);  // exactly one spawned worker
+  std::atomic<bool> stop_heavy{false};
+  std::atomic<bool> stop_light{false};
+  std::atomic<uint64_t> heavy_worker_picks{0};
+  std::atomic<uint64_t> light_worker_picks{0};
+
+  std::thread heavy_caller([&] {
+    ParallelForOptions options;
+    options.morsel_size = 1;
+    options.stop = &stop_heavy;
+    options.weight = 4;
+    Status st = pool.ParallelFor(
+        1ull << 40, options, [&](uint32_t worker, uint64_t, uint64_t) {
+          if (worker != 0) {
+            heavy_worker_picks.fetch_add(1, std::memory_order_relaxed);
+          }
+          std::this_thread::sleep_for(std::chrono::microseconds(20));
+        });
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  });
+  // The heavy group must be registered before the light one starts:
+  // whichever group is alone on the pool gets the lock-free fast path's
+  // picks for free, and that startup bias has to point at the heavy
+  // group for the ratio assertion to be one-sided.
+  while (heavy_worker_picks.load(std::memory_order_relaxed) == 0) {
+    std::this_thread::yield();
+  }
+  std::thread light_caller([&] {
+    ParallelForOptions options;
+    options.morsel_size = 1;
+    options.stop = &stop_light;
+    options.weight = 1;
+    Status st = pool.ParallelFor(
+        1ull << 40, options, [&](uint32_t worker, uint64_t, uint64_t) {
+          if (worker != 0) {
+            light_worker_picks.fetch_add(1, std::memory_order_relaxed);
+          }
+          std::this_thread::sleep_for(std::chrono::microseconds(20));
+        });
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  });
+
+  // Measure deltas strictly while both groups are active (from the light
+  // group's first worker pick onward): in that regime the single worker
+  // follows the stride schedule, 4 heavy picks per light pick, exactly.
+  while (light_worker_picks.load(std::memory_order_relaxed) == 0) {
+    std::this_thread::yield();
+  }
+  const uint64_t heavy_base = heavy_worker_picks.load();
+  const uint64_t light_base = light_worker_picks.load();
+  while (heavy_worker_picks.load(std::memory_order_relaxed) <
+         heavy_base + 200) {
+    std::this_thread::yield();
+  }
+  stop_heavy.store(true);
+  stop_light.store(true);
+  heavy_caller.join();
+  light_caller.join();
+
+  const uint64_t heavy = heavy_worker_picks.load() - heavy_base;
+  const uint64_t light = light_worker_picks.load() - light_base;
+  EXPECT_GT(light, 0u) << "weighted scheduling must not starve the light group";
+  EXPECT_GE(heavy, 2 * light)
+      << "weight 4 vs 1 must skew worker picks (heavy=" << heavy
+      << ", light=" << light << ")";
+}
+
+// Extreme weights (1:1000) must neither overflow the stride arithmetic
+// nor starve the light group: its ParallelFor completes while the heavy
+// group still floods the pool (the caller thread guarantees progress and
+// the stride floor guarantees eventual worker visits).
+TEST(ThreadPoolTest, ExtremeWeightRatioIsStarvationFree) {
+  ThreadPool pool(2);
+  std::atomic<bool> stop_heavy{false};
+  std::atomic<bool> heavy_done{false};
+  std::thread heavy_caller([&] {
+    ParallelForOptions options;
+    options.morsel_size = 1;
+    options.stop = &stop_heavy;
+    options.weight = 1000;
+    Status st = pool.ParallelFor(
+        1ull << 40, options, [&](uint32_t, uint64_t, uint64_t) {
+          std::this_thread::sleep_for(std::chrono::microseconds(10));
+        });
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    heavy_done.store(true);
+  });
+
+  ParallelForOptions options;
+  options.morsel_size = 1;
+  options.weight = 1;
+  std::atomic<uint64_t> covered{0};
+  Status st = pool.ParallelFor(
+      512, options, [&](uint32_t, uint64_t begin, uint64_t end) {
+        covered.fetch_add(end - begin, std::memory_order_relaxed);
+      });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(covered.load(), 512u);
+  EXPECT_FALSE(heavy_done.load())
+      << "the light group must finish while the heavy group runs";
+  stop_heavy.store(true);
+  heavy_caller.join();
+}
+
+// Degenerate weights are clamped, not UB: weight 0 behaves like 1 and a
+// weight beyond the stride scale still advances the group's pass.
+TEST(ThreadPoolTest, DegenerateWeightsAreClamped) {
+  ThreadPool pool(4);
+  for (uint32_t weight : {0u, 1u, 1u << 30, UINT32_MAX}) {
+    ParallelForOptions options;
+    options.morsel_size = 8;
+    options.weight = weight;
+    std::atomic<uint64_t> covered{0};
+    Status st = pool.ParallelFor(
+        4096, options, [&](uint32_t, uint64_t begin, uint64_t end) {
+          covered.fetch_add(end - begin, std::memory_order_relaxed);
+        });
+    ASSERT_TRUE(st.ok()) << "weight " << weight << ": " << st.ToString();
+    ASSERT_EQ(covered.load(), 4096u) << "weight " << weight;
+  }
 }
 
 TEST(ThreadPoolTest, PoolIsReusableAcrossManyLoops) {
