@@ -66,8 +66,8 @@ int main(int argc, char** argv) {
       table.AddRow(
           {std::to_string(i + 1), mode.name,
            TablePrinter::FormatCount(detail->stats.ag_pairs),
-           TablePrinter::FormatSeconds(detail->phase1_seconds),
-           TablePrinter::FormatSeconds(detail->phase2_seconds),
+           TablePrinter::FormatSeconds(detail->stats.phase1_seconds),
+           TablePrinter::FormatSeconds(detail->stats.phase2_seconds),
            TablePrinter::FormatSeconds(detail->stats.seconds),
            TablePrinter::FormatCount(detail->pairs_burned)});
     }

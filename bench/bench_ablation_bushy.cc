@@ -69,7 +69,7 @@ int main(int argc, char** argv) {
       }
       table.AddRow(
           {std::to_string(i + 1), mode.name,
-           TablePrinter::FormatSeconds(detail->phase2_seconds),
+           TablePrinter::FormatSeconds(detail->stats.phase2_seconds),
            TablePrinter::FormatCount(detail->phase2_stats.extensions),
            TablePrinter::FormatCount(detail->phase2_stats.emitted)});
     }

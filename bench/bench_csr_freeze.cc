@@ -1,0 +1,201 @@
+// Frozen-CSR ablation: phase 2 over the frozen AnswerGraph (CSR spans)
+// vs the mutable hash-indexed build form, on defactorization-dominated
+// workloads — exactly the cells where the read path is the bill. Records
+// per-phase wall times (phase1 / burnback / freeze / phase2) so
+// scripts/bench_diff.py can attribute the delta; run once with
+// --frozen=0 and once with --frozen=1 into two JSON files and diff them:
+//
+//   ./bench_csr_freeze --frozen=0 --json=BENCH_pr5_csr_baseline.json
+//   ./bench_csr_freeze --frozen=1 --json=BENCH_pr5_csr.json
+//   scripts/bench_diff.py BENCH_pr5_csr_baseline.json BENCH_pr5_csr.json
+//
+// Usage: bench_csr_freeze [--frozen=1] [--scale=1.0] [--reps=3]
+//                         [--threads_list=1,0] [--timeout=60]
+//                         [--json=<path>]
+
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "benchlib/json_writer.h"
+#include "catalog/catalog.h"
+#include "core/wireframe.h"
+#include "datagen/synthetic.h"
+#include "query/parser.h"
+#include "util/flags.h"
+#include "util/table_printer.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+using namespace wireframe;
+
+namespace {
+
+struct Workload {
+  std::string id;
+  Database db;
+  Catalog catalog;
+  QueryGraph query;
+};
+
+std::vector<uint32_t> ParseThreads(const std::string& csv) {
+  std::vector<uint32_t> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const uint32_t resolved = ThreadPool::ResolveThreads(
+        static_cast<uint32_t>(std::atoi(item.c_str())));
+    // Dedup after resolution: the default "1,0" collapses to one cell on
+    // a single-core host, instead of recording two identical cell keys.
+    bool seen = false;
+    for (uint32_t t : out) seen |= t == resolved;
+    if (!seen) out.push_back(resolved);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const bool frozen = flags.GetBool("frozen", true);
+  const double scale = flags.GetDouble("scale", 1.0);
+  const int reps = static_cast<int>(flags.GetInt("reps", 3));
+  const double timeout = flags.GetDouble("timeout", 60.0);
+  const std::vector<uint32_t> thread_counts =
+      ParseThreads(flags.GetString("threads_list", "1,0"));
+
+  std::cout << "=== Frozen-CSR AnswerGraph vs mutable hash form ("
+            << (frozen ? "frozen" : "unfrozen") << ") ===\n\n";
+
+  // Defactorization-dominated cells: small AGs, large embedding sets.
+  std::vector<Workload> workloads;
+  {
+    // Acyclic chain blowup: |iAG| ~ 2n+1 pairs, n^2 embeddings — phase 2
+    // re-reads the same spans n times each.
+    const uint32_t fan = static_cast<uint32_t>(600 * scale);
+    Database db = MakeChainBlowupGraph(std::max(8u, fan),
+                                       std::max(8u, fan), /*noise=*/50);
+    Catalog cat = Catalog::Build(db.store());
+    auto q = SparqlParser::ParseAndBind(
+        "select * where { ?w A ?x . ?x B ?y . ?y C ?z . }", db);
+    if (!q.ok()) return 1;
+    workloads.push_back(
+        {"chain", std::move(db), std::move(cat), std::move(*q)});
+  }
+  {
+    // Cyclic dense square: phase 2 additionally probes the chord set per
+    // candidate binding (Contains — a hash probe unfrozen, a span binary
+    // search frozen).
+    const uint64_t edges = static_cast<uint64_t>(6000 * scale);
+    Database db = MakeRandomGraph(80, 3, std::max<uint64_t>(256, edges),
+                                  777);
+    Catalog cat = Catalog::Build(db.store());
+    auto q = SparqlParser::ParseAndBind(
+        "select * where { ?a p0 ?b . ?b p1 ?c . ?c p2 ?d . ?d p0 ?a . }",
+        db);
+    if (!q.ok()) return 1;
+    workloads.push_back(
+        {"square", std::move(db), std::move(cat), std::move(*q)});
+  }
+  {
+    // Bushy phase 2 over the same square: leaf scans materialize whole
+    // edge sets (ForEachPair — a slot scan unfrozen, a dense array walk
+    // frozen).
+    const uint64_t edges = static_cast<uint64_t>(6000 * scale);
+    Database db = MakeRandomGraph(80, 3, std::max<uint64_t>(256, edges),
+                                  778);
+    Catalog cat = Catalog::Build(db.store());
+    auto q = SparqlParser::ParseAndBind(
+        "select * where { ?a p0 ?b . ?b p1 ?c . ?c p2 ?d . ?d p0 ?a . }",
+        db);
+    if (!q.ok()) return 1;
+    workloads.push_back(
+        {"square-bushy", std::move(db), std::move(cat), std::move(*q)});
+  }
+
+  JsonResultWriter json;
+  json.SetMeta("bench", "bench_csr_freeze");
+  json.SetMeta("hardware_threads",
+               std::to_string(ThreadPool::ResolveThreads(0)));
+  json.SetMeta("frozen", frozen ? "1" : "0");
+  {
+    char scale_meta[32];
+    std::snprintf(scale_meta, sizeof(scale_meta), "%g", scale);
+    json.SetMeta("scale", scale_meta);
+  }
+
+  TablePrinter table({"cell", "threads", "total (s)", "phase1 (s)",
+                      "burnback (s)", "freeze (s)", "phase2 (s)", "|AG|",
+                      "|Embeddings|"});
+
+  for (const Workload& w : workloads) {
+    WireframeOptions wf_options;
+    wf_options.freeze_ag = frozen;
+    wf_options.bushy_phase2 = w.id == "square-bushy";
+    for (uint32_t threads : thread_counts) {
+      WireframeEngine engine(wf_options);
+      double seconds = 0.0, phase1 = 0.0, burnback = 0.0, freeze = 0.0,
+             phase2 = 0.0;
+      int timed_runs = 0;
+      BenchRecord record;
+      record.engine = "WF";
+      record.query = w.id;
+      record.threads = threads;
+      bool failed = false;
+      for (int rep = 0; rep < std::max(1, reps); ++rep) {
+        EngineOptions options;
+        options.deadline = Deadline::AfterSeconds(timeout);
+        options.threads = threads;
+        CountingSink sink;
+        auto detail =
+            engine.RunDetailed(w.db, w.catalog, w.query, options, &sink);
+        if (!detail.ok()) {
+          record.timed_out = detail.status().IsTimedOut();
+          failed = true;
+          break;
+        }
+        if (rep > 0 || reps == 1) {
+          seconds += detail->stats.seconds;
+          phase1 += detail->stats.phase1_seconds;
+          burnback += detail->stats.burnback_seconds;
+          freeze += detail->stats.freeze_seconds;
+          phase2 += detail->stats.phase2_seconds;
+          ++timed_runs;
+        }
+        record.edge_walks = detail->stats.edge_walks;
+        record.output_tuples = detail->stats.output_tuples;
+        record.ag_pairs = detail->stats.ag_pairs;
+      }
+      if (!failed) {
+        const int divisor = std::max(1, timed_runs);
+        record.ok = true;
+        record.seconds = seconds / divisor;
+        record.phase1_seconds = phase1 / divisor;
+        record.burnback_seconds = burnback / divisor;
+        record.freeze_seconds = freeze / divisor;
+        record.phase2_seconds = phase2 / divisor;
+        table.AddRow({w.id, std::to_string(threads),
+                      TablePrinter::FormatSeconds(record.seconds),
+                      TablePrinter::FormatSeconds(record.phase1_seconds),
+                      TablePrinter::FormatSeconds(record.burnback_seconds),
+                      TablePrinter::FormatSeconds(record.freeze_seconds),
+                      TablePrinter::FormatSeconds(record.phase2_seconds),
+                      TablePrinter::FormatCount(record.ag_pairs),
+                      TablePrinter::FormatCount(record.output_tuples)});
+      } else {
+        table.AddRow({w.id, std::to_string(threads),
+                      TablePrinter::Timeout(), "-", "-", "-", "-", "-",
+                      "-"});
+      }
+      json.Add(record);
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "(phase2 is where the frozen CSR pays: identical embeddings"
+               " and |AG|,\n read path scans sorted spans instead of"
+               " probing hash tables)\n";
+  if (flags.Has("json")) json.WriteTo(flags.GetString("json", ""));
+  return 0;
+}

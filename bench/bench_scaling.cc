@@ -50,6 +50,8 @@ struct SweepPoint {
   bool timed_out = false;  // timeout or memory-budget abort, paper-style
   double seconds = 0.0;
   double phase1 = 0.0;
+  double burnback = 0.0;
+  double freeze = 0.0;
   double phase2 = 0.0;
   uint64_t ag_pairs = 0;
   uint64_t embeddings = 0;
@@ -76,8 +78,10 @@ SweepPoint RunWfPoint(const Database& db, const Catalog& catalog,
     // Warm-cache averaging: skip the first (cold) run when we have more.
     if (rep > 0 || reps == 1) {
       point.seconds += detail->stats.seconds;
-      point.phase1 += detail->phase1_seconds;
-      point.phase2 += detail->phase2_seconds;
+      point.phase1 += detail->stats.phase1_seconds;
+      point.burnback += detail->stats.burnback_seconds;
+      point.freeze += detail->stats.freeze_seconds;
+      point.phase2 += detail->stats.phase2_seconds;
       ++timed_runs;
     }
     point.ag_pairs = detail->stats.ag_pairs;
@@ -87,6 +91,8 @@ SweepPoint RunWfPoint(const Database& db, const Catalog& catalog,
   point.ok = true;
   point.seconds /= std::max(1, timed_runs);
   point.phase1 /= std::max(1, timed_runs);
+  point.burnback /= std::max(1, timed_runs);
+  point.freeze /= std::max(1, timed_runs);
   point.phase2 /= std::max(1, timed_runs);
   return point;
 }
@@ -201,6 +207,8 @@ int RunThreadsSweep(const Flags& flags) {
     record.ag_pairs = wf.ag_pairs;
     record.threads = threads;
     record.phase1_seconds = wf.phase1;
+    record.burnback_seconds = wf.burnback;
+    record.freeze_seconds = wf.freeze;
     record.phase2_seconds = wf.phase2;
     json.Add(record);
     json.Add(ToRecord("PG", query_id, pg));

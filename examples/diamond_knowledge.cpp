@@ -79,8 +79,8 @@ int main(int argc, char** argv) {
     std::cout << mode.name << ":\n";
     std::cout << "  |AG| = " << detail->stats.ag_pairs
               << "  (chord pairs: " << detail->chord_pairs << ")\n";
-    std::cout << "  phase1 " << detail->phase1_seconds << " s, phase2 "
-              << detail->phase2_seconds << " s, total "
+    std::cout << "  phase1 " << detail->stats.phase1_seconds << " s, phase2 "
+              << detail->stats.phase2_seconds << " s, total "
               << detail->stats.seconds << " s\n";
     std::cout << "  pairs burned back: " << detail->pairs_burned << "\n\n";
   }

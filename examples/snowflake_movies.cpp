@@ -67,9 +67,9 @@ int main(int argc, char** argv) {
   }
 
   const auto& stats = detail->stats;
-  std::cout << "phase 1 (answer graph): " << detail->phase1_seconds
+  std::cout << "phase 1 (answer graph): " << detail->stats.phase1_seconds
             << " s, |AG| = " << stats.ag_pairs << "\n";
-  std::cout << "phase 2 (embeddings)  : " << detail->phase2_seconds
+  std::cout << "phase 2 (embeddings)  : " << detail->stats.phase2_seconds
             << " s, |embeddings| = " << stats.output_tuples << "\n";
   if (stats.ag_pairs > 0) {
     std::cout << "factorization ratio   : "

@@ -46,6 +46,39 @@ def format_seconds(value):
     return "-" if value is None else f"{value:.3f}"
 
 
+PHASE_FIELDS = (
+    ("phase1", "phase1_seconds"),
+    ("burnback", "burnback_seconds"),
+    ("freeze", "freeze_seconds"),
+    ("phase2", "phase2_seconds"),
+)
+
+
+def phase_breakdown(old, new):
+    """One indented line diffing the per-phase wall times, or None.
+
+    Only emitted when both recordings carry phase data for the cell
+    (some phase field nonzero on each side — baselines and old
+    recordings have all-zero phases)."""
+    if old is None or new is None:
+        return None
+    if not any(old.get(f, 0.0) for _, f in PHASE_FIELDS):
+        return None
+    if not any(new.get(f, 0.0) for _, f in PHASE_FIELDS):
+        return None
+    parts = []
+    for label, field in PHASE_FIELDS:
+        old_s = old.get(field, 0.0) or 0.0
+        new_s = new.get(field, 0.0) or 0.0
+        if old_s == 0.0 and new_s == 0.0:
+            continue
+        ratio = f" ({old_s / new_s:.2f}x)" if old_s > 0 and new_s > 0 else ""
+        parts.append(f"{label} {old_s:.3f}->{new_s:.3f}{ratio}")
+    if not parts:
+        return None
+    return "    phases: " + "  ".join(parts)
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Diff two BENCH_*.json files per cell."
@@ -113,6 +146,9 @@ def main():
             f"{label:<40} {format_seconds(old_s):>9} "
             f"{format_seconds(new_s):>9} {speedup:>8}  {'; '.join(notes)}"
         )
+        phases = phase_breakdown(old, new)
+        if phases is not None:
+            print(phases)
 
     if ratios:
         geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))

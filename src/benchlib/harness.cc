@@ -20,6 +20,10 @@ BenchRecord ToRecord(const std::string& engine, const std::string& query_id,
   record.output_tuples = cell.stats.output_tuples;
   record.ag_pairs = cell.stats.ag_pairs;
   record.threads = cell.threads;
+  record.phase1_seconds = cell.phase1_seconds;
+  record.burnback_seconds = cell.burnback_seconds;
+  record.freeze_seconds = cell.freeze_seconds;
+  record.phase2_seconds = cell.phase2_seconds;
   return record;
 }
 
@@ -54,13 +58,24 @@ BenchCell Table1Harness::RunCell(const QueryGraph& query,
     }
     cell.stats = result.value();
     // Warm-cache averaging: skip the first (cold) run when we have more.
+    // Phase wall times (EngineStats; zero for baselines) average the
+    // same way so the JSON trajectory carries the per-phase split.
     if (rep > 0 || config_.repetitions == 1) {
       total_seconds += elapsed;
+      cell.phase1_seconds += result->phase1_seconds;
+      cell.burnback_seconds += result->burnback_seconds;
+      cell.freeze_seconds += result->freeze_seconds;
+      cell.phase2_seconds += result->phase2_seconds;
       ++timed_runs;
     }
   }
   cell.ok = true;
-  cell.seconds = total_seconds / std::max(1, timed_runs);
+  const int divisor = std::max(1, timed_runs);
+  cell.seconds = total_seconds / divisor;
+  cell.phase1_seconds /= divisor;
+  cell.burnback_seconds /= divisor;
+  cell.freeze_seconds /= divisor;
+  cell.phase2_seconds /= divisor;
   return cell;
 }
 

@@ -52,6 +52,13 @@ struct BenchCell {
   /// Resolved worker-thread count the cell ran with.
   uint32_t threads = 1;
   EngineStats stats;
+  /// Wireframe phase breakdown, averaged over the warm repetitions like
+  /// `seconds` (0 for baselines: they have no phases). burnback/freeze
+  /// are slices of phase 1.
+  double phase1_seconds = 0.0;
+  double burnback_seconds = 0.0;
+  double freeze_seconds = 0.0;
+  double phase2_seconds = 0.0;
 };
 
 /// Flattens one bench cell into the machine-readable record shape.

@@ -83,6 +83,8 @@ std::string JsonResultWriter::ToJson() const {
        << ", \"ag_pairs\": " << r.ag_pairs
        << ", \"threads\": " << r.threads
        << ", \"phase1_seconds\": " << FormatDouble(r.phase1_seconds)
+       << ", \"burnback_seconds\": " << FormatDouble(r.burnback_seconds)
+       << ", \"freeze_seconds\": " << FormatDouble(r.freeze_seconds)
        << ", \"phase2_seconds\": " << FormatDouble(r.phase2_seconds)
        << ", \"p50_seconds\": " << FormatDouble(r.p50_seconds)
        << ", \"p99_seconds\": " << FormatDouble(r.p99_seconds) << "}"

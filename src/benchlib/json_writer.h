@@ -22,7 +22,11 @@ struct BenchRecord {
   uint64_t ag_pairs = 0;
   uint32_t threads = 1;
   /// Wireframe phase split (0 for baselines and when not measured).
+  /// burnback/freeze are slices of phase 1: cascading node burnback and
+  /// the CSR freeze of the answer graph.
   double phase1_seconds = 0.0;
+  double burnback_seconds = 0.0;
+  double freeze_seconds = 0.0;
   double phase2_seconds = 0.0;
   /// Per-query latency percentiles of a concurrent-serving cell
   /// (bench_concurrent; 0 when the cell is a single run).

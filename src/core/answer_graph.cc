@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <iterator>
+#include <utility>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace wireframe {
 
 bool PairSet::Add(NodeId u, NodeId v) {
+  WF_DCHECK(!frozen_) << "Add on a frozen PairSet";
   if (!live_.Insert(PackPair(u, v))) return false;
   fwd_[u].push_back(v);
   bwd_[v].push_back(u);
@@ -25,6 +28,7 @@ uint64_t PairSet::MergeShard(const PairSetShard& shard) {
 }
 
 bool PairSet::Erase(NodeId u, NodeId v) {
+  WF_DCHECK(!frozen_) << "Erase on a frozen PairSet";
   if (!live_.Erase(PackPair(u, v))) return false;
   compact_ = false;
   uint32_t* su = src_count_.Find(u);
@@ -37,7 +41,7 @@ bool PairSet::Erase(NodeId u, NodeId v) {
 }
 
 void PairSet::Compact() {
-  if (compact_) return;
+  if (frozen_ || compact_) return;
   fwd_.EraseIf([&](NodeId u, std::vector<NodeId>& targets) {
     size_t keep = 0;
     for (NodeId v : targets) {
@@ -59,12 +63,43 @@ void PairSet::Compact() {
   compact_ = true;
 }
 
+void PairSet::Freeze() {
+  if (frozen_) return;
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  pairs.reserve(live_.Size());
+  live_.ForEach([&](uint64_t key) {
+    pairs.push_back(UnpackPair(key));
+  });
+  // Release the build-form tables before building the CSRs: only `live_`
+  // was read, and dropping the adjacency/count tables here (instead of
+  // after) roughly halves the transient peak of freezing a large set —
+  // AnswerGraph::Freeze runs several sets concurrently on the pool.
+  live_ = PairKeySet();
+  fwd_ = NodeMap<std::vector<NodeId>>();
+  bwd_ = NodeMap<std::vector<NodeId>>();
+  src_count_ = NodeMap<uint32_t>();
+  dst_count_ = NodeMap<uint32_t>();
+  distinct_src_ = 0;
+  distinct_dst_ = 0;
+  fwd_csr_ = Csr::Build(std::move(pairs));
+  // Rebuild the reversed list from the forward CSR so `pairs` is gone
+  // before the second copy exists.
+  std::vector<std::pair<NodeId, NodeId>> reversed;
+  reversed.reserve(fwd_csr_.NumEntries());
+  fwd_csr_.ForEach([&](NodeId u, NodeId v) { reversed.emplace_back(v, u); });
+  bwd_csr_ = Csr::Build(std::move(reversed));
+  frozen_ = true;
+  compact_ = true;
+}
+
 uint32_t PairSet::SrcCount(NodeId u) const {
+  if (frozen_) return static_cast<uint32_t>(fwd_csr_.Neighbors(u).size());
   const uint32_t* count = src_count_.Find(u);
   return count == nullptr ? 0 : *count;
 }
 
 uint32_t PairSet::DstCount(NodeId v) const {
+  if (frozen_) return static_cast<uint32_t>(bwd_csr_.Neighbors(v).size());
   const uint32_t* count = dst_count_.Find(v);
   return count == nullptr ? 0 : *count;
 }
@@ -87,6 +122,7 @@ AnswerGraph::AnswerGraph(const QueryGraph& query)
 
 uint32_t AnswerGraph::AddChordSlot(VarId u, VarId v) {
   WF_CHECK(u < incident_.size() && v < incident_.size());
+  WF_CHECK(!frozen_) << "AddChordSlot on a frozen AnswerGraph";
   const uint32_t index = static_cast<uint32_t>(sets_.size());
   sets_.emplace_back();
   materialized_.push_back(false);
@@ -100,6 +136,30 @@ uint32_t AnswerGraph::AddChordSlot(VarId u, VarId v) {
 void AnswerGraph::MarkMaterialized(uint32_t index) {
   WF_CHECK(index < sets_.size());
   materialized_[index] = true;
+}
+
+void AnswerGraph::Freeze(ThreadPool* pool, uint32_t weight) {
+  if (frozen_) return;
+  frozen_ = true;
+  // No Compact first: Freeze reads the live-pair index directly and
+  // drops the (possibly tombstoned) adjacency lists wholesale, so
+  // compacting them would be pure waste.
+  if (pool != nullptr && pool->num_threads() > 1 && sets_.size() > 1) {
+    ParallelForOptions pf;
+    pf.morsel_size = 1;
+    pf.weight = weight;
+    const Status st = pool->ParallelFor(
+        sets_.size(), pf, [&](uint32_t, uint64_t begin, uint64_t end) {
+          for (uint64_t s = begin; s < end; ++s) {
+            sets_[s].Freeze();
+          }
+        });
+    WF_CHECK(st.ok()) << "freeze has no deadline";
+    return;
+  }
+  for (PairSet& set : sets_) {
+    set.Freeze();
+  }
 }
 
 bool AnswerGraph::IsTouched(VarId v) const {

@@ -7,10 +7,13 @@
 #include "planner/embedding_planner.h"
 #include "query/query_graph.h"
 #include "util/common.h"
+#include "util/csr.h"
 #include "util/flat_hash.h"
 #include "util/hash.h"
 
 namespace wireframe {
+
+class ThreadPool;
 
 /// Thread-local builder for one morsel's share of a PairSet.
 ///
@@ -44,16 +47,29 @@ class PairSetShard {
 /// The materialization of one query edge (or chord): a dynamic set of data
 /// node pairs with per-endpoint live counters and adjacency.
 ///
-/// Pairs can be deleted individually (edge burnback) or wholesale per
-/// endpoint node (node burnback); adjacency lists are append-only and
-/// filtered against the live-pair set on iteration, which keeps deletion
-/// O(1) per pair at the cost of a membership probe during scans — the
-/// classic tombstone trade-off, chosen because burnback deletes in bulk
-/// and never re-inserts. Compact() drops the tombstones once generation
-/// finishes so defactorization iterates clean arrays.
+/// The set has two lifecycle forms:
 ///
-/// All indexes are flat open-addressing tables (util/flat_hash.h); the
-/// node-pair insert path is the inner loop of answer-graph generation.
+///   1. **Build form** (mutable, hash-indexed). Pairs can be deleted
+///      individually (edge burnback) or wholesale per endpoint node (node
+///      burnback); adjacency lists are append-only and filtered against
+///      the live-pair set on iteration, which keeps deletion O(1) per
+///      pair at the cost of a membership probe during scans — the classic
+///      tombstone trade-off, chosen because burnback deletes in bulk and
+///      never re-inserts. Compact() drops the tombstones once generation
+///      finishes.
+///   2. **Frozen form** (immutable, CSR-indexed). Freeze() converts the
+///      live pairs into forward/backward Csr arrays (util/csr.h: sorted
+///      neighbor spans, prefix-offset indexed, same shape as
+///      TripleStore::PredIndex) and releases the hash tables. Every read
+///      then scans cache-linear spans instead of probing hash tables;
+///      mutation is no longer allowed. Phase 2 — defactorization, the
+///      bushy executor's leaf scans and chord filters — reads the same
+///      pair sets millions of times after phase 1 stops mutating them,
+///      which is exactly the access pattern CSR wins on.
+///
+/// All build-form indexes are flat open-addressing tables
+/// (util/flat_hash.h); the node-pair insert path is the inner loop of
+/// answer-graph generation.
 class PairSet {
  public:
   PairSet() = default;
@@ -65,6 +81,7 @@ class PairSet {
 
   /// True iff (u, v) is live.
   bool Contains(NodeId u, NodeId v) const {
+    if (frozen_) return fwd_csr_.Contains(u, v);
     return live_.Contains(PackPair(u, v));
   }
 
@@ -73,33 +90,105 @@ class PairSet {
   /// only from the merging thread at a level barrier.
   uint64_t MergeShard(const PairSetShard& shard);
 
+  /// Pre-sizes the live-pair index for `n` pairs (bulk inserts whose
+  /// cardinality is known up front, e.g. canonicalized chord lists).
+  void Reserve(uint64_t n) { live_.Reserve(n); }
+
   /// Deletes (u, v); returns false if it was not live.
   bool Erase(NodeId u, NodeId v);
+
+  /// Erases every live pair (u, *) in one reverse sweep over u's
+  /// adjacency list — no snapshot; Erase itself is the tombstone filter.
+  /// Invokes fn(v) per erased pair and returns the number erased, which
+  /// is asserted equal to SrcCount(u) before the sweep (burnback's
+  /// accounting must stay exact). The list is cleared afterwards: u is
+  /// dead in this set and generation never re-adds erased pairs.
+  template <typename Fn>
+  uint32_t EraseSrc(NodeId u, Fn&& fn) {
+    WF_DCHECK(!frozen_);
+    std::vector<NodeId>* targets = fwd_.Find(u);
+    if (targets == nullptr) return 0;
+    const uint32_t live_before = SrcCount(u);
+    uint32_t erased = 0;
+    for (size_t i = targets->size(); i-- > 0;) {
+      const NodeId v = (*targets)[i];
+      if (Erase(u, v)) {
+        ++erased;
+        fn(v);
+      }
+    }
+    WF_DCHECK(erased == live_before) << "EraseSrc accounting drifted";
+    targets->clear();
+    return erased;
+  }
+
+  /// Mirror of EraseSrc for pairs (*, v); invokes fn(u) per erased pair.
+  template <typename Fn>
+  uint32_t EraseDst(NodeId v, Fn&& fn) {
+    WF_DCHECK(!frozen_);
+    std::vector<NodeId>* sources = bwd_.Find(v);
+    if (sources == nullptr) return 0;
+    const uint32_t live_before = DstCount(v);
+    uint32_t erased = 0;
+    for (size_t i = sources->size(); i-- > 0;) {
+      const NodeId u = (*sources)[i];
+      if (Erase(u, v)) {
+        ++erased;
+        fn(u);
+      }
+    }
+    WF_DCHECK(erased == live_before) << "EraseDst accounting drifted";
+    sources->clear();
+    return erased;
+  }
 
   /// Rebuilds the adjacency lists without tombstones. After compaction —
   /// and until the next Erase — iteration skips the per-pair liveness
   /// probe, which makes defactorization a pure array scan. Called on
-  /// every edge set when answer-graph generation finishes.
+  /// every edge set when answer-graph generation finishes. No-op on a
+  /// frozen set (freezing implies compactness).
   void Compact();
 
   /// True iff iteration currently needs no liveness filtering.
-  bool IsCompact() const { return compact_; }
+  bool IsCompact() const { return frozen_ || compact_; }
+
+  /// Converts the set into its immutable frozen form: forward/backward
+  /// CSR arrays over the live pairs, hash tables released. Idempotent.
+  /// After this, Add/Erase/MergeShard are program errors; every reader
+  /// scans sorted spans. Iteration order changes from insertion order to
+  /// ascending — callers that freeze have left phase 1, where order was
+  /// load-bearing for determinism.
+  void Freeze();
+
+  /// True iff the set is in its frozen (CSR) form.
+  bool IsFrozen() const { return frozen_; }
 
   /// Number of live pairs.
-  uint64_t Size() const { return live_.Size(); }
+  uint64_t Size() const {
+    return frozen_ ? fwd_csr_.NumEntries() : live_.Size();
+  }
 
   /// Live pairs with source u / target v.
   uint32_t SrcCount(NodeId u) const;
   uint32_t DstCount(NodeId v) const;
 
   /// Distinct live sources / targets.
-  uint64_t DistinctSrcCount() const { return distinct_src_; }
-  uint64_t DistinctDstCount() const { return distinct_dst_; }
+  uint64_t DistinctSrcCount() const {
+    return frozen_ ? fwd_csr_.Nodes().size() : distinct_src_;
+  }
+  uint64_t DistinctDstCount() const {
+    return frozen_ ? bwd_csr_.Nodes().size() : distinct_dst_;
+  }
 
-  /// Invokes fn(v) for every live pair (u, v). The underlying list may
-  /// contain tombstones; fn is only called for live pairs.
+  /// Invokes fn(v) for every live pair (u, v). Frozen: one sorted span
+  /// scan. Build form: the underlying list may contain tombstones; fn is
+  /// only called for live pairs.
   template <typename Fn>
   void ForEachFwd(NodeId u, Fn&& fn) const {
+    if (frozen_) {
+      for (NodeId v : fwd_csr_.Neighbors(u)) fn(v);
+      return;
+    }
     const std::vector<NodeId>* targets = fwd_.Find(u);
     if (targets == nullptr) return;
     if (compact_) {
@@ -114,6 +203,10 @@ class PairSet {
   /// Invokes fn(u) for every live pair (u, v).
   template <typename Fn>
   void ForEachBwd(NodeId v, Fn&& fn) const {
+    if (frozen_) {
+      for (NodeId u : bwd_csr_.Neighbors(v)) fn(u);
+      return;
+    }
     const std::vector<NodeId>* sources = bwd_.Find(v);
     if (sources == nullptr) return;
     if (compact_) {
@@ -125,9 +218,14 @@ class PairSet {
     }
   }
 
-  /// Invokes fn(u, v) for every live pair.
+  /// Invokes fn(u, v) for every live pair (source-major ascending when
+  /// frozen; hash-slot order in build form).
   template <typename Fn>
   void ForEachPair(Fn&& fn) const {
+    if (frozen_) {
+      fwd_csr_.ForEach(fn);
+      return;
+    }
     live_.ForEach([&](uint64_t key) {
       auto [u, v] = UnpackPair(key);
       fn(u, v);
@@ -137,6 +235,10 @@ class PairSet {
   /// Invokes fn(u) for every distinct live source.
   template <typename Fn>
   void ForEachSrc(Fn&& fn) const {
+    if (frozen_) {
+      for (NodeId u : fwd_csr_.Nodes()) fn(u);
+      return;
+    }
     src_count_.ForEach([&](NodeId u, const uint32_t& count) {
       if (count > 0) fn(u);
     });
@@ -144,6 +246,10 @@ class PairSet {
   /// Invokes fn(v) for every distinct live target.
   template <typename Fn>
   void ForEachDst(Fn&& fn) const {
+    if (frozen_) {
+      for (NodeId v : bwd_csr_.Nodes()) fn(v);
+      return;
+    }
     dst_count_.ForEach([&](NodeId v, const uint32_t& count) {
       if (count > 0) fn(v);
     });
@@ -160,6 +266,10 @@ class PairSet {
   /// True while the adjacency lists are tombstone-free (empty set, or
   /// freshly compacted with no erase since).
   bool compact_ = true;
+  /// Frozen form (populated by Freeze; empty before).
+  Csr fwd_csr_;
+  Csr bwd_csr_;
+  bool frozen_ = false;
 };
 
 /// The factorized answer set (paper §2): for every query edge — and every
@@ -200,6 +310,17 @@ class AnswerGraph {
   /// Marks an edge set materialized (it now constrains its endpoints).
   void MarkMaterialized(uint32_t index);
   bool IsMaterialized(uint32_t index) const { return materialized_[index]; }
+
+  /// Freezes every edge set into its immutable CSR form (see
+  /// PairSet::Freeze). Call once phase 1 — including the final burnback —
+  /// is over; phase 2 then reads sorted spans instead of hash tables.
+  /// Sets freeze independently, so a pool (borrowed, may be null)
+  /// parallelizes the conversion one set per morsel; `weight` is the
+  /// task-group scheduler share on a shared pool. Idempotent.
+  void Freeze(ThreadPool* pool = nullptr, uint32_t weight = 1);
+
+  /// True iff Freeze has run.
+  bool IsFrozen() const { return frozen_; }
 
   /// Edge sets incident to variable v (both query edges and chords).
   const std::vector<uint32_t>& IncidentSets(VarId v) const {
@@ -253,6 +374,7 @@ class AnswerGraph {
   std::vector<VarId> dst_var_;
   std::vector<bool> materialized_;
   std::vector<std::vector<uint32_t>> incident_;
+  bool frozen_ = false;
 };
 
 }  // namespace wireframe

@@ -5,8 +5,25 @@
 #include <vector>
 
 #include "core/answer_graph.h"
+#include "util/thread_pool.h"
 
 namespace wireframe {
+
+/// Knobs of one Burnback instance (how cascades drain).
+struct BurnbackOptions {
+  /// Worker pool (borrowed, may be null). Null or single-threaded drains
+  /// every cascade serially; otherwise cascades whose seed worklist
+  /// reaches `parallel_threshold` drain on the pool (see Burnback).
+  ThreadPool* pool = nullptr;
+  /// Scheduler weight of the drain's task-groups on a shared pool
+  /// (service class of the owning query; see ParallelForOptions::weight).
+  uint32_t weight = 1;
+  /// Minimum seed-worklist size before a cascade drains in parallel;
+  /// below it the per-drain setup (shards, per-set mutexes) costs more
+  /// than it saves. Tests pin this to 1 to force the parallel path on
+  /// small fixtures.
+  uint64_t parallel_threshold = 64;
+};
 
 /// Cascading node burnback (paper §3): "nodes in the AG that failed to
 /// extend are removed. This 'node burnback' cascades."
@@ -16,14 +33,33 @@ namespace wireframe {
 /// every materialized incident set, which may starve neighbor nodes at the
 /// opposite variables — a worklist drains the cascade to fixpoint. The
 /// fixpoint is exactly arc consistency over the materialized edge sets
-/// (tests certify this against a naive oracle).
+/// (tests certify this against a naive oracle), and arc consistency is a
+/// monotone closure: the surviving pair sets are the unique maximal
+/// arc-consistent subset, independent of the order deaths are processed
+/// in. That confluence is what licenses the parallel drain below.
+///
+/// Parallel drain (ROADMAP: "partitioned worklists with ownership by
+/// variable"): the cascade worklist is partitioned by owning variable
+/// into one shard per pool worker (owner(v) = v mod workers). A death for
+/// variable v is processed only by v's owner; deaths discovered for
+/// another partition are handed off through that shard's MPSC inbox.
+/// Erasures lock the affected edge set (one short per-set mutex — a death
+/// at each endpoint of the same set may land in different shards), and
+/// shards drain in rounds on the shared ThreadPool until a global
+/// in-flight counter hits zero, the task-group weight riding in. Because
+/// the fixpoint is confluent and PairSet erasure is order-oblivious
+/// (tombstones land wherever the erased keys hash, adjacency lists are
+/// untouched), the surviving AnswerGraph — and pairs_erased() — are
+/// identical for every thread count; only the diagnostic depth/handoff
+/// counters are schedule-dependent.
 ///
 /// Cost accounting: every erased pair was added by an earlier edge walk,
 /// so burnback is amortized into extension cost (paper §4); the class
 /// still counts erased pairs for diagnostics.
 class Burnback {
  public:
-  explicit Burnback(AnswerGraph* ag) : ag_(ag) {}
+  explicit Burnback(AnswerGraph* ag, BurnbackOptions options = {})
+      : ag_(ag), options_(options) {}
 
   /// Kills node c at variable v and drains the cascade. Returns the
   /// number of pairs erased (cascade included).
@@ -41,27 +77,50 @@ class Burnback {
   uint64_t PruneAfterExtension(uint32_t index, bool src_was_touched,
                                bool dst_was_touched);
 
-  /// Total pairs erased through this Burnback instance.
+  /// Total pairs erased through this Burnback instance. Thread-count
+  /// invariant.
   uint64_t pairs_erased() const { return pairs_erased_; }
+
+  /// Deepest cascade level any death reached (seed deaths are depth 1).
+  /// Diagnostic: schedule-dependent under the parallel drain.
+  uint32_t max_cascade_depth() const { return max_depth_; }
+
+  /// Deaths handed off across worklist partitions (0 on serial drains).
+  /// Diagnostic: schedule-dependent.
+  uint64_t handoffs() const { return handoffs_; }
+
+  /// Wall seconds spent inside this instance's public entry points
+  /// (seed scans + cascade drains), summed across calls.
+  double seconds() const { return seconds_; }
 
  private:
   struct Death {
     VarId var;
     NodeId node;
+    /// Cascade level: 1 for seeds, parent + 1 for starved neighbors.
+    uint32_t depth;
   };
 
-  /// Erases all pairs incident to (v, c), queueing starved neighbors.
-  void KillOne(VarId v, NodeId c);
+  /// Erases all pairs incident to (d.var, d.node), queueing starved
+  /// neighbors onto worklist_. Serial-drain body.
+  void KillOne(const Death& d);
+  /// Drains worklist_ to fixpoint, serially or in parallel per
+  /// BurnbackOptions and the seed size.
   void Drain();
+  void DrainSerial();
+  void DrainParallel();
 
   /// True iff c is alive at v considering all materialized incident sets
   /// except `except` (UINT32_MAX to consider all).
   bool AliveExcept(VarId v, NodeId c, uint32_t except) const;
 
   AnswerGraph* ag_;
+  BurnbackOptions options_;
   std::vector<Death> worklist_;
-  std::vector<NodeId> scratch_;
   uint64_t pairs_erased_ = 0;
+  uint32_t max_depth_ = 0;
+  uint64_t handoffs_ = 0;
+  double seconds_ = 0.0;
 };
 
 }  // namespace wireframe

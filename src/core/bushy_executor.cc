@@ -5,7 +5,7 @@
 #include <mutex>
 #include <unordered_map>
 
-#include "util/hash.h"
+#include "exec/join_common.h"
 #include "util/interrupt.h"
 #include "util/logging.h"
 
@@ -17,41 +17,6 @@ namespace {
 constexpr uint64_t kProbeMorsel = 1024;
 /// Result rows per morsel for the final emit scan.
 constexpr uint64_t kEmitMorsel = 256;
-
-/// A materialized intermediate: flat row-major storage over a schema of
-/// variables.
-struct Relation {
-  std::vector<VarId> schema;
-  std::vector<NodeId> cells;  // rows.size() * schema.size()
-
-  size_t Width() const { return schema.size(); }
-  size_t NumRows() const {
-    return schema.empty() ? 0 : cells.size() / schema.size();
-  }
-  const NodeId* Row(size_t r) const { return cells.data() + r * Width(); }
-
-  int ColumnOf(VarId v) const {
-    for (size_t i = 0; i < schema.size(); ++i) {
-      if (schema[i] == v) return static_cast<int>(i);
-    }
-    return -1;
-  }
-};
-
-/// Hashes the values of `cols` within one row.
-uint64_t HashKey(const NodeId* row, const std::vector<int>& cols) {
-  uint64_t h = 1469598103934665603ull;
-  for (int c : cols) h = Mix64(h ^ row[c]);
-  return h;
-}
-
-bool KeysEqual(const NodeId* a, const std::vector<int>& acols,
-               const NodeId* b, const std::vector<int>& bcols) {
-  for (size_t i = 0; i < acols.size(); ++i) {
-    if (a[acols[i]] != b[bcols[i]]) return false;
-  }
-  return true;
-}
 
 }  // namespace
 
@@ -69,9 +34,9 @@ Result<DefactorizerStats> BushyExecutor::Emit(
   InterruptProbe interrupt(options.deadline, options.cancel);
 
   auto materialize = [&](auto&& self,
-                         int index) -> Result<Relation> {
+                         int index) -> Result<JoinRelation> {
     const BushyPlan::Node& node = plan.nodes[index];
-    Relation out;
+    JoinRelation out;
     if (node.IsLeaf()) {
       const QueryEdge& qe = query_->Edge(node.edge);
       out.schema = {qe.src, qe.dst};
@@ -84,8 +49,8 @@ Result<DefactorizerStats> BushyExecutor::Emit(
       stats.extensions += set.Size();
       total_cells += out.cells.size();
     } else {
-      WF_ASSIGN_OR_RETURN(Relation left, self(self, node.left));
-      WF_ASSIGN_OR_RETURN(Relation right, self(self, node.right));
+      WF_ASSIGN_OR_RETURN(JoinRelation left, self(self, node.left));
+      WF_ASSIGN_OR_RETURN(JoinRelation right, self(self, node.right));
       WF_RETURN_NOT_OK(interrupt.CheckNow("bushy join"));
 
       // Join columns: variables present on both sides.
@@ -101,15 +66,15 @@ Result<DefactorizerStats> BushyExecutor::Emit(
 
       // Build on the smaller side.
       const bool build_left = left.NumRows() <= right.NumRows();
-      const Relation& build = build_left ? left : right;
-      const Relation& probe = build_left ? right : left;
+      const JoinRelation& build = build_left ? left : right;
+      const JoinRelation& probe = build_left ? right : left;
       const std::vector<int>& bcols = build_left ? lcols : rcols;
       const std::vector<int>& pcols = build_left ? rcols : lcols;
 
       std::unordered_multimap<uint64_t, size_t> table;
       table.reserve(build.NumRows());
       for (size_t r = 0; r < build.NumRows(); ++r) {
-        table.emplace(HashKey(build.Row(r), bcols), r);
+        table.emplace(JoinKeyHash(build.Row(r), bcols), r);
       }
 
       // Output schema: probe side columns + build-only columns.
@@ -126,10 +91,10 @@ Result<DefactorizerStats> BushyExecutor::Emit(
       auto probe_one = [&](size_t r, std::vector<NodeId>& cells,
                            uint64_t& matches) {
         const NodeId* prow = probe.Row(r);
-        auto [begin, end] = table.equal_range(HashKey(prow, pcols));
+        auto [begin, end] = table.equal_range(JoinKeyHash(prow, pcols));
         for (auto it = begin; it != end; ++it) {
           const NodeId* brow = build.Row(it->second);
-          if (!KeysEqual(prow, pcols, brow, bcols)) continue;
+          if (!JoinKeysEqual(prow, pcols, brow, bcols)) continue;
           for (size_t c = 0; c < probe.Width(); ++c) {
             cells.push_back(prow[c]);
           }
@@ -205,7 +170,7 @@ Result<DefactorizerStats> BushyExecutor::Emit(
   };
 
   if (plan.root < 0) return Status::InvalidArgument("empty bushy plan");
-  WF_ASSIGN_OR_RETURN(Relation result, materialize(materialize, plan.root));
+  WF_ASSIGN_OR_RETURN(JoinRelation result, materialize(materialize, plan.root));
 
   // Emit rows as full bindings.
   std::vector<int> var_to_col(query_->NumVars(), -1);

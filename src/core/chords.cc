@@ -289,6 +289,9 @@ Status ChordEvaluator::MaterializeChords(
         << "chord " << c << " had no materializable triangle";
 
     PairSet& set = ag_->Set(slot);
+    // The canonical list is exact (sorted, deduped), so pre-size the
+    // live-pair index once instead of doubling through the bulk insert.
+    set.Reserve(pairs.size());
     for (uint64_t key : pairs) {
       auto [a, b] = UnpackPair(key);
       set.Add(a, b);

@@ -62,6 +62,14 @@ struct DefactorizerStats {
 /// during a join" guarantee. For cyclic CQs over non-ideal AGs some
 /// branches die; the embedding planner's join order and the chord filters
 /// minimize that.
+///
+/// Read path: every extension is a ForEachFwd/ForEachBwd scan and every
+/// chord filter a Contains probe on the AG's pair sets. The engine
+/// freezes the AG before phase 2 (WireframeOptions::freeze_ag), so these
+/// resolve against immutable CSR spans (util/csr.h) — direct-indexed
+/// offset lookup plus a cache-linear sorted span — instead of the
+/// build-form hash tables; an unfrozen AG (freeze_ag off, or a directly
+/// constructed one in tests) takes the hash path with identical results.
 class Defactorizer {
  public:
   Defactorizer(const QueryGraph& query, const AnswerGraph& ag)

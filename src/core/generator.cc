@@ -44,10 +44,17 @@ Result<GeneratorResult> AgGenerator::Generate(
   GeneratorResult result;
   result.ag = std::make_unique<AnswerGraph>(query);
   AnswerGraph& ag = *result.ag;
-  Burnback burnback(&ag);
 
   ThreadPool* pool = options.pool;
   const bool parallel = pool != nullptr && pool->num_threads() > 1;
+
+  // Burnback drains its cascades on the same pool (partitioned worklists
+  // with ownership by variable) once a seed list crosses the threshold.
+  BurnbackOptions burnback_options;
+  burnback_options.pool = pool;
+  burnback_options.weight = options.weight;
+  burnback_options.parallel_threshold = options.burnback_parallel_threshold;
+  Burnback burnback(&ag, burnback_options);
 
   // Chord slots are registered up front (unmaterialized slots are inert)
   // so the chord evaluator and node burnback share one AnswerGraph.
@@ -275,7 +282,6 @@ Result<GeneratorResult> AgGenerator::Generate(
     query_edge_done[e] = true;
     const uint64_t burned =
         burnback.PruneAfterExtension(e, src_touched, dst_touched);
-    result.pairs_burned += burned;
 
     if (options.trace) {
       options.trace({GeneratorTraceStep::Kind::kExtension, e, added, burned,
@@ -314,16 +320,22 @@ Result<GeneratorResult> AgGenerator::Generate(
       (use_chords || !plan.base_triangles.empty())) {
     WF_ASSIGN_OR_RETURN(uint64_t erased,
                         chord_eval.RunEdgeBurnback(options.deadline));
-    result.pairs_burned += erased;
     if (options.trace) {
       options.trace({GeneratorTraceStep::Kind::kEdgeBurnback, 0, 0, erased,
                      ag.TotalQueryEdgePairs()});
     }
   }
 
-  // Generation is over: drop tombstones so phase 2 iterates clean arrays.
-  // Edge sets compact independently, so the pool can take one each.
-  if (parallel && ag.NumEdgeSets() > 1) {
+  // Generation is over. Either freeze the AG into its read-optimized CSR
+  // form (which replaces the adjacency lists outright, so no compaction
+  // is needed first), or drop tombstones so phase 2 iterates clean
+  // arrays. Both work set-at-a-time; AnswerGraph::Freeze shards
+  // internally on the pool.
+  if (options.freeze) {
+    const Stopwatch freeze_watch;
+    ag.Freeze(parallel ? pool : nullptr, options.weight);
+    result.freeze_seconds = freeze_watch.ElapsedSeconds();
+  } else if (parallel && ag.NumEdgeSets() > 1) {
     ParallelForOptions pf;
     pf.morsel_size = 1;
     pf.weight = options.weight;
@@ -340,6 +352,14 @@ Result<GeneratorResult> AgGenerator::Generate(
       ag.Set(s).Compact();
     }
   }
+  // Every erasure funnels through `burnback`, so its counter is the
+  // authoritative total — including the cascades chord materialization
+  // triggers internally, which the per-step trace values never see
+  // (their per-call returns are discarded inside MaterializeChords).
+  result.pairs_burned = burnback.pairs_erased();
+  result.burnback_depth = burnback.max_cascade_depth();
+  result.burnback_handoffs = burnback.handoffs();
+  result.burnback_seconds = burnback.seconds();
   return result;
 }
 

@@ -64,6 +64,17 @@ struct GeneratorOptions {
   /// Scheduler weight of every task-group this run submits to `pool`
   /// (service class of the owning query; see ParallelForOptions::weight).
   uint32_t weight = 1;
+  /// Freeze the answer graph into its immutable CSR form once generation
+  /// (including the final burnback and compaction) finishes, so phase 2
+  /// scans sorted spans instead of hash tables. Off by default here so
+  /// the raw generator hands back a mutable AG (paper-trace benches drive
+  /// burnback on it afterwards); WireframeOptions::freeze_ag enables it
+  /// for the engine.
+  bool freeze = false;
+  /// Minimum seed-worklist size before node-burnback cascades drain in
+  /// parallel on `pool` (BurnbackOptions::parallel_threshold). Tests pin
+  /// this to 1 to force the partitioned drain on small fixtures.
+  uint64_t burnback_parallel_threshold = 64;
   /// Optional step observer.
   std::function<void(const GeneratorTraceStep&)> trace;
 };
@@ -76,6 +87,17 @@ struct GeneratorResult {
   uint64_t pairs_burned = 0;
   uint64_t chord_pairs = 0;
   bool used_chords = false;
+  /// Deepest cascade level node burnback reached (seeds are depth 1; 0
+  /// when nothing burned). Schedule-dependent under the parallel drain.
+  uint32_t burnback_depth = 0;
+  /// Cascade deaths handed across worklist partitions by the parallel
+  /// drain (0 on serial drains). Schedule-dependent.
+  uint64_t burnback_handoffs = 0;
+  /// Wall seconds inside node burnback (seed scans + cascade drains,
+  /// chord-materialization pruning included).
+  double burnback_seconds = 0.0;
+  /// Wall seconds spent freezing the AG (0 when options.freeze is off).
+  double freeze_seconds = 0.0;
 };
 
 /// Executes the answer-graph generation phase (paper §3): for each query

@@ -48,10 +48,13 @@ Result<WireframeRunDetail> WireframeEngine::RunDetailed(
   gen_options.pool = pool;
   gen_options.cancel = options.runtime.cancel;
   gen_options.weight = options.runtime.weight;
+  gen_options.freeze = options_.freeze_ag;
   AgGenerator generator(db, catalog);
   WF_ASSIGN_OR_RETURN(GeneratorResult gen,
                       generator.Generate(query, detail.ag_plan, gen_options));
-  detail.phase1_seconds = phase1_watch.ElapsedSeconds();
+  detail.stats.phase1_seconds = phase1_watch.ElapsedSeconds();
+  detail.stats.burnback_seconds = gen.burnback_seconds;
+  detail.stats.freeze_seconds = gen.freeze_seconds;
   detail.pairs_burned = gen.pairs_burned;
   detail.chord_pairs = gen.chord_pairs;
 
@@ -90,12 +93,15 @@ Result<WireframeRunDetail> WireframeEngine::RunDetailed(
         detail.phase2_stats,
         defactorizer.Emit(detail.embedding_plan, sink, defac_options));
   }
-  detail.phase2_seconds = phase2_watch.ElapsedSeconds();
+  detail.stats.phase2_seconds = phase2_watch.ElapsedSeconds();
 
   detail.stats.seconds = total.ElapsedSeconds();
   detail.stats.edge_walks = gen.edge_walks;
   detail.stats.output_tuples = detail.phase2_stats.emitted;
   detail.stats.ag_pairs = gen.ag->TotalQueryEdgePairs();
+  detail.stats.pairs_burned = gen.pairs_burned;
+  detail.stats.burnback_depth = gen.burnback_depth;
+  detail.stats.burnback_handoffs = gen.burnback_handoffs;
   detail.ag = std::move(gen.ag);
   return detail;
 }

@@ -36,15 +36,23 @@ struct WireframeOptions {
   /// enumeration over the iAG is already output-optimal for acyclic CQs;
   /// bench_ablation_bushy measures where bushy pays.
   bool bushy_phase2 = false;
+  /// Freeze the answer graph into its immutable CSR form between the two
+  /// phases (AnswerGraph::Freeze), so defactorization / bushy execution
+  /// scan sorted spans instead of probing hash tables. Sound: the frozen
+  /// view holds exactly the live pairs, so embeddings and |AG| are
+  /// unchanged (the freeze-equivalence suite certifies it). On by
+  /// default; off reproduces the historical mutable read path (and hands
+  /// back a mutable AG in WireframeRunDetail).
+  bool freeze_ag = true;
 };
 
 /// Detailed result of one Wireframe run, superset of EngineStats: exposes
 /// phase timings and the AG itself for benches and tests.
 struct WireframeRunDetail {
+  /// Includes the phase wall-time split (stats.phase1_seconds and
+  /// friends) — EngineStats is the single copy of those numbers.
   EngineStats stats;
   double plan_seconds = 0.0;
-  double phase1_seconds = 0.0;
-  double phase2_seconds = 0.0;
   DefactorizerStats phase2_stats;
   /// True if the bushy executor produced the embeddings.
   bool used_bushy = false;

@@ -93,6 +93,23 @@ struct EngineStats {
   uint64_t ag_pairs = 0;
   /// Peak materialized intermediate tuples (materializing engines only).
   uint64_t peak_intermediate = 0;
+  // Node-burnback diagnostics (Wireframe only; 0 for baselines). Carried
+  // here so the runtime's QueryReport surfaces them per query.
+  /// Pairs erased by cascading node burnback (thread-count invariant).
+  uint64_t pairs_burned = 0;
+  /// Deepest cascade level reached (seed deaths are depth 1).
+  uint64_t burnback_depth = 0;
+  /// Cascade deaths handed across worklist partitions by the parallel
+  /// drain (0 on serial drains).
+  uint64_t burnback_handoffs = 0;
+  // Phase wall-time split (Wireframe only; 0 for baselines — they have
+  // no phases). burnback/freeze are slices of phase 1. On EngineStats so
+  // generic consumers (bench harness, runtime reports) need no
+  // engine-specific casts.
+  double phase1_seconds = 0.0;
+  double burnback_seconds = 0.0;
+  double freeze_seconds = 0.0;
+  double phase2_seconds = 0.0;
 };
 
 /// A conjunctive-query evaluator. Implementations: the Wireframe

@@ -4,10 +4,25 @@
 #include <atomic>
 #include <limits>
 
+#include "util/hash.h"
 #include "util/interrupt.h"
 #include "util/logging.h"
 
 namespace wireframe {
+
+uint64_t JoinKeyHash(const NodeId* row, const std::vector<int>& cols) {
+  uint64_t h = 1469598103934665603ull;
+  for (int c : cols) h = Mix64(h ^ row[c]);
+  return h;
+}
+
+bool JoinKeysEqual(const NodeId* a, const std::vector<int>& acols,
+                   const NodeId* b, const std::vector<int>& bcols) {
+  for (size_t i = 0; i < acols.size(); ++i) {
+    if (a[acols[i]] != b[bcols[i]]) return false;
+  }
+  return true;
+}
 
 namespace {
 

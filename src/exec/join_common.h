@@ -15,10 +15,42 @@
 
 namespace wireframe {
 
-/// Helpers shared by the baseline engines. Each baseline is a join
-/// *regime* (pipelined vs fully materializing) combined with a join-order
-/// heuristic; these building blocks keep the four engines honest: they
-/// differ only in the dimensions the paper's comparison systems differ in.
+/// Helpers shared by the baseline engines and the bushy executor. Each
+/// baseline is a join *regime* (pipelined vs fully materializing)
+/// combined with a join-order heuristic; these building blocks keep the
+/// four engines honest: they differ only in the dimensions the paper's
+/// comparison systems differ in.
+
+/// A fully materialized join intermediate: flat row-major storage over a
+/// schema of variables. Shared by every materializing join in the system
+/// (the bushy executor's hash joins today); rows are appended as raw
+/// cells so a morsel-parallel probe can concatenate chunks bit-identically
+/// to a serial run.
+struct JoinRelation {
+  std::vector<VarId> schema;
+  std::vector<NodeId> cells;  // rows.size() * schema.size()
+
+  size_t Width() const { return schema.size(); }
+  size_t NumRows() const {
+    return schema.empty() ? 0 : cells.size() / schema.size();
+  }
+  const NodeId* Row(size_t r) const { return cells.data() + r * Width(); }
+
+  /// Column index of variable v in the schema, or -1.
+  int ColumnOf(VarId v) const {
+    for (size_t i = 0; i < schema.size(); ++i) {
+      if (schema[i] == v) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+/// Hashes the values of `cols` within one row (join-key hash).
+uint64_t JoinKeyHash(const NodeId* row, const std::vector<int>& cols);
+
+/// True iff the two rows agree on their respective join columns.
+bool JoinKeysEqual(const NodeId* a, const std::vector<int>& acols,
+                   const NodeId* b, const std::vector<int>& bcols);
 
 /// Connected order choosing the smallest base relation first, then always
 /// the connected edge with the smallest label cardinality (graph-

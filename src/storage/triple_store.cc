@@ -6,40 +6,19 @@
 
 namespace wireframe {
 
-namespace {
-
-// Locates `node` in the sorted distinct-node array; returns its position or
-// size() when absent.
-size_t FindGroup(const std::vector<NodeId>& nodes, NodeId node) {
-  auto it = std::lower_bound(nodes.begin(), nodes.end(), node);
-  if (it == nodes.end() || *it != node) return nodes.size();
-  return static_cast<size_t>(it - nodes.begin());
-}
-
-}  // namespace
-
 std::span<const NodeId> TripleStore::OutNeighbors(LabelId p, NodeId s) const {
   WF_DCHECK(p < preds_.size());
-  const PredIndex& idx = preds_[p];
-  const size_t g = FindGroup(idx.snodes, s);
-  if (g == idx.snodes.size()) return {};
-  return {idx.objects.data() + idx.soffsets[g],
-          idx.objects.data() + idx.soffsets[g + 1]};
+  return preds_[p].fwd.Neighbors(s);
 }
 
 std::span<const NodeId> TripleStore::InNeighbors(LabelId p, NodeId o) const {
   WF_DCHECK(p < preds_.size());
-  const PredIndex& idx = preds_[p];
-  const size_t g = FindGroup(idx.onodes, o);
-  if (g == idx.onodes.size()) return {};
-  return {idx.subjects.data() + idx.ooffsets[g],
-          idx.subjects.data() + idx.ooffsets[g + 1]};
+  return preds_[p].bwd.Neighbors(o);
 }
 
 bool TripleStore::HasTriple(NodeId s, LabelId p, NodeId o) const {
   if (p >= preds_.size()) return false;
-  auto objs = OutNeighbors(p, s);
-  return std::binary_search(objs.begin(), objs.end(), o);
+  return preds_[p].fwd.Contains(s, o);
 }
 
 std::vector<std::pair<NodeId, NodeId>> TripleStore::EdgeList(LabelId p) const {
@@ -78,41 +57,26 @@ TripleStore TripleStoreBuilder::Build() && {
     store.num_nodes_ = max_node + 1;
   }
 
-  // Forward indexes from the (p, s, o) order.
+  // One fwd/bwd Csr per predicate. The slice is already (s, o)-sorted
+  // and deduplicated, so the forward index builds straight off it with
+  // no copy or re-sort; only the backward side materializes a (o, s)
+  // list for sorting.
   size_t i = 0;
   while (i < triples_.size()) {
     const LabelId p = triples_[i].predicate;
     TripleStore::PredIndex& idx = store.preds_[p];
     size_t j = i;
     while (j < triples_.size() && triples_[j].predicate == p) ++j;
-    idx.objects.reserve(j - i);
+    idx.fwd = Csr::BuildFromSorted(j - i, [&](size_t k) {
+      const Triple& t = triples_[i + k];
+      return std::pair<NodeId, NodeId>(t.subject, t.object);
+    });
+    std::vector<std::pair<NodeId, NodeId>> reversed;
+    reversed.reserve(j - i);
     for (size_t k = i; k < j; ++k) {
-      const Triple& t = triples_[k];
-      if (idx.snodes.empty() || idx.snodes.back() != t.subject) {
-        idx.snodes.push_back(t.subject);
-        idx.soffsets.push_back(static_cast<uint32_t>(idx.objects.size()));
-      }
-      idx.objects.push_back(t.object);
+      reversed.emplace_back(triples_[k].object, triples_[k].subject);
     }
-    idx.soffsets.push_back(static_cast<uint32_t>(idx.objects.size()));
-
-    // Backward index: re-sort this predicate's slice by (o, s).
-    std::sort(triples_.begin() + static_cast<ptrdiff_t>(i),
-              triples_.begin() + static_cast<ptrdiff_t>(j),
-              [](const Triple& a, const Triple& b) {
-                if (a.object != b.object) return a.object < b.object;
-                return a.subject < b.subject;
-              });
-    idx.subjects.reserve(j - i);
-    for (size_t k = i; k < j; ++k) {
-      const Triple& t = triples_[k];
-      if (idx.onodes.empty() || idx.onodes.back() != t.object) {
-        idx.onodes.push_back(t.object);
-        idx.ooffsets.push_back(static_cast<uint32_t>(idx.subjects.size()));
-      }
-      idx.subjects.push_back(t.subject);
-    }
-    idx.ooffsets.push_back(static_cast<uint32_t>(idx.subjects.size()));
+    idx.bwd = Csr::Build(std::move(reversed));
     i = j;
   }
 

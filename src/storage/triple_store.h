@@ -6,12 +6,14 @@
 #include <vector>
 
 #include "util/common.h"
+#include "util/csr.h"
 
 namespace wireframe {
 
 /// Immutable, fully indexed RDF triple store.
 ///
-/// For every predicate `p` the store keeps two CSR-style access paths:
+/// For every predicate `p` the store keeps two CSR access paths
+/// (util/csr.h — shared with the AnswerGraph's frozen form):
 ///   - forward:  distinct subjects of p (sorted) -> sorted object lists
 ///   - backward: distinct objects of p (sorted)  -> sorted subject lists
 /// Together these cover the access patterns of the six SPO-permutation
@@ -36,16 +38,16 @@ class TripleStore {
 
   /// Number of triples with predicate `p` (the 1-gram count).
   uint64_t PredicateCardinality(LabelId p) const {
-    return preds_[p].objects.size();
+    return preds_[p].fwd.NumEntries();
   }
 
   /// Distinct, sorted subjects of predicate `p`.
   std::span<const NodeId> DistinctSubjects(LabelId p) const {
-    return preds_[p].snodes;
+    return preds_[p].fwd.Nodes();
   }
   /// Distinct, sorted objects of predicate `p`.
   std::span<const NodeId> DistinctObjects(LabelId p) const {
-    return preds_[p].onodes;
+    return preds_[p].bwd.Nodes();
   }
 
   /// Objects o with (s, p, o) in the store; sorted; empty if none.
@@ -60,13 +62,7 @@ class TripleStore {
   /// by subject in ascending order.
   template <typename Fn>
   void ForEachEdge(LabelId p, Fn&& fn) const {
-    const PredIndex& idx = preds_[p];
-    for (size_t i = 0; i < idx.snodes.size(); ++i) {
-      const NodeId s = idx.snodes[i];
-      for (uint32_t k = idx.soffsets[i]; k < idx.soffsets[i + 1]; ++k) {
-        fn(s, idx.objects[k]);
-      }
-    }
+    preds_[p].fwd.ForEach(fn);
   }
 
   /// Materializes all (s,o) pairs of predicate `p` (subject-major order).
@@ -77,14 +73,8 @@ class TripleStore {
   TripleStore() = default;
 
   struct PredIndex {
-    // Forward: snodes[i] has objects objects[soffsets[i]..soffsets[i+1]).
-    std::vector<NodeId> snodes;
-    std::vector<uint32_t> soffsets;
-    std::vector<NodeId> objects;
-    // Backward: onodes[i] has subjects subjects[ooffsets[i]..ooffsets[i+1]).
-    std::vector<NodeId> onodes;
-    std::vector<uint32_t> ooffsets;
-    std::vector<NodeId> subjects;
+    Csr fwd;  // subject -> sorted objects
+    Csr bwd;  // object  -> sorted subjects
   };
 
   std::vector<PredIndex> preds_;

@@ -1,0 +1,162 @@
+#ifndef WIREFRAME_UTIL_CSR_H_
+#define WIREFRAME_UTIL_CSR_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "util/common.h"
+#include "util/logging.h"
+
+namespace wireframe {
+
+/// One direction of a frozen pair set: sorted distinct keys, prefix
+/// offsets, and sorted neighbor spans — the same shape as
+/// TripleStore::PredIndex, factored out so the AnswerGraph's frozen form
+/// and future read-optimized indexes share it.
+///
+/// Key lookup is O(1) when the key space is compact: node ids are dense
+/// dictionary ids, so whenever max_key is within a small factor of the
+/// distinct-key count, Build additionally materializes a direct-indexed
+/// offset table (one uint32 per id in [0, max_key]) and Neighbors() is a
+/// single load — the frozen read path must not pay more per lookup than
+/// the hash probe it replaces. Sparse key sets (a few pairs over a huge
+/// id space) skip the table and fall back to binary search over the
+/// sorted keys. The choice depends only on the content, never on thread
+/// count or insertion order.
+///
+/// Immutable after Build: every accessor is const and allocation-free, so
+/// any number of workers may scan spans concurrently without
+/// synchronization.
+class Csr {
+ public:
+  Csr() = default;
+
+  /// Builds from an unordered pair list (key, neighbor). `pairs` is taken
+  /// by value and sorted in place; duplicates are kept (callers that need
+  /// set semantics deduplicate first — PairSet never holds duplicates).
+  static Csr Build(std::vector<std::pair<NodeId, NodeId>> pairs) {
+    std::sort(pairs.begin(), pairs.end());
+    return BuildFromSorted(
+        pairs.size(), [&pairs](size_t i) { return pairs[i]; });
+  }
+
+  /// Builds from a sequence already sorted by (key, neighbor) — no copy,
+  /// no re-sort. `get(i)` returns the i-th pair; sortedness is asserted
+  /// in debug builds. This is the path for sources that maintain sorted
+  /// order themselves (TripleStoreBuilder's (p,s,o)-sorted slices).
+  template <typename Get>
+  static Csr BuildFromSorted(size_t n, Get&& get) {
+    WF_CHECK(n <= UINT32_MAX)
+        << "Csr offsets are uint32; entry count overflows";
+    Csr csr;
+    csr.neighbors_.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      const std::pair<NodeId, NodeId> entry = get(i);
+      WF_DCHECK(i == 0 || get(i - 1) <= entry) << "input not sorted";
+      const auto& [key, value] = entry;
+      if (csr.nodes_.empty() || csr.nodes_.back() != key) {
+        csr.nodes_.push_back(key);
+        csr.offsets_.push_back(static_cast<uint32_t>(csr.neighbors_.size()));
+      }
+      csr.neighbors_.push_back(value);
+    }
+    csr.offsets_.push_back(static_cast<uint32_t>(csr.neighbors_.size()));
+
+    // Direct index when the id space is compact enough that one uint32
+    // per id costs at most ~kDenseSlack slots per distinct key.
+    if (!csr.nodes_.empty()) {
+      const uint64_t span = static_cast<uint64_t>(csr.nodes_.back()) + 1;
+      if (span <= kDenseSlack * csr.nodes_.size() + kDenseFloor) {
+        csr.dense_offsets_.assign(span + 1, 0);
+        for (size_t i = 0; i < csr.nodes_.size(); ++i) {
+          csr.dense_offsets_[csr.nodes_[i]] = csr.offsets_[i];
+          csr.dense_offsets_[csr.nodes_[i] + 1] = csr.offsets_[i + 1];
+        }
+        // Fill the gaps: an absent key gets an empty span at the end of
+        // its predecessor's.
+        for (size_t k = 1; k < csr.dense_offsets_.size(); ++k) {
+          csr.dense_offsets_[k] =
+              std::max(csr.dense_offsets_[k], csr.dense_offsets_[k - 1]);
+        }
+      }
+    }
+    return csr;
+  }
+
+  /// Distinct keys, ascending.
+  std::span<const NodeId> Nodes() const { return nodes_; }
+
+  /// Total (key, neighbor) entries.
+  uint64_t NumEntries() const { return neighbors_.size(); }
+
+  /// Sorted neighbor span of `key`; empty if the key is absent.
+  std::span<const NodeId> Neighbors(NodeId key) const {
+    if (!dense_offsets_.empty()) {
+      if (static_cast<size_t>(key) + 1 >= dense_offsets_.size()) return {};
+      const uint32_t begin = dense_offsets_[key];
+      return std::span<const NodeId>(neighbors_)
+          .subspan(begin, dense_offsets_[key + 1] - begin);
+    }
+    const size_t i = IndexOf(key);
+    if (i == kNotFound) return {};
+    return std::span<const NodeId>(neighbors_)
+        .subspan(offsets_[i], offsets_[i + 1] - offsets_[i]);
+  }
+
+  /// Neighbor span of the i-th distinct key (for dense scans that walk
+  /// Nodes() positionally instead of probing by key).
+  std::span<const NodeId> NeighborsAt(size_t i) const {
+    WF_DCHECK(i < nodes_.size());
+    return std::span<const NodeId>(neighbors_)
+        .subspan(offsets_[i], offsets_[i + 1] - offsets_[i]);
+  }
+
+  /// True iff (key, value) is present: one offset load (or key binary
+  /// search on sparse sets) plus a binary search over the short sorted
+  /// span — no hashing.
+  bool Contains(NodeId key, NodeId value) const {
+    const std::span<const NodeId> span = Neighbors(key);
+    return std::binary_search(span.begin(), span.end(), value);
+  }
+
+  /// Invokes fn(key, neighbor) for every entry, key-major ascending.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      const NodeId key = nodes_[i];
+      for (uint32_t k = offsets_[i]; k < offsets_[i + 1]; ++k) {
+        fn(key, neighbors_[k]);
+      }
+    }
+  }
+
+ private:
+  /// Direct-index eligibility: max_key + 1 must not exceed
+  /// kDenseSlack * distinct_keys + kDenseFloor.
+  static constexpr uint64_t kDenseSlack = 8;
+  static constexpr uint64_t kDenseFloor = 1024;
+
+  static constexpr size_t kNotFound = ~size_t{0};
+
+  /// Position of `key` in nodes_, or kNotFound.
+  size_t IndexOf(NodeId key) const {
+    const auto it = std::lower_bound(nodes_.begin(), nodes_.end(), key);
+    if (it == nodes_.end() || *it != key) return kNotFound;
+    return static_cast<size_t>(it - nodes_.begin());
+  }
+
+  std::vector<NodeId> nodes_;
+  std::vector<uint32_t> offsets_;  // nodes_.size() + 1 once built
+  std::vector<NodeId> neighbors_;
+  /// Direct-indexed spans (dense key spaces only): key k's neighbors are
+  /// neighbors_[dense_offsets_[k], dense_offsets_[k+1]). Empty when the
+  /// key space is too sparse.
+  std::vector<uint32_t> dense_offsets_;
+};
+
+}  // namespace wireframe
+
+#endif  // WIREFRAME_UTIL_CSR_H_

@@ -1,10 +1,13 @@
 #include "core/answer_graph.h"
 
 #include <set>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "query/templates.h"
+#include "util/thread_pool.h"
 
 namespace wireframe {
 namespace {
@@ -101,6 +104,59 @@ TEST(AnswerGraphTest, TotalQueryEdgePairsExcludesChords) {
   ag.Set(slot).Add(7, 8);
   ag.Set(slot).Add(7, 9);
   EXPECT_EQ(ag.TotalQueryEdgePairs(), 1u);
+}
+
+TEST(AnswerGraphTest, FreezePreservesDerivedState) {
+  QueryGraph q = ChainQuery();
+  AnswerGraph ag(q);
+  ag.Set(0).Add(1, 10);
+  ag.Set(0).Add(2, 10);
+  ag.Set(0).Add(3, 11);
+  ag.MarkMaterialized(0);
+  ag.Set(1).Add(10, 20);
+  ag.Set(1).Add(10, 21);
+  ag.MarkMaterialized(1);
+  ag.Set(1).Erase(10, 21);  // leave a tombstone for Freeze to compact
+
+  const uint64_t candidates_before = ag.CandidateCount(1);
+  ag.Freeze();
+  EXPECT_TRUE(ag.IsFrozen());
+  EXPECT_TRUE(ag.Set(0).IsFrozen());
+  EXPECT_TRUE(ag.Set(1).IsFrozen());
+  EXPECT_EQ(ag.TotalQueryEdgePairs(), 4u);
+  EXPECT_EQ(ag.CandidateCount(1), candidates_before);
+  EXPECT_TRUE(ag.IsAlive(1, 10));
+  EXPECT_FALSE(ag.IsAlive(1, 11)) << "11 has no set-1 pair";
+  EXPECT_EQ(ag.CountAt(0, 1, 10), 2u);
+  std::vector<AgEdgeStats> stats = ag.Stats();
+  EXPECT_EQ(stats[0].pairs, 3u);
+  EXPECT_EQ(stats[1].pairs, 1u);
+  // Idempotent.
+  ag.Freeze();
+  EXPECT_EQ(ag.TotalQueryEdgePairs(), 4u);
+}
+
+TEST(AnswerGraphTest, FreezeWithPoolMatchesSerialFreeze) {
+  QueryGraph q = ChainQuery();
+  AnswerGraph serial(q), parallel(q);
+  for (AnswerGraph* ag : {&serial, &parallel}) {
+    for (NodeId k = 0; k < 50; ++k) {
+      ag->Set(0).Add(k, 100 + k % 7);
+      ag->Set(1).Add(100 + k % 7, 200 + k % 3);
+    }
+    ag->MarkMaterialized(0);
+    ag->MarkMaterialized(1);
+  }
+  serial.Freeze();
+  ThreadPool pool(4);
+  parallel.Freeze(&pool);
+  for (uint32_t e = 0; e < 2; ++e) {
+    std::set<std::pair<NodeId, NodeId>> a, b;
+    serial.Set(e).ForEachPair([&](NodeId u, NodeId v) { a.emplace(u, v); });
+    parallel.Set(e).ForEachPair(
+        [&](NodeId u, NodeId v) { b.emplace(u, v); });
+    EXPECT_EQ(a, b) << "edge " << e;
+  }
 }
 
 TEST(AnswerGraphTest, StatsPerQueryEdge) {

@@ -228,6 +228,103 @@ TEST(PairSetShardTest, EmptyShardIsANoOp) {
   EXPECT_EQ(set.Size(), 1u);
 }
 
+TEST(PairSetTest, FreezeKeepsEveryObservable) {
+  PairSet mutable_set, frozen_set;
+  for (NodeId u = 0; u < 30; ++u) {
+    for (NodeId v = 0; v < 9; ++v) {
+      mutable_set.Add(u, (u * 3 + v) % 40);
+      frozen_set.Add(u, (u * 3 + v) % 40);
+    }
+  }
+  // Erase a slice so freezing has tombstones to skip.
+  for (NodeId u = 0; u < 30; u += 3) {
+    mutable_set.Erase(u, (u * 3) % 40);
+    frozen_set.Erase(u, (u * 3) % 40);
+  }
+  frozen_set.Compact();
+  frozen_set.Freeze();
+  ASSERT_TRUE(frozen_set.IsFrozen());
+  EXPECT_TRUE(frozen_set.IsCompact());
+
+  EXPECT_EQ(frozen_set.Size(), mutable_set.Size());
+  EXPECT_EQ(frozen_set.DistinctSrcCount(), mutable_set.DistinctSrcCount());
+  EXPECT_EQ(frozen_set.DistinctDstCount(), mutable_set.DistinctDstCount());
+  std::set<std::pair<NodeId, NodeId>> mutable_pairs, frozen_pairs;
+  mutable_set.ForEachPair(
+      [&](NodeId u, NodeId v) { mutable_pairs.emplace(u, v); });
+  frozen_set.ForEachPair(
+      [&](NodeId u, NodeId v) { frozen_pairs.emplace(u, v); });
+  EXPECT_EQ(frozen_pairs, mutable_pairs);
+  for (NodeId u = 0; u < 45; ++u) {
+    EXPECT_EQ(frozen_set.SrcCount(u), mutable_set.SrcCount(u)) << u;
+    EXPECT_EQ(frozen_set.DstCount(u), mutable_set.DstCount(u)) << u;
+    for (NodeId v = 0; v < 45; ++v) {
+      EXPECT_EQ(frozen_set.Contains(u, v), mutable_set.Contains(u, v))
+          << u << "," << v;
+    }
+  }
+  // Fwd/bwd scans agree as sets; frozen spans are additionally sorted.
+  for (NodeId u = 0; u < 45; ++u) {
+    std::vector<NodeId> frozen_fwd, mutable_fwd;
+    frozen_set.ForEachFwd(u, [&](NodeId v) { frozen_fwd.push_back(v); });
+    mutable_set.ForEachFwd(u, [&](NodeId v) { mutable_fwd.push_back(v); });
+    EXPECT_TRUE(std::is_sorted(frozen_fwd.begin(), frozen_fwd.end()));
+    std::sort(mutable_fwd.begin(), mutable_fwd.end());
+    EXPECT_EQ(frozen_fwd, mutable_fwd) << "u=" << u;
+  }
+}
+
+TEST(PairSetTest, FreezeIsIdempotent) {
+  PairSet s;
+  s.Add(1, 2);
+  s.Freeze();
+  s.Freeze();
+  EXPECT_EQ(s.Size(), 1u);
+  EXPECT_TRUE(s.Contains(1, 2));
+}
+
+TEST(PairSetTest, FreezeOfEmptySet) {
+  PairSet s;
+  s.Freeze();
+  EXPECT_TRUE(s.IsFrozen());
+  EXPECT_EQ(s.Size(), 0u);
+  EXPECT_FALSE(s.Contains(0, 0));
+  s.ForEachPair([](NodeId, NodeId) { FAIL() << "empty frozen set"; });
+}
+
+TEST(PairSetTest, EraseSrcSweepsExactlyTheLivePairs) {
+  PairSet s;
+  for (NodeId v = 0; v < 12; ++v) s.Add(5, 100 + v);
+  s.Add(6, 100);
+  s.Erase(5, 103);  // pre-existing tombstone the sweep must skip
+  std::vector<NodeId> erased;
+  const uint32_t n = s.EraseSrc(5, [&](NodeId v) { erased.push_back(v); });
+  EXPECT_EQ(n, 11u);
+  EXPECT_EQ(erased.size(), 11u);
+  EXPECT_EQ(s.SrcCount(5), 0u);
+  EXPECT_EQ(s.Size(), 1u);
+  EXPECT_TRUE(s.Contains(6, 100));
+  // The sweep is reverse over the append-order list.
+  EXPECT_EQ(erased.front(), 111u);
+  // A second sweep is a no-op.
+  EXPECT_EQ(s.EraseSrc(5, [&](NodeId) { FAIL() << "nothing left"; }), 0u);
+  // Unknown source: no-op.
+  EXPECT_EQ(s.EraseSrc(42, [&](NodeId) { FAIL() << "unknown src"; }), 0u);
+}
+
+TEST(PairSetTest, EraseDstSweepsExactlyTheLivePairs) {
+  PairSet s;
+  for (NodeId u = 0; u < 8; ++u) s.Add(200 + u, 9);
+  s.Add(200, 10);
+  s.Erase(204, 9);
+  std::vector<NodeId> erased;
+  const uint32_t n = s.EraseDst(9, [&](NodeId u) { erased.push_back(u); });
+  EXPECT_EQ(n, 7u);
+  EXPECT_EQ(s.DstCount(9), 0u);
+  EXPECT_EQ(s.Size(), 1u);
+  EXPECT_TRUE(s.Contains(200, 10));
+}
+
 TEST(PairSetTest, StressManyPairs) {
   PairSet s;
   for (NodeId u = 0; u < 100; ++u) {

@@ -29,8 +29,8 @@ TEST_F(WireframeFig1Test, DetailedRunExposesPhases) {
   ASSERT_TRUE(detail.ok());
   EXPECT_FALSE(detail->cyclic);
   EXPECT_GE(detail->plan_seconds, 0.0);
-  EXPECT_GE(detail->phase1_seconds, 0.0);
-  EXPECT_GE(detail->phase2_seconds, 0.0);
+  EXPECT_GE(detail->stats.phase1_seconds, 0.0);
+  EXPECT_GE(detail->stats.phase2_seconds, 0.0);
   ASSERT_NE(detail->ag, nullptr);
   EXPECT_EQ(detail->ag->TotalQueryEdgePairs(), kFig1IdealAgEdges);
   EXPECT_EQ(detail->ag_plan.edge_order.size(), 3u);

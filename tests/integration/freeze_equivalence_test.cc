@@ -1,0 +1,156 @@
+// Freeze equivalence: running phase 2 over the frozen CSR AnswerGraph
+// must produce exactly the embeddings and |AG| of the mutable hash form
+// — and both must agree with every baseline engine — on the paper
+// fixtures and randomized workloads, serial and parallel.
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/wireframe.h"
+#include "datagen/synthetic.h"
+#include "exec/engine.h"
+#include "query/parser.h"
+#include "query/shape.h"
+#include "testutil/fixtures.h"
+#include "util/hash.h"
+
+namespace wireframe {
+namespace {
+
+struct WfRun {
+  std::set<std::vector<NodeId>> rows;
+  uint64_t ag_pairs = 0;
+  std::vector<std::set<uint64_t>> edge_sets;
+  bool frozen = false;
+};
+
+WfRun RunWf(const Database& db, const Catalog& cat, const QueryGraph& q,
+            bool freeze, uint32_t threads = 1, bool bushy = false) {
+  WireframeOptions wf_options;
+  wf_options.freeze_ag = freeze;
+  wf_options.bushy_phase2 = bushy;
+  WireframeEngine engine(wf_options);
+  CollectingSink sink;
+  EngineOptions options;
+  options.threads = threads;
+  auto detail = engine.RunDetailed(db, cat, q, options, &sink);
+  EXPECT_TRUE(detail.ok()) << detail.status().ToString();
+  WfRun run;
+  run.rows = {sink.rows().begin(), sink.rows().end()};
+  if (detail.ok()) {
+    run.ag_pairs = detail->stats.ag_pairs;
+    run.frozen = detail->ag->IsFrozen();
+    run.edge_sets.resize(detail->ag->NumEdgeSets());
+    for (uint32_t e = 0; e < detail->ag->NumEdgeSets(); ++e) {
+      detail->ag->Set(e).ForEachPair([&](NodeId u, NodeId v) {
+        run.edge_sets[e].insert(PackPair(u, v));
+      });
+    }
+  }
+  return run;
+}
+
+void ExpectFreezeEquivalent(const Database& db, const Catalog& cat,
+                            const QueryGraph& q, const char* what) {
+  const WfRun unfrozen = RunWf(db, cat, q, /*freeze=*/false);
+  EXPECT_FALSE(unfrozen.frozen);
+  for (uint32_t threads : {1u, 2u, 4u}) {
+    const WfRun frozen = RunWf(db, cat, q, /*freeze=*/true, threads);
+    EXPECT_TRUE(frozen.frozen) << what;
+    EXPECT_EQ(frozen.rows, unfrozen.rows)
+        << what << " threads " << threads;
+    EXPECT_EQ(frozen.ag_pairs, unfrozen.ag_pairs)
+        << what << " threads " << threads;
+    ASSERT_EQ(frozen.edge_sets.size(), unfrozen.edge_sets.size()) << what;
+    for (size_t e = 0; e < unfrozen.edge_sets.size(); ++e) {
+      EXPECT_EQ(frozen.edge_sets[e], unfrozen.edge_sets[e])
+          << what << " edge set " << e << " threads " << threads;
+    }
+  }
+  // All five engines agree: the four baselines against the frozen rows.
+  for (const char* name : {"PG", "VT", "MD", "NJ"}) {
+    auto engine = MakeEngine(name);
+    CollectingSink sink;
+    auto stats = engine->Run(db, cat, q, EngineOptions{}, &sink);
+    EXPECT_TRUE(stats.ok()) << name << ": " << stats.status().ToString();
+    const std::set<std::vector<NodeId>> rows(sink.rows().begin(),
+                                             sink.rows().end());
+    EXPECT_EQ(rows, unfrozen.rows) << what << " engine " << name;
+  }
+}
+
+using FreezeFig1Test = testutil::Fig1Fixture;
+using FreezeFig4Test = testutil::Fig4Fixture;
+
+TEST_F(FreezeFig1Test, Fig1FrozenMatchesUnfrozenAndBaselines) {
+  ExpectFreezeEquivalent(db_, cat_, query(), "fig1");
+}
+
+TEST_F(FreezeFig4Test, Fig4FrozenMatchesUnfrozenAndBaselines) {
+  ExpectFreezeEquivalent(db_, cat_, query(), "fig4");
+}
+
+TEST(FreezeEquivalenceTest, RandomInstancesMatchAcrossAllEngines) {
+  Rng rng(20260801);
+  int cyclic_seen = 0, acyclic_seen = 0;
+  for (int trial = 0; trial < 8; ++trial) {
+    Database db = MakeRandomGraph(30, 3, 300, 9200 + trial);
+    Catalog cat = Catalog::Build(db.store());
+    QueryGraph q = MakeRandomQuery(rng, 2 + rng.Uniform(3), 5, 3);
+    (IsAcyclic(q) ? acyclic_seen : cyclic_seen) += 1;
+    ExpectFreezeEquivalent(db, cat, q, "random");
+  }
+  EXPECT_GT(cyclic_seen + acyclic_seen, 0);
+}
+
+TEST(FreezeEquivalenceTest, ChainBlowupMatches) {
+  Database db = MakeChainBlowupGraph(200, 200, /*noise=*/30);
+  Catalog cat = Catalog::Build(db.store());
+  auto q = SparqlParser::ParseAndBind(
+      "select * where { ?w A ?x . ?x B ?y . ?y C ?z . }", db);
+  ASSERT_TRUE(q.ok());
+  const WfRun unfrozen = RunWf(db, cat, *q, /*freeze=*/false);
+  const WfRun frozen = RunWf(db, cat, *q, /*freeze=*/true);
+  EXPECT_EQ(frozen.rows.size(), 200u * 200u);
+  EXPECT_EQ(frozen.rows, unfrozen.rows);
+  EXPECT_EQ(frozen.ag_pairs, unfrozen.ag_pairs);
+}
+
+// The bushy executor's leaf scans read ForEachPair off the frozen CSR.
+TEST(FreezeEquivalenceTest, BushyExecutorMatchesOverFrozenAg) {
+  Rng rng(607);
+  for (int trial = 0; trial < 4; ++trial) {
+    Database db = MakeRandomGraph(30, 3, 300, 4100 + trial);
+    Catalog cat = Catalog::Build(db.store());
+    QueryGraph q = MakeRandomQuery(rng, 3 + rng.Uniform(3), 5, 3);
+    const WfRun unfrozen =
+        RunWf(db, cat, q, /*freeze=*/false, 1, /*bushy=*/true);
+    for (uint32_t threads : {1u, 4u}) {
+      const WfRun frozen =
+          RunWf(db, cat, q, /*freeze=*/true, threads, /*bushy=*/true);
+      EXPECT_EQ(frozen.rows, unfrozen.rows)
+          << "trial " << trial << " threads " << threads;
+    }
+  }
+}
+
+// Chord filters in phase 2 probe the frozen chord sets (binary search
+// instead of hash probes) — cyclic results must not move.
+TEST(FreezeEquivalenceTest, DenseSquareChordFiltersMatch) {
+  Database db = MakeRandomGraph(80, 3, 6000, 777);
+  Catalog cat = Catalog::Build(db.store());
+  auto q = SparqlParser::ParseAndBind(
+      "select * where { ?a p0 ?b . ?b p1 ?c . ?c p2 ?d . ?d p0 ?a . }", db);
+  ASSERT_TRUE(q.ok());
+  const WfRun unfrozen = RunWf(db, cat, *q, /*freeze=*/false);
+  for (uint32_t threads : {1u, 4u}) {
+    const WfRun frozen = RunWf(db, cat, *q, /*freeze=*/true, threads);
+    EXPECT_EQ(frozen.rows, unfrozen.rows) << "threads " << threads;
+    EXPECT_EQ(frozen.ag_pairs, unfrozen.ag_pairs);
+  }
+}
+
+}  // namespace
+}  // namespace wireframe

@@ -1,0 +1,108 @@
+#include "util/csr.h"
+
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace wireframe {
+namespace {
+
+TEST(CsrTest, EmptyBuild) {
+  const Csr csr = Csr::Build({});
+  EXPECT_EQ(csr.NumEntries(), 0u);
+  EXPECT_TRUE(csr.Nodes().empty());
+  EXPECT_TRUE(csr.Neighbors(7).empty());
+  EXPECT_FALSE(csr.Contains(7, 8));
+}
+
+TEST(CsrTest, DefaultConstructedBehavesLikeEmpty) {
+  const Csr csr;
+  EXPECT_EQ(csr.NumEntries(), 0u);
+  EXPECT_TRUE(csr.Neighbors(0).empty());
+}
+
+TEST(CsrTest, BuildSortsKeysAndSpans) {
+  const Csr csr = Csr::Build({{5, 9}, {2, 4}, {5, 1}, {2, 8}, {9, 0}});
+  ASSERT_EQ(csr.Nodes().size(), 3u);
+  EXPECT_EQ(csr.Nodes()[0], 2u);
+  EXPECT_EQ(csr.Nodes()[1], 5u);
+  EXPECT_EQ(csr.Nodes()[2], 9u);
+  const auto at5 = csr.Neighbors(5);
+  ASSERT_EQ(at5.size(), 2u);
+  EXPECT_EQ(at5[0], 1u);
+  EXPECT_EQ(at5[1], 9u);
+  EXPECT_EQ(csr.NumEntries(), 5u);
+}
+
+TEST(CsrTest, ContainsIsExact) {
+  const Csr csr = Csr::Build({{1, 2}, {1, 4}, {3, 0}});
+  EXPECT_TRUE(csr.Contains(1, 2));
+  EXPECT_TRUE(csr.Contains(1, 4));
+  EXPECT_TRUE(csr.Contains(3, 0));
+  EXPECT_FALSE(csr.Contains(1, 3));
+  EXPECT_FALSE(csr.Contains(2, 2));
+  EXPECT_FALSE(csr.Contains(0, 0));
+}
+
+TEST(CsrTest, ForEachIsKeyMajorAscending) {
+  const Csr csr = Csr::Build({{4, 7}, {0, 3}, {4, 1}, {0, 9}});
+  std::vector<std::pair<NodeId, NodeId>> seen;
+  csr.ForEach([&](NodeId k, NodeId v) { seen.emplace_back(k, v); });
+  const std::vector<std::pair<NodeId, NodeId>> want = {
+      {0, 3}, {0, 9}, {4, 1}, {4, 7}};
+  EXPECT_EQ(seen, want);
+}
+
+// Keys spread over a huge id space skip the dense direct index (max_key
+// >> 8 * distinct + 1024) and take the binary-search fallback; it must
+// answer identically to the dense path.
+TEST(CsrTest, SparseKeySpaceFallsBackToBinarySearch) {
+  const Csr csr = Csr::Build(
+      {{5, 1}, {5, 7}, {70000, 2}, {2000000, 9}, {2000000, 3}});
+  ASSERT_EQ(csr.Nodes().size(), 3u);
+  EXPECT_EQ(csr.NumEntries(), 5u);
+  // Present keys.
+  const auto at5 = csr.Neighbors(5);
+  ASSERT_EQ(at5.size(), 2u);
+  EXPECT_EQ(at5[0], 1u);
+  EXPECT_EQ(at5[1], 7u);
+  EXPECT_EQ(csr.Neighbors(70000).size(), 1u);
+  const auto top = csr.Neighbors(2000000);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], 3u);
+  EXPECT_EQ(top[1], 9u);
+  // Absent below, between, and above the key range.
+  EXPECT_TRUE(csr.Neighbors(0).empty());
+  EXPECT_TRUE(csr.Neighbors(6).empty());
+  EXPECT_TRUE(csr.Neighbors(100000).empty());
+  EXPECT_TRUE(csr.Neighbors(3000000).empty());
+  EXPECT_TRUE(csr.Contains(5, 7));
+  EXPECT_FALSE(csr.Contains(5, 2));
+  EXPECT_FALSE(csr.Contains(6, 7));
+  EXPECT_FALSE(csr.Contains(3000000, 9));
+}
+
+TEST(CsrTest, BuildFromSortedMatchesBuild) {
+  const std::vector<std::pair<NodeId, NodeId>> sorted = {
+      {1, 2}, {1, 5}, {4, 0}, {9, 9}};
+  const Csr from_sorted =
+      Csr::BuildFromSorted(sorted.size(), [&](size_t i) { return sorted[i]; });
+  const Csr from_unsorted = Csr::Build({{9, 9}, {1, 5}, {4, 0}, {1, 2}});
+  ASSERT_EQ(from_sorted.NumEntries(), from_unsorted.NumEntries());
+  std::vector<std::pair<NodeId, NodeId>> a, b;
+  from_sorted.ForEach([&](NodeId k, NodeId v) { a.emplace_back(k, v); });
+  from_unsorted.ForEach([&](NodeId k, NodeId v) { b.emplace_back(k, v); });
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, sorted);
+}
+
+TEST(CsrTest, NeighborsAtMatchesNeighbors) {
+  const Csr csr = Csr::Build({{10, 1}, {20, 2}, {20, 3}});
+  ASSERT_EQ(csr.Nodes().size(), 2u);
+  EXPECT_EQ(csr.NeighborsAt(0).size(), csr.Neighbors(10).size());
+  EXPECT_EQ(csr.NeighborsAt(1).size(), csr.Neighbors(20).size());
+}
+
+}  // namespace
+}  // namespace wireframe
