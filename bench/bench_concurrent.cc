@@ -27,6 +27,15 @@
 // only re-orders batch work, it does not drop it). Recorded as
 // BENCH_pr4_priority.json.
 //
+// Zipf cache mix (--zipf): the Table-1 suite sampled Zipf-skewed into a
+// batch of repeats, served twice on one graph — cache off (every run
+// cold) and with the answer-graph cache on (repeats of a canonical shape
+// reuse the frozen AG and skip phase 1 + burnback). Per-query row counts
+// must be identical in both modes; the JSON records split the cached run
+// into hit-path and miss-path phase timings (hit-path phase1/burnback
+// are 0 by construction) and carry the per-tenant hit/miss/evict
+// counters. Recorded as BENCH_pr6_cache.json.
+//
 // Usage: bench_concurrent [--scale=0.4] [--queries=20] [--timeout=60]
 //                         [--inflight_list=1,4,16] [--threads=0]
 //                         [--row_budget=0] [--json=<path>]
@@ -34,6 +43,10 @@
 //                         [--interval_ms=50] [--latency_weight=16]
 //                         [--batch_quota=2] [--scale=0.4] [--threads=0]
 //                         [--timeout=60] [--json=<path>]
+//        bench_concurrent --zipf [--queries=60] [--zipf_s=1.0]
+//                         [--cache_mb=256] [--inflight=4] [--scale=0.4]
+//                         [--threads=0] [--timeout=60] [--seed=42]
+//                         [--json=<path>]
 
 #include <algorithm>
 #include <atomic>
@@ -52,6 +65,7 @@
 #include "query/parser.h"
 #include "runtime/server.h"
 #include "util/flags.h"
+#include "util/random.h"
 #include "util/table_printer.h"
 #include "util/timer.h"
 
@@ -369,11 +383,227 @@ int MainMixed(Flags& flags) {
   return fair_result.ok && prio_result.ok ? 0 : 1;
 }
 
+// --- Zipf cache mix (--zipf). ---
+
+/// One serving pass over the sampled workload plus the runtime's
+/// final per-tenant cache counters.
+struct ZipfRun {
+  std::vector<runtime::QueryReport> reports;
+  runtime::TenantStats tenant;
+  double wall_seconds = 0.0;
+};
+
+int MainZipf(Flags& flags) {
+  const double scale = flags.GetDouble("scale", 0.4);
+  const double timeout = flags.GetDouble("timeout", 60.0);
+  const double zipf_s = flags.GetDouble("zipf_s", 1.0);
+  const size_t num_queries =
+      static_cast<size_t>(flags.GetInt("queries", 60));
+  const uint32_t threads =
+      static_cast<uint32_t>(flags.GetInt("threads", 0));
+  const uint32_t inflight =
+      static_cast<uint32_t>(flags.GetInt("inflight", 4));
+  const uint64_t cache_mb =
+      static_cast<uint64_t>(flags.GetInt("cache_mb", 256));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+
+  YagoLikeConfig config;
+  config.scale = scale;
+  config.seed = seed;
+  Database db = MakeYagoLike(config);
+  Catalog catalog = Catalog::Build(db.store());
+
+  // Zipf(s) over the Table-1 suite ranked in suite order: rank r is
+  // drawn proportionally to 1/(r+1)^s, so a few shapes dominate the mix
+  // the way hot dashboard queries do.
+  const std::vector<std::string> suite = Table1Queries();
+  std::vector<double> cumulative(suite.size());
+  double total = 0.0;
+  for (size_t r = 0; r < suite.size(); ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), zipf_s);
+    cumulative[r] = total;
+  }
+  Rng rng(seed * 1000003 + 17);
+  std::vector<size_t> workload_index;
+  std::vector<std::string> workload;
+  workload.reserve(num_queries);
+  for (size_t i = 0; i < num_queries; ++i) {
+    const double u = rng.NextDouble() * total;
+    size_t pick = suite.size() - 1;
+    for (size_t r = 0; r < cumulative.size(); ++r) {
+      if (u <= cumulative[r]) {
+        pick = r;
+        break;
+      }
+    }
+    workload_index.push_back(pick);
+    workload.push_back(suite[pick]);
+  }
+  std::vector<size_t> frequency(suite.size(), 0);
+  for (size_t pick : workload_index) ++frequency[pick];
+  size_t distinct = 0;
+  for (size_t f : frequency) distinct += f > 0 ? 1 : 0;
+
+  const uint32_t pool_threads = ThreadPool::ResolveThreads(threads);
+  std::cout << "=== Zipf cache mix: " << workload.size()
+            << " queries over " << distinct << " distinct Table-1 shapes"
+            << " (s=" << zipf_s << "), scale " << scale << " ("
+            << db.store().NumTriples() << " triples), " << inflight
+            << " in-flight, pool threads " << pool_threads
+            << ", cache quota " << cache_mb << " MiB ===\n\n";
+
+  auto run_mode = [&](bool cached) {
+    runtime::ServerOptions server_options;
+    server_options.runtime.pool_threads = threads;
+    server_options.runtime.admission.max_inflight = inflight;
+    server_options.runtime.admission.max_queued =
+        static_cast<uint32_t>(workload.size());
+    if (cached) {
+      server_options.runtime.admission.ag_cache_bytes = cache_mb << 20;
+    }
+    server_options.timeout_seconds = timeout;
+    runtime::Server server(db, catalog, server_options);
+    ZipfRun run;
+    Stopwatch wall;
+    run.reports = server.RunBatch(workload);
+    run.wall_seconds = wall.ElapsedSeconds();
+    run.tenant = server.runtime().stats().tenants.at(0);
+    return run;
+  };
+  const ZipfRun cold = run_mode(/*cached=*/false);
+  const ZipfRun cached = run_mode(/*cached=*/true);
+
+  // Correctness gate: the cache must change no result. Row counts are
+  // compared per batch position.
+  bool rows_match = true;
+  for (size_t i = 0; i < workload.size(); ++i) {
+    if (cold.reports[i].rows != cached.reports[i].rows ||
+        cold.reports[i].outcome != cached.reports[i].outcome) {
+      rows_match = false;
+      std::cerr << "MISMATCH query " << i << " (suite "
+                << workload_index[i] << "): cold rows "
+                << cold.reports[i].rows << " vs cached rows "
+                << cached.reports[i].rows << "\n";
+    }
+  }
+
+  /// Sums one side (hits or misses) of a cached run's reports.
+  struct PathAggregate {
+    uint64_t queries = 0;
+    uint64_t rows = 0;
+    double phase1 = 0.0;
+    double burnback = 0.0;
+    double phase2 = 0.0;
+    std::vector<double> latencies_ms;
+  };
+  auto aggregate = [](const std::vector<runtime::QueryReport>& reports,
+                      bool hits) {
+    PathAggregate agg;
+    for (const runtime::QueryReport& report : reports) {
+      if (report.cache_hit != hits) continue;
+      ++agg.queries;
+      agg.rows += report.rows;
+      agg.phase1 += report.stats.phase1_seconds;
+      agg.burnback += report.stats.burnback_seconds;
+      agg.phase2 += report.stats.phase2_seconds;
+      agg.latencies_ms.push_back(
+          (report.queue_seconds + report.run_seconds) * 1e3);
+    }
+    return agg;
+  };
+  const PathAggregate hit_path = aggregate(cached.reports, true);
+  const PathAggregate miss_path = aggregate(cached.reports, false);
+  const PathAggregate cold_path = aggregate(cold.reports, false);
+
+  JsonResultWriter json;
+  char scale_meta[32];
+  std::snprintf(scale_meta, sizeof(scale_meta), "%g", config.scale);
+  char zipf_meta[32];
+  std::snprintf(zipf_meta, sizeof(zipf_meta), "%g", zipf_s);
+  json.SetMeta("bench", "bench_concurrent --zipf");
+  json.SetMeta("hardware_threads",
+               std::to_string(ThreadPool::ResolveThreads(0)));
+  json.SetMeta("pool_threads", std::to_string(pool_threads));
+  json.SetMeta("scale", scale_meta);
+  json.SetMeta("queries", std::to_string(workload.size()));
+  json.SetMeta("distinct_queries", std::to_string(distinct));
+  json.SetMeta("zipf_s", zipf_meta);
+  json.SetMeta("cache_mb", std::to_string(cache_mb));
+  json.SetMeta("inflight", std::to_string(inflight));
+
+  auto add_cell = [&](const std::string& name, const ZipfRun& run,
+                      const PathAggregate& agg, bool attach_counters) {
+    BenchRecord record;
+    record.engine = "WF";
+    record.query = name;
+    record.ok = rows_match;
+    record.seconds = run.wall_seconds;
+    record.output_tuples = agg.rows;
+    record.ag_pairs = agg.queries;
+    record.threads = pool_threads;
+    record.phase1_seconds = agg.phase1;
+    record.burnback_seconds = agg.burnback;
+    record.phase2_seconds = agg.phase2;
+    record.p50_seconds = Percentile(agg.latencies_ms, 50) / 1e3;
+    record.p99_seconds = Percentile(agg.latencies_ms, 99) / 1e3;
+    if (attach_counters) {
+      record.cache_hits = run.tenant.cache_hits;
+      record.cache_misses = run.tenant.cache_misses;
+      record.cache_evictions = run.tenant.cache_evictions;
+    }
+    json.Add(record);
+  };
+  // ag_pairs doubles as the cell's query count; the phase columns are
+  // sums over that side of the split.
+  add_cell("zipf-nocache", cold, cold_path, /*attach_counters=*/false);
+  add_cell("zipf-cache", cached, hit_path, /*attach_counters=*/true);
+  add_cell("zipf-cache-misspath", cached, miss_path,
+           /*attach_counters=*/false);
+
+  TablePrinter table({"mode", "queries", "wall (s)", "q/s", "p50 (ms)",
+                      "p99 (ms)", "phase1 (s)", "burnback (s)", "hits",
+                      "misses", "evict"});
+  auto row = [&](const char* mode, const ZipfRun& run,
+                 const PathAggregate& agg, bool counters) {
+    table.AddRow(
+        {mode, std::to_string(agg.queries),
+         TablePrinter::FormatSeconds(run.wall_seconds),
+         TablePrinter::FormatSeconds(static_cast<double>(workload.size()) /
+                                     run.wall_seconds),
+         FormatMs(Percentile(agg.latencies_ms, 50)),
+         FormatMs(Percentile(agg.latencies_ms, 99)),
+         TablePrinter::FormatSeconds(agg.phase1),
+         TablePrinter::FormatSeconds(agg.burnback),
+         counters ? std::to_string(run.tenant.cache_hits) : "-",
+         counters ? std::to_string(run.tenant.cache_misses) : "-",
+         counters ? std::to_string(run.tenant.cache_evictions) : "-"});
+  };
+  row("nocache", cold, cold_path, false);
+  row("cache:hits", cached, hit_path, true);
+  row("cache:misses", cached, miss_path, true);
+  table.Print(std::cout);
+
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "\nrows identical across modes: %s; cached wall vs cold: "
+                "%.2fx; hit-path phase1+burnback: %.6f s over %llu hits\n",
+                rows_match ? "yes" : "NO",
+                cached.wall_seconds > 0.0
+                    ? cold.wall_seconds / cached.wall_seconds
+                    : 0.0,
+                hit_path.phase1 + hit_path.burnback,
+                static_cast<unsigned long long>(hit_path.queries));
+  std::cout << buf;
+  if (flags.Has("json")) json.WriteTo(flags.GetString("json", ""));
+  return rows_match ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
   if (flags.Has("mixed")) return MainMixed(flags);
+  if (flags.Has("zipf")) return MainZipf(flags);
   const double scale = flags.GetDouble("scale", 0.4);
   const double timeout = flags.GetDouble("timeout", 60.0);
   const size_t num_queries =

@@ -53,6 +53,28 @@ PHASE_FIELDS = (
     ("phase2", "phase2_seconds"),
 )
 
+# Meta keys that make two recordings incomparable when they disagree:
+# different machines (hardware_threads) or a different AG storage form
+# (frozen) move every cell for reasons that are not the code under test.
+COMPARABILITY_KEYS = ("hardware_threads", "frozen")
+
+
+def print_comparability_warnings(old_meta, new_meta):
+    mismatched = [
+        (key, old_meta[key], new_meta[key])
+        for key in COMPARABILITY_KEYS
+        if key in old_meta and key in new_meta
+        and old_meta[key] != new_meta[key]
+    ]
+    for key, old_value, new_value in mismatched:
+        print(
+            f"!!! WARNING: meta.{key} differs "
+            f"(old={old_value}, new={new_value}) — the recordings are "
+            "not comparable; speedups below measure the environment, "
+            "not the code !!!"
+        )
+    return bool(mismatched)
+
 
 def phase_breakdown(old, new):
     """One indented line diffing the per-phase wall times, or None.
@@ -99,6 +121,7 @@ def main():
         if meta:
             rendered = ", ".join(f"{k}={v}" for k, v in meta.items())
             print(f"{label} meta: {rendered}")
+    warned = print_comparability_warnings(old_meta, new_meta)
 
     old_cells = {cell_key(r): r for r in old_records}
     new_cells = {cell_key(r): r for r in new_records}
@@ -156,6 +179,9 @@ def main():
               f"{geomean:.2f}x")
     else:
         print("\nno comparable cells")
+    if warned:
+        # Repeat after the table so the flag cannot scroll out of view.
+        print_comparability_warnings(old_meta, new_meta)
     return 0
 
 

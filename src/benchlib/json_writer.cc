@@ -87,7 +87,10 @@ std::string JsonResultWriter::ToJson() const {
        << ", \"freeze_seconds\": " << FormatDouble(r.freeze_seconds)
        << ", \"phase2_seconds\": " << FormatDouble(r.phase2_seconds)
        << ", \"p50_seconds\": " << FormatDouble(r.p50_seconds)
-       << ", \"p99_seconds\": " << FormatDouble(r.p99_seconds) << "}"
+       << ", \"p99_seconds\": " << FormatDouble(r.p99_seconds)
+       << ", \"cache_hits\": " << r.cache_hits
+       << ", \"cache_misses\": " << r.cache_misses
+       << ", \"cache_evictions\": " << r.cache_evictions << "}"
        << (i + 1 < records_.size() ? "," : "") << "\n";
   }
   if (!meta_.empty()) {

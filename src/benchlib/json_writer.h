@@ -32,6 +32,11 @@ struct BenchRecord {
   /// (bench_concurrent; 0 when the cell is a single run).
   double p50_seconds = 0.0;
   double p99_seconds = 0.0;
+  /// Answer-graph cache counters of a cached serving cell
+  /// (bench_concurrent --zipf; all 0 when the cache is off).
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
 };
 
 /// Collects BenchRecords and serializes them as a JSON array. No external

@@ -10,7 +10,10 @@
 namespace wireframe {
 
 bool PairSet::Add(NodeId u, NodeId v) {
-  WF_DCHECK(!frozen_) << "Add on a frozen PairSet";
+  // Hard check in every build type: frozen sets are shared read-only
+  // across queries (runtime AG cache), so a mutation that only tripped a
+  // debug assert would be silent memory corruption in Release.
+  WF_CHECK(!frozen_) << "Add on a frozen PairSet";
   if (!live_.Insert(PackPair(u, v))) return false;
   fwd_[u].push_back(v);
   bwd_[v].push_back(u);
@@ -28,7 +31,7 @@ uint64_t PairSet::MergeShard(const PairSetShard& shard) {
 }
 
 bool PairSet::Erase(NodeId u, NodeId v) {
-  WF_DCHECK(!frozen_) << "Erase on a frozen PairSet";
+  WF_CHECK(!frozen_) << "Erase on a frozen PairSet";
   if (!live_.Erase(PackPair(u, v))) return false;
   compact_ = false;
   uint32_t* su = src_count_.Find(u);
@@ -160,6 +163,17 @@ void AnswerGraph::Freeze(ThreadPool* pool, uint32_t weight) {
   for (PairSet& set : sets_) {
     set.Freeze();
   }
+}
+
+uint64_t AnswerGraph::FrozenByteSize() const {
+  uint64_t bytes = sets_.size() * sizeof(PairSet) +
+                   (src_var_.size() + dst_var_.size()) * sizeof(VarId) +
+                   materialized_.size() / 8;
+  for (const PairSet& set : sets_) bytes += set.FrozenByteSize();
+  for (const std::vector<uint32_t>& inc : incident_) {
+    bytes += inc.size() * sizeof(uint32_t);
+  }
+  return bytes;
 }
 
 bool AnswerGraph::IsTouched(VarId v) const {

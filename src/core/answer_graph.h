@@ -105,7 +105,7 @@ class PairSet {
   /// dead in this set and generation never re-adds erased pairs.
   template <typename Fn>
   uint32_t EraseSrc(NodeId u, Fn&& fn) {
-    WF_DCHECK(!frozen_);
+    WF_CHECK(!frozen_) << "EraseSrc on a frozen PairSet";
     std::vector<NodeId>* targets = fwd_.Find(u);
     if (targets == nullptr) return 0;
     const uint32_t live_before = SrcCount(u);
@@ -125,7 +125,7 @@ class PairSet {
   /// Mirror of EraseSrc for pairs (*, v); invokes fn(u) per erased pair.
   template <typename Fn>
   uint32_t EraseDst(NodeId v, Fn&& fn) {
-    WF_DCHECK(!frozen_);
+    WF_CHECK(!frozen_) << "EraseDst on a frozen PairSet";
     std::vector<NodeId>* sources = bwd_.Find(v);
     if (sources == nullptr) return 0;
     const uint32_t live_before = DstCount(v);
@@ -162,6 +162,12 @@ class PairSet {
 
   /// True iff the set is in its frozen (CSR) form.
   bool IsFrozen() const { return frozen_; }
+
+  /// Heap bytes of the frozen CSR arrays (0 in build form — only frozen
+  /// sets are byte-accounted, for the runtime's AG cache quotas).
+  uint64_t FrozenByteSize() const {
+    return frozen_ ? fwd_csr_.ByteSize() + bwd_csr_.ByteSize() : 0;
+  }
 
   /// Number of live pairs.
   uint64_t Size() const {
@@ -321,6 +327,10 @@ class AnswerGraph {
 
   /// True iff Freeze has run.
   bool IsFrozen() const { return frozen_; }
+
+  /// Total heap bytes of the frozen edge sets plus the topology vectors —
+  /// what one cached AG costs to keep resident. Meaningful once frozen.
+  uint64_t FrozenByteSize() const;
 
   /// Edge sets incident to variable v (both query edges and chords).
   const std::vector<uint32_t>& IncidentSets(VarId v) const {

@@ -106,6 +106,59 @@ Result<WireframeRunDetail> WireframeEngine::RunDetailed(
   return detail;
 }
 
+Result<WireframeRunDetail> WireframeEngine::RunOverAg(
+    const QueryGraph& query, const AnswerGraph& ag,
+    const EngineOptions& options, Sink* sink) {
+  WF_CHECK(ag.IsFrozen()) << "RunOverAg requires a frozen AnswerGraph";
+  WireframeRunDetail detail;
+  Stopwatch total;
+
+  PoolLease lease(options);
+  ThreadPool* pool = lease.get();
+  detail.threads = lease.threads();
+  detail.cyclic = !AnalyzeShape(query).acyclic;
+
+  Stopwatch phase2_watch;
+  bool emitted_by_bushy = false;
+  if (options_.bushy_phase2) {
+    BushyPlanner bushy_planner(query);
+    Result<BushyPlan> bushy_plan = bushy_planner.Plan(ag.Stats());
+    if (bushy_plan.ok()) {
+      BushyExecutor executor(query, ag);
+      BushyExecutorOptions bushy_options;
+      bushy_options.deadline = options.deadline;
+      bushy_options.pool = pool;
+      bushy_options.cancel = options.runtime.cancel;
+      bushy_options.weight = options.runtime.weight;
+      WF_ASSIGN_OR_RETURN(detail.phase2_stats,
+                          executor.Emit(*bushy_plan, sink, bushy_options));
+      emitted_by_bushy = true;
+      detail.used_bushy = true;
+    }
+  }
+  EmbeddingPlanner embedding_planner(query);
+  WF_ASSIGN_OR_RETURN(detail.embedding_plan,
+                      embedding_planner.PlanJoinOrder(ag.Stats()));
+  if (!emitted_by_bushy) {
+    Defactorizer defactorizer(query, ag);
+    DefactorizerOptions defac_options;
+    defac_options.deadline = options.deadline;
+    defac_options.use_chords = options_.chords_in_phase2;
+    defac_options.pool = pool;
+    defac_options.cancel = options.runtime.cancel;
+    defac_options.weight = options.runtime.weight;
+    WF_ASSIGN_OR_RETURN(
+        detail.phase2_stats,
+        defactorizer.Emit(detail.embedding_plan, sink, defac_options));
+  }
+  detail.stats.phase2_seconds = phase2_watch.ElapsedSeconds();
+
+  detail.stats.seconds = total.ElapsedSeconds();
+  detail.stats.output_tuples = detail.phase2_stats.emitted;
+  detail.stats.ag_pairs = ag.TotalQueryEdgePairs();
+  return detail;
+}
+
 Result<EngineStats> WireframeEngine::Run(const Database& db,
                                          const Catalog& catalog,
                                          const QueryGraph& query,

@@ -91,6 +91,19 @@ class WireframeEngine : public Engine {
                                          const EngineOptions& options,
                                          Sink* sink);
 
+  /// Phase 2 only, over an already-generated answer graph (the runtime's
+  /// AG cache hit path): plans embeddings from the AG's exact statistics
+  /// and emits through the same defactorizer / bushy executor as
+  /// RunDetailed, honoring the deadline/cancel/pool/weight in `options`.
+  /// `ag` is borrowed, must belong to `query`'s shape, and must be frozen
+  /// — it may be read concurrently by any number of other runs. The
+  /// returned detail has zero phase-1/burnback/freeze seconds and a null
+  /// `ag` field (the caller already owns it).
+  Result<WireframeRunDetail> RunOverAg(const QueryGraph& query,
+                                       const AnswerGraph& ag,
+                                       const EngineOptions& options,
+                                       Sink* sink);
+
   /// Renders the two plans for a query without executing (EXPLAIN).
   Result<std::string> Explain(const Database& db, const Catalog& catalog,
                               const QueryGraph& query);

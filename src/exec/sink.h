@@ -98,6 +98,34 @@ class DistinctProjectingSink : public Sink {
   std::unordered_set<uint64_t, Hash64> seen_;
 };
 
+/// Forwards each binding with its columns permuted: out[v] =
+/// in[mapping[v]]. The runtime's answer-graph cache executes queries in
+/// canonical variable order (query/canonical.h) and uses this to hand
+/// the request sink rows back in the submitted query's variable order
+/// (`mapping[v]` = canonical position of variable v). The scratch row is
+/// reused across Emit calls under the same no-concurrent-Emit contract
+/// every sink here relies on.
+class RemapSink : public Sink {
+ public:
+  RemapSink(Sink* inner, std::vector<VarId> mapping)
+      : inner_(inner),
+        mapping_(std::move(mapping)),
+        row_(mapping_.size(), kInvalidNode) {}
+
+  bool Emit(const std::vector<NodeId>& binding) override {
+    for (size_t v = 0; v < mapping_.size(); ++v) {
+      row_[v] = binding[mapping_[v]];
+    }
+    return inner_->Emit(row_);
+  }
+  uint64_t count() const override { return inner_->count(); }
+
+ private:
+  Sink* inner_;
+  std::vector<VarId> mapping_;
+  std::vector<NodeId> row_;
+};
+
 /// Per-worker front for a shared sink during parallel enumeration.
 ///
 /// Sinks are not thread-safe, so each worker emits into its own SinkShard,

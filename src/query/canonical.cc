@@ -1,0 +1,273 @@
+#include "query/canonical.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <utility>
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace wireframe {
+namespace {
+
+/// Isomorphism-invariant vertex colors by Weisfeiler-Leman refinement:
+/// the initial color hashes each variable's sorted (label, direction)
+/// incidence multiset, and each round folds in the sorted colors of the
+/// neighbors across each incident edge. Colors are used only to seed and
+/// prune the ordering search — key equality never depends on them, so a
+/// hash collision costs nothing but search time.
+std::vector<uint64_t> RefineColors(const QueryGraph& q) {
+  const uint32_t n = q.NumVars();
+  std::vector<uint64_t> colors(n);
+  std::vector<uint64_t> scratch;
+  for (VarId v = 0; v < n; ++v) {
+    scratch.clear();
+    for (const QueryEdge& e : q.edges()) {
+      if (e.src == v) scratch.push_back((uint64_t{e.label} << 1) | 0);
+      if (e.dst == v) scratch.push_back((uint64_t{e.label} << 1) | 1);
+    }
+    std::sort(scratch.begin(), scratch.end());
+    uint64_t h = Mix64(scratch.size());
+    for (uint64_t s : scratch) h = Mix64(h ^ Mix64(s));
+    colors[v] = h;
+  }
+  std::vector<uint64_t> next(n);
+  for (uint32_t round = 0; round < n; ++round) {
+    for (VarId v = 0; v < n; ++v) {
+      scratch.clear();
+      for (const QueryEdge& e : q.edges()) {
+        if (e.src == v) {
+          scratch.push_back(Mix64((uint64_t{e.label} << 1) | 0) ^
+                            colors[e.dst]);
+        }
+        if (e.dst == v) {
+          scratch.push_back(Mix64((uint64_t{e.label} << 1) | 1) ^
+                            colors[e.src]);
+        }
+      }
+      std::sort(scratch.begin(), scratch.end());
+      uint64_t h = Mix64(colors[v]);
+      for (uint64_t s : scratch) h = Mix64(h ^ Mix64(s));
+      next[v] = h;
+    }
+    if (next == colors) break;
+    colors.swap(next);
+  }
+  return colors;
+}
+
+constexpr uint32_t kUnranked = std::numeric_limits<uint32_t>::max();
+
+/// Branch-and-bound search for the variable order with the
+/// lexicographically smallest step encoding.
+///
+/// The encoding of an order places one variable per step; step k
+/// contributes a separator followed by the sorted tuples
+/// (rank of the already-placed endpoint, direction, label) of every edge
+/// whose second endpoint is placed at step k. Each edge appears exactly
+/// once, so the encoding determines the canonical graph, and every
+/// complete order yields an encoding of identical length — prefixes are
+/// directly comparable across branches.
+class OrderSearch {
+ public:
+  OrderSearch(const QueryGraph& q, const std::vector<uint64_t>& colors)
+      : q_(q), colors_(colors), n_(q.NumVars()) {
+    rank_.assign(n_, kUnranked);
+    order_.reserve(n_);
+  }
+
+  /// Runs the search and returns the best order found (rank -> var).
+  std::vector<VarId> Run() {
+    if (n_ == 0) return {};
+    // Seed candidates: the minimal refinement color class (invariant
+    // under isomorphism, so both copies of a query start the same way).
+    uint64_t min_color = *std::min_element(colors_.begin(), colors_.end());
+    std::vector<VarId> seeds;
+    for (VarId v = 0; v < n_; ++v) {
+      if (colors_[v] == min_color) seeds.push_back(v);
+    }
+    for (VarId v : seeds) {
+      Place(v);
+      Descend(/*strictly_less=*/false);
+      Unplace(v);
+      if (expansions_ > kMaxExpansions) break;
+    }
+    WF_CHECK(!best_order_.empty()) << "order search found no ordering";
+    return best_order_;
+  }
+
+ private:
+  /// Expansion budget: queries with huge automorphism groups (all
+  /// orderings tie) stop here with the best — typically the only —
+  /// encoding found. A cutoff can cost cross-naming cache hits, never
+  /// correctness (see CanonicalQuery).
+  static constexpr size_t kMaxExpansions = 20000;
+
+  /// Encoded profile tuple of one edge completed by placing a variable:
+  /// earlier endpoint's rank, direction, label. +1 reserves 0 for the
+  /// step separator.
+  static uint64_t Tuple(uint32_t other_rank, uint32_t dir, LabelId label) {
+    return ((uint64_t{other_rank} << 35) | (uint64_t{dir} << 33) |
+            uint64_t{label}) +
+           1;
+  }
+
+  /// Sorted tuples of the edges whose second endpoint would be v, were v
+  /// placed next (at rank order_.size()).
+  std::vector<uint64_t> Profile(VarId v) const {
+    std::vector<uint64_t> profile;
+    const uint32_t here = static_cast<uint32_t>(order_.size());
+    for (const QueryEdge& e : q_.edges()) {
+      if (e.src == v && e.dst == v) {
+        profile.push_back(Tuple(here, 2, e.label));
+      } else if (e.src == v && rank_[e.dst] != kUnranked) {
+        profile.push_back(Tuple(rank_[e.dst], 1, e.label));
+      } else if (e.dst == v && rank_[e.src] != kUnranked) {
+        profile.push_back(Tuple(rank_[e.src], 0, e.label));
+      }
+    }
+    std::sort(profile.begin(), profile.end());
+    return profile;
+  }
+
+  void Place(VarId v) {
+    const std::vector<uint64_t> profile = Profile(v);
+    rank_[v] = static_cast<uint32_t>(order_.size());
+    encoding_.push_back(0);  // step separator
+    encoding_.insert(encoding_.end(), profile.begin(), profile.end());
+    order_.push_back(v);
+  }
+
+  void Unplace(VarId v) {
+    order_.pop_back();
+    // Rewind the encoding to where this step began: profile tuples are
+    // >= 1, so pop back to (and including) the step's 0 separator.
+    while (encoding_.back() != 0) encoding_.pop_back();
+    encoding_.pop_back();
+    rank_[v] = kUnranked;
+  }
+
+  /// Compares the current partial encoding's newest step against the
+  /// best encoding at the same positions. Returns -1 / 0 / +1.
+  int CompareTailToBest(size_t from) const {
+    if (best_encoding_.empty()) return -1;
+    for (size_t i = from; i < encoding_.size(); ++i) {
+      if (encoding_[i] < best_encoding_[i]) return -1;
+      if (encoding_[i] > best_encoding_[i]) return 1;
+    }
+    return 0;
+  }
+
+  void Descend(bool strictly_less) {
+    ++expansions_;
+    if (order_.size() == n_) {
+      if (best_encoding_.empty() || strictly_less) {
+        best_encoding_ = encoding_;
+        best_order_ = order_;
+      }
+      return;
+    }
+    // Candidates: only the unplaced vars with the minimal prospective
+    // (profile, color). The step's encoding segment is exactly the
+    // separator plus the profile, so a larger profile here loses the
+    // lexicographic comparison at this very segment no matter how either
+    // branch completes — minimal-profile candidates strictly dominate.
+    // The color restriction inside a profile tie is equally safe: the
+    // restricted set is isomorphism-invariant (both namings of a query
+    // narrow to corresponding vars), so the search still returns the
+    // same key for isomorphic inputs, which is all canonicality needs.
+    // Branching therefore survives only between invariant-tied vars —
+    // automorphic ones, in practice.
+    struct Cand {
+      std::vector<uint64_t> profile;
+      uint64_t color;
+      VarId v;
+    };
+    std::vector<Cand> cands;
+    for (VarId v = 0; v < n_; ++v) {
+      if (rank_[v] != kUnranked) continue;
+      cands.push_back(Cand{Profile(v), colors_[v], v});
+    }
+    std::sort(cands.begin(), cands.end(), [](const Cand& a, const Cand& b) {
+      if (a.profile != b.profile) return a.profile < b.profile;
+      if (a.color != b.color) return a.color < b.color;
+      return a.v < b.v;
+    });
+    size_t tied = 1;
+    while (tied < cands.size() && cands[tied].profile == cands[0].profile &&
+           cands[tied].color == cands[0].color) {
+      ++tied;
+    }
+    cands.resize(tied);
+    for (const Cand& cand : cands) {
+      if (expansions_ > kMaxExpansions && !best_order_.empty()) return;
+      const size_t step_from = encoding_.size();
+      Place(cand.v);
+      bool child_strictly_less = strictly_less;
+      bool prune = false;
+      if (!strictly_less) {
+        const int cmp = CompareTailToBest(step_from);
+        if (cmp > 0) prune = true;
+        if (cmp < 0) child_strictly_less = true;
+      }
+      if (!prune) Descend(child_strictly_less);
+      Unplace(cand.v);
+    }
+  }
+
+  const QueryGraph& q_;
+  const std::vector<uint64_t>& colors_;
+  const uint32_t n_;
+  std::vector<uint32_t> rank_;       // var -> rank, kUnranked if unplaced
+  std::vector<VarId> order_;         // rank -> var
+  std::vector<uint64_t> encoding_;   // partial step encoding
+  std::vector<uint64_t> best_encoding_;
+  std::vector<VarId> best_order_;
+  size_t expansions_ = 0;
+};
+
+}  // namespace
+
+CanonicalQuery CanonicalizeQuery(const QueryGraph& query) {
+  const std::vector<uint64_t> colors = RefineColors(query);
+  OrderSearch search(query, colors);
+  const std::vector<VarId> order = search.Run();
+
+  CanonicalQuery out;
+  out.to_canonical.assign(query.NumVars(), kInvalidVar);
+  for (uint32_t rank = 0; rank < order.size(); ++rank) {
+    out.to_canonical[order[rank]] = rank;
+  }
+
+  struct CanonEdge {
+    VarId src;
+    VarId dst;
+    LabelId label;
+  };
+  std::vector<CanonEdge> edges;
+  edges.reserve(query.NumEdges());
+  for (const QueryEdge& e : query.edges()) {
+    edges.push_back(CanonEdge{out.to_canonical[e.src],
+                              out.to_canonical[e.dst], e.label});
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const CanonEdge& a, const CanonEdge& b) {
+              if (a.src != b.src) return a.src < b.src;
+              if (a.dst != b.dst) return a.dst < b.dst;
+              return a.label < b.label;
+            });
+
+  for (uint32_t rank = 0; rank < order.size(); ++rank) {
+    out.query.AddVar("c" + std::to_string(rank));
+  }
+  out.key = "v" + std::to_string(query.NumVars()) + "|";
+  for (const CanonEdge& e : edges) {
+    out.query.AddEdge(e.src, e.label, e.dst);
+    out.key += std::to_string(e.src) + "-" + std::to_string(e.label) + ">" +
+               std::to_string(e.dst) + ";";
+  }
+  return out;
+}
+
+}  // namespace wireframe

@@ -1,0 +1,49 @@
+#ifndef WIREFRAME_QUERY_CANONICAL_H_
+#define WIREFRAME_QUERY_CANONICAL_H_
+
+#include <string>
+#include <vector>
+
+#include "query/query_graph.h"
+
+namespace wireframe {
+
+/// The canonical form of a conjunctive query's *shape*: variables renamed
+/// to a structure-determined order, edges sorted, plus the permutation
+/// back to the submitted query.
+///
+/// Two queries that are isomorphic as labeled directed multigraphs —
+/// identical up to variable naming and triple-pattern order — produce the
+/// same `key` and the same `query`. The key deliberately ignores
+/// projection and DISTINCT: answer-graph generation depends only on the
+/// edge structure and labels, which is exactly what the runtime's AG
+/// cache needs (engines emit full bindings; projection is a sink
+/// concern).
+///
+/// Correctness does not rest on the canonicalization being perfect: the
+/// key is the exact edge-list encoding of `query`, so equal keys imply
+/// structurally identical canonical queries — a search cutoff (huge
+/// automorphism groups) can only cost cache hits, never correctness.
+struct CanonicalQuery {
+  /// Exact textual encoding of the canonical edge list, e.g.
+  /// "v4|0-17>1;1-3>2;2-5>3;". Equal keys <=> identical canonical form.
+  std::string key;
+  /// The query rewritten over canonical variables c0..c{n-1} with edges
+  /// in sorted order. Projection is empty and DISTINCT is off: callers
+  /// execute this form and remap full bindings back themselves.
+  QueryGraph query;
+  /// Maps each submitted-query variable to its canonical variable:
+  /// canonical var `to_canonical[v]` plays the role of v. A binding
+  /// `row` emitted by the canonical form translates back as
+  /// `orig[v] = row[to_canonical[v]]`.
+  std::vector<VarId> to_canonical;
+};
+
+/// Canonicalizes `query` (see CanonicalQuery). Cost: color refinement
+/// plus a bounded branch-and-bound over the refinement's symmetric
+/// candidates — microseconds for the paper's template-sized queries.
+CanonicalQuery CanonicalizeQuery(const QueryGraph& query);
+
+}  // namespace wireframe
+
+#endif  // WIREFRAME_QUERY_CANONICAL_H_

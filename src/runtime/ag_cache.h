@@ -1,0 +1,117 @@
+#ifndef WIREFRAME_RUNTIME_AG_CACHE_H_
+#define WIREFRAME_RUNTIME_AG_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/answer_graph.h"
+#include "query/query_graph.h"
+
+namespace wireframe {
+namespace runtime {
+
+/// One cached answer graph plus the context needed to serve repeats.
+/// The AG lives in the variable space of the query that filled the entry
+/// — `query` is a copy of that submitted query — so a verbatim repeat
+/// (same variable naming, same triple-pattern order: the common case of
+/// a re-issued query text) runs phase 2 over it with no per-row
+/// remapping at all. `to_canonical` is the filler's canonical renaming;
+/// a differently-named isomorphic hit composes its own renaming with it
+/// into the per-row variable map that restores its submitted order.
+struct CachedAg {
+  std::shared_ptr<const AnswerGraph> ag;  // frozen, immutable
+  QueryGraph query;
+  std::vector<VarId> to_canonical;
+};
+
+/// Cache of frozen AnswerGraphs keyed by canonical query shape
+/// (query/canonical.h), partitioned per tenant with byte quotas.
+///
+/// Values are shared-ownership immutable entries: a hit hands out a
+/// shared_ptr that stays valid (and safely readable by any number of
+/// concurrent phase-2 runs) even if the entry is evicted mid-read —
+/// eviction drops the cache's reference, never the object under a
+/// reader. Filling is single-flight per key: the first miss claims the
+/// fill with BeginFill and inserts via EndFill; concurrent misses on the
+/// same key run cold without inserting, so no query ever blocks on
+/// another query's fill (the admission machinery stays the only queueing
+/// layer).
+///
+/// Eviction is cost x frequency: the entry with the smallest
+/// build_seconds * (1 + hits) leaves first, so a cheap-to-rebuild or
+/// cold AG yields before an expensive hot one. Quotas are per tenant; an
+/// AG larger than its tenant's whole quota is never inserted.
+class AgCache {
+ public:
+  /// Monotonic counters plus point-in-time gauges of one tenant's
+  /// partition.
+  struct Counters {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t inserts = 0;
+    /// Resident bytes / entries right now (gauges).
+    uint64_t bytes = 0;
+    uint64_t entries = 0;
+  };
+
+  /// One quota per tenant, in tenant-table order; 0 disables caching for
+  /// that tenant.
+  explicit AgCache(std::vector<uint64_t> tenant_quota_bytes);
+
+  AgCache(const AgCache&) = delete;
+  AgCache& operator=(const AgCache&) = delete;
+
+  /// True iff `tenant` participates in caching at all.
+  bool enabled(size_t tenant) const {
+    return shards_[tenant].quota > 0;
+  }
+
+  /// Returns the cached entry for (tenant, key), bumping the hit
+  /// counters, or null (a recorded miss).
+  std::shared_ptr<const CachedAg> Lookup(size_t tenant,
+                                         const std::string& key);
+
+  /// Claims the single-flight fill for (tenant, key). True means the
+  /// caller must pair with EndFill (possibly with a null AG to abort);
+  /// false means another query is already filling — run cold, do not
+  /// insert.
+  bool BeginFill(size_t tenant, const std::string& key);
+
+  /// Completes a claimed fill. A non-null `value` (holding a frozen AG)
+  /// is inserted with reconstruction cost `build_seconds`, evicting by
+  /// cost x frequency until the tenant fits its quota; null aborts the
+  /// fill (failed or cancelled run). Oversized AGs are silently not
+  /// inserted.
+  void EndFill(size_t tenant, const std::string& key,
+               std::shared_ptr<const CachedAg> value, double build_seconds);
+
+  Counters counters(size_t tenant) const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const CachedAg> value;
+    uint64_t bytes = 0;
+    double build_seconds = 0.0;
+    uint64_t hits = 0;
+  };
+  struct Shard {
+    uint64_t quota = 0;
+    std::unordered_map<std::string, Entry> entries;
+    std::unordered_set<std::string> filling;
+    Counters counters;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace runtime
+}  // namespace wireframe
+
+#endif  // WIREFRAME_RUNTIME_AG_CACHE_H_

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <utility>
 
+#include "core/wireframe.h"
+#include "query/canonical.h"
+#include "runtime/ag_cache.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -103,6 +106,11 @@ double QuerySession::run_seconds() const {
   return run_seconds_;
 }
 
+bool QuerySession::cache_hit() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_hit_;
+}
+
 QueryRuntime::QueryRuntime(RuntimeOptions options)
     : options_([&] {
         RuntimeOptions o = options;
@@ -129,6 +137,21 @@ QueryRuntime::QueryRuntime(RuntimeOptions options)
       tenants_.push_back(std::move(tenant));
     }
   }
+  // Answer-graph cache: one partition per tenant; built only when some
+  // tenant actually has a quota, so the default configuration keeps the
+  // historic execution path untouched.
+  std::vector<uint64_t> cache_quotas;
+  cache_quotas.reserve(tenants_.size());
+  bool any_cache = false;
+  for (const Tenant& tenant : tenants_) {
+    const uint64_t quota =
+        tenant.spec.ag_cache_bytes >= 0
+            ? static_cast<uint64_t>(tenant.spec.ag_cache_bytes)
+            : options_.admission.ag_cache_bytes;
+    cache_quotas.push_back(quota);
+    any_cache = any_cache || quota > 0;
+  }
+  if (any_cache) ag_cache_ = std::make_unique<AgCache>(std::move(cache_quotas));
   active_.resize(options_.admission.max_inflight);
   drivers_.reserve(options_.admission.max_inflight);
   for (uint32_t i = 0; i < options_.admission.max_inflight; ++i) {
@@ -303,7 +326,8 @@ RuntimeStats QueryRuntime::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   RuntimeStats stats = stats_;
   stats.tenants.reserve(tenants_.size());
-  for (const Tenant& tenant : tenants_) {
+  for (size_t i = 0; i < tenants_.size(); ++i) {
+    const Tenant& tenant = tenants_[i];
     TenantStats ts;
     ts.tenant = tenant.spec.name;
     ts.submitted = tenant.submitted;
@@ -311,6 +335,15 @@ RuntimeStats QueryRuntime::stats() const {
     ts.completed = tenant.completed;
     ts.running = tenant.running;
     ts.queued = static_cast<uint32_t>(tenant.queue.size());
+    if (ag_cache_ != nullptr) {
+      const AgCache::Counters cc = ag_cache_->counters(i);
+      ts.cache_hits = cc.hits;
+      ts.cache_misses = cc.misses;
+      ts.cache_evictions = cc.evictions;
+      ts.cache_inserts = cc.inserts;
+      ts.cache_bytes = cc.bytes;
+      ts.cache_entries = cc.entries;
+    }
     stats.tenants.push_back(std::move(ts));
   }
   return stats;
@@ -411,11 +444,10 @@ std::pair<QueryOutcome, Status> QueryRuntime::Execute(QuerySession& session) {
   // workers split between concurrent queries by these weights.
   options.runtime.weight = tenants_[session.tenant_].spec.weight;
 
-  std::unique_ptr<Engine> engine = MakeEngine(req.engine);
-  WF_CHECK(engine != nullptr) << "engine validated at Submit";
   Stopwatch run_watch;
+  bool cache_hit = false;
   Result<EngineStats> result =
-      engine->Run(*req.db, *req.catalog, req.query, options, run_sink);
+      RunEngine(session, options, run_sink, &cache_hit);
   const double run_seconds = run_watch.ElapsedSeconds();
 
   QueryOutcome outcome;
@@ -437,9 +469,98 @@ std::pair<QueryOutcome, Status> QueryRuntime::Execute(QuerySession& session) {
     std::lock_guard<std::mutex> lock(session.mu_);
     session.run_seconds_ = run_seconds;
     if (result.ok()) session.stats_ = result.value();
+    session.cache_hit_ = cache_hit;
     session.rows_emitted_ = run_sink->count();
   }
   return {outcome, std::move(status)};
+}
+
+Result<EngineStats> QueryRuntime::RunEngine(QuerySession& session,
+                                            const EngineOptions& options,
+                                            Sink* sink, bool* cache_hit) {
+  const QueryRequest& req = session.request_;
+  *cache_hit = false;
+  if (ag_cache_ != nullptr && req.engine == "WF" &&
+      ag_cache_->enabled(session.tenant_)) {
+    const size_t tenant = session.tenant_;
+    // Entries are keyed by canonical shape but stored in the variable
+    // space of the query that filled them (CachedAg), so one entry
+    // serves every isomorphic renaming and a verbatim repeat pays no
+    // per-row remap. Engines never consult projection/DISTINCT (sink
+    // concerns), so serving a repeat from the filler's query shape
+    // changes no result.
+    CanonicalQuery canon = CanonicalizeQuery(req.query);
+    WireframeEngine engine;
+    if (std::shared_ptr<const CachedAg> hit =
+            ag_cache_->Lookup(tenant, canon.key)) {
+      *cache_hit = true;
+      // Compose the two canonical renamings into submitted -> filler:
+      // the filler var playing submitted var v's role is the one with
+      // v's canonical rank.
+      const uint32_t n = req.query.NumVars();
+      std::vector<VarId> from_canonical(n);
+      for (VarId v = 0; v < n; ++v) {
+        from_canonical[hit->to_canonical[v]] = v;
+      }
+      std::vector<VarId> to_filler(n);
+      bool identity = true;
+      for (VarId v = 0; v < n; ++v) {
+        to_filler[v] = from_canonical[canon.to_canonical[v]];
+        identity = identity && to_filler[v] == v;
+      }
+      // Same naming and same edge order: run the submitted query over
+      // the shared AG directly — the hit is pure phase-1 savings. (Edge
+      // order matters because AG edge sets are indexed by edge.)
+      bool verbatim = identity;
+      for (uint32_t e = 0; verbatim && e < req.query.NumEdges(); ++e) {
+        const QueryEdge& a = req.query.Edge(e);
+        const QueryEdge& b = hit->query.Edge(e);
+        verbatim = a.src == b.src && a.dst == b.dst && a.label == b.label;
+      }
+      if (verbatim) {
+        WF_ASSIGN_OR_RETURN(
+            WireframeRunDetail detail,
+            engine.RunOverAg(req.query, *hit->ag, options, sink));
+        return detail.stats;
+      }
+      // Renamed isomorphic repeat: execute the filler's query shape and
+      // restore the submitted variable order per row.
+      RemapSink remap(sink, to_filler);
+      WF_ASSIGN_OR_RETURN(
+          WireframeRunDetail detail,
+          engine.RunOverAg(hit->query, *hit->ag, options, &remap));
+      return detail.stats;
+    }
+    const bool filling = ag_cache_->BeginFill(tenant, canon.key);
+    // Miss: run the submitted query untouched — same plan, sink path,
+    // and per-row cost as the uncached runtime.
+    Result<WireframeRunDetail> detail =
+        engine.RunDetailed(*req.db, *req.catalog, req.query, options, sink);
+    if (!detail.ok()) {
+      if (filling) ag_cache_->EndFill(tenant, canon.key, nullptr, 0.0);
+      return detail.status();
+    }
+    if (filling) {
+      // The entry's reconstruction cost is what a future hit saves:
+      // phase 1 including burnback and freeze, not phase 2 (hits still
+      // pay phase 2). A budget- or sink-stopped run still yields a
+      // complete AG — phase 1 always runs to the end — so it fills too.
+      if (detail->ag != nullptr && detail->ag->IsFrozen()) {
+        auto value = std::make_shared<CachedAg>();
+        value->ag = std::shared_ptr<const AnswerGraph>(std::move(detail->ag));
+        value->query = req.query;
+        value->to_canonical = std::move(canon.to_canonical);
+        ag_cache_->EndFill(tenant, canon.key, std::move(value),
+                           detail->stats.phase1_seconds);
+      } else {
+        ag_cache_->EndFill(tenant, canon.key, nullptr, 0.0);
+      }
+    }
+    return detail->stats;
+  }
+  std::unique_ptr<Engine> engine = MakeEngine(req.engine);
+  WF_CHECK(engine != nullptr) << "engine validated at Submit";
+  return engine->Run(*req.db, *req.catalog, req.query, options, sink);
 }
 
 void QueryRuntime::Finish(QuerySession& session, QueryOutcome outcome,

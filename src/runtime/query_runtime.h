@@ -24,6 +24,8 @@
 namespace wireframe {
 namespace runtime {
 
+class AgCache;
+
 /// What a tenant's Submit does once the tenant already has
 /// `max_inflight` queries in the system.
 enum class QuotaPolicy {
@@ -55,6 +57,12 @@ struct TenantSpec {
   uint32_t max_inflight = 0;
   /// What happens at the quota.
   QuotaPolicy when_at_quota = QuotaPolicy::kQueue;
+  /// Byte quota of this tenant's partition of the answer-graph cache
+  /// (runtime::AgCache): frozen AGs of completed WF queries are kept per
+  /// canonical query shape and reused to skip phase 1 + burnback.
+  /// Negative inherits AdmissionControl::ag_cache_bytes; 0 opts this
+  /// tenant out of caching.
+  int64_t ag_cache_bytes = -1;
 };
 
 /// Admission policy of a QueryRuntime: how many queries run at once, how
@@ -78,6 +86,10 @@ struct AdmissionControl {
   /// Default per-query row budget: once this many rows reached the sink,
   /// the run stops and reports kBudgetExhausted. 0 = unlimited.
   uint64_t default_row_budget = 0;
+  /// Default per-tenant byte quota of the answer-graph cache (see
+  /// TenantSpec::ag_cache_bytes). 0 — the default — disables the cache
+  /// entirely and preserves the historic execution path bit for bit.
+  uint64_t ag_cache_bytes = 0;
   /// Named service classes (weights + quotas). Empty keeps the historic
   /// single-class behavior: every query runs as the implicit "default"
   /// tenant and dispatch is plain FIFO.
@@ -160,6 +172,9 @@ class QuerySession {
   QueryOutcome outcome() const;
   Status status() const;
   EngineStats stats() const;
+  /// True iff the run was served from the answer-graph cache (phase 1
+  /// and burnback skipped; stats().phase1_seconds is 0).
+  bool cache_hit() const;
   /// Rows that reached the request sink (after any budget clamp).
   uint64_t rows_emitted() const;
   /// Seconds spent waiting for a driver slot / executing.
@@ -185,6 +200,7 @@ class QuerySession {
   QueryOutcome outcome_ = QueryOutcome::kPending;
   Status status_;
   EngineStats stats_;
+  bool cache_hit_ = false;
   uint64_t rows_emitted_ = 0;
   double queue_seconds_ = 0.0;
   double run_seconds_ = 0.0;
@@ -200,6 +216,14 @@ struct TenantStats {
   /// Point-in-time gauges at the stats() call.
   uint32_t running = 0;
   uint32_t queued = 0;
+  // Answer-graph cache slice of this tenant (all zero when the cache is
+  // off). bytes/entries are gauges; the rest are monotonic counters.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+  uint64_t cache_inserts = 0;
+  uint64_t cache_bytes = 0;
+  uint64_t cache_entries = 0;
 };
 
 /// Aggregate counters of a runtime's lifetime, for load-shedding
@@ -246,6 +270,14 @@ class QueryRuntime {
   /// morsel loops with the runtime's queries).
   ThreadPool& pool() { return pool_; }
   const RuntimeOptions& options() const { return options_; }
+  /// Name of the tenant a service class resolves to ("default" for empty
+  /// or unknown names) — what QuerySession::service_class() would report
+  /// had the query been admitted. Front-ends use this so even
+  /// rejected-at-admission reports carry the resolved class.
+  const std::string& ResolveServiceClassName(
+      const std::string& service_class) const {
+    return tenants_[ResolveTenant(service_class)].spec.name;
+  }
   RuntimeStats stats() const;
   /// Submitters currently parked in Submit (block_when_full). Exposed for
   /// saturation dashboards and the shutdown tests.
@@ -277,6 +309,14 @@ class QueryRuntime {
   /// updates the runtime counters first and then calls Finish, so a
   /// stats() call racing a Wait()er never misses a completion.
   std::pair<QueryOutcome, Status> Execute(QuerySession& session);
+  /// Dispatches one run to its engine. WF queries of a cache-enabled
+  /// tenant run in canonical form against the AG cache (hit: phase 2
+  /// only over the shared frozen AG; miss: full run, then single-flight
+  /// insert); everything else takes the historic MakeEngine path.
+  /// `*cache_hit` reports which happened.
+  Result<EngineStats> RunEngine(QuerySession& session,
+                                const EngineOptions& options, Sink* sink,
+                                bool* cache_hit);
   /// Finishes and drops queued sessions whose cancel flag is set, so a
   /// cancelled-but-never-run query stops holding an admission slot.
   /// Caller holds mu_.
@@ -296,6 +336,11 @@ class QueryRuntime {
 
   const RuntimeOptions options_;
   ThreadPool pool_;
+  /// Answer-graph cache shared by the drivers; null unless at least one
+  /// tenant has a nonzero cache quota (the cache-off path then costs
+  /// nothing). Internally synchronized — never guarded by mu_, so slow
+  /// fills and lookups cannot stall admission.
+  std::unique_ptr<AgCache> ag_cache_;
 
   mutable std::mutex mu_;
   std::condition_variable queue_cv_;   // drivers: dispatchable work

@@ -58,8 +58,14 @@ std::vector<QueryReport> Server::RunBatch(
             : std::string_view();
     Result<std::shared_ptr<QuerySession>> session =
         Submit(queries[i], sink, service_class);
+    // The class resolves whether or not the query was admitted: a
+    // rejected query is still the resolved tenant's rejection.
+    report.service_class = runtime_.ResolveServiceClassName(
+        service_class.empty() ? options_.default_service_class
+                              : std::string(service_class));
     if (!session.ok()) {
-      // Parse error or admission rejection: terminal immediately.
+      // Parse error or admission rejection: terminal immediately, with
+      // the status saying why (quota sheds are ResourceExhausted).
       report.status = session.status();
       continue;
     }
@@ -76,6 +82,7 @@ std::vector<QueryReport> Server::RunBatch(
     report.outcome = session.outcome();
     report.status = session.status();
     report.stats = session.stats();
+    report.cache_hit = session.cache_hit();
     report.rows = session.rows_emitted();
     report.queue_seconds = session.queue_seconds();
     report.run_seconds = session.run_seconds();

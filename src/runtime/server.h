@@ -34,14 +34,21 @@ struct ServerOptions {
 struct QueryReport {
   /// Position in the submitted batch.
   size_t index = 0;
-  /// Resolved service class the query ran as (empty when never admitted).
+  /// Resolved service class: the tenant the query ran as — or would have
+  /// run as, for queries rejected at admission (a shed query still
+  /// belongs to the tenant whose quota shed it; dashboards aggregate
+  /// rejections by class).
   std::string service_class;
   /// True once the query was admitted past admission control (false for
-  /// parse errors and rejections; `status` then says why).
+  /// parse errors and rejections; `status` then says why — admission
+  /// rejections carry kResourceExhausted explicitly).
   bool admitted = false;
   QueryOutcome outcome = QueryOutcome::kFailed;
   Status status;
   EngineStats stats;
+  /// True iff the run was served from the answer-graph cache (phase 1 +
+  /// burnback skipped; stats.phase1_seconds is 0).
+  bool cache_hit = false;
   uint64_t rows = 0;
   double queue_seconds = 0.0;
   double run_seconds = 0.0;

@@ -122,6 +122,13 @@ class Csr {
     return std::binary_search(span.begin(), span.end(), value);
   }
 
+  /// Heap bytes of the built arrays (size-based, capacity-insensitive).
+  /// Byte quotas — the runtime's answer-graph cache — account with this.
+  uint64_t ByteSize() const {
+    return (nodes_.size() + neighbors_.size()) * sizeof(NodeId) +
+           (offsets_.size() + dense_offsets_.size()) * sizeof(uint32_t);
+  }
+
   /// Invokes fn(key, neighbor) for every entry, key-major ascending.
   template <typename Fn>
   void ForEach(Fn&& fn) const {

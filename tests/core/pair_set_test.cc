@@ -325,6 +325,34 @@ TEST(PairSetTest, EraseDstSweepsExactlyTheLivePairs) {
   EXPECT_TRUE(s.Contains(200, 10));
 }
 
+// Frozen sets are shared read-only across queries (the runtime's AG
+// cache hands one AG to any number of concurrent runs), so mutating one
+// must die loudly in EVERY build type. These run in Release too — where
+// the former DCHECK-only guard would have been silent memory corruption;
+// that regression is exactly what they pin down.
+TEST(PairSetDeathTest, FrozenMutatorsDieInAllBuildTypes) {
+  PairSet s;
+  s.Add(1, 2);
+  s.Freeze();
+  ASSERT_TRUE(s.IsFrozen());
+  EXPECT_DEATH(s.Add(3, 4), "frozen");
+  EXPECT_DEATH(s.Erase(1, 2), "frozen");
+  EXPECT_DEATH(s.EraseSrc(1, [](NodeId) {}), "frozen");
+  EXPECT_DEATH(s.EraseDst(2, [](NodeId) {}), "frozen");
+  PairSetShard shard;
+  shard.Add(7, 8);
+  EXPECT_DEATH(s.MergeShard(shard), "frozen");
+}
+
+TEST(PairSetTest, FrozenByteSizeIsZeroUntilFrozenThenPositive) {
+  PairSet s;
+  for (NodeId v = 0; v < 16; ++v) s.Add(1, 100 + v);
+  EXPECT_EQ(s.FrozenByteSize(), 0u);
+  s.Freeze();
+  // At minimum the fwd+bwd neighbor arrays: 2 directions x 16 pairs.
+  EXPECT_GE(s.FrozenByteSize(), 2 * 16 * sizeof(NodeId));
+}
+
 TEST(PairSetTest, StressManyPairs) {
   PairSet s;
   for (NodeId u = 0; u < 100; ++u) {

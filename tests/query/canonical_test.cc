@@ -1,0 +1,163 @@
+#include "query/canonical.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "query/query_graph.h"
+
+namespace wireframe {
+namespace {
+
+QueryGraph Chain(const std::vector<std::string>& vars,
+                 const std::vector<LabelId>& labels) {
+  QueryGraph q;
+  for (const std::string& v : vars) q.AddVar(v);
+  for (size_t i = 0; i < labels.size(); ++i) {
+    q.AddEdge(static_cast<VarId>(i), labels[i],
+              static_cast<VarId>(i + 1));
+  }
+  return q;
+}
+
+TEST(CanonicalTest, KeyIsStableUnderVariableRenaming) {
+  const QueryGraph a = Chain({"w", "x", "y", "z"}, {1, 2, 3});
+  const QueryGraph b = Chain({"p", "q", "r", "s"}, {1, 2, 3});
+  const CanonicalQuery ca = CanonicalizeQuery(a);
+  const CanonicalQuery cb = CanonicalizeQuery(b);
+  EXPECT_EQ(ca.key, cb.key);
+  EXPECT_EQ(ca.query.NumVars(), 4u);
+  EXPECT_EQ(ca.query.NumEdges(), 3u);
+}
+
+TEST(CanonicalTest, KeyIsStableUnderEdgeAndIdPermutation) {
+  // Same chain shape, but variables added in a different order and the
+  // patterns listed reversed — the var ids are a permutation.
+  QueryGraph a;
+  const VarId w = a.AddVar("w"), x = a.AddVar("x"), y = a.AddVar("y"),
+              z = a.AddVar("z");
+  a.AddEdge(w, 1, x);
+  a.AddEdge(x, 2, y);
+  a.AddEdge(y, 3, z);
+  QueryGraph b;
+  const VarId bz = b.AddVar("z"), by = b.AddVar("y"), bx = b.AddVar("x"),
+              bw = b.AddVar("w");
+  b.AddEdge(by, 3, bz);
+  b.AddEdge(bx, 2, by);
+  b.AddEdge(bw, 1, bx);
+  EXPECT_EQ(CanonicalizeQuery(a).key, CanonicalizeQuery(b).key);
+}
+
+TEST(CanonicalTest, LabelsDistinguishOtherwiseIsomorphicShapes) {
+  const QueryGraph a = Chain({"w", "x", "y"}, {1, 2});
+  const QueryGraph b = Chain({"w", "x", "y"}, {1, 3});
+  EXPECT_NE(CanonicalizeQuery(a).key, CanonicalizeQuery(b).key);
+}
+
+TEST(CanonicalTest, DirectionDistinguishes) {
+  QueryGraph a;
+  const VarId ax = a.AddVar("x"), ay = a.AddVar("y");
+  a.AddEdge(ax, 5, ay);
+  a.AddEdge(ax, 5, ay);  // parallel duplicate edges
+  QueryGraph b;
+  const VarId bx = b.AddVar("x"), by = b.AddVar("y");
+  b.AddEdge(bx, 5, by);
+  b.AddEdge(by, 5, bx);  // one reversed
+  EXPECT_NE(CanonicalizeQuery(a).key, CanonicalizeQuery(b).key);
+}
+
+TEST(CanonicalTest, StructureDistinguishesChainFromStar) {
+  QueryGraph chain = Chain({"a", "b", "c", "d"}, {1, 1, 1});
+  QueryGraph star;
+  const VarId hub = star.AddVar("h");
+  for (int i = 0; i < 3; ++i) {
+    star.AddEdge(hub, 1, star.AddVar("l" + std::to_string(i)));
+  }
+  EXPECT_NE(CanonicalizeQuery(chain).key, CanonicalizeQuery(star).key);
+}
+
+TEST(CanonicalTest, MappingIsAPermutationThatPreservesEdges) {
+  QueryGraph q;
+  const VarId x = q.AddVar("x"), e = q.AddVar("e"), y = q.AddVar("y"),
+              z = q.AddVar("z");
+  q.AddEdge(x, 1, e);
+  q.AddEdge(e, 2, y);
+  q.AddEdge(y, 3, z);
+  q.AddEdge(x, 4, z);  // cyclic diamond
+  const CanonicalQuery c = CanonicalizeQuery(q);
+  ASSERT_EQ(c.to_canonical.size(), 4u);
+  std::set<VarId> image(c.to_canonical.begin(), c.to_canonical.end());
+  EXPECT_EQ(image.size(), 4u);  // bijective
+  // Every original pattern exists, relabeled, in the canonical form.
+  for (const QueryEdge& edge : q.edges()) {
+    bool found = false;
+    for (const QueryEdge& ce : c.query.edges()) {
+      if (ce.src == c.to_canonical[edge.src] &&
+          ce.dst == c.to_canonical[edge.dst] && ce.label == edge.label) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+  EXPECT_EQ(c.query.NumEdges(), q.NumEdges());
+}
+
+TEST(CanonicalTest, ProjectionAndDistinctDoNotAffectTheKey) {
+  QueryGraph a = Chain({"x", "y", "z"}, {7, 8});
+  QueryGraph b = Chain({"x", "y", "z"}, {7, 8});
+  b.SetProjection({2, 0});
+  b.SetDistinct(true);
+  EXPECT_EQ(CanonicalizeQuery(a).key, CanonicalizeQuery(b).key);
+}
+
+TEST(CanonicalTest, HighSymmetryStarsAgreeAcrossNamings) {
+  // All leaves are automorphic: every ordering ties, so the search hits
+  // its expansion cap — the encodings still agree across namings.
+  auto star = [](int leaves, bool reversed) {
+    QueryGraph q;
+    std::vector<VarId> ids;
+    if (reversed) {
+      for (int i = leaves; i >= 0; --i) {
+        ids.push_back(q.AddVar("v" + std::to_string(i)));
+      }
+      std::reverse(ids.begin(), ids.end());
+    } else {
+      for (int i = 0; i <= leaves; ++i) {
+        ids.push_back(q.AddVar("v" + std::to_string(i)));
+      }
+    }
+    for (int i = 1; i <= leaves; ++i) q.AddEdge(ids[0], 9, ids[i]);
+    return q;
+  };
+  for (int leaves : {3, 8, 11}) {
+    EXPECT_EQ(CanonicalizeQuery(star(leaves, false)).key,
+              CanonicalizeQuery(star(leaves, true)).key)
+        << leaves << " leaves";
+  }
+}
+
+TEST(CanonicalTest, CyclesAgreeAcrossRotations) {
+  auto cycle = [](int n, int rotate) {
+    QueryGraph q;
+    std::vector<VarId> ids;
+    for (int i = 0; i < n; ++i) {
+      ids.push_back(q.AddVar("v" + std::to_string(i)));
+    }
+    for (int i = 0; i < n; ++i) {
+      const int s = (i + rotate) % n;
+      q.AddEdge(ids[s], 3, ids[(s + 1) % n]);
+    }
+    return q;
+  };
+  const std::string base = CanonicalizeQuery(cycle(6, 0)).key;
+  for (int r = 1; r < 6; ++r) {
+    EXPECT_EQ(CanonicalizeQuery(cycle(6, r)).key, base) << "rotation " << r;
+  }
+}
+
+}  // namespace
+}  // namespace wireframe

@@ -647,6 +647,174 @@ TEST_F(QueryRuntimeTest, ServerBatchReportsMatchSequentialRuns) {
   EXPECT_FALSE(reports[1].status.ok());
 }
 
+// A report shed at admission used to come back default-initialized; it
+// must carry the tenant the query would have run as and an explicit
+// ResourceExhausted status.
+TEST_F(QueryRuntimeTest, RejectedBatchReportCarriesClassAndStatus) {
+  TenantSpec batch;
+  batch.name = "batch";
+  batch.max_inflight = 1;
+  batch.when_at_quota = QuotaPolicy::kReject;
+  ServerOptions options;
+  options.runtime = TenantRuntime(/*max_inflight=*/3, {batch});
+  Server server(db_, cat_, options);
+
+  const std::string text =
+      "select * where { ?w A ?x . ?x B ?y . ?y C ?z . }";
+  GateSink gate;
+  std::vector<Sink*> sinks = {&gate, nullptr};
+  std::vector<std::string> classes = {"batch", "batch"};
+  // RunBatch blocks this thread until the whole batch finished, so the
+  // gate is released from the side — only once the second query was
+  // provably shed against the first one's held slot.
+  std::thread releaser([&] {
+    gate.WaitStarted();
+    while (server.runtime().stats().tenants[1].rejected < 1) {
+      std::this_thread::yield();
+    }
+    gate.Release();
+  });
+  const std::vector<QueryReport> reports =
+      server.RunBatch({text, text}, &sinks, &classes);
+  releaser.join();
+
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_TRUE(reports[0].admitted);
+  EXPECT_EQ(reports[0].outcome, QueryOutcome::kCompleted);
+  EXPECT_EQ(reports[0].service_class, "batch");
+  // The regression: the shed report names its tenant and says why.
+  EXPECT_FALSE(reports[1].admitted);
+  EXPECT_EQ(reports[1].service_class, "batch");
+  EXPECT_TRUE(reports[1].status.IsResourceExhausted())
+      << reports[1].status.ToString();
+}
+
+// --- Answer-graph cache (runtime::AgCache). ---
+
+TEST_F(QueryRuntimeTest, CacheHitSkipsPhaseOneAndMatchesRows) {
+  RuntimeOptions options = SmallRuntime(2, 4);
+  options.admission.ag_cache_bytes = 32ull << 20;
+  QueryRuntime runtime(options);
+
+  auto cold = runtime.Submit(Request());
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  (*cold)->Wait();
+  EXPECT_EQ((*cold)->outcome(), QueryOutcome::kCompleted);
+  EXPECT_FALSE((*cold)->cache_hit());
+  EXPECT_GT((*cold)->stats().phase1_seconds, 0.0);
+  EXPECT_EQ((*cold)->rows_emitted(), 200u * 200u);
+
+  auto hit = runtime.Submit(Request());
+  ASSERT_TRUE(hit.ok()) << hit.status().ToString();
+  (*hit)->Wait();
+  EXPECT_EQ((*hit)->outcome(), QueryOutcome::kCompleted);
+  EXPECT_TRUE((*hit)->cache_hit());
+  // The cached frozen AG is reused: no generation, no burnback.
+  EXPECT_EQ((*hit)->stats().phase1_seconds, 0.0);
+  EXPECT_EQ((*hit)->stats().burnback_seconds, 0.0);
+  EXPECT_EQ((*hit)->rows_emitted(), 200u * 200u);
+
+  const RuntimeStats stats = runtime.stats();
+  ASSERT_EQ(stats.tenants.size(), 1u);
+  EXPECT_EQ(stats.tenants[0].cache_misses, 1u);
+  EXPECT_EQ(stats.tenants[0].cache_hits, 1u);
+  EXPECT_EQ(stats.tenants[0].cache_inserts, 1u);
+  EXPECT_EQ(stats.tenants[0].cache_entries, 1u);
+  EXPECT_GT(stats.tenants[0].cache_bytes, 0u);
+}
+
+TEST_F(QueryRuntimeTest, IsomorphicRenamingHitsTheCache) {
+  RuntimeOptions options = SmallRuntime(2, 4);
+  options.admission.ag_cache_bytes = 32ull << 20;
+  QueryRuntime runtime(options);
+
+  auto cold = runtime.Submit(Request());
+  ASSERT_TRUE(cold.ok());
+  (*cold)->Wait();
+  ASSERT_EQ((*cold)->outcome(), QueryOutcome::kCompleted);
+
+  // Same shape under renamed variables: different text, same canonical
+  // key — and the remapped rows land in the original variable order.
+  auto renamed = SparqlParser::ParseAndBind(
+      "select * where { ?a A ?b . ?b B ?c . ?c C ?d . }", db_);
+  ASSERT_TRUE(renamed.ok());
+  QueryRequest request = Request();
+  request.query = std::move(renamed).value();
+  auto hit = runtime.Submit(std::move(request));
+  ASSERT_TRUE(hit.ok());
+  (*hit)->Wait();
+  EXPECT_EQ((*hit)->outcome(), QueryOutcome::kCompleted);
+  EXPECT_TRUE((*hit)->cache_hit());
+  EXPECT_EQ((*hit)->rows_emitted(), 200u * 200u);
+}
+
+TEST_F(QueryRuntimeTest, CacheOffByDefaultNeverHits) {
+  QueryRuntime runtime(SmallRuntime(2, 4));
+  for (int i = 0; i < 2; ++i) {
+    auto session = runtime.Submit(Request());
+    ASSERT_TRUE(session.ok());
+    (*session)->Wait();
+    EXPECT_EQ((*session)->outcome(), QueryOutcome::kCompleted);
+    EXPECT_FALSE((*session)->cache_hit());
+    EXPECT_GT((*session)->stats().phase1_seconds, 0.0);
+  }
+  const RuntimeStats stats = runtime.stats();
+  EXPECT_EQ(stats.tenants[0].cache_hits, 0u);
+  EXPECT_EQ(stats.tenants[0].cache_misses, 0u);
+  EXPECT_EQ(stats.tenants[0].cache_entries, 0u);
+}
+
+TEST_F(QueryRuntimeTest, TenantCanOptOutOfTheCache) {
+  TenantSpec nocache;
+  nocache.name = "nocache";
+  nocache.ag_cache_bytes = 0;  // opts out of the admission default
+  RuntimeOptions options = TenantRuntime(/*max_inflight=*/2, {nocache});
+  options.admission.ag_cache_bytes = 32ull << 20;
+  QueryRuntime runtime(options);
+
+  for (int i = 0; i < 2; ++i) {
+    QueryRequest request = Request();
+    request.service_class = "nocache";
+    auto session = runtime.Submit(std::move(request));
+    ASSERT_TRUE(session.ok());
+    (*session)->Wait();
+    EXPECT_EQ((*session)->outcome(), QueryOutcome::kCompleted);
+    EXPECT_FALSE((*session)->cache_hit()) << "run " << i;
+  }
+  // The default tenant still inherits the admission quota and caches.
+  for (int i = 0; i < 2; ++i) {
+    auto session = runtime.Submit(Request());
+    ASSERT_TRUE(session.ok());
+    (*session)->Wait();
+    EXPECT_EQ((*session)->cache_hit(), i == 1) << "run " << i;
+  }
+  const RuntimeStats stats = runtime.stats();
+  ASSERT_EQ(stats.tenants.size(), 2u);
+  EXPECT_EQ(stats.tenants[0].cache_hits, 1u);
+  EXPECT_EQ(stats.tenants[1].cache_hits, 0u);
+  EXPECT_EQ(stats.tenants[1].cache_misses, 0u);
+}
+
+// The server surfaces cache hits per report; serialized by a one-driver
+// runtime so the second identical query deterministically hits.
+TEST_F(QueryRuntimeTest, ServerReportsCarryCacheHits) {
+  ServerOptions options;
+  options.runtime = SmallRuntime(/*max_inflight=*/1, /*max_queued=*/16);
+  options.runtime.admission.ag_cache_bytes = 32ull << 20;
+  Server server(db_, cat_, options);
+  const std::string text =
+      "select * where { ?w A ?x . ?x B ?y . ?y C ?z . }";
+  const std::vector<QueryReport> reports =
+      server.RunBatch({text, text, text});
+  ASSERT_EQ(reports.size(), 3u);
+  for (const QueryReport& report : reports) {
+    EXPECT_EQ(report.outcome, QueryOutcome::kCompleted);
+    EXPECT_EQ(report.rows, 200u * 200u);
+    EXPECT_EQ(report.cache_hit, report.index != 0);
+    if (report.cache_hit) EXPECT_EQ(report.stats.phase1_seconds, 0.0);
+  }
+}
+
 // Burnback diagnostics (pairs_burned, cascade depth, handoffs) ride
 // EngineStats into the session and the server's per-query reports, and
 // match a direct engine run exactly.
