@@ -13,7 +13,9 @@
 #include "datagen/yago_like.h"
 #include "query/parser.h"
 #include "query/templates.h"
+#include "util/csr.h"
 #include "util/random.h"
+#include "util/span_kernels.h"
 
 namespace wireframe {
 namespace {
@@ -152,6 +154,124 @@ void BM_WireframeEndToEnd(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WireframeEndToEnd)->Unit(benchmark::kMillisecond);
+
+// --- Span kernels (the frozen-CSR hot-loop primitives) ---------------
+// Each cell runs twice: dispatch=auto (AVX2 where compiled+supported)
+// and dispatch=scalar (forced portable path), so one report shows what
+// the SIMD body buys per shape. range(0) is the larger side; range(1)
+// the size ratio (1, 2, 4 stay in the merge regime; 10000 crosses the
+// galloping threshold and is dispatch-invariant by design).
+
+std::vector<NodeId> RandomSortedIds(Rng& rng, size_t n, uint32_t max_gap) {
+  std::vector<NodeId> out;
+  out.reserve(n);
+  NodeId cur = 0;
+  for (size_t i = 0; i < n; ++i) {
+    cur += 1 + static_cast<NodeId>(rng.Uniform(max_gap));
+    out.push_back(cur);
+  }
+  return out;
+}
+
+void IntersectCell(benchmark::State& state, bool force_scalar) {
+  ForceScalarKernels(force_scalar);
+  const size_t big = static_cast<size_t>(state.range(0));
+  const size_t small = std::max<size_t>(1, big / state.range(1));
+  Rng rng(99);
+  // Interleave draws from a shared universe so ~half the smaller side
+  // hits — the worst case for a branchy scalar merge.
+  const std::vector<NodeId> universe = RandomSortedIds(rng, 2 * big, 4);
+  std::vector<NodeId> a, b;
+  for (size_t i = 0; i < universe.size(); ++i) {
+    if (a.size() < big && rng.Bernoulli(0.5)) a.push_back(universe[i]);
+    if (b.size() < small && rng.Bernoulli(0.5)) b.push_back(universe[i]);
+  }
+  std::vector<NodeId> out(std::min(a.size(), b.size()) + kIntersectPad);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IntersectSorted(a, b, out.data()));
+  }
+  state.SetItemsProcessed(state.iterations() * (a.size() + b.size()));
+  state.SetLabel(KernelCpuFeaturesMeta());
+  ForceScalarKernels(false);
+}
+
+void BM_IntersectSortedAuto(benchmark::State& state) {
+  IntersectCell(state, /*force_scalar=*/false);
+}
+void BM_IntersectSortedScalar(benchmark::State& state) {
+  IntersectCell(state, /*force_scalar=*/true);
+}
+BENCHMARK(BM_IntersectSortedAuto)
+    ->Args({65536, 1})
+    ->Args({65536, 2})
+    ->Args({65536, 4})
+    ->Args({65536, 10000});
+BENCHMARK(BM_IntersectSortedScalar)
+    ->Args({65536, 1})
+    ->Args({65536, 2})
+    ->Args({65536, 4})
+    ->Args({65536, 10000});
+
+void ContainsManyCell(benchmark::State& state, bool force_scalar) {
+  ForceScalarKernels(force_scalar);
+  const size_t nkeys = 4096;
+  Rng rng(41);
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  for (size_t k = 0; k < nkeys; ++k) {
+    NodeId v = 0;
+    const size_t deg = 4 + rng.Uniform(24);
+    for (size_t d = 0; d < deg; ++d) {
+      v += 1 + static_cast<NodeId>(rng.Uniform(8));
+      pairs.emplace_back(static_cast<NodeId>(k), v);
+    }
+  }
+  const Csr csr = Csr::Build(std::move(pairs));
+  const size_t nprobes = static_cast<size_t>(state.range(0));
+  std::vector<NodeId> keys, vals;
+  for (size_t i = 0; i < nprobes; ++i) {
+    keys.push_back(static_cast<NodeId>((i * nkeys) / nprobes));
+    vals.push_back(static_cast<NodeId>(rng.Uniform(256)));
+  }
+  std::vector<uint8_t> hits(nprobes);
+  for (auto _ : state) {
+    csr.ContainsMany(keys, vals, hits.data());
+    benchmark::DoNotOptimize(hits.data());
+  }
+  state.SetItemsProcessed(state.iterations() * nprobes);
+  state.SetLabel(KernelCpuFeaturesMeta());
+  ForceScalarKernels(false);
+}
+
+void BM_CsrContainsManyAuto(benchmark::State& state) {
+  ContainsManyCell(state, /*force_scalar=*/false);
+}
+void BM_CsrContainsManyScalar(benchmark::State& state) {
+  ContainsManyCell(state, /*force_scalar=*/true);
+}
+BENCHMARK(BM_CsrContainsManyAuto)->Arg(65536);
+BENCHMARK(BM_CsrContainsManyScalar)->Arg(65536);
+
+void BM_CsrForEachGather(benchmark::State& state) {
+  Rng rng(43);
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  const size_t nkeys = static_cast<size_t>(state.range(0));
+  for (size_t k = 0; k < nkeys; ++k) {
+    NodeId v = 0;
+    const size_t deg = 2 + rng.Uniform(12);
+    for (size_t d = 0; d < deg; ++d) {
+      v += 1 + static_cast<NodeId>(rng.Uniform(64));
+      pairs.emplace_back(static_cast<NodeId>(k), v);
+    }
+  }
+  const Csr csr = Csr::Build(std::move(pairs));
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    csr.ForEach([&sum](NodeId, NodeId v) { sum += v; });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * csr.NumEntries());
+}
+BENCHMARK(BM_CsrForEachGather)->Arg(32768);
 
 void BM_SparqlParse(benchmark::State& state) {
   const std::string text = Table1Queries()[1];

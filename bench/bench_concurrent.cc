@@ -66,6 +66,7 @@
 #include "runtime/server.h"
 #include "util/flags.h"
 #include "util/random.h"
+#include "util/span_kernels.h"
 #include "util/table_printer.h"
 #include "util/timer.h"
 
@@ -309,6 +310,7 @@ int MainMixed(Flags& flags) {
   json.SetMeta("bench", "bench_concurrent --mixed");
   json.SetMeta("hardware_threads",
                std::to_string(ThreadPool::ResolveThreads(0)));
+  json.SetMeta("cpu_features", KernelCpuFeaturesMeta());
   json.SetMeta("pool_threads", std::to_string(pool_threads));
   json.SetMeta("scale", scale_meta);
   json.SetMeta("batch_inflight", std::to_string(cfg.batch_inflight));
@@ -523,6 +525,7 @@ int MainZipf(Flags& flags) {
   json.SetMeta("bench", "bench_concurrent --zipf");
   json.SetMeta("hardware_threads",
                std::to_string(ThreadPool::ResolveThreads(0)));
+  json.SetMeta("cpu_features", KernelCpuFeaturesMeta());
   json.SetMeta("pool_threads", std::to_string(pool_threads));
   json.SetMeta("scale", scale_meta);
   json.SetMeta("queries", std::to_string(workload.size()));
@@ -642,6 +645,7 @@ int main(int argc, char** argv) {
   json.SetMeta("bench", "bench_concurrent");
   json.SetMeta("hardware_threads",
                std::to_string(ThreadPool::ResolveThreads(0)));
+  json.SetMeta("cpu_features", KernelCpuFeaturesMeta());
   json.SetMeta("pool_threads", std::to_string(pool_threads));
   json.SetMeta("scale", scale_meta);
   json.SetMeta("queries", std::to_string(workload.size()));

@@ -24,6 +24,7 @@
 #include "datagen/synthetic.h"
 #include "query/parser.h"
 #include "util/flags.h"
+#include "util/span_kernels.h"
 #include "util/table_printer.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -119,6 +120,7 @@ int main(int argc, char** argv) {
   json.SetMeta("bench", "bench_csr_freeze");
   json.SetMeta("hardware_threads",
                std::to_string(ThreadPool::ResolveThreads(0)));
+  json.SetMeta("cpu_features", KernelCpuFeaturesMeta());
   json.SetMeta("frozen", frozen ? "1" : "0");
   {
     char scale_meta[32];

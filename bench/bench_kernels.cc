@@ -1,0 +1,257 @@
+// Span-kernel microbench: the sorted-span intersection, batched probe,
+// and span-gather kernels behind the frozen-CSR hot loops, timed on
+// synthetic sorted inputs that isolate each regime. Run once with
+// --dispatch=scalar and once with --dispatch=auto into two JSON files
+// and diff them to measure what the SIMD path buys on this machine:
+//
+//   ./bench_kernels --dispatch=scalar --cells=isect
+//       --json=BENCH_pr7_kernels_scalar.json
+//   ./bench_kernels --dispatch=auto --cells=isect
+//       --json=BENCH_pr7_kernels.json
+//   scripts/bench_diff.py BENCH_pr7_kernels_scalar.json
+//       BENCH_pr7_kernels.json
+//
+// --cells=isect restricts to the merge-regime intersection cells (the
+// shapes the AVX2 kernel targets); --cells=all adds the galloping,
+// batched-probe, and gather cells, which are dispatch-invariant by
+// design — useful for regression tracking, dilutive in a SIMD-vs-scalar
+// diff. meta.cpu_features records which dispatch actually ran, so
+// bench_diff warns when two recordings compare different paths.
+//
+// Usage: bench_kernels [--dispatch=auto|scalar] [--cells=isect|all]
+//                      [--scale=1.0] [--reps=3] [--json=<path>]
+
+#include <cstdint>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "benchlib/json_writer.h"
+#include "util/csr.h"
+#include "util/flags.h"
+#include "util/random.h"
+#include "util/span_kernels.h"
+#include "util/table_printer.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+using namespace wireframe;
+
+namespace {
+
+/// Sorted distinct ids with uniform random gaps in [1, max_gap].
+std::vector<NodeId> MakeSorted(Rng& rng, size_t n, uint32_t max_gap) {
+  std::vector<NodeId> out;
+  out.reserve(n);
+  NodeId cur = 0;
+  for (size_t i = 0; i < n; ++i) {
+    cur += 1 + static_cast<NodeId>(rng.Uniform(max_gap));
+    out.push_back(cur);
+  }
+  return out;
+}
+
+/// Draws a sorted subset keeping each element with probability p.
+std::vector<NodeId> Subset(Rng& rng, const std::vector<NodeId>& base,
+                           double p) {
+  std::vector<NodeId> out;
+  out.reserve(static_cast<size_t>(static_cast<double>(base.size()) * p) + 8);
+  for (NodeId x : base) {
+    if (rng.Bernoulli(p)) out.push_back(x);
+  }
+  return out;
+}
+
+struct Cell {
+  std::string id;
+  bool isect;  // part of the merge-regime intersection set
+  // Runs `iters` kernel invocations and returns a checksum (keeps the
+  // optimizer honest; printed so two dispatches can be eyeballed equal).
+  std::function<uint64_t(int iters)> run;
+  int iters;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const std::string dispatch = flags.GetString("dispatch", "auto");
+  const std::string cells = flags.GetString("cells", "all");
+  const double scale = flags.GetDouble("scale", 1.0);
+  const int reps = static_cast<int>(flags.GetInt("reps", 3));
+  if (dispatch == "scalar") {
+    ForceScalarKernels(true);
+  } else if (dispatch != "auto") {
+    std::cerr << "unknown --dispatch=" << dispatch
+              << " (want auto|scalar)\n";
+    return 1;
+  }
+  const bool isect_only = cells == "isect";
+
+  std::cout << "=== Span kernels (" << KernelCpuFeaturesMeta() << ") ===\n\n";
+
+  Rng rng(20260808);
+  const size_t big = std::max<size_t>(1024, static_cast<size_t>(
+                                               65536.0 * scale));
+
+  // Merge-regime intersections: both sides within the galloping
+  // crossover, ~50% of the smaller side hits. These are the shapes the
+  // AVX2 block kernel targets; scalar and SIMD walk identical inputs.
+  std::vector<Cell> bench;
+  const std::vector<NodeId> universe = MakeSorted(rng, 2 * big, 4);
+  const std::vector<NodeId> side_a = Subset(rng, universe, 0.5);
+  for (const auto& [label, frac] :
+       std::vector<std::pair<const char*, double>>{
+           {"isect-1to1", 0.5}, {"isect-2to1", 0.25}, {"isect-4to1", 0.125}}) {
+    std::vector<NodeId> side_b = Subset(rng, universe, frac);
+    const size_t cap =
+        std::min(side_a.size(), side_b.size()) + kIntersectPad;
+    bench.push_back(
+        {label, /*isect=*/true,
+         [&side_a, b = std::move(side_b),
+          out = std::vector<NodeId>(cap)](int iters) mutable {
+           uint64_t sum = 0;
+           for (int it = 0; it < iters; ++it) {
+             sum += IntersectSorted(side_a, b, out.data());
+           }
+           return sum;
+         },
+         /*iters=*/48});
+  }
+
+  // Galloping regime: one side 10^4 times smaller — crossover picks the
+  // exponential-probe path on every dispatch, so this cell is
+  // dispatch-invariant by construction (it guards the crossover from
+  // regressing, not the SIMD body).
+  {
+    std::vector<NodeId> small = Subset(rng, universe, 0.0002);
+    if (small.empty()) small.push_back(universe[universe.size() / 2]);
+    const size_t cap = small.size() + kIntersectPad;
+    bench.push_back({"gallop-1to10k", /*isect=*/false,
+                     [&universe, s = std::move(small),
+                      out = std::vector<NodeId>(cap)](int iters) mutable {
+                       uint64_t sum = 0;
+                       for (int it = 0; it < iters; ++it) {
+                         sum += IntersectSorted(s, universe, out.data());
+                       }
+                       return sum;
+                     },
+                     /*iters=*/20000});
+  }
+
+  // Batched sorted probes against a CSR: the chord-prefilter access
+  // pattern (sorted batch, monotone span walks, prefetched offset rows).
+  {
+    const size_t nkeys = std::max<size_t>(256, big / 16);
+    std::vector<std::pair<NodeId, NodeId>> pairs;
+    pairs.reserve(nkeys * 16);
+    for (size_t k = 0; k < nkeys; ++k) {
+      NodeId v = 0;
+      const size_t deg = 4 + rng.Uniform(24);
+      for (size_t d = 0; d < deg; ++d) {
+        v += 1 + static_cast<NodeId>(rng.Uniform(8));
+        pairs.emplace_back(static_cast<NodeId>(k), v);
+      }
+    }
+    Csr csr = Csr::Build(std::move(pairs));
+    std::vector<NodeId> keys, vals;
+    const size_t nprobes = big;
+    keys.reserve(nprobes);
+    vals.reserve(nprobes);
+    for (size_t i = 0; i < nprobes; ++i) {
+      keys.push_back(static_cast<NodeId>((i * nkeys) / nprobes));
+      vals.push_back(static_cast<NodeId>(rng.Uniform(256)));
+    }
+    bench.push_back({"containsmany", /*isect=*/false,
+                     [c = std::move(csr), k = std::move(keys),
+                      v = std::move(vals),
+                      hits = std::vector<uint8_t>(nprobes)](
+                         int iters) mutable {
+                       uint64_t sum = 0;
+                       for (int it = 0; it < iters; ++it) {
+                         c.ContainsMany(k, v, hits.data());
+                         for (uint8_t h : hits) sum += h;
+                       }
+                       return sum;
+                     },
+                     /*iters=*/24});
+  }
+
+  // Dense positional span gather: ForEach with the span-ahead prefetch —
+  // the frozen leaf-scan access pattern.
+  {
+    const size_t nkeys = std::max<size_t>(256, big / 2);
+    std::vector<std::pair<NodeId, NodeId>> pairs;
+    pairs.reserve(nkeys * 8);
+    for (size_t k = 0; k < nkeys; ++k) {
+      NodeId v = 0;
+      const size_t deg = 2 + rng.Uniform(12);
+      for (size_t d = 0; d < deg; ++d) {
+        v += 1 + static_cast<NodeId>(rng.Uniform(64));
+        pairs.emplace_back(static_cast<NodeId>(k), v);
+      }
+    }
+    Csr csr = Csr::Build(std::move(pairs));
+    bench.push_back({"gather-foreach", /*isect=*/false,
+                     [c = std::move(csr)](int iters) {
+                       uint64_t sum = 0;
+                       for (int it = 0; it < iters; ++it) {
+                         c.ForEach([&sum](NodeId, NodeId v) { sum += v; });
+                       }
+                       return sum;
+                     },
+                     /*iters=*/32});
+  }
+
+  JsonResultWriter json;
+  json.SetMeta("bench", "bench_kernels");
+  json.SetMeta("hardware_threads",
+               std::to_string(ThreadPool::ResolveThreads(0)));
+  json.SetMeta("cpu_features", KernelCpuFeaturesMeta());
+  json.SetMeta("dispatch", dispatch);
+  json.SetMeta("cells", cells);
+  {
+    char scale_meta[32];
+    std::snprintf(scale_meta, sizeof(scale_meta), "%g", scale);
+    json.SetMeta("scale", scale_meta);
+  }
+  json.SetMeta("reps", std::to_string(reps));
+
+  TablePrinter table({"cell", "seconds", "checksum"});
+  for (Cell& cell : bench) {
+    if (isect_only && !cell.isect) continue;
+    const int iters =
+        std::max(1, static_cast<int>(static_cast<double>(cell.iters)));
+    double seconds = 0.0;
+    uint64_t checksum = 0;
+    int timed_runs = 0;
+    for (int rep = 0; rep < std::max(1, reps); ++rep) {
+      Stopwatch timer;
+      checksum = cell.run(iters);
+      const double elapsed = timer.ElapsedSeconds();
+      // First rep warms the cache (and the AVX2 dispatch latch) when
+      // there is a rep to spare.
+      if (rep > 0 || reps == 1) {
+        seconds += elapsed;
+        ++timed_runs;
+      }
+    }
+    BenchRecord record;
+    record.engine = "KRN";
+    record.query = cell.id;
+    record.threads = 1;
+    record.ok = true;
+    record.seconds = seconds / std::max(1, timed_runs);
+    json.Add(record);
+    table.AddRow({cell.id, TablePrinter::FormatSeconds(record.seconds),
+                  std::to_string(checksum)});
+  }
+  table.Print(std::cout);
+  std::cout << "(checksums must match across --dispatch=auto and\n"
+               " --dispatch=scalar runs — different sums mean the kernels"
+               " diverged)\n";
+  if (flags.Has("json")) json.WriteTo(flags.GetString("json", ""));
+  return 0;
+}

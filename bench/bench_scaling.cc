@@ -28,6 +28,7 @@
 #include "datagen/yago_like.h"
 #include "query/parser.h"
 #include "util/flags.h"
+#include "util/span_kernels.h"
 #include "util/table_printer.h"
 #include "util/timer.h"
 
@@ -147,6 +148,7 @@ int RunThreadsSweep(const Flags& flags) {
   json.SetMeta("bench", "bench_scaling --threads_sweep");
   json.SetMeta("hardware_threads",
                std::to_string(ThreadPool::ResolveThreads(0)));
+  json.SetMeta("cpu_features", KernelCpuFeaturesMeta());
   json.SetMeta("scale", scale_meta);
   json.SetMeta("reps", std::to_string(reps));
   const std::string query_id = "T1-Q" + std::to_string(query_index + 1);

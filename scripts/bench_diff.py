@@ -54,9 +54,11 @@ PHASE_FIELDS = (
 )
 
 # Meta keys that make two recordings incomparable when they disagree:
-# different machines (hardware_threads) or a different AG storage form
-# (frozen) move every cell for reasons that are not the code under test.
-COMPARABILITY_KEYS = ("hardware_threads", "frozen")
+# different machines (hardware_threads), a different AG storage form
+# (frozen), or a different span-kernel dispatch (cpu_features — e.g. one
+# recording ran AVX2 and the other the scalar fallback) move every cell
+# for reasons that are not the code under test.
+COMPARABILITY_KEYS = ("hardware_threads", "frozen", "cpu_features")
 
 
 def print_comparability_warnings(old_meta, new_meta):

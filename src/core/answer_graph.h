@@ -2,6 +2,7 @@
 #define WIREFRAME_CORE_ANSWER_GRAPH_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "planner/embedding_planner.h"
@@ -184,6 +185,31 @@ class PairSet {
   }
   uint64_t DistinctDstCount() const {
     return frozen_ ? bwd_csr_.Nodes().size() : distinct_dst_;
+  }
+
+  /// Raw frozen spans (program error before Freeze): the sorted
+  /// duplicate-free inputs the span kernels (util/span_kernels.h)
+  /// operate on. FwdNeighbors(u) = all v with (u, v) live;
+  /// BwdNeighbors(v) = all u. Spans stay valid as long as the set —
+  /// frozen sets are immutable.
+  std::span<const NodeId> FwdNeighbors(NodeId u) const {
+    WF_DCHECK(frozen_) << "FwdNeighbors on an unfrozen PairSet";
+    return fwd_csr_.Neighbors(u);
+  }
+  std::span<const NodeId> BwdNeighbors(NodeId v) const {
+    WF_DCHECK(frozen_) << "BwdNeighbors on an unfrozen PairSet";
+    return bwd_csr_.Neighbors(v);
+  }
+
+  /// The frozen CSR forms themselves, for batch entry points
+  /// (Csr::ContainsMany, positional scans). Program error before Freeze.
+  const Csr& FwdCsr() const {
+    WF_DCHECK(frozen_) << "FwdCsr on an unfrozen PairSet";
+    return fwd_csr_;
+  }
+  const Csr& BwdCsr() const {
+    WF_DCHECK(frozen_) << "BwdCsr on an unfrozen PairSet";
+    return bwd_csr_;
   }
 
   /// Invokes fn(v) for every live pair (u, v). Frozen: one sorted span

@@ -8,6 +8,7 @@
 #include "exec/join_common.h"
 #include "util/interrupt.h"
 #include "util/logging.h"
+#include "util/span_kernels.h"
 
 namespace wireframe {
 
@@ -17,6 +18,46 @@ namespace {
 constexpr uint64_t kProbeMorsel = 1024;
 /// Result rows per morsel for the final emit scan.
 constexpr uint64_t kEmitMorsel = 256;
+/// Shared join keys per morsel on the parallel leaf-merge path.
+constexpr uint64_t kMergeMorsel = 128;
+
+/// A leaf⋈leaf join eligible for the sorted-merge fast path: both edges
+/// share exactly one variable and neither is a self loop. The shared
+/// variable keyed on each side's frozen CSR (forward if the edge leaves
+/// the shared var, backward otherwise) turns the join into one kernel
+/// intersection of the two sorted key arrays plus a span cross-product
+/// per common key — no hash table, no materialized leaf relations.
+struct LeafMerge {
+  const Csr* left_csr;
+  const Csr* right_csr;
+  VarId shared, left_other, right_other;
+};
+
+bool PlanLeafMerge(const QueryGraph& query, const AnswerGraph& ag,
+                   const BushyPlan::Node& lnode,
+                   const BushyPlan::Node& rnode, LeafMerge* out) {
+  if (!ag.IsFrozen() || !lnode.IsLeaf() || !rnode.IsLeaf()) return false;
+  const QueryEdge& lq = query.Edge(lnode.edge);
+  const QueryEdge& rq = query.Edge(rnode.edge);
+  if (lq.src == lq.dst || rq.src == rq.dst) return false;
+  int shared_count = 0;
+  VarId shared = 0;
+  for (const VarId lv : {lq.src, lq.dst}) {
+    if (lv == rq.src || lv == rq.dst) {
+      ++shared_count;
+      shared = lv;
+    }
+  }
+  if (shared_count != 1) return false;
+  const PairSet& lset = ag.Set(lnode.edge);
+  const PairSet& rset = ag.Set(rnode.edge);
+  out->left_csr = lq.src == shared ? &lset.FwdCsr() : &lset.BwdCsr();
+  out->right_csr = rq.src == shared ? &rset.FwdCsr() : &rset.BwdCsr();
+  out->shared = shared;
+  out->left_other = lq.src == shared ? lq.dst : lq.src;
+  out->right_other = rq.src == shared ? rq.dst : rq.src;
+  return true;
+}
 
 }  // namespace
 
@@ -47,6 +88,90 @@ Result<DefactorizerStats> BushyExecutor::Emit(
         out.cells.push_back(v);
       });
       stats.extensions += set.Size();
+      total_cells += out.cells.size();
+    } else if (LeafMerge merge; PlanLeafMerge(*query_, *ag_,
+                                              plan.nodes[node.left],
+                                              plan.nodes[node.right],
+                                              &merge)) {
+      WF_RETURN_NOT_OK(interrupt.CheckNow("bushy join"));
+      const Csr& lcsr = *merge.left_csr;
+      const Csr& rcsr = *merge.right_csr;
+      out.schema = {merge.shared, merge.left_other, merge.right_other};
+
+      // The join keys are the intersection of the two sorted key arrays —
+      // one span-kernel call over the whole join.
+      std::vector<NodeId> common(
+          std::min(lcsr.Nodes().size(), rcsr.Nodes().size()) + kIntersectPad);
+      const size_t num_common =
+          IntersectSorted(lcsr.Nodes(), rcsr.Nodes(), common.data());
+      common.resize(num_common);
+
+      // Output size is exact before any row materializes, so the memory
+      // budget is decided up front — no need for the hash path's
+      // in-flight guard.
+      uint64_t rows = 0;
+      for (const NodeId key : common) {
+        rows += static_cast<uint64_t>(lcsr.Neighbors(key).size()) *
+                rcsr.Neighbors(key).size();
+      }
+      if (rows * 3 + total_cells > options.max_cells) {
+        return Status::OutOfRange(
+            "bushy intermediate exceeded the memory budget");
+      }
+      // Mirror the hash path's accounting: both leaf scans plus one
+      // extension per joined row (invariant across paths, dispatch, and
+      // thread count).
+      stats.extensions += ag_->Set(plan.nodes[node.left].edge).Size() +
+                          ag_->Set(plan.nodes[node.right].edge).Size() + rows;
+
+      // Cross-product span gather per common key, prefetch-pipelined: the
+      // next keys' spans are pulled in while the current key's product is
+      // written.
+      auto gather = [&](uint64_t begin, uint64_t end,
+                        std::vector<NodeId>& cells) {
+        for (uint64_t c = begin; c < end; ++c) {
+          if (c + 2 < end) {
+            const NodeId ahead = common[c + 2];
+            PrefetchRead(lcsr.Neighbors(ahead).data());
+            PrefetchRead(rcsr.Neighbors(ahead).data());
+          }
+          const NodeId key = common[c];
+          for (const NodeId lv : lcsr.Neighbors(key)) {
+            for (const NodeId rv : rcsr.Neighbors(key)) {
+              cells.push_back(key);
+              cells.push_back(lv);
+              cells.push_back(rv);
+            }
+          }
+        }
+      };
+      if (parallel && num_common > kMergeMorsel) {
+        const uint64_t num_morsels =
+            (num_common + kMergeMorsel - 1) / kMergeMorsel;
+        std::vector<std::vector<NodeId>> chunks(num_morsels);
+        ParallelForOptions pf;
+        pf.morsel_size = kMergeMorsel;
+        pf.deadline = options.deadline;
+        pf.cancel = options.cancel;
+        pf.weight = options.weight;
+        const Status st = pool->ParallelFor(
+            num_common, pf, [&](uint32_t, uint64_t begin, uint64_t end) {
+              gather(begin, end, chunks[begin / kMergeMorsel]);
+            });
+        if (st.IsCancelled()) return Status::Cancelled("bushy join");
+        if (st.IsTimedOut()) return Status::TimedOut("bushy join");
+        out.cells.reserve(rows * 3);
+        for (const std::vector<NodeId>& chunk : chunks) {
+          out.cells.insert(out.cells.end(), chunk.begin(), chunk.end());
+        }
+      } else {
+        out.cells.reserve(rows * 3);
+        for (uint64_t c = 0; c < num_common; c += kMergeMorsel) {
+          if (interrupt.Hit()) return interrupt.StatusFor("bushy join");
+          gather(c, std::min<uint64_t>(c + kMergeMorsel, num_common),
+                 out.cells);
+        }
+      }
       total_cells += out.cells.size();
     } else {
       WF_ASSIGN_OR_RETURN(JoinRelation left, self(self, node.left));

@@ -248,33 +248,68 @@ Status ChordEvaluator::MaterializeChords(
       } else {
         // Intersect with this triangle's join: keep a pair iff some apex
         // witness supports it. Sharded over the surviving pairs.
+        //
+        // `pairs` is sorted on the packed key, so consecutive pairs share
+        // their high endpoint x. The partner scan keyed on x is loop-
+        // invariant across such a run: hoist it into a scratch snapshot
+        // (collected once per run, per morsel) and probe the other side
+        // per partner — with early exit on the first witness, which the
+        // streaming ForEachPartner visitor could not do. Which side x
+        // sits on depends on the chord orientation: straight chords put
+        // x at r.u (hoist the uw scan, probe wv); flipped chords put x
+        // at r.v (hoist the wv scan, probe uw). Walk counts charge the
+        // hoisted side's scanned partners — identical for every morsel
+        // split, so thread-count-invariant.
         std::vector<uint8_t> keep(pairs.size(), 0);
-        auto support_one = [&](uint64_t i, uint64_t& walk_count) {
+        struct PartnerScratch {
+          NodeId key = kInvalidNode;
+          bool valid = false;
+          std::vector<NodeId> partners;
+        };
+        const uint32_t hoist_slot = chord_straight ? r.uw_slot : r.wv_slot;
+        const VarId hoist_from = chord_straight ? r.u : r.v;
+        const uint32_t probe_slot = chord_straight ? r.wv_slot : r.uw_slot;
+        const VarId probe_from = chord_straight ? r.w : r.u;
+        auto support_one = [&](uint64_t i, PartnerScratch& scratch,
+                               uint64_t& walk_count) {
           const auto [x, y] = UnpackPair(pairs[i]);
-          const NodeId a = chord_straight ? x : y;
-          const NodeId b = chord_straight ? y : x;
+          if (!scratch.valid || scratch.key != x) {
+            scratch.partners.clear();
+            ForEachPartner(*ag_, hoist_slot, hoist_from, x,
+                           [&](NodeId w) { scratch.partners.push_back(w); });
+            scratch.key = x;
+            scratch.valid = true;
+          }
           bool supported = false;
-          ForEachPartner(*ag_, r.uw_slot, r.u, a, [&](NodeId w) {
+          for (const NodeId w : scratch.partners) {
             ++walk_count;
-            if (!supported &&
-                ContainsOriented(*ag_, r.wv_slot, r.w, w, b)) {
+            // Straight: witness (w@r.w, y@r.v) in wv. Flipped: witness
+            // (y@r.u, w@r.w) in uw — either way the probe pairs the
+            // low endpoint y with the hoisted partner w.
+            const NodeId first = chord_straight ? w : y;
+            const NodeId second = chord_straight ? y : w;
+            if (ContainsOriented(*ag_, probe_slot, probe_from, first,
+                                 second)) {
               supported = true;
+              break;
             }
-          });
+          }
           keep[i] = supported ? 1 : 0;
         };
         if (pool_parallel && pairs.size() > kChordMorsel) {
           WF_RETURN_NOT_OK(sharded(
               pairs.size(), [&](uint64_t, uint64_t begin, uint64_t end,
                                 uint64_t& morsel_walks) {
+                PartnerScratch scratch;
                 for (uint64_t i = begin; i < end; ++i) {
-                  support_one(i, morsel_walks);
+                  support_one(i, scratch, morsel_walks);
                 }
               }));
         } else {
+          PartnerScratch scratch;
           for (uint64_t i = 0; i < pairs.size(); ++i) {
             if (probe.Hit()) return probe.StatusFor("chord materialization");
-            support_one(i, *walks);
+            support_one(i, scratch, *walks);
           }
         }
         // In-order compaction preserves the canonical ascending order.

@@ -1,11 +1,13 @@
 #include "core/defactorizer.h"
 
+#include <algorithm>
 #include <atomic>
 #include <mutex>
 #include <utility>
 
 #include "util/interrupt.h"
 #include "util/logging.h"
+#include "util/span_kernels.h"
 
 namespace wireframe {
 
@@ -16,6 +18,31 @@ namespace {
 /// dispatch cost is one fetch_add per morsel.
 constexpr uint64_t kRootMorsel = 64;
 
+/// One chord evaluated by span intersection: at its check depth exactly
+/// one endpoint is newly bound, so the chord constrains the extension
+/// candidates to the chord-neighbors of the already-bound endpoint — a
+/// sorted span fetched once per parent binding (the hoisted form of
+/// probing Contains per candidate).
+struct IntersectChord {
+  uint32_t slot;
+  /// The endpoint bound before this depth; its binding keys the span.
+  VarId bound_var;
+  /// True: the free endpoint is the chord's dst, so candidates are
+  /// FwdNeighbors(binding[bound_var]); false: BwdNeighbors.
+  bool fwd;
+};
+
+/// Per-depth chord strategy, precomputed from the join order (the bound
+/// set at each depth is static, so orientation never needs a runtime
+/// probe).
+struct DepthChords {
+  std::vector<IntersectChord> isect;
+  /// True iff every chord checked at this depth is in `isect` — the
+  /// gate for the intersection fast path. (A depth mixing in a chord
+  /// whose endpoints both bind at depth 0 falls back to Contains.)
+  bool all_isect = false;
+};
+
 /// Recursive enumeration state shared across frames.
 struct EmitContext {
   const QueryGraph* query;
@@ -24,11 +51,22 @@ struct EmitContext {
   /// chord_checks[d]: chord slots whose endpoints are both bound once the
   /// edge at depth d has been joined.
   const std::vector<std::vector<uint32_t>>* chord_checks;
+  /// depth_chords[d]: the intersection form of chord_checks[d] (frozen
+  /// AGs only; empty vector when the AG is unfrozen or chords are off).
+  const std::vector<DepthChords>* depth_chords;
   Sink* sink;
   InterruptProbe probe;
   std::vector<NodeId> binding;
   DefactorizerStats stats;
   bool stop = false;  // sink asked to stop (not an error)
+  /// True once the depth-0 chords were already applied to the root list
+  /// as a batched prefilter (parallel path); the per-root loop then
+  /// skips ChordsAccept(_, 0).
+  bool roots_prefiltered = false;
+  /// Ping-pong intersection scratch, indexed by depth: a frame only
+  /// touches its own depth's buffers, so recursion below it is safe.
+  std::vector<std::vector<NodeId>> isect_a;
+  std::vector<std::vector<NodeId>> isect_b;
 
   /// Amortized deadline + cancellation probe; also true once the sink
   /// declined more rows.
@@ -52,6 +90,44 @@ bool ChordsAccept(EmitContext& ctx, size_t depth) {
     }
   }
   return true;
+}
+
+void EmitStep(EmitContext& ctx, size_t depth);
+
+/// The frozen fast path for a depth whose chords all intersect: instead
+/// of scanning `ext` and probing every chord per candidate, intersect
+/// the extension span with each chord span (both sorted CSR spans) and
+/// recurse only over the survivors. Accounting matches the scan+probe
+/// path exactly: one extension per span candidate, one rejection per
+/// candidate failing any chord — so stats stay invariant across the two
+/// forms (and across dispatch and thread count).
+void IntersectAndRecurse(EmitContext& ctx, size_t depth,
+                         std::span<const NodeId> ext, NodeId& free_slot) {
+  const DepthChords& dc = (*ctx.depth_chords)[depth];
+  ctx.stats.extensions += ext.size();
+  std::span<const NodeId> current = ext;
+  bool into_a = true;
+  for (const IntersectChord& chord : dc.isect) {
+    if (current.empty()) break;
+    const PairSet& cset = ctx.ag->Set(chord.slot);
+    const NodeId bound = ctx.binding[chord.bound_var];
+    const std::span<const NodeId> cspan =
+        chord.fwd ? cset.FwdNeighbors(bound) : cset.BwdNeighbors(bound);
+    std::vector<NodeId>& buf = into_a ? ctx.isect_a[depth]
+                                      : ctx.isect_b[depth];
+    const size_t cap = std::min(current.size(), cspan.size()) + kIntersectPad;
+    if (buf.size() < cap) buf.resize(cap);
+    const size_t n = IntersectSorted(current, cspan, buf.data());
+    current = std::span<const NodeId>(buf.data(), n);
+    into_a = !into_a;
+  }
+  ctx.stats.chord_rejections += ext.size() - current.size();
+  for (const NodeId value : current) {
+    if (ctx.stop) break;
+    free_slot = value;
+    EmitStep(ctx, depth + 1);
+  }
+  free_slot = kInvalidNode;
 }
 
 void EmitStep(EmitContext& ctx, size_t depth) {
@@ -78,7 +154,13 @@ void EmitStep(EmitContext& ctx, size_t depth) {
     }
     return;
   }
+  const bool isect_chords = !ctx.depth_chords->empty() &&
+                            (*ctx.depth_chords)[depth].all_isect;
   if (src_bound) {
+    if (isect_chords) {
+      IntersectAndRecurse(ctx, depth, set.FwdNeighbors(src_slot), dst_slot);
+      return;
+    }
     set.ForEachFwd(src_slot, [&](NodeId v) {
       if (ctx.stop) return;
       ++ctx.stats.extensions;
@@ -89,6 +171,10 @@ void EmitStep(EmitContext& ctx, size_t depth) {
     return;
   }
   if (dst_bound) {
+    if (isect_chords) {
+      IntersectAndRecurse(ctx, depth, set.BwdNeighbors(dst_slot), src_slot);
+      return;
+    }
     set.ForEachBwd(dst_slot, [&](NodeId u) {
       if (ctx.stop) return;
       ++ctx.stats.extensions;
@@ -110,6 +196,39 @@ void EmitStep(EmitContext& ctx, size_t depth) {
     src_slot = kInvalidNode;
     dst_slot = kInvalidNode;
   });
+}
+
+/// Builds the per-depth intersection strategy from the static bound-set
+/// progression of the join order. Only meaningful on a frozen AG (the
+/// spans the kernels need are the CSR form); returns empty otherwise and
+/// every depth falls back to the probe path.
+std::vector<DepthChords> PlanDepthChords(
+    const QueryGraph& query, const AnswerGraph& ag,
+    const std::vector<uint32_t>& order,
+    const std::vector<std::vector<uint32_t>>& chord_checks) {
+  if (!ag.IsFrozen()) return {};
+  std::vector<DepthChords> plan(order.size());
+  std::vector<bool> bound(query.NumVars(), false);
+  for (size_t d = 0; d < order.size(); ++d) {
+    DepthChords& dc = plan[d];
+    for (uint32_t slot : chord_checks[d]) {
+      const VarId cu = ag.SrcVar(slot);
+      const VarId cv = ag.DstVar(slot);
+      // Endpoints not bound before depth d bind at depth d; a chord with
+      // exactly one new endpoint constrains the edge's free variable.
+      const bool cu_new = !bound[cu];
+      const bool cv_new = !bound[cv];
+      if (cu_new != cv_new) {
+        dc.isect.push_back({slot, cu_new ? cv : cu, /*fwd=*/cv_new});
+      }
+    }
+    dc.all_isect = !chord_checks[d].empty() &&
+                   dc.isect.size() == chord_checks[d].size();
+    const QueryEdge& qe = query.Edge(order[d]);
+    bound[qe.src] = true;
+    bound[qe.dst] = true;
+  }
+  return plan;
 }
 
 }  // namespace
@@ -141,6 +260,20 @@ Result<DefactorizerStats> Defactorizer::Emit(
       }
     }
   }
+  const std::vector<DepthChords> depth_chords =
+      PlanDepthChords(*query_, *ag_, plan.join_order, chord_checks);
+
+  auto init_context = [&](EmitContext& ctx) {
+    ctx.query = query_;
+    ctx.ag = ag_;
+    ctx.order = &plan.join_order;
+    ctx.chord_checks = &chord_checks;
+    ctx.depth_chords = &depth_chords;
+    ctx.probe = InterruptProbe(options.deadline, options.cancel);
+    ctx.binding.assign(query_->NumVars(), kInvalidNode);
+    ctx.isect_a.resize(plan.join_order.size());
+    ctx.isect_b.resize(plan.join_order.size());
+  };
 
   ThreadPool* pool = options.pool;
   if (pool != nullptr && pool->num_threads() > 1 &&
@@ -155,6 +288,52 @@ Result<DefactorizerStats> Defactorizer::Emit(
     roots.reserve(first.Size());
     first.ForEachPair([&](NodeId u, NodeId v) { roots.emplace_back(u, v); });
 
+    // Depth-0 chords (both endpoints bound by the first edge) applied to
+    // the whole sorted root list as one batched probe per chord —
+    // Csr::ContainsMany walks each span monotonically with prefetch
+    // instead of binary-searching per root. Accounting mirrors the
+    // per-root loop: one extension charged per discarded root here plus
+    // one per surviving root below; one rejection per discarded root.
+    uint64_t prefilter_extensions = 0;
+    uint64_t prefilter_rejections = 0;
+    bool roots_prefiltered = false;
+    if (ag_->IsFrozen() && !chord_checks.empty() &&
+        !chord_checks[0].empty()) {
+      roots_prefiltered = true;
+      std::vector<NodeId> keys(roots.size());
+      std::vector<NodeId> vals(roots.size());
+      std::vector<uint8_t> hits(roots.size());
+      for (uint32_t slot : chord_checks[0]) {
+        // Depth-0 chords connect exactly the first edge's variables.
+        const bool straight = ag_->SrcVar(slot) == qe0.src;
+        WF_DCHECK(straight ? (ag_->SrcVar(slot) == qe0.src &&
+                              ag_->DstVar(slot) == qe0.dst)
+                           : (ag_->SrcVar(slot) == qe0.dst &&
+                              ag_->DstVar(slot) == qe0.src));
+        for (size_t i = 0; i < roots.size(); ++i) {
+          keys[i] = straight ? roots[i].first : roots[i].second;
+          vals[i] = straight ? roots[i].second : roots[i].first;
+        }
+        const Csr& csr = ag_->Set(slot).FwdCsr();
+        csr.ContainsMany(std::span<const NodeId>(keys).first(roots.size()),
+                         std::span<const NodeId>(vals).first(roots.size()),
+                         hits.data());
+        size_t kept = 0;
+        for (size_t i = 0; i < roots.size(); ++i) {
+          if (hits[i] != 0) {
+            roots[kept++] = roots[i];
+          } else {
+            ++prefilter_extensions;
+            ++prefilter_rejections;
+          }
+        }
+        roots.resize(kept);
+        keys.resize(kept);
+        vals.resize(kept);
+        hits.resize(kept);
+      }
+    }
+
     std::mutex sink_mu;
     std::atomic<bool> stop{false};
     const uint32_t workers = pool->num_threads();
@@ -163,13 +342,8 @@ Result<DefactorizerStats> Defactorizer::Emit(
     shards.reserve(workers);
     for (uint32_t w = 0; w < workers; ++w) {
       shards.emplace_back(sink, &sink_mu, &stop);
-      EmitContext& ctx = ctxs[w];
-      ctx.query = query_;
-      ctx.ag = ag_;
-      ctx.order = &plan.join_order;
-      ctx.chord_checks = &chord_checks;
-      ctx.probe = InterruptProbe(options.deadline, options.cancel);
-      ctx.binding.assign(query_->NumVars(), kInvalidNode);
+      init_context(ctxs[w]);
+      ctxs[w].roots_prefiltered = roots_prefiltered;
     }
     for (uint32_t w = 0; w < workers; ++w) ctxs[w].sink = &shards[w];
 
@@ -188,13 +362,17 @@ Result<DefactorizerStats> Defactorizer::Emit(
             ++ctx.stats.extensions;
             ctx.binding[qe0.src] = u;
             ctx.binding[qe0.dst] = v;
-            if (ChordsAccept(ctx, 0)) EmitStep(ctx, 1);
+            if (ctx.roots_prefiltered || ChordsAccept(ctx, 0)) {
+              EmitStep(ctx, 1);
+            }
             ctx.binding[qe0.src] = kInvalidNode;
             ctx.binding[qe0.dst] = kInvalidNode;
           }
         });
 
     DefactorizerStats stats;
+    stats.extensions = prefilter_extensions;
+    stats.chord_rejections = prefilter_rejections;
     bool timed_out = st.IsTimedOut();
     bool cancelled = st.IsCancelled();
     for (uint32_t w = 0; w < workers; ++w) {
@@ -213,13 +391,8 @@ Result<DefactorizerStats> Defactorizer::Emit(
   }
 
   EmitContext ctx;
-  ctx.query = query_;
-  ctx.ag = ag_;
-  ctx.order = &plan.join_order;
-  ctx.chord_checks = &chord_checks;
+  init_context(ctx);
   ctx.sink = sink;
-  ctx.probe = InterruptProbe(options.deadline, options.cancel);
-  ctx.binding.assign(query_->NumVars(), kInvalidNode);
   EmitStep(ctx, 0);
   WF_RETURN_NOT_OK(ctx.probe.StatusFor("embedding generation"));
   return ctx.stats;

@@ -9,6 +9,7 @@
 
 #include "util/common.h"
 #include "util/logging.h"
+#include "util/span_kernels.h"
 
 namespace wireframe {
 
@@ -115,11 +116,55 @@ class Csr {
   }
 
   /// True iff (key, value) is present: one offset load (or key binary
-  /// search on sparse sets) plus a binary search over the short sorted
-  /// span — no hashing.
+  /// search on sparse sets) plus a branch-free binary search over the
+  /// short sorted span — no hashing.
   bool Contains(NodeId key, NodeId value) const {
-    const std::span<const NodeId> span = Neighbors(key);
-    return std::binary_search(span.begin(), span.end(), value);
+    return SpanContains(Neighbors(key), value);
+  }
+
+  /// Batched membership: hits[i] = 1 iff (keys[i], values[i]) is present.
+  /// The batch entry point for probe-heavy loops (chord prefilters over a
+  /// root list): the next rows' offsets and span starts are software-
+  /// prefetched while the current probe resolves, and a run of equal keys
+  /// with ascending values walks its span monotonically (one galloping
+  /// step per probe) instead of binary-searching from scratch. Any
+  /// key/value order is correct; sorted batches are fastest.
+  void ContainsMany(std::span<const NodeId> keys,
+                    std::span<const NodeId> values, uint8_t* hits) const {
+    WF_DCHECK(keys.size() == values.size());
+    const size_t n = keys.size();
+    size_t i = 0;
+    while (i < n) {
+      if (!dense_offsets_.empty()) {
+        // Two-stage prefetch pipeline: offset rows resolve well ahead,
+        // span starts (which need the offset loaded) closer in.
+        if (i + kProbeOffsetAhead < n &&
+            static_cast<size_t>(keys[i + kProbeOffsetAhead]) + 1 <
+                dense_offsets_.size()) {
+          PrefetchRead(&dense_offsets_[keys[i + kProbeOffsetAhead]]);
+        }
+        if (i + kProbeSpanAhead < n &&
+            static_cast<size_t>(keys[i + kProbeSpanAhead]) + 1 <
+                dense_offsets_.size()) {
+          PrefetchRead(&neighbors_[dense_offsets_[keys[i + kProbeSpanAhead]]]);
+        }
+      }
+      const NodeId key = keys[i];
+      size_t run = i + 1;
+      while (run < n && keys[run] == key) ++run;
+      const std::span<const NodeId> span = Neighbors(key);
+      ContainsManySorted(span, values.subspan(i, run - i), hits + i);
+      i = run;
+    }
+  }
+
+  /// Intersects key's neighbor span with a sorted duplicate-free id list
+  /// into `out` (capacity >= min(span, other) + kIntersectPad). Returns
+  /// the match count — the frozen form of "extend binding, then filter by
+  /// chord" collapsed into one kernel call.
+  size_t IntersectNeighbors(NodeId key, std::span<const NodeId> other,
+                            NodeId* out) const {
+    return IntersectSorted(Neighbors(key), other, out);
   }
 
   /// Heap bytes of the built arrays (size-based, capacity-insensitive).
@@ -129,10 +174,24 @@ class Csr {
            (offsets_.size() + dense_offsets_.size()) * sizeof(uint32_t);
   }
 
-  /// Invokes fn(key, neighbor) for every entry, key-major ascending.
+  /// Pulls the start of the i-th span toward the cache — the span-gather
+  /// prefetch for dense positional scans: while span i is processed,
+  /// issue PrefetchSpan(i + d) for a small lookahead d so the walk never
+  /// stalls on the first line of the next span.
+  void PrefetchSpan(size_t i) const {
+    WF_DCHECK(i < nodes_.size());
+    PrefetchRead(&neighbors_[offsets_[i]]);
+  }
+
+  /// Invokes fn(key, neighbor) for every entry, key-major ascending,
+  /// prefetching a few spans ahead (per-span fn work defeats the
+  /// hardware prefetcher on short scattered spans).
   template <typename Fn>
   void ForEach(Fn&& fn) const {
     for (size_t i = 0; i < nodes_.size(); ++i) {
+      if (i + kScanSpanAhead < nodes_.size()) {
+        PrefetchSpan(i + kScanSpanAhead);
+      }
       const NodeId key = nodes_[i];
       for (uint32_t k = offsets_[i]; k < offsets_[i + 1]; ++k) {
         fn(key, neighbors_[k]);
@@ -147,6 +206,12 @@ class Csr {
   static constexpr uint64_t kDenseFloor = 1024;
 
   static constexpr size_t kNotFound = ~size_t{0};
+
+  /// Prefetch distances of the batched-probe and positional-scan loops
+  /// (rows ahead for offset rows / span starts, spans ahead for ForEach).
+  static constexpr size_t kProbeOffsetAhead = 8;
+  static constexpr size_t kProbeSpanAhead = 2;
+  static constexpr size_t kScanSpanAhead = 4;
 
   /// Position of `key` in nodes_, or kNotFound.
   size_t IndexOf(NodeId key) const {

@@ -1,0 +1,103 @@
+// The only translation unit compiled with -mavx2 (see
+// src/util/CMakeLists.txt): keeping every AVX2 instruction behind this
+// file boundary means the rest of the binary still runs on pre-AVX2
+// hardware — the dispatcher in span_kernels.cc only calls in here after a
+// cpuid check.
+
+#include "util/span_kernels_internal.h"
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+namespace wireframe::internal {
+
+namespace {
+
+/// idx[m] lists the positions of m's set bits, ascending, zero-padded —
+/// feeding _mm256_permutevar8x32_epi32 to left-compact the matched lanes
+/// of a block. 8KB, read-only, shared by all threads.
+struct ShuffleTable {
+  alignas(32) uint32_t idx[256][8];
+};
+
+constexpr ShuffleTable MakeShuffleTable() {
+  ShuffleTable table{};
+  for (int mask = 0; mask < 256; ++mask) {
+    int out = 0;
+    for (int bit = 0; bit < 8; ++bit) {
+      if ((mask >> bit) & 1) table.idx[mask][out++] = bit;
+    }
+    for (; out < 8; ++out) table.idx[mask][out] = 0;
+  }
+  return table;
+}
+
+constexpr ShuffleTable kCompact = MakeShuffleTable();
+
+/// Lane rotation by one (cross-lane), for comparing one block against all
+/// alignments of the other.
+const __m256i kRotate1 = _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 0);
+
+}  // namespace
+
+size_t IntersectSortedAvx2(const NodeId* a, size_t na, const NodeId* b,
+                           size_t nb, NodeId* out) {
+  size_t i = 0;
+  size_t j = 0;
+  size_t k = 0;
+  if (na >= 8 && nb >= 8) {
+    __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a));
+    while (true) {
+      // Match va's 8 lanes against all 8 rotations of b's block. Inputs
+      // are duplicate-free, so each a-lane matches at most once and the
+      // OR-accumulated equality mask marks exactly the common values.
+      const __m256i vb =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+      __m256i rotated = vb;
+      __m256i eq = _mm256_cmpeq_epi32(va, rotated);
+      for (int r = 1; r < 8; ++r) {
+        rotated = _mm256_permutevar8x32_epi32(rotated, kRotate1);
+        eq = _mm256_or_si256(eq, _mm256_cmpeq_epi32(va, rotated));
+      }
+      const int mask = _mm256_movemask_ps(_mm256_castsi256_ps(eq));
+      // Left-compact the matched lanes and store all 8; only popcount of
+      // them are real, the rest land in the caller's kIntersectPad slack.
+      const __m256i compacted = _mm256_permutevar8x32_epi32(
+          va, _mm256_load_si256(
+                  reinterpret_cast<const __m256i*>(kCompact.idx[mask])));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + k), compacted);
+      k += static_cast<size_t>(__builtin_popcount(
+          static_cast<unsigned>(mask)));
+      // Advance whichever block's max is smaller (both on a tie): every
+      // element it could still match has been compared.
+      const NodeId amax = a[i + 7];
+      const NodeId bmax = b[j + 7];
+      const bool step_a = amax <= bmax;
+      const bool step_b = bmax <= amax;
+      if (step_a) i += 8;
+      if (step_b) j += 8;
+      if (i + 8 > na || j + 8 > nb) break;
+      if (step_a) {
+        va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+      }
+    }
+  }
+  // Scalar merge over the tails (fewer than 8 left on some side).
+  while (i < na && j < nb) {
+    const NodeId av = a[i];
+    const NodeId bv = b[j];
+    if (av == bv) {
+      out[k++] = av;
+      ++i;
+      ++j;
+    } else if (av < bv) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return k;
+}
+
+}  // namespace wireframe::internal

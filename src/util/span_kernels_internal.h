@@ -1,0 +1,21 @@
+#ifndef WIREFRAME_UTIL_SPAN_KERNELS_INTERNAL_H_
+#define WIREFRAME_UTIL_SPAN_KERNELS_INTERNAL_H_
+
+#include <cstddef>
+
+#include "util/common.h"
+
+namespace wireframe::internal {
+
+/// AVX2 merge body of IntersectSorted, defined in span_kernels_avx2.cc —
+/// the only TU compiled with -mavx2. Declared unconditionally so the
+/// dispatcher TU stays free of target-specific code; only callable when
+/// WIREFRAME_HAVE_AVX2_KERNELS is defined and the CPU reports AVX2.
+/// Contract as IntersectSorted: sorted duplicate-free inputs, `out` has
+/// min(na, nb) + kIntersectPad capacity.
+size_t IntersectSortedAvx2(const NodeId* a, size_t na, const NodeId* b,
+                           size_t nb, NodeId* out);
+
+}  // namespace wireframe::internal
+
+#endif  // WIREFRAME_UTIL_SPAN_KERNELS_INTERNAL_H_

@@ -811,7 +811,9 @@ TEST_F(QueryRuntimeTest, ServerReportsCarryCacheHits) {
     EXPECT_EQ(report.outcome, QueryOutcome::kCompleted);
     EXPECT_EQ(report.rows, 200u * 200u);
     EXPECT_EQ(report.cache_hit, report.index != 0);
-    if (report.cache_hit) EXPECT_EQ(report.stats.phase1_seconds, 0.0);
+    if (report.cache_hit) {
+      EXPECT_EQ(report.stats.phase1_seconds, 0.0);
+    }
   }
 }
 

@@ -1,0 +1,225 @@
+#include "util/span_kernels.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <iterator>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace wireframe {
+namespace {
+
+/// Restores the runtime dispatch override on scope exit, so a failing
+/// assertion cannot leak a forced-scalar state into later tests.
+class ScopedForceScalar {
+ public:
+  explicit ScopedForceScalar(bool force) { ForceScalarKernels(force); }
+  ~ScopedForceScalar() { ForceScalarKernels(false); }
+};
+
+std::vector<NodeId> SortedDistinct(Rng& rng, size_t n, uint64_t universe) {
+  std::set<NodeId> values;
+  while (values.size() < n) {
+    values.insert(static_cast<NodeId>(rng.Uniform(universe)));
+  }
+  return {values.begin(), values.end()};
+}
+
+/// The ground truth the kernels must reproduce exactly.
+std::vector<NodeId> StdIntersection(const std::vector<NodeId>& a,
+                                    const std::vector<NodeId>& b) {
+  std::vector<NodeId> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+/// Runs IntersectSorted under the active dispatch and, separately, the
+/// scalar reference body, and checks both against std::set_intersection.
+void CheckIntersection(const std::vector<NodeId>& a,
+                       const std::vector<NodeId>& b) {
+  const std::vector<NodeId> expected = StdIntersection(a, b);
+  std::vector<NodeId> got(std::min(a.size(), b.size()) + kIntersectPad,
+                          kInvalidNode);
+  size_t n = IntersectSorted(a, b, got.data());
+  ASSERT_EQ(n, expected.size()) << "dispatch=" << KernelDispatchName();
+  ASSERT_TRUE(std::equal(expected.begin(), expected.end(), got.begin()))
+      << "dispatch=" << KernelDispatchName();
+
+  std::vector<NodeId> ref(std::min(a.size(), b.size()) + kIntersectPad,
+                          kInvalidNode);
+  n = IntersectSortedScalar(a, b, ref.data());
+  ASSERT_EQ(n, expected.size());
+  ASSERT_TRUE(std::equal(expected.begin(), expected.end(), ref.begin()));
+}
+
+/// Checks SpanContains and ContainsManySorted against std::binary_search
+/// for every probe.
+void CheckProbes(const std::vector<NodeId>& span,
+                 const std::vector<NodeId>& probes) {
+  std::vector<NodeId> sorted_probes = probes;
+  std::sort(sorted_probes.begin(), sorted_probes.end());
+  std::vector<uint8_t> hits(sorted_probes.size(), 2);
+  ContainsManySorted(span, sorted_probes, hits.data());
+  for (size_t i = 0; i < sorted_probes.size(); ++i) {
+    const bool expected =
+        std::binary_search(span.begin(), span.end(), sorted_probes[i]);
+    ASSERT_EQ(hits[i] != 0, expected) << "probe " << sorted_probes[i];
+    ASSERT_EQ(SpanContains(span, sorted_probes[i]), expected);
+  }
+  // Unsorted batches must stay correct (the monotone walk restarts).
+  std::vector<uint8_t> unsorted_hits(probes.size(), 2);
+  ContainsManySorted(span, probes, unsorted_hits.data());
+  for (size_t i = 0; i < probes.size(); ++i) {
+    ASSERT_EQ(unsorted_hits[i] != 0,
+              std::binary_search(span.begin(), span.end(), probes[i]));
+  }
+}
+
+TEST(SpanKernelsTest, DispatchIsConsistent) {
+  // Whatever the hardware, the reported dispatch must match the gates.
+  const bool avx2 = ActiveKernelDispatch() == KernelDispatch::kAvx2;
+  EXPECT_EQ(avx2, KernelAvx2Compiled() && CpuHasAvx2() &&
+                      !ScalarKernelsForced());
+  EXPECT_STREQ(KernelDispatchName(), avx2 ? "avx2" : "scalar");
+  const std::string meta = KernelCpuFeaturesMeta();
+  EXPECT_NE(meta.find("avx2_supported="), std::string::npos);
+  EXPECT_NE(meta.find("dispatch="), std::string::npos);
+
+  ScopedForceScalar forced(true);
+  EXPECT_EQ(ActiveKernelDispatch(), KernelDispatch::kScalar);
+  EXPECT_STREQ(KernelDispatchName(), "scalar");
+}
+
+TEST(SpanKernelsTest, EmptyAndTrivialSpans) {
+  const std::vector<NodeId> empty;
+  const std::vector<NodeId> one{42};
+  const std::vector<NodeId> some{1, 5, 9, 1000};
+  for (const bool force : {false, true}) {
+    ScopedForceScalar forced(force);
+    CheckIntersection(empty, empty);
+    CheckIntersection(empty, some);
+    CheckIntersection(some, empty);
+    CheckIntersection(one, some);
+    CheckIntersection(some, some);
+    CheckProbes(empty, some);
+    CheckProbes(one, {41, 42, 43});
+    EXPECT_FALSE(SpanContains(empty, 0));
+  }
+}
+
+TEST(SpanKernelsTest, GallopLowerBoundMatchesStdLowerBound) {
+  Rng rng(7701);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::vector<NodeId> data =
+        SortedDistinct(rng, 1 + rng.Uniform(300), 2000);
+    for (int p = 0; p < 40; ++p) {
+      const NodeId x = static_cast<NodeId>(rng.Uniform(2100));
+      const size_t from = rng.Uniform(data.size() + 1);
+      const size_t got = GallopLowerBound(data.data(), data.size(), from, x);
+      const size_t expected = static_cast<size_t>(
+          std::lower_bound(data.begin() + static_cast<ptrdiff_t>(from),
+                           data.end(), x) -
+          data.begin());
+      ASSERT_EQ(got, expected) << "from=" << from << " x=" << x;
+    }
+  }
+}
+
+// Adversarial shapes the issue calls out: extreme 1:10^4 size ratios
+// (the galloping regime), all-hit and all-miss selectivities, ids
+// hugging UINT32_MAX, and lengths that are not multiples of the 8-lane
+// width (tail handling).
+TEST(SpanKernelsTest, AdversarialShapes) {
+  for (const bool force : {false, true}) {
+    ScopedForceScalar forced(force);
+
+    // 1 : 10^4 ratio.
+    std::vector<NodeId> small{3, 70000, 1234567};
+    std::vector<NodeId> large(30000);
+    for (size_t i = 0; i < large.size(); ++i) {
+      large[i] = static_cast<NodeId>(i * 7);
+    }
+    CheckIntersection(small, large);
+    CheckIntersection(large, small);
+
+    // All-hit: identical spans, length not a multiple of 8.
+    std::vector<NodeId> odd(1037);
+    for (size_t i = 0; i < odd.size(); ++i) {
+      odd[i] = static_cast<NodeId>(i * 3 + 1);
+    }
+    CheckIntersection(odd, odd);
+
+    // All-miss: interleaved evens vs odds, near-equal sizes.
+    std::vector<NodeId> evens(777), odds(770);
+    for (size_t i = 0; i < evens.size(); ++i) {
+      evens[i] = static_cast<NodeId>(2 * i);
+    }
+    for (size_t i = 0; i < odds.size(); ++i) {
+      odds[i] = static_cast<NodeId>(2 * i + 1);
+    }
+    CheckIntersection(evens, odds);
+
+    // Ids at the top of the 32-bit space (no overflow in the compare or
+    // gallop arithmetic).
+    std::vector<NodeId> hi_a, hi_b;
+    for (uint32_t d = 40; d > 0; --d) hi_a.push_back(UINT32_MAX - 2 * d);
+    for (uint32_t d = 33; d > 0; --d) hi_b.push_back(UINT32_MAX - 3 * d);
+    hi_a.push_back(UINT32_MAX);
+    hi_b.push_back(UINT32_MAX);
+    CheckIntersection(hi_a, hi_b);
+    CheckProbes(hi_a, hi_b);
+
+    // Every tail length around the lane width.
+    for (size_t na = 1; na <= 19; ++na) {
+      for (size_t nb = 1; nb <= 19; ++nb) {
+        std::vector<NodeId> a, b;
+        for (size_t i = 0; i < na; ++i) a.push_back(static_cast<NodeId>(i * 2));
+        for (size_t i = 0; i < nb; ++i) b.push_back(static_cast<NodeId>(i * 3));
+        CheckIntersection(a, b);
+      }
+    }
+  }
+}
+
+// Randomized equivalence against the std:: algorithms across densities
+// and size ratios, under both dispatches.
+TEST(SpanKernelsTest, RandomizedAgainstStdAlgorithms) {
+  Rng rng(991133);
+  for (const bool force : {false, true}) {
+    ScopedForceScalar forced(force);
+    for (int trial = 0; trial < 60; ++trial) {
+      const uint64_t universe = 1 + rng.Uniform(5000);
+      const size_t na = 1 + rng.Uniform(std::min<uint64_t>(universe, 800));
+      const size_t nb = 1 + rng.Uniform(std::min<uint64_t>(universe, 800));
+      const std::vector<NodeId> a = SortedDistinct(rng, na, universe);
+      const std::vector<NodeId> b = SortedDistinct(rng, nb, universe);
+      CheckIntersection(a, b);
+      CheckProbes(a, b);
+    }
+  }
+}
+
+// The AVX2 body may store a full 8-lane vector for the final partial
+// block of matches; certify it never writes past the documented pad.
+TEST(SpanKernelsTest, OutputStaysWithinPad) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::vector<NodeId> a = SortedDistinct(rng, 64, 96);
+    const std::vector<NodeId> b = SortedDistinct(rng, 64, 96);
+    const std::vector<NodeId> expected = StdIntersection(a, b);
+    std::vector<NodeId> out(64 + kIntersectPad, 0xDEADBEEF);
+    const size_t n = IntersectSorted(a, b, out.data());
+    ASSERT_EQ(n, expected.size());
+    // Slots past n + pad-use are untouched garbage or pad writes; slots
+    // before n are exactly the intersection.
+    ASSERT_TRUE(std::equal(expected.begin(), expected.end(), out.begin()));
+  }
+}
+
+}  // namespace
+}  // namespace wireframe
