@@ -7,6 +7,9 @@
 //
 // Commands:
 //   select ...            run a CQ on the Wireframe engine (default)
+//   select (count(*) as ?c) ... / ask { ... } / ... group by ?v
+//                         factorized aggregates — counted on the frozen
+//                         AG without enumerating embeddings
 //   .engine WF|PG|VT|MD|NJ  switch engines
 //   .explain select ...   show shape + both phase plans
 //   .load FILE.nt         import N-Triples (replaces current graph)
@@ -25,6 +28,7 @@
 #include "catalog/catalog.h"
 #include "core/wireframe.h"
 #include "datagen/yago_like.h"
+#include "exec/aggregate_executor.h"
 #include "exec/engine.h"
 #include "query/parser.h"
 #include "storage/ntriples.h"
@@ -59,10 +63,79 @@ void PrintStats(const ShellState& state) {
             << "engine     : " << state.engine_name << "\n";
 }
 
+/// COUNT/ASK/GROUP BY: the WF engine answers with the factorized DP
+/// over the frozen AG (no embedding materialized); baseline engines
+/// enumerate their rows through the folding sink for comparison.
+void RunAggregateQuery(ShellState& state, const QueryGraph& query) {
+  EngineOptions options;
+  options.deadline = Deadline::AfterSeconds(state.timeout_seconds);
+  Stopwatch watch;
+  AggregateResult result;
+  uint64_t ag_pairs = 0;
+  if (state.engine_name == "WF") {
+    WireframeEngine engine;
+    CollectingAggregateSink sink;
+    auto detail = engine.RunDetailed(*state.db, *state.catalog, query,
+                                     options, &sink);
+    if (!detail.ok()) {
+      std::cout << "error: " << detail.status().ToString() << "\n";
+      return;
+    }
+    result = detail->aggregate;
+    ag_pairs = detail->stats.ag_pairs;
+  } else {
+    auto engine = MakeEngine(state.engine_name);
+    EnumeratingAggregateSink fold(query.aggregate());
+    auto stats = engine->Run(*state.db, *state.catalog, query, options,
+                             &fold);
+    if (!stats.ok()) {
+      std::cout << "error: " << stats.status().ToString() << "\n";
+      return;
+    }
+    result = fold.TakeResult();
+  }
+  const double seconds = watch.ElapsedSeconds();
+
+  const AggregateSpec& spec = query.aggregate();
+  if (spec.kind == AggregateKind::kAsk) {
+    std::cout << (result.ask ? "yes" : "no");
+  } else if (spec.group_var != kInvalidVar) {
+    TablePrinter table(
+        {"?" + query.VarName(spec.group_var),
+         "?" + (spec.alias.empty() ? std::string("count") : spec.alias)});
+    uint64_t shown = 0;
+    for (const AggregateGroup& group : result.groups) {
+      if (shown == state.print_limit) break;
+      table.AddRow({state.db->nodes().Term(group.key),
+                    group.value.ToString()});
+      ++shown;
+    }
+    table.Print(std::cout);
+    if (result.groups.size() > shown) {
+      std::cout << "... and " << (result.groups.size() - shown)
+                << " more groups\n";
+    }
+    std::cout << result.groups.size() << " group(s), total "
+              << result.value.ToString();
+  } else {
+    std::cout << "?" << (spec.alias.empty() ? std::string("c") : spec.alias)
+              << " = " << result.value.ToString();
+  }
+  std::cout << "  [" << (result.factorized ? "factorized, no enumeration"
+                                           : "enumerated") << "] in "
+            << TablePrinter::FormatSeconds(seconds) << " s";
+  if (ag_pairs > 0) std::cout << "  |AG| = " << ag_pairs;
+  std::cout << "\n";
+}
+
 void RunQuery(ShellState& state, const std::string& text) {
   auto query = SparqlParser::ParseAndBind(text, *state.db);
   if (!query.ok()) {
     std::cout << "error: " << query.status().ToString() << "\n";
+    return;
+  }
+  if (query->aggregate().kind != AggregateKind::kNone) {
+    RunAggregateQuery(state, *query);
     return;
   }
   auto engine = MakeEngine(state.engine_name);
@@ -135,8 +208,8 @@ void HandleCommand(ShellState& state, const std::string& line) {
 
   if (cmd == ".help") {
     std::cout << "commands: .engine .explain .load .open .save .stats "
-                 ".limit .timeout .quit;\nanything starting with 'select' "
-                 "runs as a query\n";
+                 ".limit .timeout .quit;\nanything else runs as a query — "
+                 "select ..., select (count(*) as ?c) ..., ask { ... }\n";
   } else if (cmd == ".engine") {
     if (MakeEngine(arg) == nullptr) {
       std::cout << "unknown engine '" << arg << "' (WF PG VT MD NJ)\n";

@@ -86,6 +86,7 @@ std::string JsonResultWriter::ToJson() const {
        << ", \"burnback_seconds\": " << FormatDouble(r.burnback_seconds)
        << ", \"freeze_seconds\": " << FormatDouble(r.freeze_seconds)
        << ", \"phase2_seconds\": " << FormatDouble(r.phase2_seconds)
+       << ", \"aggregate_seconds\": " << FormatDouble(r.aggregate_seconds)
        << ", \"p50_seconds\": " << FormatDouble(r.p50_seconds)
        << ", \"p99_seconds\": " << FormatDouble(r.p99_seconds)
        << ", \"cache_hits\": " << r.cache_hits

@@ -28,6 +28,9 @@ struct BenchRecord {
   double burnback_seconds = 0.0;
   double freeze_seconds = 0.0;
   double phase2_seconds = 0.0;
+  /// Slice of phase 2 spent producing an aggregate answer (the counting
+  /// DP or the enumerate-then-count fold; 0 for plain SELECT cells).
+  double aggregate_seconds = 0.0;
   /// Per-query latency percentiles of a concurrent-serving cell
   /// (bench_concurrent; 0 when the cell is a single run).
   double p50_seconds = 0.0;

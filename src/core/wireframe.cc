@@ -5,6 +5,89 @@
 
 namespace wireframe {
 
+Status WireframeEngine::EmitEmbeddings(const QueryGraph& query,
+                                       const AnswerGraph& ag,
+                                       const EngineOptions& options,
+                                       ThreadPool* pool, Sink* sink,
+                                       WireframeRunDetail* detail) {
+  bool emitted_by_bushy = false;
+  if (options_.bushy_phase2) {
+    BushyPlanner bushy_planner(query);
+    Result<BushyPlan> bushy_plan = bushy_planner.Plan(ag.Stats());
+    if (bushy_plan.ok()) {
+      BushyExecutor executor(query, ag);
+      BushyExecutorOptions bushy_options;
+      bushy_options.deadline = options.deadline;
+      bushy_options.pool = pool;
+      bushy_options.cancel = options.runtime.cancel;
+      bushy_options.weight = options.runtime.weight;
+      WF_ASSIGN_OR_RETURN(detail->phase2_stats,
+                          executor.Emit(*bushy_plan, sink, bushy_options));
+      emitted_by_bushy = true;
+      detail->used_bushy = true;
+    }
+    // Capped-out bushy DP falls through to the pipelined defactorizer.
+  }
+  EmbeddingPlanner embedding_planner(query);
+  WF_ASSIGN_OR_RETURN(detail->embedding_plan,
+                      embedding_planner.PlanJoinOrder(ag.Stats()));
+  if (!emitted_by_bushy) {
+    Defactorizer defactorizer(query, ag);
+    DefactorizerOptions defac_options;
+    defac_options.deadline = options.deadline;
+    defac_options.use_chords = options_.chords_in_phase2;
+    defac_options.pool = pool;
+    defac_options.cancel = options.runtime.cancel;
+    defac_options.weight = options.runtime.weight;
+    WF_ASSIGN_OR_RETURN(
+        detail->phase2_stats,
+        defactorizer.Emit(detail->embedding_plan, sink, defac_options));
+  }
+  return Status::OK();
+}
+
+Status WireframeEngine::ExecutePhase2(const QueryGraph& query,
+                                      const AnswerGraph& ag,
+                                      const EngineOptions& options,
+                                      ThreadPool* pool, Sink* sink,
+                                      WireframeRunDetail* detail) {
+  const AggregateSpec& spec = query.aggregate();
+  if (spec.kind == AggregateKind::kNone) {
+    return EmitEmbeddings(query, ag, options, pool, sink, detail);
+  }
+  Stopwatch aggregate_watch;
+  detail->has_aggregate = true;
+  AggregatePlanner planner(query);
+  AggregatePlan plan =
+      planner.Plan(spec, AggregateExecutor::MaterializedChords(ag));
+  if (plan.mode != AggregateMode::kEnumerate && !ag.IsFrozen()) {
+    plan.mode = AggregateMode::kEnumerate;
+    plan.reason = "answer graph not frozen (freeze_ag off)";
+  }
+  if (plan.mode != AggregateMode::kEnumerate) {
+    AggregateExecutor executor(query, ag);
+    AggregateExecutorOptions exec_options;
+    exec_options.deadline = options.deadline;
+    exec_options.pool = pool;
+    exec_options.cancel = options.runtime.cancel;
+    exec_options.weight = options.runtime.weight;
+    WF_ASSIGN_OR_RETURN(detail->aggregate,
+                        executor.Run(plan, spec, exec_options));
+  } else {
+    EnumeratingAggregateSink fold(spec);
+    const Status enumerated =
+        EmitEmbeddings(query, ag, options, pool, &fold, detail);
+    if (!enumerated.ok()) return enumerated;
+    detail->aggregate = fold.TakeResult();
+    detail->aggregate.fallback_reason = plan.reason;
+  }
+  detail->stats.aggregate_seconds = aggregate_watch.ElapsedSeconds();
+  if (auto* aggregate_sink = dynamic_cast<AggregateSink*>(sink)) {
+    aggregate_sink->OnAggregate(detail->aggregate);
+  }
+  return Status::OK();
+}
+
 Result<WireframeRunDetail> WireframeEngine::RunDetailed(
     const Database& db, const Catalog& catalog, const QueryGraph& query,
     const EngineOptions& options, Sink* sink) {
@@ -58,46 +141,20 @@ Result<WireframeRunDetail> WireframeEngine::RunDetailed(
   detail.pairs_burned = gen.pairs_burned;
   detail.chord_pairs = gen.chord_pairs;
 
-  // --- Phase 2: embedding generation over the AG. ---
+  // --- Phase 2: embeddings, or the factorized aggregate DP. ---
   Stopwatch phase2_watch;
-  bool emitted_by_bushy = false;
-  if (options_.bushy_phase2) {
-    BushyPlanner bushy_planner(query);
-    Result<BushyPlan> bushy_plan = bushy_planner.Plan(gen.ag->Stats());
-    if (bushy_plan.ok()) {
-      BushyExecutor executor(query, *gen.ag);
-      BushyExecutorOptions bushy_options;
-      bushy_options.deadline = options.deadline;
-      bushy_options.pool = pool;
-      bushy_options.cancel = options.runtime.cancel;
-      bushy_options.weight = options.runtime.weight;
-      WF_ASSIGN_OR_RETURN(detail.phase2_stats,
-                          executor.Emit(*bushy_plan, sink, bushy_options));
-      emitted_by_bushy = true;
-      detail.used_bushy = true;
-    }
-    // Capped-out bushy DP falls through to the pipelined defactorizer.
-  }
-  EmbeddingPlanner embedding_planner(query);
-  WF_ASSIGN_OR_RETURN(detail.embedding_plan,
-                      embedding_planner.PlanJoinOrder(gen.ag->Stats()));
-  if (!emitted_by_bushy) {
-    Defactorizer defactorizer(query, *gen.ag);
-    DefactorizerOptions defac_options;
-    defac_options.deadline = options.deadline;
-    defac_options.use_chords = options_.chords_in_phase2;
-    defac_options.pool = pool;
-    defac_options.cancel = options.runtime.cancel;
-    defac_options.weight = options.runtime.weight;
-    WF_ASSIGN_OR_RETURN(
-        detail.phase2_stats,
-        defactorizer.Emit(detail.embedding_plan, sink, defac_options));
+  {
+    const Status phase2 =
+        ExecutePhase2(query, *gen.ag, options, pool, sink, &detail);
+    if (!phase2.ok()) return phase2;
   }
   detail.stats.phase2_seconds = phase2_watch.ElapsedSeconds();
 
   detail.stats.seconds = total.ElapsedSeconds();
   detail.stats.edge_walks = gen.edge_walks;
-  detail.stats.output_tuples = detail.phase2_stats.emitted;
+  detail.stats.output_tuples = detail.has_aggregate
+                                   ? detail.aggregate.NumRows()
+                                   : detail.phase2_stats.emitted;
   detail.stats.ag_pairs = gen.ag->TotalQueryEdgePairs();
   detail.stats.pairs_burned = gen.pairs_burned;
   detail.stats.burnback_depth = gen.burnback_depth;
@@ -119,42 +176,17 @@ Result<WireframeRunDetail> WireframeEngine::RunOverAg(
   detail.cyclic = !AnalyzeShape(query).acyclic;
 
   Stopwatch phase2_watch;
-  bool emitted_by_bushy = false;
-  if (options_.bushy_phase2) {
-    BushyPlanner bushy_planner(query);
-    Result<BushyPlan> bushy_plan = bushy_planner.Plan(ag.Stats());
-    if (bushy_plan.ok()) {
-      BushyExecutor executor(query, ag);
-      BushyExecutorOptions bushy_options;
-      bushy_options.deadline = options.deadline;
-      bushy_options.pool = pool;
-      bushy_options.cancel = options.runtime.cancel;
-      bushy_options.weight = options.runtime.weight;
-      WF_ASSIGN_OR_RETURN(detail.phase2_stats,
-                          executor.Emit(*bushy_plan, sink, bushy_options));
-      emitted_by_bushy = true;
-      detail.used_bushy = true;
-    }
-  }
-  EmbeddingPlanner embedding_planner(query);
-  WF_ASSIGN_OR_RETURN(detail.embedding_plan,
-                      embedding_planner.PlanJoinOrder(ag.Stats()));
-  if (!emitted_by_bushy) {
-    Defactorizer defactorizer(query, ag);
-    DefactorizerOptions defac_options;
-    defac_options.deadline = options.deadline;
-    defac_options.use_chords = options_.chords_in_phase2;
-    defac_options.pool = pool;
-    defac_options.cancel = options.runtime.cancel;
-    defac_options.weight = options.runtime.weight;
-    WF_ASSIGN_OR_RETURN(
-        detail.phase2_stats,
-        defactorizer.Emit(detail.embedding_plan, sink, defac_options));
+  {
+    const Status phase2 =
+        ExecutePhase2(query, ag, options, pool, sink, &detail);
+    if (!phase2.ok()) return phase2;
   }
   detail.stats.phase2_seconds = phase2_watch.ElapsedSeconds();
 
   detail.stats.seconds = total.ElapsedSeconds();
-  detail.stats.output_tuples = detail.phase2_stats.emitted;
+  detail.stats.output_tuples = detail.has_aggregate
+                                   ? detail.aggregate.NumRows()
+                                   : detail.phase2_stats.emitted;
   detail.stats.ag_pairs = ag.TotalQueryEdgePairs();
   return detail;
 }

@@ -7,6 +7,7 @@
 #include "core/bushy_executor.h"
 #include "core/defactorizer.h"
 #include "core/generator.h"
+#include "exec/aggregate_executor.h"
 #include "exec/engine.h"
 #include "planner/edgifier.h"
 #include "planner/embedding_planner.h"
@@ -66,6 +67,13 @@ struct WireframeRunDetail {
   std::unique_ptr<AnswerGraph> ag;
   AgPlan ag_plan;
   EmbeddingPlan embedding_plan;
+  /// Aggregate result, filled when the query carries an AggregateSpec
+  /// (kind != kNone): the factorized counting DP's answer when the plan
+  /// was DP-eligible, the enumerate-then-count fold otherwise
+  /// (aggregate.factorized says which; stats.aggregate_seconds holds
+  /// the wall time either way).
+  bool has_aggregate = false;
+  AggregateResult aggregate;
 };
 
 /// The prototype system (paper §5): a two-phase, cost-based evaluator for
@@ -111,6 +119,20 @@ class WireframeEngine : public Engine {
   const WireframeOptions& wireframe_options() const { return options_; }
 
  private:
+  /// Shared phase-2 body of RunDetailed and RunOverAg: routes aggregate
+  /// queries to the factorized counting DP (enumerate-then-count when
+  /// the plan declines), plain SELECTs to the bushy/pipelined embedding
+  /// executors. Delivers aggregate results to `sink` when it is an
+  /// AggregateSink.
+  Status ExecutePhase2(const QueryGraph& query, const AnswerGraph& ag,
+                       const EngineOptions& options, ThreadPool* pool,
+                       Sink* sink, WireframeRunDetail* detail);
+  /// The plain embedding-enumeration phase 2 (bushy when configured and
+  /// plannable, pipelined defactorizer otherwise).
+  Status EmitEmbeddings(const QueryGraph& query, const AnswerGraph& ag,
+                        const EngineOptions& options, ThreadPool* pool,
+                        Sink* sink, WireframeRunDetail* detail);
+
   WireframeOptions options_;
 };
 

@@ -110,6 +110,9 @@ struct EngineStats {
   double burnback_seconds = 0.0;
   double freeze_seconds = 0.0;
   double phase2_seconds = 0.0;
+  /// Slice of phase 2 spent producing an aggregate result (the counting
+  /// DP, or the enumerate-then-count fallback). 0 for plain SELECTs.
+  double aggregate_seconds = 0.0;
 };
 
 /// A conjunctive-query evaluator. Implementations: the Wireframe

@@ -1,0 +1,161 @@
+#include "planner/aggregate_planner.h"
+
+#include <functional>
+#include <utility>
+
+#include "query/shape.h"
+
+namespace wireframe {
+
+namespace {
+
+/// Appends the DP steps of the tree hanging off `root` through the
+/// allowed edges, children-first. `var_visited` persists across calls so
+/// disjoint pendant components never re-enter each other.
+void AppendTreeSteps(const QueryGraph& q, VarId root,
+                     const std::vector<char>& edge_allowed,
+                     std::vector<char>& var_visited,
+                     std::vector<AggregateTreeStep>* steps) {
+  var_visited[root] = 1;
+  std::function<void(VarId)> visit = [&](VarId parent) {
+    for (uint32_t e : q.IncidentEdges(parent)) {
+      if (!edge_allowed[e]) continue;
+      const VarId child = q.Edge(e).Other(parent);
+      if (var_visited[child]) continue;
+      var_visited[child] = 1;
+      visit(child);
+      steps->push_back({e, parent, child});
+    }
+  };
+  visit(root);
+}
+
+AggregatePlan Declined(std::string why) {
+  AggregatePlan plan;
+  plan.mode = AggregateMode::kEnumerate;
+  plan.reason = std::move(why);
+  return plan;
+}
+
+}  // namespace
+
+AggregatePlan AggregatePlanner::Plan(
+    const AggregateSpec& spec, const std::vector<ChordSlot>& chords) const {
+  const QueryGraph& q = *query_;
+  const VarId anchor = spec.group_var != kInvalidVar    ? spec.group_var
+                       : spec.distinct_var != kInvalidVar ? spec.distinct_var
+                                                          : kInvalidVar;
+  if (!IsConnected(q)) return Declined("disconnected query graph");
+
+  if (IsAcyclic(q)) {
+    // Tree DP, rooted at the grouped/distinct variable so the root's
+    // per-candidate counts directly answer GROUP BY / COUNT(DISTINCT).
+    AggregatePlan plan;
+    plan.mode = AggregateMode::kTreeDp;
+    plan.root = anchor != kInvalidVar ? anchor : 0;
+    std::vector<char> allowed(q.NumEdges(), 1);
+    std::vector<char> visited(q.NumVars(), 0);
+    AppendTreeSteps(q, plan.root, allowed, visited, &plan.steps);
+    return plan;
+  }
+
+  // Cyclic: the DP handles exactly one materialized chord — the shape
+  // phase-1 triangulation produces for 4-cycles (with arbitrary pendant
+  // trees). Base triangles carry no chord set to iterate, and multiple
+  // chords correlate in ways a single pair sweep cannot fold.
+  if (chords.empty()) {
+    return Declined("cyclic query without a materialized chord");
+  }
+  if (chords.size() > 1) {
+    return Declined("more than one materialized chord");
+  }
+  const ChordSlot& chord = chords[0];
+  const VarId u = chord.u;
+  const VarId v = chord.v;
+  AggregatePlan plan;
+  plan.chord_slot = chord.slot;
+  plan.chord_u = u;
+  plan.chord_v = v;
+
+  // Classify the query edges the chord pair sweep itself covers: direct
+  // u-v edges become per-pair membership filters, apex edges become
+  // weighted span intersections. Everything else must be pendant forest.
+  std::vector<char> removed(q.NumEdges(), 0);
+  for (uint32_t e = 0; e < q.NumEdges(); ++e) {
+    if (q.Edge(e).Touches(u) && q.Edge(e).Touches(v)) {
+      plan.direct_edges.push_back(e);
+      removed[e] = 1;
+    }
+  }
+  for (VarId w = 0; w < q.NumVars(); ++w) {
+    if (w == u || w == v) continue;
+    AggregateApex apex;
+    apex.var = w;
+    for (uint32_t e : q.IncidentEdges(w)) {
+      if (q.Edge(e).Touches(u)) {
+        apex.u_edges.push_back(e);
+      } else if (q.Edge(e).Touches(v)) {
+        apex.v_edges.push_back(e);
+      }
+    }
+    if (!apex.u_edges.empty() && !apex.v_edges.empty()) {
+      for (uint32_t e : apex.u_edges) removed[e] = 1;
+      for (uint32_t e : apex.v_edges) removed[e] = 1;
+      plan.apexes.push_back(std::move(apex));
+    }
+  }
+  if (anchor != kInvalidVar && anchor != u && anchor != v) {
+    return Declined("grouped/distinct variable is not a chord endpoint");
+  }
+
+  // The remainder must be a forest whose components each touch exactly
+  // one attach variable (chord endpoint or apex): pendant trees counted
+  // by the tree DP. A remainder cycle, or a remainder path joining two
+  // attach variables, correlates candidates across the sweep.
+  std::vector<char> is_attach(q.NumVars(), 0);
+  is_attach[u] = 1;
+  is_attach[v] = 1;
+  for (const AggregateApex& apex : plan.apexes) is_attach[apex.var] = 1;
+  std::vector<int> comp(q.NumVars(), -1);
+  for (VarId s = 0; s < q.NumVars(); ++s) {
+    if (comp[s] != -1) continue;
+    comp[s] = 1;
+    uint32_t nvars = 0, nedges = 0, nattach = 0;
+    std::vector<VarId> stack{s};
+    while (!stack.empty()) {
+      const VarId x = stack.back();
+      stack.pop_back();
+      ++nvars;
+      if (is_attach[x]) ++nattach;
+      for (uint32_t e : q.IncidentEdges(x)) {
+        if (removed[e]) continue;
+        ++nedges;  // counted from both endpoints; halved below
+        const VarId y = q.Edge(e).Other(x);
+        if (comp[y] == -1) {
+          comp[y] = 1;
+          stack.push_back(y);
+        }
+      }
+    }
+    nedges /= 2;
+    if (nedges >= nvars) {
+      return Declined("a second cycle outside the chord");
+    }
+    if (nattach != 1) {
+      return Declined("cycle variables joined again outside the cycle");
+    }
+  }
+
+  plan.mode = AggregateMode::kCycleDp;
+  std::vector<char> allowed(q.NumEdges());
+  for (uint32_t e = 0; e < q.NumEdges(); ++e) allowed[e] = !removed[e];
+  std::vector<char> visited(q.NumVars(), 0);
+  AppendTreeSteps(q, u, allowed, visited, &plan.steps);
+  AppendTreeSteps(q, v, allowed, visited, &plan.steps);
+  for (const AggregateApex& apex : plan.apexes) {
+    AppendTreeSteps(q, apex.var, allowed, visited, &plan.steps);
+  }
+  return plan;
+}
+
+}  // namespace wireframe

@@ -1,0 +1,96 @@
+#ifndef WIREFRAME_PLANNER_AGGREGATE_PLANNER_H_
+#define WIREFRAME_PLANNER_AGGREGATE_PLANNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "query/query_graph.h"
+
+namespace wireframe {
+
+/// How an aggregate query will be evaluated over the answer graph.
+enum class AggregateMode : uint8_t {
+  /// Rooted-tree counting DP over the frozen CSR spans (acyclic
+  /// queries): each variable's down-count is the product over its child
+  /// edges of the span-sum of the children's down-counts.
+  kTreeDp,
+  /// Single-chord cycle DP: iterate the materialized chord's pair set;
+  /// per pair, multiply the weighted span intersections at each apex,
+  /// the membership filters of direct edges, and the pendant-tree
+  /// counts at the chord endpoints.
+  kCycleDp,
+  /// Not DP-eligible: enumerate embeddings into an aggregating sink
+  /// (always correct; `reason` says why the DP was declined).
+  kEnumerate,
+};
+
+/// One bottom-up step of the counting DP: fold query edge `edge`
+/// (between `parent` and `child`) into the parent's count array. Steps
+/// are listed children-first, so when a step runs the child's own
+/// subtree is already fully counted.
+struct AggregateTreeStep {
+  uint32_t edge = 0;
+  VarId parent = kInvalidVar;
+  VarId child = kInvalidVar;
+};
+
+/// One apex of the cycle DP: a variable adjacent to both chord
+/// endpoints. u_edges / v_edges are the query edges joining it to the
+/// chord's u / v side; per chord pair (cu, cv) the apex contributes the
+/// weighted size of the intersection of all those spans.
+struct AggregateApex {
+  VarId var = kInvalidVar;
+  std::vector<uint32_t> u_edges;
+  std::vector<uint32_t> v_edges;
+};
+
+struct AggregatePlan {
+  AggregateMode mode = AggregateMode::kEnumerate;
+  /// Human-readable justification when mode == kEnumerate.
+  std::string reason;
+  /// kTreeDp: the DP root — the grouped/distinct variable when the spec
+  /// names one (so one DP serves every aggregate kind), else var 0.
+  VarId root = kInvalidVar;
+  /// kTreeDp: every query edge, children-first toward `root`.
+  /// kCycleDp: the pendant-forest edges, children-first toward their
+  /// attach variables (chord endpoints and apexes).
+  std::vector<AggregateTreeStep> steps;
+  // kCycleDp only.
+  uint32_t chord_slot = 0;  // answer-graph edge-set index of the chord
+  VarId chord_u = kInvalidVar;
+  VarId chord_v = kInvalidVar;
+  std::vector<AggregateApex> apexes;
+  /// Query edges directly connecting chord_u and chord_v (evaluated as
+  /// per-pair membership filters).
+  std::vector<uint32_t> direct_edges;
+};
+
+/// A materialized chord of the answer graph, as the planner needs it
+/// (the planner stays AG-agnostic; the executor extracts these).
+struct ChordSlot {
+  uint32_t slot = 0;  // AG edge-set index (>= NumQueryEdges)
+  VarId u = kInvalidVar;
+  VarId v = kInvalidVar;
+};
+
+/// Classifies an aggregate query into a counting-DP plan. Pure query
+/// structure analysis: acyclic queries always get the tree DP (exact
+/// regardless of answer-graph ideality — dead pairs contribute zero);
+/// cyclic queries get the cycle DP when one materialized chord closes
+/// the only cycle and the rest of the query hangs off the cycle as
+/// pendant trees; everything else falls back to enumeration.
+class AggregatePlanner {
+ public:
+  explicit AggregatePlanner(const QueryGraph& query) : query_(&query) {}
+
+  AggregatePlan Plan(const AggregateSpec& spec,
+                     const std::vector<ChordSlot>& chords) const;
+
+ private:
+  const QueryGraph* query_;
+};
+
+}  // namespace wireframe
+
+#endif  // WIREFRAME_PLANNER_AGGREGATE_PLANNER_H_

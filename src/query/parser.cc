@@ -100,30 +100,91 @@ Status ErrorAt(const Cursor& c, const std::string& what) {
                             ")");
 }
 
+/// Parses one parenthesized projection item after its '(' was consumed:
+/// `COUNT(*) AS ?alias` or `COUNT(DISTINCT ?v) AS ?alias`, closing ')'.
+Status ParseAggregateItem(Cursor& c, ParsedQuery& q) {
+  for (const char* fn : {"sum", "avg", "min", "max", "sample",
+                         "group_concat"}) {
+    if (c.ConsumeKeyword(fn)) {
+      return ErrorAt(c, std::string("unsupported aggregate ") + fn +
+                            "; only COUNT(*) and COUNT(DISTINCT ?var) are"
+                            " supported");
+    }
+  }
+  if (!c.ConsumeKeyword("count")) {
+    return ErrorAt(c, "expected an aggregate function after '('");
+  }
+  if (q.aggregate != AggregateKind::kNone) {
+    return ErrorAt(c, "at most one aggregate per query");
+  }
+  if (!c.ConsumeChar('(')) return ErrorAt(c, "expected '(' after COUNT");
+  if (c.ConsumeChar('*')) {
+    q.aggregate = AggregateKind::kCount;
+  } else if (c.ConsumeKeyword("distinct")) {
+    q.distinct_count_var = c.ConsumeVar();
+    if (q.distinct_count_var.empty()) {
+      return ErrorAt(c, "expected ?variable after COUNT(DISTINCT");
+    }
+    q.aggregate = AggregateKind::kCountDistinct;
+  } else if (!c.ConsumeVar().empty()) {
+    return ErrorAt(c, "plain COUNT(?var) is not supported; use COUNT(*) or"
+                      " COUNT(DISTINCT ?var)");
+  } else {
+    return ErrorAt(c, "expected '*' or DISTINCT ?variable inside COUNT");
+  }
+  if (!c.ConsumeChar(')')) return ErrorAt(c, "expected ')' closing COUNT");
+  if (!c.ConsumeKeyword("as")) {
+    return ErrorAt(c, "expected AS ?alias after COUNT(...)");
+  }
+  q.aggregate_alias = c.ConsumeVar();
+  if (q.aggregate_alias.empty()) {
+    return ErrorAt(c, "expected ?alias after AS");
+  }
+  if (!c.ConsumeChar(')')) {
+    return ErrorAt(c, "expected ')' closing the aggregate");
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<ParsedQuery> SparqlParser::Parse(std::string_view text) {
   Cursor c(text);
   ParsedQuery q;
 
-  if (!c.ConsumeKeyword("select")) return ErrorAt(c, "expected SELECT");
-  if (c.ConsumeKeyword("distinct")) q.distinct = true;
-
-  if (c.ConsumeChar('*')) {
-    // SELECT *: empty projection.
+  if (c.ConsumeKeyword("ask")) {
+    q.aggregate = AggregateKind::kAsk;
+    c.ConsumeKeyword("where");  // ASK { ... } and ASK WHERE { ... }
   } else {
-    for (;;) {
-      std::string var = c.ConsumeVar();
-      if (var.empty()) break;
-      q.projection.push_back(var);
-      c.ConsumeChar(',');  // commas between projection vars are optional
+    if (!c.ConsumeKeyword("select")) {
+      return ErrorAt(c, "expected SELECT or ASK");
     }
-    if (q.projection.empty()) {
-      return ErrorAt(c, "expected '*' or at least one ?variable");
-    }
-  }
+    if (c.ConsumeKeyword("distinct")) q.distinct = true;
 
-  if (!c.ConsumeKeyword("where")) return ErrorAt(c, "expected WHERE");
+    if (c.ConsumeChar('*')) {
+      // SELECT *: empty projection.
+    } else {
+      for (;;) {
+        if (c.ConsumeChar('(')) {
+          Status item = ParseAggregateItem(c, q);
+          if (!item.ok()) return item;
+        } else {
+          std::string var = c.ConsumeVar();
+          if (var.empty()) break;
+          q.projection.push_back(var);
+        }
+        c.ConsumeChar(',');  // commas between projection items are optional
+      }
+      if (q.projection.empty() && q.aggregate == AggregateKind::kNone) {
+        return ErrorAt(c, "expected '*', a ?variable, or an aggregate");
+      }
+    }
+    if (q.distinct && q.aggregate != AggregateKind::kNone) {
+      return ErrorAt(c, "SELECT DISTINCT cannot be combined with"
+                        " aggregates; use COUNT(DISTINCT ?var)");
+    }
+    if (!c.ConsumeKeyword("where")) return ErrorAt(c, "expected WHERE");
+  }
   if (!c.ConsumeChar('{')) return ErrorAt(c, "expected '{'");
 
   while (!c.ConsumeChar('}')) {
@@ -144,6 +205,41 @@ Result<ParsedQuery> SparqlParser::Parse(std::string_view text) {
   }
 
   if (q.patterns.empty()) return ErrorAt(c, "empty WHERE block");
+
+  if (c.ConsumeKeyword("group")) {
+    if (q.aggregate == AggregateKind::kAsk) {
+      return ErrorAt(c, "GROUP BY cannot be combined with ASK");
+    }
+    if (!c.ConsumeKeyword("by")) return ErrorAt(c, "expected BY after GROUP");
+    q.group_by_var = c.ConsumeVar();
+    if (q.group_by_var.empty()) {
+      return ErrorAt(c, "expected ?variable after GROUP BY");
+    }
+    if (!c.ConsumeVar().empty()) {
+      return ErrorAt(c, "GROUP BY supports exactly one variable");
+    }
+    if (q.aggregate == AggregateKind::kNone) {
+      return ErrorAt(c, "GROUP BY requires a (COUNT(*) AS ?alias) aggregate"
+                        " in the SELECT clause");
+    }
+    if (q.aggregate == AggregateKind::kCountDistinct) {
+      return ErrorAt(c, "COUNT(DISTINCT) with GROUP BY is not supported");
+    }
+  }
+  if (c.ConsumeKeyword("having")) return ErrorAt(c, "HAVING is not supported");
+  if (!c.AtEnd()) return ErrorAt(c, "unexpected trailing input");
+
+  // With an aggregate, plain projection variables must be grouped: the
+  // output rows are (group, count) pairs, so anything else is
+  // non-aggregated and unsupported.
+  if (q.aggregate != AggregateKind::kNone) {
+    for (const std::string& name : q.projection) {
+      if (name != q.group_by_var) {
+        return ErrorAt(c, "non-aggregated ?" + name + " in SELECT requires"
+                          " GROUP BY ?" + name);
+      }
+    }
+  }
   return q;
 }
 
@@ -189,6 +285,28 @@ Result<QueryGraph> SparqlParser::Bind(const ParsedQuery& parsed,
     projection.push_back(v);
   }
   graph.SetProjection(std::move(projection));
+
+  AggregateSpec spec;
+  spec.kind = parsed.aggregate;
+  spec.alias = parsed.aggregate_alias;
+  if (!parsed.distinct_count_var.empty()) {
+    VarId v = graph.FindVar(parsed.distinct_count_var);
+    if (v == kInvalidVar) {
+      return Status::InvalidArgument("COUNT(DISTINCT ?" +
+                                     parsed.distinct_count_var +
+                                     "): variable does not appear in WHERE");
+    }
+    spec.distinct_var = v;
+  }
+  if (!parsed.group_by_var.empty()) {
+    VarId v = graph.FindVar(parsed.group_by_var);
+    if (v == kInvalidVar) {
+      return Status::InvalidArgument("GROUP BY ?" + parsed.group_by_var +
+                                     ": variable does not appear in WHERE");
+    }
+    spec.group_var = v;
+  }
+  graph.SetAggregate(std::move(spec));
   return graph;
 }
 

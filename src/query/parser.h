@@ -22,15 +22,31 @@ struct ParsedQuery {
   std::vector<std::string> projection;  // empty means SELECT *
   bool distinct = false;
   std::vector<Pattern> patterns;
+  // Aggregate clause, when present (see query_graph.h AggregateSpec).
+  AggregateKind aggregate = AggregateKind::kNone;
+  std::string aggregate_alias;     // "c" for (... AS ?c); empty for ASK
+  std::string distinct_count_var;  // COUNT(DISTINCT ?v)
+  std::string group_by_var;        // GROUP BY ?v
 };
 
 /// Recursive-descent parser for the SPARQL fragment the paper uses:
 ///
 ///   SELECT [DISTINCT] (?var... | *) WHERE { ?s <p> ?o . ... }
 ///
-/// Predicates may be written `<full-iri>`, `prefix:name`, or bare names.
-/// Keywords are case-insensitive; the final '.' of the last pattern is
-/// optional, matching the paper's listings.
+/// plus the aggregate subset served by the factorized aggregate
+/// executor:
+///
+///   SELECT (COUNT(*) AS ?c) WHERE { ... }
+///   SELECT (COUNT(DISTINCT ?v) AS ?c) WHERE { ... }
+///   SELECT ?g (COUNT(*) AS ?c) WHERE { ... } GROUP BY ?g
+///   ASK { ... }
+///
+/// Unsupported combinations (SUM/AVG/MIN/MAX, plain COUNT(?v), DISTINCT
+/// with aggregates, multi-variable GROUP BY, HAVING) are rejected with
+/// precise messages. Predicates may be written `<full-iri>`,
+/// `prefix:name`, or bare names. Keywords are case-insensitive; the
+/// final '.' of the last pattern is optional, matching the paper's
+/// listings.
 class SparqlParser {
  public:
   /// Parses the textual query. ParseError statuses carry a byte offset.

@@ -7,6 +7,20 @@
 
 namespace wireframe {
 
+const char* AggregateKindName(AggregateKind kind) {
+  switch (kind) {
+    case AggregateKind::kNone:
+      return "none";
+    case AggregateKind::kCount:
+      return "count";
+    case AggregateKind::kCountDistinct:
+      return "count-distinct";
+    case AggregateKind::kAsk:
+      return "ask";
+  }
+  return "?";
+}
+
 VarId QueryGraph::AddVar(std::string_view name) {
   WF_CHECK(FindVar(name) == kInvalidVar)
       << "duplicate variable ?" << std::string(name);
@@ -46,10 +60,29 @@ std::vector<VarId> QueryGraph::OutputVars() const {
 
 std::string QueryGraph::ToString(
     const std::function<std::string(LabelId)>& label_name) const {
-  std::string out = "select ";
-  if (distinct_) out += "distinct ";
-  for (VarId v : OutputVars()) {
-    out += "?" + var_names_[v] + " ";
+  std::string out;
+  if (aggregate_.kind == AggregateKind::kAsk) {
+    out = "ask ";
+  } else {
+    out = "select ";
+    if (distinct_) out += "distinct ";
+    switch (aggregate_.kind) {
+      case AggregateKind::kCount:
+        if (aggregate_.group_var != kInvalidVar) {
+          out += "?" + var_names_[aggregate_.group_var] + " ";
+        }
+        out += "(count(*) as ?" + aggregate_.alias + ") ";
+        break;
+      case AggregateKind::kCountDistinct:
+        out += "(count(distinct ?" + var_names_[aggregate_.distinct_var] +
+               ") as ?" + aggregate_.alias + ") ";
+        break;
+      default:
+        for (VarId v : OutputVars()) {
+          out += "?" + var_names_[v] + " ";
+        }
+        break;
+    }
   }
   out += "where { ";
   for (const QueryEdge& e : edges_) {
@@ -57,6 +90,9 @@ std::string QueryGraph::ToString(
            var_names_[e.dst] + " . ";
   }
   out += "}";
+  if (aggregate_.group_var != kInvalidVar) {
+    out += " group by ?" + var_names_[aggregate_.group_var];
+  }
   return out;
 }
 

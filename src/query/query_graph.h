@@ -27,6 +27,33 @@ struct QueryEdge {
   friend bool operator==(const QueryEdge&, const QueryEdge&) = default;
 };
 
+/// Aggregate forms of the SPARQL subset: scalar COUNT(*),
+/// COUNT(DISTINCT ?v), ASK, and single-variable GROUP BY ?v COUNT(*).
+/// kNone means a plain SELECT that enumerates embeddings.
+enum class AggregateKind : uint8_t {
+  kNone = 0,
+  kCount,          // SELECT (COUNT(*) AS ?c), scalar or grouped
+  kCountDistinct,  // SELECT (COUNT(DISTINCT ?v) AS ?c)
+  kAsk,            // ASK { ... } — existence only
+};
+
+const char* AggregateKindName(AggregateKind kind);
+
+/// What a query aggregates, attached to the QueryGraph by the parser
+/// (or programmatically via SetAggregate). kind == kNone for plain
+/// SELECTs; the variable fields are kInvalidVar when unused.
+struct AggregateSpec {
+  AggregateKind kind = AggregateKind::kNone;
+  /// COUNT(DISTINCT ?v): the counted variable.
+  VarId distinct_var = kInvalidVar;
+  /// GROUP BY ?v (kCount only); kInvalidVar for scalar aggregates.
+  VarId group_var = kInvalidVar;
+  /// Alias of the aggregate column ("c" for AS ?c); informational.
+  std::string alias;
+
+  friend bool operator==(const AggregateSpec&, const AggregateSpec&) = default;
+};
+
 /// A SPARQL conjunctive query viewed as a query graph: variables are nodes
 /// and triple patterns are labeled directed edges between them.
 ///
@@ -76,6 +103,10 @@ class QueryGraph {
   bool distinct() const { return distinct_; }
   void SetDistinct(bool d) { distinct_ = d; }
 
+  /// The query's aggregate (kind == kNone for plain SELECTs).
+  const AggregateSpec& aggregate() const { return aggregate_; }
+  void SetAggregate(AggregateSpec spec) { aggregate_ = std::move(spec); }
+
   /// The effective output variables: projection() or all vars.
   std::vector<VarId> OutputVars() const;
 
@@ -90,6 +121,7 @@ class QueryGraph {
   std::vector<std::vector<uint32_t>> incident_;
   std::vector<VarId> projection_;
   bool distinct_ = false;
+  AggregateSpec aggregate_;
 };
 
 }  // namespace wireframe

@@ -111,6 +111,16 @@ bool QuerySession::cache_hit() const {
   return cache_hit_;
 }
 
+bool QuerySession::has_aggregate() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return has_aggregate_;
+}
+
+AggregateResult QuerySession::aggregate() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return aggregate_;
+}
+
 QueryRuntime::QueryRuntime(RuntimeOptions options)
     : options_([&] {
         RuntimeOptions o = options;
@@ -434,7 +444,12 @@ std::pair<QueryOutcome, Status> QueryRuntime::Execute(QuerySession& session) {
   CountingSink fallback;
   Sink* sink = req.sink != nullptr ? req.sink : &fallback;
   RowBudgetSink budget_sink(sink, row_budget == 0 ? UINT64_MAX : row_budget);
-  Sink* run_sink = row_budget > 0 ? &budget_sink : sink;
+  // An aggregate query emits no rows — its one answer arrives out of
+  // band — so the row budget never wraps it (a budget of 1 must not
+  // truncate a COUNT).
+  const bool is_aggregate =
+      req.query.aggregate().kind != AggregateKind::kNone;
+  Sink* run_sink = (row_budget > 0 && !is_aggregate) ? &budget_sink : sink;
 
   EngineOptions options;
   if (timeout > 0.0) options.deadline = Deadline::AfterSeconds(timeout);
@@ -445,9 +460,9 @@ std::pair<QueryOutcome, Status> QueryRuntime::Execute(QuerySession& session) {
   options.runtime.weight = tenants_[session.tenant_].spec.weight;
 
   Stopwatch run_watch;
-  bool cache_hit = false;
+  EngineRunArtifacts artifacts;
   Result<EngineStats> result =
-      RunEngine(session, options, run_sink, &cache_hit);
+      RunEngine(session, options, run_sink, &artifacts);
   const double run_seconds = run_watch.ElapsedSeconds();
 
   QueryOutcome outcome;
@@ -469,7 +484,9 @@ std::pair<QueryOutcome, Status> QueryRuntime::Execute(QuerySession& session) {
     std::lock_guard<std::mutex> lock(session.mu_);
     session.run_seconds_ = run_seconds;
     if (result.ok()) session.stats_ = result.value();
-    session.cache_hit_ = cache_hit;
+    session.cache_hit_ = artifacts.cache_hit;
+    session.has_aggregate_ = artifacts.has_aggregate;
+    session.aggregate_ = std::move(artifacts.aggregate);
     session.rows_emitted_ = run_sink->count();
   }
   return {outcome, std::move(status)};
@@ -477,9 +494,11 @@ std::pair<QueryOutcome, Status> QueryRuntime::Execute(QuerySession& session) {
 
 Result<EngineStats> QueryRuntime::RunEngine(QuerySession& session,
                                             const EngineOptions& options,
-                                            Sink* sink, bool* cache_hit) {
+                                            Sink* sink,
+                                            EngineRunArtifacts* artifacts) {
   const QueryRequest& req = session.request_;
-  *cache_hit = false;
+  const bool is_aggregate =
+      req.query.aggregate().kind != AggregateKind::kNone;
   if (ag_cache_ != nullptr && req.engine == "WF" &&
       ag_cache_->enabled(session.tenant_)) {
     const size_t tenant = session.tenant_;
@@ -493,7 +512,7 @@ Result<EngineStats> QueryRuntime::RunEngine(QuerySession& session,
     WireframeEngine engine;
     if (std::shared_ptr<const CachedAg> hit =
             ag_cache_->Lookup(tenant, canon.key)) {
-      *cache_hit = true;
+      artifacts->cache_hit = true;
       // Compose the two canonical renamings into submitted -> filler:
       // the filler var playing submitted var v's role is the one with
       // v's canonical rank.
@@ -521,6 +540,30 @@ Result<EngineStats> QueryRuntime::RunEngine(QuerySession& session,
         WF_ASSIGN_OR_RETURN(
             WireframeRunDetail detail,
             engine.RunOverAg(req.query, *hit->ag, options, sink));
+        artifacts->has_aggregate = detail.has_aggregate;
+        artifacts->aggregate = std::move(detail.aggregate);
+        return detail.stats;
+      }
+      if (is_aggregate) {
+        // Renamed isomorphic aggregate: run the filler's query shape
+        // with the submitted spec mapped into its variable space. The
+        // answer (counts keyed by data nodes) is renaming-invariant, so
+        // no per-row remap exists to pay — a cached SELECT's AG serves
+        // a later COUNT of the same shape with zero phase 1.
+        QueryGraph filler_query = hit->query;
+        AggregateSpec spec = req.query.aggregate();
+        if (spec.distinct_var != kInvalidVar) {
+          spec.distinct_var = to_filler[spec.distinct_var];
+        }
+        if (spec.group_var != kInvalidVar) {
+          spec.group_var = to_filler[spec.group_var];
+        }
+        filler_query.SetAggregate(std::move(spec));
+        WF_ASSIGN_OR_RETURN(
+            WireframeRunDetail detail,
+            engine.RunOverAg(filler_query, *hit->ag, options, sink));
+        artifacts->has_aggregate = detail.has_aggregate;
+        artifacts->aggregate = std::move(detail.aggregate);
         return detail.stats;
       }
       // Renamed isomorphic repeat: execute the filler's query shape and
@@ -540,6 +583,8 @@ Result<EngineStats> QueryRuntime::RunEngine(QuerySession& session,
       if (filling) ag_cache_->EndFill(tenant, canon.key, nullptr, 0.0);
       return detail.status();
     }
+    artifacts->has_aggregate = detail->has_aggregate;
+    artifacts->aggregate = std::move(detail->aggregate);
     if (filling) {
       // The entry's reconstruction cost is what a future hit saves:
       // phase 1 including burnback and freeze, not phase 2 (hits still
@@ -549,6 +594,10 @@ Result<EngineStats> QueryRuntime::RunEngine(QuerySession& session,
         auto value = std::make_shared<CachedAg>();
         value->ag = std::shared_ptr<const AnswerGraph>(std::move(detail->ag));
         value->query = req.query;
+        // The cached query is a shape, not a request: strip any
+        // aggregate so a COUNT-filled entry serves later plain SELECTs
+        // (and vice versa) without smuggling the filler's spec along.
+        value->query.SetAggregate({});
         value->to_canonical = std::move(canon.to_canonical);
         ag_cache_->EndFill(tenant, canon.key, std::move(value),
                            detail->stats.phase1_seconds);
@@ -558,8 +607,39 @@ Result<EngineStats> QueryRuntime::RunEngine(QuerySession& session,
     }
     return detail->stats;
   }
+  if (req.engine == "WF" && is_aggregate) {
+    // Cache-off WF aggregate: the detailed API is required anyway —
+    // Engine::Run returns only EngineStats and would drop the answer.
+    WireframeEngine engine;
+    WF_ASSIGN_OR_RETURN(
+        WireframeRunDetail detail,
+        engine.RunDetailed(*req.db, *req.catalog, req.query, options, sink));
+    artifacts->has_aggregate = detail.has_aggregate;
+    artifacts->aggregate = std::move(detail.aggregate);
+    return detail.stats;
+  }
   std::unique_ptr<Engine> engine = MakeEngine(req.engine);
   WF_CHECK(engine != nullptr) << "engine validated at Submit";
+  if (is_aggregate) {
+    // Baseline engines know nothing of aggregates: enumerate their rows
+    // into the counting fold and report the folded answer. Their whole
+    // run is the "aggregate phase".
+    Stopwatch aggregate_watch;
+    EnumeratingAggregateSink fold(req.query.aggregate());
+    WF_ASSIGN_OR_RETURN(
+        EngineStats stats,
+        engine->Run(*req.db, *req.catalog, req.query, options, &fold));
+    artifacts->has_aggregate = true;
+    artifacts->aggregate = fold.TakeResult();
+    artifacts->aggregate.fallback_reason =
+        "engine '" + req.engine + "' enumerates";
+    stats.aggregate_seconds = aggregate_watch.ElapsedSeconds();
+    stats.output_tuples = artifacts->aggregate.NumRows();
+    if (auto* aggregate_sink = dynamic_cast<AggregateSink*>(sink)) {
+      aggregate_sink->OnAggregate(artifacts->aggregate);
+    }
+    return stats;
+  }
   return engine->Run(*req.db, *req.catalog, req.query, options, sink);
 }
 

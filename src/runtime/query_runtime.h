@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "exec/aggregate_executor.h"
 #include "exec/engine.h"
 #include "exec/sink.h"
 #include "query/query_graph.h"
@@ -175,6 +176,11 @@ class QuerySession {
   /// True iff the run was served from the answer-graph cache (phase 1
   /// and burnback skipped; stats().phase1_seconds is 0).
   bool cache_hit() const;
+  /// True iff the query carried an aggregate (COUNT/ASK/GROUP BY); its
+  /// scalar or grouped answer is then in aggregate(). Settles once
+  /// done().
+  bool has_aggregate() const;
+  AggregateResult aggregate() const;
   /// Rows that reached the request sink (after any budget clamp).
   uint64_t rows_emitted() const;
   /// Seconds spent waiting for a driver slot / executing.
@@ -201,9 +207,21 @@ class QuerySession {
   Status status_;
   EngineStats stats_;
   bool cache_hit_ = false;
+  bool has_aggregate_ = false;
+  AggregateResult aggregate_;
   uint64_t rows_emitted_ = 0;
   double queue_seconds_ = 0.0;
   double run_seconds_ = 0.0;
+};
+
+/// Side results of one engine run that EngineStats does not carry: the
+/// cache-hit verdict and, for aggregate queries, the scalar or grouped
+/// answer itself (engines deliver it out of band — no row ever reaches
+/// the request sink for an aggregate).
+struct EngineRunArtifacts {
+  bool cache_hit = false;
+  bool has_aggregate = false;
+  AggregateResult aggregate;
 };
 
 /// Per-tenant slice of RuntimeStats.
@@ -312,11 +330,13 @@ class QueryRuntime {
   /// Dispatches one run to its engine. WF queries of a cache-enabled
   /// tenant run in canonical form against the AG cache (hit: phase 2
   /// only over the shared frozen AG; miss: full run, then single-flight
-  /// insert); everything else takes the historic MakeEngine path.
-  /// `*cache_hit` reports which happened.
+  /// insert); WF aggregates run through the detailed engine API so the
+  /// aggregate answer survives; baseline engines serve aggregates by
+  /// enumerate-then-count; everything else takes the historic MakeEngine
+  /// path. `*artifacts` reports what happened.
   Result<EngineStats> RunEngine(QuerySession& session,
                                 const EngineOptions& options, Sink* sink,
-                                bool* cache_hit);
+                                EngineRunArtifacts* artifacts);
   /// Finishes and drops queued sessions whose cancel flag is set, so a
   /// cancelled-but-never-run query stops holding an admission slot.
   /// Caller holds mu_.

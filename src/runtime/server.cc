@@ -83,6 +83,8 @@ std::vector<QueryReport> Server::RunBatch(
     report.status = session.status();
     report.stats = session.stats();
     report.cache_hit = session.cache_hit();
+    report.has_aggregate = session.has_aggregate();
+    report.aggregate = session.aggregate();
     report.rows = session.rows_emitted();
     report.queue_seconds = session.queue_seconds();
     report.run_seconds = session.run_seconds();

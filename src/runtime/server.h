@@ -49,6 +49,12 @@ struct QueryReport {
   /// True iff the run was served from the answer-graph cache (phase 1 +
   /// burnback skipped; stats.phase1_seconds is 0).
   bool cache_hit = false;
+  /// Aggregate answer (COUNT/ASK/GROUP BY queries): has_aggregate says
+  /// the query carried one; aggregate.factorized says whether the
+  /// counting DP produced it without enumeration, and
+  /// aggregate.value.saturated flags a count past even 128 bits.
+  bool has_aggregate = false;
+  AggregateResult aggregate;
   uint64_t rows = 0;
   double queue_seconds = 0.0;
   double run_seconds = 0.0;

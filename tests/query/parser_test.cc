@@ -126,6 +126,165 @@ TEST(BindTest, SelfLoopRejected) {
   EXPECT_TRUE(q.status().IsInvalidArgument());
 }
 
+TEST(AggregateParserTest, ParsesCountStar) {
+  auto r = SparqlParser::Parse(
+      "select (count(*) as ?c) where { ?x p ?y . }");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->aggregate, AggregateKind::kCount);
+  EXPECT_EQ(r->aggregate_alias, "c");
+  EXPECT_TRUE(r->group_by_var.empty());
+}
+
+TEST(AggregateParserTest, ParsesCountDistinct) {
+  auto r = SparqlParser::Parse(
+      "SELECT (COUNT(DISTINCT ?y) AS ?n) WHERE { ?x p ?y . }");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->aggregate, AggregateKind::kCountDistinct);
+  EXPECT_EQ(r->distinct_count_var, "y");
+  EXPECT_EQ(r->aggregate_alias, "n");
+}
+
+TEST(AggregateParserTest, ParsesAsk) {
+  auto r = SparqlParser::Parse("ask { ?x p ?y . }");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->aggregate, AggregateKind::kAsk);
+}
+
+TEST(AggregateParserTest, ParsesAskWithWhereKeyword) {
+  auto r = SparqlParser::Parse("ASK WHERE { ?x p ?y . }");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->aggregate, AggregateKind::kAsk);
+}
+
+TEST(AggregateParserTest, ParsesGroupByWithCount) {
+  auto r = SparqlParser::Parse(
+      "select ?x (count(*) as ?c) where { ?x p ?y . } group by ?x");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->aggregate, AggregateKind::kCount);
+  EXPECT_EQ(r->group_by_var, "x");
+}
+
+TEST(AggregateParserTest, GroupByWithoutProjectedKeyAccepted) {
+  auto r = SparqlParser::Parse(
+      "select (count(*) as ?c) where { ?x p ?y . } group by ?x");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->group_by_var, "x");
+}
+
+TEST(AggregateParserTest, RejectsUnsupportedAggregateFunctions) {
+  auto r = SparqlParser::Parse(
+      "select (sum(?y) as ?s) where { ?x p ?y . }");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("unsupported aggregate"),
+            std::string::npos);
+}
+
+TEST(AggregateParserTest, RejectsPlainCountVar) {
+  auto r = SparqlParser::Parse(
+      "select (count(?y) as ?c) where { ?x p ?y . }");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("COUNT(*) or"), std::string::npos);
+}
+
+TEST(AggregateParserTest, RejectsTwoAggregates) {
+  auto r = SparqlParser::Parse(
+      "select (count(*) as ?a) (count(*) as ?b) where { ?x p ?y . }");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("at most one aggregate"),
+            std::string::npos);
+}
+
+TEST(AggregateParserTest, RejectsMissingAlias) {
+  EXPECT_FALSE(
+      SparqlParser::Parse("select (count(*)) where { ?x p ?y . }").ok());
+}
+
+TEST(AggregateParserTest, RejectsSelectDistinctWithAggregate) {
+  auto r = SparqlParser::Parse(
+      "select distinct (count(*) as ?c) where { ?x p ?y . }");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("SELECT DISTINCT"), std::string::npos);
+}
+
+TEST(AggregateParserTest, RejectsGroupByWithAsk) {
+  auto r = SparqlParser::Parse("ask { ?x p ?y . } group by ?x");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("ASK"), std::string::npos);
+}
+
+TEST(AggregateParserTest, RejectsGroupByWithoutAggregate) {
+  auto r = SparqlParser::Parse(
+      "select ?x where { ?x p ?y . } group by ?x");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("GROUP BY requires"),
+            std::string::npos);
+}
+
+TEST(AggregateParserTest, RejectsGroupByWithCountDistinct) {
+  auto r = SparqlParser::Parse(
+      "select (count(distinct ?y) as ?c) where { ?x p ?y . } group by ?x");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("COUNT(DISTINCT) with GROUP BY"),
+            std::string::npos);
+}
+
+TEST(AggregateParserTest, RejectsTwoGroupByVariables) {
+  auto r = SparqlParser::Parse(
+      "select (count(*) as ?c) where { ?x p ?y . } group by ?x ?y");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("exactly one variable"),
+            std::string::npos);
+}
+
+TEST(AggregateParserTest, RejectsHaving) {
+  auto r = SparqlParser::Parse(
+      "select (count(*) as ?c) where { ?x p ?y . } group by ?x having ?c");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("HAVING"), std::string::npos);
+}
+
+TEST(AggregateParserTest, RejectsNonAggregatedProjection) {
+  auto r = SparqlParser::Parse(
+      "select ?y (count(*) as ?c) where { ?x p ?y . } group by ?x");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("requires GROUP BY"),
+            std::string::npos);
+}
+
+TEST(AggregateParserTest, RejectsTrailingInput) {
+  auto r = SparqlParser::Parse("select * where { ?x p ?y . } limit 10");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("trailing"), std::string::npos);
+}
+
+TEST(AggregateBindTest, BindsSpecOntoGraph) {
+  Database db = MakeDb();
+  auto q = SparqlParser::ParseAndBind(
+      "select ?x (count(*) as ?c) where { ?x actedIn ?y . } group by ?x",
+      db);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->aggregate().kind, AggregateKind::kCount);
+  EXPECT_EQ(q->aggregate().group_var, q->FindVar("x"));
+  EXPECT_EQ(q->aggregate().alias, "c");
+}
+
+TEST(AggregateBindTest, DistinctVarMustAppearInWhere) {
+  Database db = MakeDb();
+  auto q = SparqlParser::ParseAndBind(
+      "select (count(distinct ?zzz) as ?c) where { ?x actedIn ?y . }", db);
+  ASSERT_FALSE(q.ok());
+  EXPECT_TRUE(q.status().IsInvalidArgument());
+}
+
+TEST(AggregateBindTest, GroupVarMustAppearInWhere) {
+  Database db = MakeDb();
+  auto q = SparqlParser::ParseAndBind(
+      "select (count(*) as ?c) where { ?x actedIn ?y . } group by ?zzz",
+      db);
+  ASSERT_FALSE(q.ok());
+  EXPECT_TRUE(q.status().IsInvalidArgument());
+}
+
 TEST(BindTest, SharedVariablesUnify) {
   Database db = MakeDb();
   auto q = SparqlParser::ParseAndBind(

@@ -748,6 +748,93 @@ TEST_F(QueryRuntimeTest, IsomorphicRenamingHitsTheCache) {
   EXPECT_EQ((*hit)->rows_emitted(), 200u * 200u);
 }
 
+// Satellite of the factorized-aggregate PR: the cache key ignores the
+// aggregate clause, so the AG a plain SELECT filled serves a later
+// COUNT(*) of the same shape — no phase 1, no burnback, and (because
+// the count runs as the DP over the cached frozen CSR) no enumeration.
+TEST_F(QueryRuntimeTest, CachedSelectAgServesLaterCountWithoutPhaseOne) {
+  RuntimeOptions options = SmallRuntime(2, 4);
+  options.admission.ag_cache_bytes = 32ull << 20;
+  QueryRuntime runtime(options);
+
+  auto cold = runtime.Submit(Request());
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  (*cold)->Wait();
+  ASSERT_EQ((*cold)->outcome(), QueryOutcome::kCompleted);
+  ASSERT_EQ((*cold)->rows_emitted(), 200u * 200u);
+
+  auto count = SparqlParser::ParseAndBind(
+      "select (count(*) as ?c) where { ?w A ?x . ?x B ?y . ?y C ?z . }",
+      db_);
+  ASSERT_TRUE(count.ok());
+  CountingSink rows;
+  QueryRequest request = Request(&rows);
+  request.query = std::move(count).value();
+  auto hit = runtime.Submit(std::move(request));
+  ASSERT_TRUE(hit.ok()) << hit.status().ToString();
+  (*hit)->Wait();
+  EXPECT_EQ((*hit)->outcome(), QueryOutcome::kCompleted);
+  EXPECT_TRUE((*hit)->cache_hit());
+  EXPECT_EQ((*hit)->stats().phase1_seconds, 0.0);
+  EXPECT_EQ((*hit)->stats().burnback_seconds, 0.0);
+  ASSERT_TRUE((*hit)->has_aggregate());
+  const AggregateResult aggregate = (*hit)->aggregate();
+  EXPECT_TRUE(aggregate.factorized) << aggregate.fallback_reason;
+  EXPECT_EQ(aggregate.value, AggregateValue::FromU64(200u * 200u));
+  EXPECT_EQ(rows.count(), 0u) << "the count must not enumerate rows";
+  EXPECT_EQ((*hit)->stats().output_tuples, 1u);
+  EXPECT_EQ(runtime.stats().tenants[0].cache_hits, 1u);
+}
+
+// The renamed-isomorphic flavor: the COUNT arrives under different
+// variable names and with a GROUP BY, whose key variable must be mapped
+// into the cached entry's variable space. Aggregate answers are keyed
+// by data nodes, so they need no per-row remap — the groups must be
+// bit-identical to an uncached run of the renamed query itself.
+TEST_F(QueryRuntimeTest, RenamedGroupByCountHitsTheCache) {
+  const std::string renamed_text =
+      "select ?a (count(*) as ?c) where "
+      "{ ?a A ?b . ?b B ?c . ?c C ?d . } group by ?a";
+  auto renamed = SparqlParser::ParseAndBind(renamed_text, db_);
+  ASSERT_TRUE(renamed.ok());
+
+  // Reference: the renamed query on a cache-less runtime.
+  AggregateResult reference;
+  {
+    QueryRuntime runtime(SmallRuntime(2, 4));
+    QueryRequest request = Request();
+    request.query = *renamed;
+    auto session = runtime.Submit(std::move(request));
+    ASSERT_TRUE(session.ok());
+    (*session)->Wait();
+    ASSERT_EQ((*session)->outcome(), QueryOutcome::kCompleted);
+    ASSERT_TRUE((*session)->has_aggregate());
+    reference = (*session)->aggregate();
+  }
+
+  RuntimeOptions options = SmallRuntime(2, 4);
+  options.admission.ag_cache_bytes = 32ull << 20;
+  QueryRuntime runtime(options);
+  auto cold = runtime.Submit(Request());  // the plain SELECT fills
+  ASSERT_TRUE(cold.ok());
+  (*cold)->Wait();
+  ASSERT_EQ((*cold)->outcome(), QueryOutcome::kCompleted);
+
+  QueryRequest request = Request();
+  request.query = std::move(renamed).value();
+  auto hit = runtime.Submit(std::move(request));
+  ASSERT_TRUE(hit.ok()) << hit.status().ToString();
+  (*hit)->Wait();
+  EXPECT_EQ((*hit)->outcome(), QueryOutcome::kCompleted);
+  EXPECT_TRUE((*hit)->cache_hit());
+  EXPECT_EQ((*hit)->stats().phase1_seconds, 0.0);
+  EXPECT_EQ((*hit)->stats().burnback_seconds, 0.0);
+  ASSERT_TRUE((*hit)->has_aggregate());
+  const AggregateResult aggregate = (*hit)->aggregate();
+  EXPECT_EQ(aggregate.value, reference.value);
+  EXPECT_EQ(aggregate.groups, reference.groups);
+}
+
 TEST_F(QueryRuntimeTest, CacheOffByDefaultNeverHits) {
   QueryRuntime runtime(SmallRuntime(2, 4));
   for (int i = 0; i < 2; ++i) {
