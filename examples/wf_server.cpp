@@ -1,0 +1,124 @@
+// Standalone Wireframe query server: loads or generates a graph, then
+// serves the net/wire.h frame protocol until SIGINT/SIGTERM.
+//
+//   $ wf_server [--listen=127.0.0.1:0|unix:/tmp/wf.sock]
+//               [--scale=0.05] [--seed=42] [--nt=FILE] [--db=FILE.wfdb]
+//               [--addr_file=PATH]         # resolved address, for scripts
+//               [--ag_cache_mb=0]          # answer-graph cache per tenant
+//               [--pool_threads=0] [--max_inflight=4]
+//               [--timeout=0] [--row_budget=0]
+//               [--send_buffer_kb=1024] [--rows_per_batch=1024]
+//               [--read_timeout_ms=300000] [--write_timeout_ms=30000]
+//
+// The CI net-e2e job starts this on a loopback socket, reads the
+// "listening on ..." line (and --addr_file), and drives the Table-1 mix
+// through net_e2e_driver against it.
+
+#include <chrono>
+#include <csignal>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <thread>
+
+#include "catalog/catalog.h"
+#include "datagen/yago_like.h"
+#include "net/server.h"
+#include "storage/ntriples.h"
+#include "storage/serializer.h"
+#include "util/flags.h"
+
+using namespace wireframe;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+
+  std::unique_ptr<Database> db;
+  if (flags.Has("nt")) {
+    DatabaseBuilder builder;
+    auto count = NTriples::ReadFile(flags.GetString("nt", ""), &builder);
+    if (!count.ok()) {
+      std::cerr << count.status().ToString() << "\n";
+      return 1;
+    }
+    db = std::make_unique<Database>(std::move(builder).Build());
+  } else if (flags.Has("db")) {
+    auto loaded = Serializer::LoadFile(flags.GetString("db", ""));
+    if (!loaded.ok()) {
+      std::cerr << loaded.status().ToString() << "\n";
+      return 1;
+    }
+    db = std::make_unique<Database>(std::move(loaded).value());
+  } else {
+    YagoLikeConfig config;
+    config.scale = flags.GetDouble("scale", 0.05);
+    config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+    db = std::make_unique<Database>(MakeYagoLike(config));
+  }
+  Catalog catalog = Catalog::Build(db->store());
+
+  runtime::ServerOptions server_options;
+  server_options.runtime.pool_threads =
+      static_cast<uint32_t>(flags.GetInt("pool_threads", 0));
+  server_options.runtime.admission.max_inflight =
+      static_cast<uint32_t>(flags.GetInt("max_inflight", 4));
+  server_options.runtime.admission.default_timeout_seconds =
+      flags.GetDouble("timeout", 0.0);
+  server_options.runtime.admission.default_row_budget =
+      static_cast<uint64_t>(flags.GetInt("row_budget", 0));
+  server_options.runtime.admission.ag_cache_bytes =
+      static_cast<uint64_t>(flags.GetInt("ag_cache_mb", 0)) * (1 << 20);
+  runtime::Server server(*db, catalog, server_options);
+
+  net::SocketServerOptions net_options;
+  net_options.listen = flags.GetString("listen", "127.0.0.1:0");
+  net_options.send_buffer_bytes =
+      static_cast<uint64_t>(flags.GetInt("send_buffer_kb", 1024)) << 10;
+  net_options.rows_per_batch =
+      static_cast<uint32_t>(flags.GetInt("rows_per_batch", 1024));
+  net_options.read_timeout_ms =
+      static_cast<int>(flags.GetInt("read_timeout_ms", 300'000));
+  net_options.write_timeout_ms =
+      static_cast<int>(flags.GetInt("write_timeout_ms", 30'000));
+  // Handlers go in BEFORE the address is announced: a supervisor that
+  // reads addr_file and signals immediately must never hit the window
+  // where SIGINT still has its inherited disposition (background shells
+  // inherit SIG_IGN — the kill would be silently ignored, forever).
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
+  net::SocketServer net_server(&server, net_options);
+  Status started = net_server.Start();
+  if (!started.ok()) {
+    std::cerr << started.ToString() << "\n";
+    return 1;
+  }
+
+  const std::string address = net_server.address().ToString();
+  std::cout << "serving " << db->store().NumTriples()
+            << " triples; listening on " << address << std::endl;
+  if (flags.Has("addr_file")) {
+    std::ofstream out(flags.GetString("addr_file", ""));
+    out << address << "\n";
+  }
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::cout << "draining..." << std::endl;
+  net_server.Stop();
+  const runtime::RuntimeStats stats = net_server.stats();
+  std::cout << "served " << stats.completed << " queries over "
+            << stats.connections_accepted << " connections ("
+            << stats.net_malformed_frames << " malformed frames, "
+            << stats.net_aborted_streams << " aborted streams)"
+            << std::endl;
+  return 0;
+}

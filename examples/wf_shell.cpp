@@ -4,6 +4,12 @@
 // engine selection.
 //
 //   $ wf_shell [--scale=0.1] [--nt=FILE] [--db=FILE.wfdb]
+//   $ wf_shell --connect=HOST:PORT [--service_class=NAME]
+//
+// With --connect the shell speaks the net/wire.h protocol to a running
+// wf_server instead of executing locally: queries stream back as
+// ROW-BATCH frames (node ids, not terms — the dictionary lives server
+// side) and .quit sends GOODBYE and waits for the drain.
 //
 // Commands:
 //   select ...            run a CQ on the Wireframe engine (default)
@@ -21,6 +27,7 @@
 //   .help                 this text
 //   .quit                 exit
 
+#include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -30,6 +37,7 @@
 #include "datagen/yago_like.h"
 #include "exec/aggregate_executor.h"
 #include "exec/engine.h"
+#include "net/client.h"
 #include "query/parser.h"
 #include "storage/ntriples.h"
 #include "storage/serializer.h"
@@ -198,6 +206,83 @@ void RunQuery(ShellState& state, const std::string& text) {
   std::cout << "\n";
 }
 
+/// --connect mode: every query goes over the wire to a wf_server; the
+/// shell is a thin net::Client REPL. Rows print as node ids — the term
+/// dictionary lives on the server.
+int RunRemoteShell(const Flags& flags) {
+  net::ClientOptions options;
+  options.service_class = flags.GetString("service_class", "");
+  auto client =
+      net::Client::Connect(flags.GetString("connect", ""), options);
+  if (!client.ok()) {
+    std::cerr << "connect: " << client.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "connected (service class '"
+            << (*client)->hello().resolved_service_class
+            << "', row batches of " << (*client)->hello().rows_per_batch
+            << "); type a query, .limit N, or .quit\n";
+  uint64_t print_limit = 10;
+  std::string line;
+  while (std::cout << "wf> " << std::flush, std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    if (line == ".quit" || line == ".exit") break;
+    if (line.rfind(".limit", 0) == 0) {
+      print_limit = std::strtoull(line.c_str() + 6, nullptr, 10);
+      continue;
+    }
+    Stopwatch watch;
+    auto result = (*client)->Run(line);
+    const double seconds = watch.ElapsedSeconds();
+    if (!result.ok()) {
+      // Protocol-level failure: the connection is gone.
+      std::cerr << "connection error: " << result.status().ToString()
+                << "\n";
+      return 1;
+    }
+    const runtime::QueryReport& report = result->report;
+    if (!report.status.ok()) {
+      std::cout << "error: " << report.status.ToString() << "\n";
+      continue;
+    }
+    if (report.has_aggregate) {
+      const AggregateResult& aggregate = report.aggregate;
+      if (aggregate.kind == AggregateKind::kAsk) {
+        std::cout << (aggregate.ask ? "yes" : "no");
+      } else if (!aggregate.groups.empty()) {
+        std::cout << aggregate.groups.size() << " group(s), total "
+                  << aggregate.value.ToString();
+      } else {
+        std::cout << "count = " << aggregate.value.ToString();
+      }
+    } else {
+      uint64_t shown = 0;
+      for (const auto& row : result->rows) {
+        if (shown == print_limit) break;
+        for (size_t i = 0; i < row.size(); ++i) {
+          std::cout << (i == 0 ? "" : "\t") << row[i];
+        }
+        std::cout << "\n";
+        ++shown;
+      }
+      if (result->rows.size() > shown) {
+        std::cout << "... and " << (result->rows.size() - shown)
+                  << " more rows\n";
+      }
+      std::cout << report.rows << " embedding(s)";
+    }
+    std::cout << "  [" << runtime::QueryOutcomeName(report.outcome)
+              << (report.cache_hit ? ", cache hit" : "") << "] in "
+              << TablePrinter::FormatSeconds(seconds) << " s\n";
+  }
+  Status bye = (*client)->Goodbye();
+  if (!bye.ok()) {
+    std::cerr << "goodbye: " << bye.ToString() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
 void HandleCommand(ShellState& state, const std::string& line) {
   std::istringstream in(line);
   std::string cmd;
@@ -263,6 +348,7 @@ void HandleCommand(ShellState& state, const std::string& line) {
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  if (flags.Has("connect")) return RunRemoteShell(flags);
   ShellState state;
 
   if (flags.Has("nt")) {

@@ -55,10 +55,13 @@ PHASE_FIELDS = (
 
 # Meta keys that make two recordings incomparable when they disagree:
 # different machines (hardware_threads), a different AG storage form
-# (frozen), or a different span-kernel dispatch (cpu_features — e.g. one
-# recording ran AVX2 and the other the scalar fallback) move every cell
-# for reasons that are not the code under test.
-COMPARABILITY_KEYS = ("hardware_threads", "frozen", "cpu_features")
+# (frozen), a different span-kernel dispatch (cpu_features — e.g. one
+# recording ran AVX2 and the other the scalar fallback), or a different
+# result transport (a loopback-socket recording against an in-process
+# one measures the wire, not the engine) move every cell for reasons
+# that are not the code under test.
+COMPARABILITY_KEYS = ("hardware_threads", "frozen", "cpu_features",
+                      "transport")
 
 
 def print_comparability_warnings(old_meta, new_meta):

@@ -1,0 +1,125 @@
+#include "net/client.h"
+
+#include <utility>
+
+namespace wireframe {
+namespace net {
+
+Result<std::unique_ptr<Client>> Client::Connect(const std::string& address,
+                                               ClientOptions options) {
+  WF_ASSIGN_OR_RETURN(SocketAddress parsed, SocketAddress::Parse(address));
+  WF_ASSIGN_OR_RETURN(Socket sock,
+                      Socket::Connect(parsed, options.connect_timeout_ms,
+                                      options.recv_buffer_bytes));
+  std::unique_ptr<Client> client(
+      new Client(std::move(sock), std::move(options)));
+  HelloFrame hello;
+  hello.service_class = client->options_.service_class;
+  WF_RETURN_NOT_OK(
+      client->SendFrame(FrameType::kHello, EncodeHello(hello)));
+  WF_ASSIGN_OR_RETURN(Frame ack, client->ReadFrame());
+  if (ack.type == FrameType::kError) {
+    WF_ASSIGN_OR_RETURN(ErrorFrame error, DecodeError(ack.payload));
+    return error.ToStatus();
+  }
+  if (ack.type != FrameType::kHelloAck) {
+    return Status::Internal(
+        std::string("expected HELLO-ACK, got ") + FrameTypeName(ack.type));
+  }
+  WF_ASSIGN_OR_RETURN(client->hello_, DecodeHelloAck(ack.payload));
+  return client;
+}
+
+Status Client::SendFrame(FrameType type, const std::string& payload) {
+  std::string frame;
+  AppendFrame(type, payload, &frame);
+  return sock_.WriteAll(frame.data(), frame.size(),
+                        options_.io_timeout_ms);
+}
+
+Result<Frame> Client::ReadFrame() {
+  char header_bytes[kFrameHeaderBytes];
+  WF_RETURN_NOT_OK(sock_.ReadExact(header_bytes, kFrameHeaderBytes,
+                                   options_.io_timeout_ms));
+  WF_ASSIGN_OR_RETURN(
+      FrameHeader header,
+      DecodeFrameHeader(header_bytes, options_.max_frame_bytes));
+  Frame frame;
+  frame.type = header.type;
+  frame.payload.resize(header.payload_length);
+  if (header.payload_length > 0) {
+    WF_RETURN_NOT_OK(sock_.ReadExact(frame.payload.data(),
+                                     header.payload_length,
+                                     options_.io_timeout_ms));
+  }
+  return frame;
+}
+
+Result<QueryResult> Client::Run(const QueryFrame& query,
+                                const BatchHook& hook) {
+  WF_RETURN_NOT_OK(SendFrame(FrameType::kQuery, EncodeQuery(query)));
+  QueryResult result;
+  bool have_aggregate = false;
+  AggregateResult aggregate;
+  for (;;) {
+    WF_ASSIGN_OR_RETURN(Frame frame, ReadFrame());
+    switch (frame.type) {
+      case FrameType::kRowBatch: {
+        WF_ASSIGN_OR_RETURN(RowBatchFrame batch,
+                            DecodeRowBatch(frame.payload));
+        if (hook) hook(batch);
+        if (result.width == 0) result.width = batch.width;
+        if (batch.width != result.width) {
+          return Status::Internal("row batch width changed mid-stream");
+        }
+        const size_t rows = batch.rows();
+        for (size_t r = 0; r < rows; ++r) {
+          result.rows.emplace_back(
+              batch.data.begin() + r * batch.width,
+              batch.data.begin() + (r + 1) * batch.width);
+        }
+        break;
+      }
+      case FrameType::kAggregate: {
+        WF_ASSIGN_OR_RETURN(aggregate, DecodeAggregate(frame.payload));
+        have_aggregate = true;
+        break;
+      }
+      case FrameType::kReport: {
+        WF_ASSIGN_OR_RETURN(result.report, DecodeReport(frame.payload));
+        if (have_aggregate) result.report.aggregate = aggregate;
+        return result;
+      }
+      case FrameType::kError: {
+        WF_ASSIGN_OR_RETURN(ErrorFrame error, DecodeError(frame.payload));
+        return error.ToStatus();
+      }
+      default:
+        return Status::Internal(std::string("unexpected ") +
+                                FrameTypeName(frame.type) +
+                                " frame in a query stream");
+    }
+  }
+}
+
+Status Client::SendCancel() {
+  return SendFrame(FrameType::kCancel, std::string());
+}
+
+Status Client::Goodbye() {
+  Status status = SendFrame(FrameType::kGoodbye, std::string());
+  while (status.ok()) {
+    Result<Frame> frame = ReadFrame();
+    if (!frame.ok()) {
+      status = frame.status();
+      break;
+    }
+    if (frame->type == FrameType::kGoodbye) break;
+    // Anything still queued ahead of the GOODBYE drains through here.
+  }
+  sock_.Close();
+  return status;
+}
+
+}  // namespace net
+}  // namespace wireframe

@@ -1,0 +1,100 @@
+#ifndef WIREFRAME_NET_CLIENT_H_
+#define WIREFRAME_NET_CLIENT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace wireframe {
+namespace net {
+
+struct ClientOptions {
+  /// Service class carried in HELLO; every query of the connection runs
+  /// as this tenant (empty = server default).
+  std::string service_class;
+  int connect_timeout_ms = 10'000;
+  /// Bound on each blocking read/write. Generous by default: a frame
+  /// arrives only when the server has something to say, and a long
+  /// query says nothing for a while.
+  int io_timeout_ms = 600'000;
+  uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// > 0 shrinks SO_RCVBUF before the handshake. The slow-reader tests
+  /// use this: without it, loopback hides back-pressure inside a
+  /// multi-megabyte kernel buffer.
+  int recv_buffer_bytes = 0;
+};
+
+/// One streamed query's results, collected.
+struct QueryResult {
+  uint32_t width = 0;
+  std::vector<std::vector<NodeId>> rows;
+  /// Terminal REPORT, with the AGGREGATE frame (if any) folded back into
+  /// report.aggregate.
+  runtime::QueryReport report;
+};
+
+/// Blocking client of net::SocketServer — used by tests, bench_net, the
+/// CI e2e driver, and `wf_shell --connect`. Not thread-safe; one query
+/// in flight at a time (the protocol's rule, too).
+class Client {
+ public:
+  /// Called on every ROW-BATCH as it is read off the wire, before the
+  /// rows are appended to the result. Tests use it to pace reads (slow
+  /// reader) or to fire a CANCEL mid-stream.
+  using BatchHook = std::function<void(const RowBatchFrame& batch)>;
+
+  /// Connects and completes the HELLO handshake.
+  static Result<std::unique_ptr<Client>> Connect(
+      const std::string& address, ClientOptions options = {});
+
+  /// What the server granted in HELLO-ACK.
+  const HelloAckFrame& hello() const { return hello_; }
+
+  /// Runs one query to its REPORT. Protocol ERRORs and transport
+  /// failures surface as the error status; query-level failures (parse,
+  /// admission, timeout) come back as a successful Result whose
+  /// report.status / report.outcome say what happened — mirroring
+  /// RunBatch.
+  Result<QueryResult> Run(const QueryFrame& query,
+                          const BatchHook& hook = nullptr);
+  Result<QueryResult> Run(const std::string& sparql,
+                          const BatchHook& hook = nullptr) {
+    QueryFrame query;
+    query.sparql = sparql;
+    return Run(query, hook);
+  }
+
+  /// Requests cancellation of the in-flight query (legal to call from a
+  /// BatchHook: the socket is full-duplex). The query still terminates
+  /// with a REPORT — outcome kCancelled if the cancel won the race.
+  Status SendCancel();
+
+  /// Drain contract: sends GOODBYE, then reads until the server's
+  /// GOODBYE — every frame the server queued before it arrives first.
+  /// Closes the socket either way.
+  Status Goodbye();
+
+  /// Escape hatch for tests: the raw socket (e.g. Reset() simulates a
+  /// client killed mid-stream).
+  Socket& socket() { return sock_; }
+
+ private:
+  Client(Socket sock, ClientOptions options)
+      : sock_(std::move(sock)), options_(std::move(options)) {}
+
+  Status SendFrame(FrameType type, const std::string& payload);
+  Result<Frame> ReadFrame();
+
+  Socket sock_;
+  ClientOptions options_;
+  HelloAckFrame hello_;
+};
+
+}  // namespace net
+}  // namespace wireframe
+
+#endif  // WIREFRAME_NET_CLIENT_H_

@@ -1,0 +1,320 @@
+#include "net/wire.h"
+
+namespace wireframe {
+namespace net {
+
+namespace {
+
+/// Little-endian store/load of the header fields. The payload helpers
+/// memcpy native-endian; the repo targets little-endian hosts only (the
+/// same assumption storage/serializer.cc bakes into snapshots), so the
+/// header is the one place spelled out byte by byte — it is what a
+/// foreign client would implement first.
+void StoreU32Le(uint32_t v, char* out) {
+  out[0] = static_cast<char>(v & 0xff);
+  out[1] = static_cast<char>((v >> 8) & 0xff);
+  out[2] = static_cast<char>((v >> 16) & 0xff);
+  out[3] = static_cast<char>((v >> 24) & 0xff);
+}
+
+uint32_t LoadU32Le(const char* data) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(data[0])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(data[1])) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(data[2])) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(data[3])) << 24;
+}
+
+bool KnownFrameType(uint8_t type) {
+  return type >= static_cast<uint8_t>(FrameType::kHello) &&
+         type <= static_cast<uint8_t>(FrameType::kGoodbye);
+}
+
+Status Malformed(const char* what) {
+  return Status::ParseError(std::string("malformed ") + what + " payload");
+}
+
+void WriteAggregateValue(WireWriter* w, const AggregateValue& v) {
+  w->U64(v.lo);
+  w->U64(v.hi);
+  w->U8(v.saturated ? 1 : 0);
+}
+
+AggregateValue ReadAggregateValue(WireReader* r) {
+  AggregateValue v;
+  v.lo = r->U64();
+  v.hi = r->U64();
+  v.saturated = r->U8() != 0;
+  return v;
+}
+
+}  // namespace
+
+const char* FrameTypeName(FrameType type) {
+  switch (type) {
+    case FrameType::kHello:
+      return "HELLO";
+    case FrameType::kHelloAck:
+      return "HELLO-ACK";
+    case FrameType::kQuery:
+      return "QUERY";
+    case FrameType::kRowBatch:
+      return "ROW-BATCH";
+    case FrameType::kAggregate:
+      return "AGGREGATE";
+    case FrameType::kReport:
+      return "REPORT";
+    case FrameType::kError:
+      return "ERROR";
+    case FrameType::kCancel:
+      return "CANCEL";
+    case FrameType::kGoodbye:
+      return "GOODBYE";
+  }
+  return "unknown";
+}
+
+void EncodeFrameHeader(const FrameHeader& header, char* out) {
+  StoreU32Le(header.payload_length, out);
+  out[4] = static_cast<char>(header.version);
+  out[5] = static_cast<char>(header.type);
+  out[6] = 0;
+  out[7] = 0;
+}
+
+Result<FrameHeader> DecodeFrameHeader(const char* data,
+                                      uint32_t max_frame_bytes) {
+  FrameHeader header;
+  header.payload_length = LoadU32Le(data);
+  header.version = static_cast<uint8_t>(data[4]);
+  const uint8_t type = static_cast<uint8_t>(data[5]);
+  if (header.version != kWireVersion) {
+    return Status::InvalidArgument(
+        "unsupported wire version " + std::to_string(header.version) +
+        " (this server speaks version " + std::to_string(kWireVersion) + ")");
+  }
+  if (!KnownFrameType(type)) {
+    return Status::InvalidArgument("unknown frame type " +
+                                   std::to_string(type));
+  }
+  if (data[6] != 0 || data[7] != 0) {
+    return Status::InvalidArgument("nonzero reserved header bits");
+  }
+  if (header.payload_length > max_frame_bytes) {
+    return Status::InvalidArgument(
+        "oversized frame: " + std::to_string(header.payload_length) +
+        " byte payload exceeds the " + std::to_string(max_frame_bytes) +
+        " byte limit");
+  }
+  header.type = static_cast<FrameType>(type);
+  return header;
+}
+
+void AppendFrame(FrameType type, const std::string& payload,
+                 std::string* out) {
+  char header[kFrameHeaderBytes];
+  EncodeFrameHeader(
+      {static_cast<uint32_t>(payload.size()), kWireVersion, type}, header);
+  out->append(header, kFrameHeaderBytes);
+  out->append(payload);
+}
+
+std::string EncodeHello(const HelloFrame& hello) {
+  WireWriter w;
+  w.String(hello.service_class);
+  return w.Take();
+}
+
+Result<HelloFrame> DecodeHello(const std::string& payload) {
+  WireReader r(payload);
+  HelloFrame hello;
+  hello.service_class = r.String();
+  if (!r.Exhausted()) return Malformed("HELLO");
+  return hello;
+}
+
+std::string EncodeHelloAck(const HelloAckFrame& ack) {
+  WireWriter w;
+  w.U32(ack.max_frame_bytes);
+  w.U32(ack.rows_per_batch);
+  w.String(ack.resolved_service_class);
+  return w.Take();
+}
+
+Result<HelloAckFrame> DecodeHelloAck(const std::string& payload) {
+  WireReader r(payload);
+  HelloAckFrame ack;
+  ack.max_frame_bytes = r.U32();
+  ack.rows_per_batch = r.U32();
+  ack.resolved_service_class = r.String();
+  if (!r.Exhausted()) return Malformed("HELLO-ACK");
+  return ack;
+}
+
+std::string EncodeQuery(const QueryFrame& query) {
+  WireWriter w;
+  w.String(query.sparql);
+  w.F64(query.timeout_seconds);
+  w.I64(query.row_budget);
+  return w.Take();
+}
+
+Result<QueryFrame> DecodeQuery(const std::string& payload) {
+  WireReader r(payload);
+  QueryFrame query;
+  query.sparql = r.String();
+  query.timeout_seconds = r.F64();
+  query.row_budget = r.I64();
+  if (!r.Exhausted()) return Malformed("QUERY");
+  return query;
+}
+
+std::string EncodeRowBatch(const RowBatchFrame& batch) {
+  WireWriter w;
+  w.U32(batch.width);
+  w.U32(static_cast<uint32_t>(batch.rows()));
+  std::string payload = w.Take();
+  payload.append(reinterpret_cast<const char*>(batch.data.data()),
+                 batch.data.size() * sizeof(NodeId));
+  return payload;
+}
+
+Result<RowBatchFrame> DecodeRowBatch(const std::string& payload) {
+  if (payload.size() < 8) return Malformed("ROW-BATCH");
+  RowBatchFrame batch;
+  batch.width = LoadU32Le(payload.data());
+  const uint32_t rows = LoadU32Le(payload.data() + 4);
+  const size_t expected =
+      8 + static_cast<size_t>(rows) * batch.width * sizeof(NodeId);
+  if (batch.width == 0 || payload.size() != expected) {
+    return Malformed("ROW-BATCH");
+  }
+  batch.data.resize(static_cast<size_t>(rows) * batch.width);
+  std::memcpy(batch.data.data(), payload.data() + 8,
+              batch.data.size() * sizeof(NodeId));
+  return batch;
+}
+
+std::string EncodeAggregate(const AggregateResult& result) {
+  WireWriter w;
+  w.U8(static_cast<uint8_t>(result.kind));
+  WriteAggregateValue(&w, result.value);
+  w.U8(result.ask ? 1 : 0);
+  w.U8(result.factorized ? 1 : 0);
+  w.String(result.fallback_reason);
+  w.U32(static_cast<uint32_t>(result.groups.size()));
+  for (const AggregateGroup& group : result.groups) {
+    w.U32(group.key);
+    WriteAggregateValue(&w, group.value);
+  }
+  return w.Take();
+}
+
+Result<AggregateResult> DecodeAggregate(const std::string& payload) {
+  WireReader r(payload);
+  AggregateResult result;
+  result.kind = static_cast<AggregateKind>(r.U8());
+  result.value = ReadAggregateValue(&r);
+  result.ask = r.U8() != 0;
+  result.factorized = r.U8() != 0;
+  result.fallback_reason = r.String();
+  const uint32_t groups = r.U32();
+  // Cap preflight: each group costs 21 payload bytes, so a hostile count
+  // cannot drive the reserve below past the actual payload size.
+  if (r.failed() || static_cast<uint64_t>(groups) * 21 > payload.size()) {
+    return Malformed("AGGREGATE");
+  }
+  result.groups.reserve(groups);
+  for (uint32_t i = 0; i < groups; ++i) {
+    AggregateGroup group;
+    group.key = r.U32();
+    group.value = ReadAggregateValue(&r);
+    result.groups.push_back(group);
+  }
+  if (!r.Exhausted()) return Malformed("AGGREGATE");
+  return result;
+}
+
+std::string EncodeReport(const runtime::QueryReport& report) {
+  WireWriter w;
+  w.U64(report.index);
+  w.U8(static_cast<uint8_t>(report.outcome));
+  w.U8(report.admitted ? 1 : 0);
+  w.U8(report.cache_hit ? 1 : 0);
+  w.U8(report.has_aggregate ? 1 : 0);
+  w.U8(static_cast<uint8_t>(report.status.code()));
+  w.String(report.status.message());
+  w.String(report.service_class);
+  w.U64(report.rows);
+  w.F64(report.queue_seconds);
+  w.F64(report.run_seconds);
+  w.U64(report.stats.output_tuples);
+  w.U64(report.stats.ag_pairs);
+  w.U64(report.stats.edge_walks);
+  w.U64(report.stats.pairs_burned);
+  w.F64(report.stats.seconds);
+  w.F64(report.stats.phase1_seconds);
+  w.F64(report.stats.burnback_seconds);
+  w.F64(report.stats.freeze_seconds);
+  w.F64(report.stats.phase2_seconds);
+  w.F64(report.stats.aggregate_seconds);
+  return w.Take();
+}
+
+Result<runtime::QueryReport> DecodeReport(const std::string& payload) {
+  WireReader r(payload);
+  runtime::QueryReport report;
+  report.index = r.U64();
+  const uint8_t outcome = r.U8();
+  if (outcome > static_cast<uint8_t>(runtime::QueryOutcome::kFailed)) {
+    return Malformed("REPORT");
+  }
+  report.outcome = static_cast<runtime::QueryOutcome>(outcome);
+  report.admitted = r.U8() != 0;
+  report.cache_hit = r.U8() != 0;
+  report.has_aggregate = r.U8() != 0;
+  const uint8_t code = r.U8();
+  if (code > static_cast<uint8_t>(StatusCode::kResourceExhausted)) {
+    return Malformed("REPORT");
+  }
+  std::string message = r.String();
+  report.status = Status(static_cast<StatusCode>(code), std::move(message));
+  report.service_class = r.String();
+  report.rows = r.U64();
+  report.queue_seconds = r.F64();
+  report.run_seconds = r.F64();
+  report.stats.output_tuples = r.U64();
+  report.stats.ag_pairs = r.U64();
+  report.stats.edge_walks = r.U64();
+  report.stats.pairs_burned = r.U64();
+  report.stats.seconds = r.F64();
+  report.stats.phase1_seconds = r.F64();
+  report.stats.burnback_seconds = r.F64();
+  report.stats.freeze_seconds = r.F64();
+  report.stats.phase2_seconds = r.F64();
+  report.stats.aggregate_seconds = r.F64();
+  if (!r.Exhausted()) return Malformed("REPORT");
+  return report;
+}
+
+std::string EncodeError(const ErrorFrame& error) {
+  WireWriter w;
+  w.U8(static_cast<uint8_t>(error.code));
+  w.String(error.message);
+  return w.Take();
+}
+
+Result<ErrorFrame> DecodeError(const std::string& payload) {
+  WireReader r(payload);
+  ErrorFrame error;
+  const uint8_t code = r.U8();
+  if (code > static_cast<uint8_t>(StatusCode::kResourceExhausted)) {
+    return Malformed("ERROR");
+  }
+  error.code = static_cast<StatusCode>(code);
+  error.message = r.String();
+  if (!r.Exhausted()) return Malformed("ERROR");
+  return error;
+}
+
+}  // namespace net
+}  // namespace wireframe

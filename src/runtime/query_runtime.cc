@@ -1,6 +1,7 @@
 #include "runtime/query_runtime.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "core/wireframe.h"
@@ -74,6 +75,13 @@ bool QuerySession::done() const {
 void QuerySession::Wait() const {
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [&] { return done_; });
+}
+
+bool QuerySession::WaitFor(double seconds) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait_for(lock, std::chrono::duration<double>(seconds),
+                    [&] { return done_; });
+  return done_;
 }
 
 QueryOutcome QuerySession::outcome() const {

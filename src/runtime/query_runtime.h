@@ -166,6 +166,11 @@ class QuerySession {
   bool done() const;
   /// Blocks until the query finished (any outcome).
   void Wait() const;
+  /// Blocks until the query finished or `seconds` elapsed; returns
+  /// done(). Completion wakes the waiter immediately (condition
+  /// variable, not polling) — the socket front-end interleaves this
+  /// with short connection polls while a query is in flight.
+  bool WaitFor(double seconds) const;
 
   // Snapshots, safe to call at any time; settle once done(). Returned by
   // value: a reference into the session would outlive the lock and race
@@ -244,6 +249,35 @@ struct TenantStats {
   uint64_t cache_entries = 0;
 };
 
+/// One network connection's counters. The runtime itself never fills
+/// these — net::SocketServer merges one entry per live connection into
+/// its stats() snapshot, so serving dashboards read a single struct for
+/// both the admission picture and the wire picture.
+struct ConnectionStats {
+  uint64_t id = 0;
+  std::string peer;
+  /// Service class of the connection's HELLO (every query of the
+  /// connection runs as this tenant).
+  std::string service_class;
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+  uint64_t frames_in = 0;
+  uint64_t frames_out = 0;
+  uint64_t queries = 0;
+  /// Back-pressure suspension episodes: one per time the result stream
+  /// filled the send buffer and parked the emitting sink.
+  uint64_t send_stalls = 0;
+  /// Streams cut short by disconnect or write failure (no REPORT made it
+  /// to the client).
+  uint64_t aborted_streams = 0;
+  /// Send-buffer occupancy: right now, and the lifetime maximum. The
+  /// high-water mark never exceeds the configured send-buffer bound as
+  /// long as one encoded frame fits in it (the back-pressure test pins
+  /// this).
+  uint64_t buffer_bytes = 0;
+  uint64_t buffer_high_water = 0;
+};
+
 /// Aggregate counters of a runtime's lifetime, for load-shedding
 /// dashboards and tests.
 struct RuntimeStats {
@@ -253,6 +287,14 @@ struct RuntimeStats {
   /// One entry per tenant, implicit "default" first, then the configured
   /// specs in AdmissionControl::tenants order.
   std::vector<TenantStats> tenants;
+  // Network front-end slice (all zero/empty unless the snapshot came
+  // from net::SocketServer::stats()).
+  uint64_t connections_accepted = 0;
+  uint32_t connections_active = 0;
+  uint64_t net_malformed_frames = 0;
+  uint64_t net_aborted_streams = 0;
+  /// One entry per live connection at the stats() call.
+  std::vector<ConnectionStats> connections;
 };
 
 /// The shared query runtime (ROADMAP: "Concurrent multi-query serving" +

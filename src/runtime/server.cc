@@ -36,6 +36,20 @@ Result<std::shared_ptr<QuerySession>> Server::Submit(
 }
 
 Result<std::shared_ptr<QuerySession>> Server::Submit(
+    std::string_view sparql, Sink* sink, std::string_view service_class,
+    double timeout_seconds, int64_t row_budget) {
+  WF_ASSIGN_OR_RETURN(QueryGraph query,
+                      SparqlParser::ParseAndBind(sparql, *db_));
+  QueryRequest request =
+      MakeRequest(std::move(query), sink, service_class);
+  // Negative keeps the server default already in the request; 0 and up
+  // is a real per-query value (0 = unlimited).
+  if (timeout_seconds >= 0) request.timeout_seconds = timeout_seconds;
+  if (row_budget >= 0) request.row_budget = row_budget;
+  return runtime_.Submit(std::move(request));
+}
+
+Result<std::shared_ptr<QuerySession>> Server::Submit(
     const QueryGraph& query, Sink* sink, std::string_view service_class) {
   return runtime_.Submit(MakeRequest(query, sink, service_class));
 }

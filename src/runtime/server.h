@@ -81,6 +81,13 @@ class Server {
       std::string_view sparql, Sink* sink = nullptr,
       std::string_view service_class = {});
 
+  /// Same, with per-query overrides of the server defaults (negative =
+  /// inherit, 0 = unlimited — QueryRequest semantics). The network
+  /// front-end routes QUERY-frame overrides through here.
+  Result<std::shared_ptr<QuerySession>> Submit(
+      std::string_view sparql, Sink* sink, std::string_view service_class,
+      double timeout_seconds, int64_t row_budget);
+
   /// Submits a pre-bound query graph (no parsing).
   Result<std::shared_ptr<QuerySession>> Submit(
       const QueryGraph& query, Sink* sink = nullptr,
@@ -97,6 +104,8 @@ class Server {
       const std::vector<std::string>* service_classes = nullptr);
 
   QueryRuntime& runtime() { return runtime_; }
+  const QueryRuntime& runtime() const { return runtime_; }
+  const ServerOptions& options() const { return options_; }
   const Database& db() const { return *db_; }
   const Catalog& catalog() const { return *catalog_; }
 

@@ -1,0 +1,261 @@
+// Frame protocol round-trips and rejection paths of net/wire.h. Every
+// decoder must (a) reproduce what the encoder wrote bit-exactly,
+// (b) reject truncated payloads, and (c) reject trailing garbage —
+// a frame that does not parse EXACTLY is malformed, full stop.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/wire.h"
+
+namespace wireframe {
+namespace net {
+namespace {
+
+TEST(WireHeader, RoundTrip) {
+  FrameHeader header;
+  header.payload_length = 12345;
+  header.type = FrameType::kRowBatch;
+  char bytes[kFrameHeaderBytes];
+  EncodeFrameHeader(header, bytes);
+  auto decoded = DecodeFrameHeader(bytes, kDefaultMaxFrameBytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->payload_length, 12345u);
+  EXPECT_EQ(decoded->version, kWireVersion);
+  EXPECT_EQ(decoded->type, FrameType::kRowBatch);
+}
+
+TEST(WireHeader, RejectsBadVersion) {
+  FrameHeader header;
+  header.type = FrameType::kQuery;
+  char bytes[kFrameHeaderBytes];
+  EncodeFrameHeader(header, bytes);
+  bytes[4] = 99;
+  auto decoded = DecodeFrameHeader(bytes, kDefaultMaxFrameBytes);
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_TRUE(decoded.status().IsInvalidArgument());
+}
+
+TEST(WireHeader, RejectsUnknownType) {
+  FrameHeader header;
+  header.type = FrameType::kQuery;
+  char bytes[kFrameHeaderBytes];
+  EncodeFrameHeader(header, bytes);
+  bytes[5] = 0;  // below kHello
+  EXPECT_FALSE(DecodeFrameHeader(bytes, kDefaultMaxFrameBytes).ok());
+  bytes[5] = 42;  // above kGoodbye
+  EXPECT_FALSE(DecodeFrameHeader(bytes, kDefaultMaxFrameBytes).ok());
+}
+
+TEST(WireHeader, RejectsNonzeroReserved) {
+  FrameHeader header;
+  header.type = FrameType::kQuery;
+  char bytes[kFrameHeaderBytes];
+  EncodeFrameHeader(header, bytes);
+  bytes[6] = 1;
+  EXPECT_FALSE(DecodeFrameHeader(bytes, kDefaultMaxFrameBytes).ok());
+}
+
+TEST(WireHeader, RejectsOversizedPayloadBeforeReadingIt) {
+  FrameHeader header;
+  header.payload_length = 0xffffffff;  // hostile length prefix
+  header.type = FrameType::kQuery;
+  char bytes[kFrameHeaderBytes];
+  EncodeFrameHeader(header, bytes);
+  auto decoded = DecodeFrameHeader(bytes, kDefaultMaxFrameBytes);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_TRUE(decoded.status().IsInvalidArgument());
+  // The limit is named so clients can tell oversize from corruption.
+  EXPECT_NE(decoded.status().message().find(
+                std::to_string(kDefaultMaxFrameBytes)),
+            std::string::npos)
+      << decoded.status().ToString();
+  // Exactly at the cap is fine.
+  header.payload_length = kDefaultMaxFrameBytes;
+  EncodeFrameHeader(header, bytes);
+  EXPECT_TRUE(DecodeFrameHeader(bytes, kDefaultMaxFrameBytes).ok());
+}
+
+TEST(WireFrames, HelloRoundTrip) {
+  auto decoded = DecodeHello(EncodeHello({"latency"}));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->service_class, "latency");
+  EXPECT_TRUE(DecodeHello(EncodeHello({""}))->service_class.empty());
+}
+
+TEST(WireFrames, HelloAckRoundTrip) {
+  HelloAckFrame ack;
+  ack.max_frame_bytes = 777;
+  ack.rows_per_batch = 256;
+  ack.resolved_service_class = "default";
+  auto decoded = DecodeHelloAck(EncodeHelloAck(ack));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->max_frame_bytes, 777u);
+  EXPECT_EQ(decoded->rows_per_batch, 256u);
+  EXPECT_EQ(decoded->resolved_service_class, "default");
+}
+
+TEST(WireFrames, QueryRoundTrip) {
+  QueryFrame query;
+  query.sparql = "select * where { ?x p ?y . }";
+  query.timeout_seconds = 2.5;
+  query.row_budget = 1000;
+  auto decoded = DecodeQuery(EncodeQuery(query));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->sparql, query.sparql);
+  EXPECT_EQ(decoded->timeout_seconds, 2.5);
+  EXPECT_EQ(decoded->row_budget, 1000);
+  // The inherit sentinels survive the trip too.
+  QueryFrame inherit;
+  inherit.sparql = "q";
+  auto sentinel = DecodeQuery(EncodeQuery(inherit));
+  ASSERT_TRUE(sentinel.ok());
+  EXPECT_LT(sentinel->timeout_seconds, 0.0);
+  EXPECT_LT(sentinel->row_budget, 0);
+}
+
+TEST(WireFrames, RowBatchRoundTrip) {
+  RowBatchFrame batch;
+  batch.width = 3;
+  batch.data = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto decoded = DecodeRowBatch(EncodeRowBatch(batch));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->width, 3u);
+  EXPECT_EQ(decoded->rows(), 3u);
+  EXPECT_EQ(decoded->data, batch.data);
+}
+
+TEST(WireFrames, RowBatchRejectsSizeMismatch) {
+  RowBatchFrame batch;
+  batch.width = 3;
+  batch.data = {1, 2, 3, 4, 5, 6};
+  std::string payload = EncodeRowBatch(batch);
+  payload.resize(payload.size() - 1);  // truncate one byte
+  EXPECT_FALSE(DecodeRowBatch(payload).ok());
+  EXPECT_FALSE(DecodeRowBatch(std::string()).ok());
+}
+
+TEST(WireFrames, AggregateRoundTrip) {
+  AggregateResult result;
+  result.kind = AggregateKind::kCount;
+  result.value = {123456789, 42, false};
+  result.factorized = true;
+  result.groups = {{7, AggregateValue::FromU64(10)},
+                   {9, AggregateValue::FromU64(32)}};
+  auto decoded = DecodeAggregate(EncodeAggregate(result));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->kind, AggregateKind::kCount);
+  EXPECT_EQ(decoded->value, result.value);
+  EXPECT_TRUE(decoded->factorized);
+  EXPECT_EQ(decoded->groups, result.groups);
+
+  AggregateResult ask;
+  ask.kind = AggregateKind::kAsk;
+  ask.ask = true;
+  ask.fallback_reason = "cyclic shape";
+  auto ask_decoded = DecodeAggregate(EncodeAggregate(ask));
+  ASSERT_TRUE(ask_decoded.ok());
+  EXPECT_TRUE(ask_decoded->ask);
+  EXPECT_EQ(ask_decoded->fallback_reason, "cyclic shape");
+}
+
+TEST(WireFrames, AggregateRejectsHostileGroupCount) {
+  // A group count far past the payload size must fail the preflight,
+  // not drive a giant reserve().
+  AggregateResult result;
+  result.kind = AggregateKind::kCount;
+  std::string payload = EncodeAggregate(result);
+  payload[payload.size() - 4] = '\xff';
+  payload[payload.size() - 3] = '\xff';
+  payload[payload.size() - 2] = '\xff';
+  payload[payload.size() - 1] = '\x7f';
+  EXPECT_FALSE(DecodeAggregate(payload).ok());
+}
+
+TEST(WireFrames, ReportRoundTrip) {
+  runtime::QueryReport report;
+  report.index = 4;
+  report.service_class = "batch";
+  report.admitted = true;
+  report.outcome = runtime::QueryOutcome::kTimedOut;
+  report.status = Status::TimedOut("budget spent");
+  report.cache_hit = true;
+  report.rows = 4242;
+  report.queue_seconds = 0.25;
+  report.run_seconds = 1.5;
+  report.stats.output_tuples = 4242;
+  report.stats.ag_pairs = 99;
+  report.stats.phase1_seconds = 0.5;
+  auto decoded = DecodeReport(EncodeReport(report));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->index, 4u);
+  EXPECT_EQ(decoded->service_class, "batch");
+  EXPECT_TRUE(decoded->admitted);
+  EXPECT_EQ(decoded->outcome, runtime::QueryOutcome::kTimedOut);
+  EXPECT_TRUE(decoded->status.IsTimedOut());
+  EXPECT_EQ(decoded->status.message(), "budget spent");
+  EXPECT_TRUE(decoded->cache_hit);
+  EXPECT_EQ(decoded->rows, 4242u);
+  EXPECT_EQ(decoded->queue_seconds, 0.25);
+  EXPECT_EQ(decoded->run_seconds, 1.5);
+  EXPECT_EQ(decoded->stats.output_tuples, 4242u);
+  EXPECT_EQ(decoded->stats.ag_pairs, 99u);
+  EXPECT_EQ(decoded->stats.phase1_seconds, 0.5);
+}
+
+TEST(WireFrames, ErrorRoundTrip) {
+  ErrorFrame error;
+  error.code = StatusCode::kResourceExhausted;
+  error.message = "runtime saturated";
+  auto decoded = DecodeError(EncodeError(error));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->code, StatusCode::kResourceExhausted);
+  EXPECT_TRUE(decoded->ToStatus().IsResourceExhausted());
+  EXPECT_EQ(decoded->ToStatus().message(), "runtime saturated");
+}
+
+TEST(WireFrames, TrailingGarbageIsMalformedEverywhere) {
+  EXPECT_FALSE(DecodeHello(EncodeHello({"x"}) + "junk").ok());
+  EXPECT_FALSE(DecodeHelloAck(EncodeHelloAck({}) + "j").ok());
+  QueryFrame query;
+  query.sparql = "q";
+  EXPECT_FALSE(DecodeQuery(EncodeQuery(query) + "j").ok());
+  AggregateResult aggregate;
+  EXPECT_FALSE(DecodeAggregate(EncodeAggregate(aggregate) + "j").ok());
+  runtime::QueryReport report;
+  EXPECT_FALSE(DecodeReport(EncodeReport(report) + "j").ok());
+  EXPECT_FALSE(DecodeError(EncodeError({}) + "j").ok());
+}
+
+TEST(WireFrames, TruncationIsMalformedEverywhere) {
+  QueryFrame query;
+  query.sparql = "select * where { ?x p ?y . }";
+  const std::string full = EncodeQuery(query);
+  for (size_t n = 0; n < full.size(); ++n) {
+    EXPECT_FALSE(DecodeQuery(full.substr(0, n)).ok()) << "len " << n;
+  }
+  runtime::QueryReport report;
+  report.status = Status::ParseError("x");
+  const std::string report_bytes = EncodeReport(report);
+  for (size_t n = 0; n < report_bytes.size(); ++n) {
+    EXPECT_FALSE(DecodeReport(report_bytes.substr(0, n)).ok())
+        << "len " << n;
+  }
+}
+
+TEST(WireFrames, AppendFrameProducesHeaderPlusPayload) {
+  std::string out;
+  AppendFrame(FrameType::kQuery, "abc", &out);
+  ASSERT_EQ(out.size(), kFrameHeaderBytes + 3);
+  auto header = DecodeFrameHeader(out.data(), kDefaultMaxFrameBytes);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->type, FrameType::kQuery);
+  EXPECT_EQ(header->payload_length, 3u);
+  EXPECT_EQ(out.substr(kFrameHeaderBytes), "abc");
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace wireframe
