@@ -8,11 +8,19 @@
 // wall clock, queries/s, p50/p99 round-trip latency, and the row total
 // (which must be identical — the bench exits nonzero on a mismatch).
 //
-// Usage: bench_net [--transport=both|socket|in-process]
+// Usage: bench_net [--transport=both|socket|in-process] [--retry]
 //                  [--scale=0.2] [--seed=42] [--iters=3] [--timeout=60]
 //                  [--listen=127.0.0.1:0]      # or unix:/tmp/wf.sock
 //                  [--rows_per_batch=1024] [--send_buffer_kb=1024]
 //                  [--threads=0] [--json=<path>]
+//
+// --retry adds a third pass driving the SAME socket server through
+// net::RetryingClient with no faults armed, so the recorded
+// `socket-retry` cell is the pure bookkeeping overhead of the retry
+// layer (budget arithmetic, the counting batch hook) — it must sit
+// within noise of the plain `socket` cell. meta.retry joins the
+// bench_diff comparability keys so retry recordings only diff against
+// retry recordings.
 //
 // The CI bench-smoke leg runs this tiny (--scale=0.05 --iters=2) and
 // self-diffs the JSON with scripts/bench_diff.py; meta.transport is a
@@ -29,6 +37,7 @@
 #include "catalog/catalog.h"
 #include "datagen/yago_like.h"
 #include "net/client.h"
+#include "net/retry_client.h"
 #include "net/server.h"
 #include "runtime/server.h"
 #include "util/flags.h"
@@ -126,6 +135,43 @@ Result<TransportResult> RunSocket(const std::string& address,
   return result;
 }
 
+/// Closed-loop retrying-client pass: same workload, same server, but
+/// through the RetryingClient wrapper with nothing to retry — what the
+/// retry layer costs when the network behaves.
+Result<TransportResult> RunSocketRetry(
+    const std::string& address,
+    const std::vector<std::string>& workload, int iters) {
+  net::RetryingClient client(address);
+  TransportResult result;
+  result.rows_by_slot.assign(workload.size(), 0);
+  Stopwatch wall;
+  for (int it = 0; it < iters; ++it) {
+    for (size_t i = 0; i < workload.size(); ++i) {
+      Stopwatch one;
+      auto streamed = client.Run(workload[i]);
+      result.latencies_ms.push_back(one.ElapsedMillis());
+      if (!streamed.ok()) return streamed.status();  // wire fault: abort
+      if (streamed->report.outcome == runtime::QueryOutcome::kCompleted) {
+        ++result.ok;
+        const uint64_t rows = streamed->report.has_aggregate
+                                  ? streamed->report.rows
+                                  : streamed->rows.size();
+        result.total_rows += rows;
+        if (it == 0) result.rows_by_slot[i] = rows;
+      }
+    }
+  }
+  result.wall_seconds = wall.ElapsedSeconds();
+  // The fault-free path must never have burned a retry.
+  if (client.stats().transport_retries != 0 ||
+      client.stats().rejection_retries != 0 ||
+      client.stats().connect_failures != 0) {
+    return Status::Internal("retry layer retried on a clean network");
+  }
+  WF_RETURN_NOT_OK(client.Goodbye());
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -133,9 +179,14 @@ int main(int argc, char** argv) {
   const std::string transport = flags.GetString("transport", "both");
   const bool want_socket = transport == "both" || transport == "socket";
   const bool want_inproc = transport == "both" || transport == "in-process";
+  const bool want_retry = flags.GetBool("retry", false);
   if (!want_socket && !want_inproc) {
     std::cerr << "unknown --transport=" << transport
               << " (both|socket|in-process)\n";
+    return 2;
+  }
+  if (want_retry && !want_socket) {
+    std::cerr << "--retry needs the socket transport\n";
     return 2;
   }
   const double scale = flags.GetDouble("scale", 0.2);
@@ -187,6 +238,7 @@ int main(int argc, char** argv) {
 
   TransportResult inproc;
   TransportResult socket_side;
+  TransportResult retry_side;
   if (want_inproc) inproc = RunInProcess(server, workload, iters);
   if (want_socket) {
     auto streamed =
@@ -198,18 +250,35 @@ int main(int argc, char** argv) {
     }
     socket_side = std::move(streamed).value();
   }
+  if (want_retry) {
+    auto streamed =
+        RunSocketRetry(net_server.address().ToString(), workload, iters);
+    if (!streamed.ok()) {
+      std::cerr << streamed.status().ToString() << "\n";
+      net_server.Stop();
+      return 1;
+    }
+    retry_side = std::move(streamed).value();
+  }
   if (want_socket) net_server.Stop();
 
-  // Correctness gate: the wire must change no result.
+  // Correctness gate: neither the wire nor the retry wrapper may change
+  // any result.
   bool rows_match = true;
-  if (want_socket && want_inproc) {
-    for (size_t i = 0; i < workload.size(); ++i) {
-      if (inproc.rows_by_slot[i] != socket_side.rows_by_slot[i]) {
-        rows_match = false;
-        std::cerr << "MISMATCH query " << i << ": in-process rows "
-                  << inproc.rows_by_slot[i] << " vs socket rows "
-                  << socket_side.rows_by_slot[i] << "\n";
-      }
+  for (size_t i = 0; i < workload.size(); ++i) {
+    if (want_socket && want_inproc &&
+        inproc.rows_by_slot[i] != socket_side.rows_by_slot[i]) {
+      rows_match = false;
+      std::cerr << "MISMATCH query " << i << ": in-process rows "
+                << inproc.rows_by_slot[i] << " vs socket rows "
+                << socket_side.rows_by_slot[i] << "\n";
+    }
+    if (want_retry &&
+        socket_side.rows_by_slot[i] != retry_side.rows_by_slot[i]) {
+      rows_match = false;
+      std::cerr << "MISMATCH query " << i << ": socket rows "
+                << socket_side.rows_by_slot[i] << " vs socket-retry rows "
+                << retry_side.rows_by_slot[i] << "\n";
     }
   }
 
@@ -218,6 +287,7 @@ int main(int argc, char** argv) {
   std::snprintf(scale_meta, sizeof(scale_meta), "%g", config.scale);
   json.SetMeta("bench", "bench_net");
   json.SetMeta("transport", transport);
+  json.SetMeta("retry", want_retry ? "on" : "off");
   json.SetMeta("hardware_threads",
                std::to_string(ThreadPool::ResolveThreads(0)));
   json.SetMeta("cpu_features", KernelCpuFeaturesMeta());
@@ -256,6 +326,7 @@ int main(int argc, char** argv) {
   };
   if (want_inproc) report("in-process", inproc);
   if (want_socket) report("socket", socket_side);
+  if (want_retry) report("socket-retry", retry_side);
   table.Print(std::cout);
 
   if (want_socket && want_inproc && inproc.wall_seconds > 0.0 &&
@@ -265,6 +336,15 @@ int main(int argc, char** argv) {
                   "\nsocket wall vs in-process: %.2fx; rows identical: %s\n",
                   socket_side.wall_seconds / inproc.wall_seconds,
                   rows_match ? "yes" : "NO");
+    std::cout << buf;
+  }
+  if (want_retry && socket_side.wall_seconds > 0.0 &&
+      retry_side.wall_seconds > 0.0) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "socket-retry wall vs socket: %.2fx (fault-free retry "
+                  "overhead)\n",
+                  retry_side.wall_seconds / socket_side.wall_seconds);
     std::cout << buf;
   }
   if (flags.Has("json")) json.WriteTo(flags.GetString("json", ""));

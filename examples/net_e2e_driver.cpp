@@ -217,7 +217,7 @@ int main(int argc, char** argv) {
       bad[5] = static_cast<char>(net::FrameType::kQuery);
       const bool typed =
           sock->WriteAll(bad, sizeof bad, 5000).ok() &&
-          ExpectError(*sock, StatusCode::kInvalidArgument, &got);
+          ExpectError(*sock, StatusCode::kFrameCorrupt, &got);
       Check(typed, "malformed frame drew a typed ERROR (" + got + ")");
     }
   }
@@ -238,7 +238,7 @@ int main(int argc, char** argv) {
       net::EncodeFrameHeader(huge, bytes);
       const bool typed =
           sock->WriteAll(bytes, sizeof bytes, 5000).ok() &&
-          ExpectError(*sock, StatusCode::kInvalidArgument, &got);
+          ExpectError(*sock, StatusCode::kFrameCorrupt, &got);
       Check(typed, "oversized frame drew a typed ERROR (" + got + ")");
     }
   }

@@ -5,10 +5,13 @@
 //               [--scale=0.05] [--seed=42] [--nt=FILE] [--db=FILE.wfdb]
 //               [--addr_file=PATH]         # resolved address, for scripts
 //               [--ag_cache_mb=0]          # answer-graph cache per tenant
-//               [--pool_threads=0] [--max_inflight=4]
+//               [--pool_threads=0] [--max_inflight=4] [--max_queued=64]
 //               [--timeout=0] [--row_budget=0]
+//               [--brownout_watermark=0]   # queue depth that starts
+//               [--brownout_retry_after_ms=250]   # shedding, + hint
 //               [--send_buffer_kb=1024] [--rows_per_batch=1024]
 //               [--read_timeout_ms=300000] [--write_timeout_ms=30000]
+//               [--idle_timeout_ms=15000] [--hello_timeout_ms=10000]
 //
 // The CI net-e2e job starts this on a loopback socket, reads the
 // "listening on ..." line (and --addr_file), and drives the Table-1 mix
@@ -76,6 +79,18 @@ int main(int argc, char** argv) {
       static_cast<uint64_t>(flags.GetInt("row_budget", 0));
   server_options.runtime.admission.ag_cache_bytes =
       static_cast<uint64_t>(flags.GetInt("ag_cache_mb", 0)) * (1 << 20);
+  server_options.runtime.admission.max_queued = static_cast<uint32_t>(
+      flags.GetInt("max_queued",
+                   server_options.runtime.admission.max_queued));
+  // Graceful brownout: past this queue depth, queries from the
+  // lowest-weight service classes are shed with a typed kOverloaded
+  // carrying the retry-after hint below. 0 (default) disables shedding.
+  server_options.runtime.admission.brownout_queue_watermark =
+      static_cast<uint32_t>(flags.GetInt("brownout_watermark", 0));
+  server_options.runtime.admission.brownout_retry_after_ms =
+      static_cast<uint32_t>(flags.GetInt(
+          "brownout_retry_after_ms",
+          server_options.runtime.admission.brownout_retry_after_ms));
   runtime::Server server(*db, catalog, server_options);
 
   net::SocketServerOptions net_options;
@@ -88,6 +103,13 @@ int main(int argc, char** argv) {
       static_cast<int>(flags.GetInt("read_timeout_ms", 300'000));
   net_options.write_timeout_ms =
       static_cast<int>(flags.GetInt("write_timeout_ms", 30'000));
+  // Idle reaping: a session that sends NO frame (not even a PING) for
+  // this long is closed. Clients that ping keep their connection for
+  // free; silent half-dead peers stop pinning a session thread.
+  net_options.idle_timeout_ms = static_cast<int>(
+      flags.GetInt("idle_timeout_ms", net_options.idle_timeout_ms));
+  net_options.hello_timeout_ms = static_cast<int>(
+      flags.GetInt("hello_timeout_ms", net_options.hello_timeout_ms));
   // Handlers go in BEFORE the address is announced: a supervisor that
   // reads addr_file and signals immediately must never hit the window
   // where SIGINT still has its inherited disposition (background shells

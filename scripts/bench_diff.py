@@ -59,9 +59,11 @@ PHASE_FIELDS = (
 # recording ran AVX2 and the other the scalar fallback), or a different
 # result transport (a loopback-socket recording against an in-process
 # one measures the wire, not the engine) move every cell for reasons
-# that are not the code under test.
+# that are not the code under test. Same for retry: a recording taken
+# through the retrying-client wrapper only compares against another one
+# (bench_net --retry).
 COMPARABILITY_KEYS = ("hardware_threads", "frozen", "cpu_features",
-                      "transport")
+                      "transport", "retry")
 
 
 def print_comparability_warnings(old_meta, new_meta):

@@ -26,6 +26,26 @@ struct ClientOptions {
   /// use this: without it, loopback hides back-pressure inside a
   /// multi-megabyte kernel buffer.
   int recv_buffer_bytes = 0;
+  /// Liveness: while waiting for frames, send a PING every
+  /// `ping_interval_ms`; if NO frame at all (PONG included) arrives for
+  /// `ping_timeout_ms`, the peer is declared unresponsive with a typed
+  /// kConnectionReset — a half-dead server can no longer hold a client
+  /// for the full io_timeout_ms. 0 disables pinging (the io_timeout_ms
+  /// bound still applies).
+  int ping_interval_ms = 5'000;
+  int ping_timeout_ms = 15'000;
+  /// > 0 bounds one WHOLE Run() call, wall-clock, returning a typed
+  /// kTimedOut when exceeded. Liveness pings alone cannot provide this
+  /// bound: a peer that lost our QUERY (e.g. the bytes vanished in
+  /// transit) still answers every PING, so both sides idle happily
+  /// forever — PONG proves the peer is alive, not that the query is
+  /// progressing. 0 keeps Run unbounded (io_timeout_ms still bounds
+  /// each read).
+  int query_timeout_ms = 0;
+  /// Optional deterministic fault plane (borrowed; see
+  /// net/fault_injection.h) armed on the connection's socket BEFORE the
+  /// handshake, so scheduled faults hit from the first HELLO byte.
+  FaultInjector* fault_injector = nullptr;
 };
 
 /// One streamed query's results, collected.
@@ -73,6 +93,14 @@ class Client {
   /// with a REPORT — outcome kCancelled if the cancel won the race.
   Status SendCancel();
 
+  /// Explicit liveness probe: sends PING and blocks until the matching
+  /// PONG (or a transport error). Legal between queries only.
+  Status Ping();
+
+  /// Asks the server for its load snapshot (queue depths, per-tenant
+  /// load, overload flag). Legal between queries only.
+  Result<StatusFrame> QueryStatus();
+
   /// Drain contract: sends GOODBYE, then reads until the server's
   /// GOODBYE — every frame the server queued before it arrives first.
   /// Closes the socket either way.
@@ -88,6 +116,9 @@ class Client {
 
   Status SendFrame(FrameType type, const std::string& payload);
   Result<Frame> ReadFrame();
+  /// ReadFrame plus the ping-while-waiting liveness policy (see
+  /// ClientOptions::ping_interval_ms).
+  Result<Frame> ReadFrameWithLiveness();
 
   Socket sock_;
   ClientOptions options_;

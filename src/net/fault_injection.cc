@@ -1,0 +1,309 @@
+#include "net/fault_injection.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "util/random.h"
+
+namespace wireframe {
+namespace net {
+
+namespace {
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+uint32_t LoadU32Le(const unsigned char* data) {
+  return static_cast<uint32_t>(data[0]) |
+         static_cast<uint32_t>(data[1]) << 8 |
+         static_cast<uint32_t>(data[2]) << 16 |
+         static_cast<uint32_t>(data[3]) << 24;
+}
+
+const char* DirectionName(FaultDirection direction) {
+  return direction == FaultDirection::kRead ? "read" : "write";
+}
+
+}  // namespace
+
+const char* FaultOpName(FaultOp op) {
+  switch (op) {
+    case FaultOp::kDelay:
+      return "delay";
+    case FaultOp::kBitFlip:
+      return "bit-flip";
+    case FaultOp::kShortIo:
+      return "short-io";
+    case FaultOp::kBlackhole:
+      return "blackhole";
+    case FaultOp::kClose:
+      return "close";
+    case FaultOp::kReset:
+      return "reset";
+  }
+  return "unknown";
+}
+
+FaultSchedule FaultSchedule::Random(uint64_t seed) {
+  // Everything below derives from `seed` via the repo's deterministic
+  // Rng, so a sweep over seeds is a sweep over reproducible schedules.
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+  FaultSchedule schedule;
+  const int count = 1 + static_cast<int>(rng.Uniform(4));
+  for (int i = 0; i < count; ++i) {
+    FaultAction action;
+    action.op = static_cast<FaultOp>(rng.Uniform(6));
+    action.direction = rng.Bernoulli(0.5) ? FaultDirection::kWrite
+                                          : FaultDirection::kRead;
+    if (rng.Bernoulli(0.6)) {
+      // Pin to an early frame: the handshake and first queries are
+      // where a fault hurts the protocol state machine most.
+      action.at_frame = static_cast<int64_t>(rng.Uniform(4));
+      action.at_byte = rng.Uniform(32);
+    } else {
+      action.at_frame = -1;
+      action.at_byte = rng.Uniform(256);
+    }
+    action.delay_ms = action.op == FaultOp::kBlackhole
+                          ? 30 + static_cast<uint32_t>(rng.Uniform(90))
+                          : 5 + static_cast<uint32_t>(rng.Uniform(35));
+    action.bit_mask = static_cast<uint8_t>(1u << rng.Uniform(8));
+    action.span_bytes = 16 + rng.Uniform(112);
+    schedule.actions.push_back(action);
+  }
+  return schedule;
+}
+
+std::string FaultSchedule::ToString() const {
+  std::string out;
+  for (const FaultAction& action : actions) {
+    if (!out.empty()) out += ", ";
+    out += FaultOpName(action.op);
+    out += "@";
+    out += DirectionName(action.direction);
+    if (action.at_frame >= 0) {
+      out += ":frame" + std::to_string(action.at_frame) + "+" +
+             std::to_string(action.at_byte);
+    } else {
+      out += ":byte" + std::to_string(action.at_byte);
+    }
+  }
+  return out.empty() ? "none" : out;
+}
+
+FaultInjector::FaultInjector(FaultSchedule schedule) {
+  pending_.reserve(schedule.actions.size());
+  for (const FaultAction& action : schedule.actions) {
+    PendingAction pending;
+    pending.action = action;
+    if (action.at_frame < 0) {
+      pending.offset = action.at_byte;
+      pending.resolved = true;
+    }
+    pending_.push_back(pending);
+  }
+  // Frame 0 of each direction starts at offset 0 — resolvable now.
+  ResolveFramePinsLocked(FaultDirection::kRead);
+  ResolveFramePinsLocked(FaultDirection::kWrite);
+}
+
+void FaultInjector::ResolveFramePinsLocked(FaultDirection direction) {
+  const StreamState& ss = streams_[static_cast<int>(direction)];
+  for (PendingAction& p : pending_) {
+    if (p.resolved || p.action.direction != direction) continue;
+    if (p.action.at_frame == static_cast<int64_t>(ss.frame_index)) {
+      p.offset = ss.offset + p.action.at_byte;
+      p.resolved = true;
+    }
+  }
+}
+
+Status FaultInjector::BeforeIo(FaultDirection direction, size_t n,
+                               FaultIoPlan* plan) {
+  uint32_t sleep_ms = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const StreamState& ss = streams_[static_cast<int>(direction)];
+    plan->max_bytes = n;
+    plan->swallow = false;
+    plan->terminate = FaultTermination::kNone;
+    for (PendingAction& p : pending_) {
+      if (p.fired || !p.resolved || p.action.direction != direction) {
+        continue;
+      }
+      if (ss.offset < p.offset) {
+        // Trigger inside this attempt: split the attempt at the trigger
+        // so the next one starts exactly on it and the op fires there.
+        // (Bit flips need no split — they are applied at the exact byte
+        // within an attempt by StageWrite/AfterIo.)
+        if (p.action.op != FaultOp::kBitFlip &&
+            p.offset < ss.offset + plan->max_bytes) {
+          plan->max_bytes = static_cast<size_t>(p.offset - ss.offset);
+        }
+        continue;
+      }
+      switch (p.action.op) {
+        case FaultOp::kClose:
+          p.fired = true;
+          ++counters_.closes;
+          plan->terminate = FaultTermination::kClose;
+          return Status::ConnectionReset(
+              std::string("injected close at ") +
+              DirectionName(direction) + " offset " +
+              std::to_string(ss.offset));
+        case FaultOp::kReset:
+          p.fired = true;
+          ++counters_.resets;
+          plan->terminate = FaultTermination::kReset;
+          return Status::ConnectionReset(
+              std::string("injected RST at ") + DirectionName(direction) +
+              " offset " + std::to_string(ss.offset));
+        case FaultOp::kDelay:
+          p.fired = true;
+          ++counters_.delays;
+          sleep_ms += p.action.delay_ms;
+          break;
+        case FaultOp::kBlackhole: {
+          const int64_t now = NowMs();
+          if (p.opened_ms == 0) p.opened_ms = now;
+          if (now - p.opened_ms <
+              static_cast<int64_t>(p.action.delay_ms)) {
+            if (direction == FaultDirection::kRead) {
+              plan->max_bytes = 0;  // no data this round
+            } else {
+              plan->swallow = true;  // bytes vanish from the wire
+            }
+          } else {
+            p.fired = true;
+            ++counters_.blackholes;
+          }
+          break;
+        }
+        case FaultOp::kShortIo:
+          if (ss.offset < p.offset + p.action.span_bytes) {
+            // Counted when it first engages: the stream may legally end
+            // inside the span (nothing left to trickle).
+            if (!p.engaged) {
+              p.engaged = true;
+              ++counters_.short_io_spans;
+            }
+            plan->max_bytes = std::min<size_t>(plan->max_bytes, 1);
+          } else {
+            p.fired = true;
+          }
+          break;
+        case FaultOp::kBitFlip:
+          break;  // applied in StageWrite/AfterIo at the exact byte
+      }
+    }
+  }
+  if (sleep_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+  }
+  return Status::OK();
+}
+
+bool FaultInjector::StageWrite(const char* data, size_t n,
+                               std::string* scratch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const StreamState& ss = streams_[static_cast<int>(FaultDirection::kWrite)];
+  bool staged = false;
+  for (const PendingAction& p : pending_) {
+    if (p.fired || !p.resolved || p.action.op != FaultOp::kBitFlip ||
+        p.action.direction != FaultDirection::kWrite) {
+      continue;
+    }
+    if (p.offset < ss.offset || p.offset >= ss.offset + n) continue;
+    if (!staged) {
+      scratch->assign(data, n);
+      staged = true;
+    }
+    (*scratch)[p.offset - ss.offset] =
+        static_cast<char>((*scratch)[p.offset - ss.offset] ^
+                          p.action.bit_mask);
+  }
+  return staged;
+}
+
+void FaultInjector::AfterIo(FaultDirection direction, char* data,
+                            size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  StreamState& ss = streams_[static_cast<int>(direction)];
+  for (PendingAction& p : pending_) {
+    if (p.fired || !p.resolved || p.action.op != FaultOp::kBitFlip ||
+        p.action.direction != direction) {
+      continue;
+    }
+    if (p.offset < ss.offset || p.offset >= ss.offset + n) continue;
+    if (direction == FaultDirection::kRead) {
+      // Damage the received byte in place, after the kernel copy —
+      // exactly as if the wire had flipped it.
+      data[p.offset - ss.offset] = static_cast<char>(
+          data[p.offset - ss.offset] ^ p.action.bit_mask);
+    }
+    // Write-side flips were staged pre-send; either way the damaged
+    // byte has now moved, so the action is spent.
+    p.fired = true;
+    ++counters_.bit_flips;
+  }
+  AdvanceLocked(direction, data, n);
+}
+
+void FaultInjector::AdvanceLocked(FaultDirection direction,
+                                  const char* data, size_t n) {
+  StreamState& ss = streams_[static_cast<int>(direction)];
+  for (size_t i = 0; i < n; ++i) {
+    if (ss.in_payload) {
+      // Fast-forward through payload bytes of this chunk.
+      const uint64_t take =
+          std::min<uint64_t>(ss.payload_left, n - i);
+      ss.payload_left -= take;
+      i += static_cast<size_t>(take) - 1;
+      if (ss.payload_left == 0) {
+        ss.in_payload = false;
+        ++ss.frame_index;
+        // Resolve pins against the next frame's first-byte offset
+        // (chunk base + bytes consumed so far); the chunk's full length
+        // lands on ss.offset once at the end.
+        ss.offset += i + 1;
+        ResolveFramePinsLocked(direction);
+        ss.offset -= i + 1;
+      }
+      continue;
+    }
+    ss.header[ss.header_have++] = static_cast<unsigned char>(data[i]);
+    if (ss.header_have == sizeof ss.header) {
+      ss.header_have = 0;
+      ss.payload_left = LoadU32Le(ss.header);
+      if (ss.payload_left > 0) {
+        ss.in_payload = true;
+      } else {
+        ++ss.frame_index;
+        ss.offset += i + 1;
+        ResolveFramePinsLocked(direction);
+        ss.offset -= i + 1;
+      }
+    }
+  }
+  ss.offset += n;
+}
+
+bool FaultInjector::Drained() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const PendingAction& p : pending_) {
+    if (!p.fired) return false;
+  }
+  return true;
+}
+
+FaultCounters FaultInjector::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+}  // namespace net
+}  // namespace wireframe

@@ -1,0 +1,191 @@
+#ifndef WIREFRAME_NET_FAULT_INJECTION_H_
+#define WIREFRAME_NET_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace wireframe {
+namespace net {
+
+/// Deterministic fault plane for the Socket read/write path. A test (or
+/// the chaos driver) builds a FaultSchedule — an explicit list of
+/// actions pinned to byte or frame offsets of one direction of the
+/// stream — arms a FaultInjector on a Socket, and every fault then
+/// fires at exactly the scheduled offset, every run, regardless of
+/// timing. Compiled in always; a socket with no injector armed pays one
+/// null check per I/O attempt.
+///
+/// The injector is stateful across reconnects on purpose: stream
+/// offsets continue monotonically over the connections it is armed on,
+/// so a finite schedule eventually drains and a retrying client's later
+/// attempts run fault-free — which is what lets the chaos driver assert
+/// that every query ultimately completes or fails typed.
+
+/// Which half of the stream an action applies to, from the armed
+/// socket's point of view.
+enum class FaultDirection : uint8_t { kRead = 0, kWrite = 1 };
+
+enum class FaultOp : uint8_t {
+  /// Stall the stream once for `delay_ms` at the trigger offset.
+  kDelay,
+  /// XOR `bit_mask` into the byte at the trigger offset (write-side
+  /// flips damage the bytes on the wire, not the caller's buffer).
+  kBitFlip,
+  /// Cap every I/O attempt at 1 byte for `span_bytes` bytes past the
+  /// trigger — emulates a full kernel buffer (short writes) or
+  /// trickling reads (headers split across reads).
+  kShortIo,
+  /// For `delay_ms` past the trigger: writes are swallowed (reported
+  /// as sent, never hitting the wire), reads deliver nothing. Lost
+  /// bytes leave the peer mid-frame — exactly the half-dead-peer case
+  /// liveness timeouts exist for.
+  kBlackhole,
+  /// Orderly local close at the trigger offset (peer sees FIN, the
+  /// local caller a typed kConnectionReset).
+  kClose,
+  /// Hard RST at the trigger offset (SO_LINGER 0).
+  kReset,
+};
+
+const char* FaultOpName(FaultOp op);
+
+/// One scheduled fault. Triggers resolve against the direction's
+/// cumulative stream offset: either an absolute byte offset
+/// (`at_frame < 0`) or `at_byte` bytes past the first byte of frame
+/// number `at_frame` (0-based, counted per direction by parsing the
+/// 8-byte headers as bytes flow). Every action fires at most once.
+struct FaultAction {
+  FaultOp op = FaultOp::kDelay;
+  FaultDirection direction = FaultDirection::kWrite;
+  int64_t at_frame = -1;
+  uint64_t at_byte = 0;
+  /// kDelay: stall length. kBlackhole: how long the hole lasts.
+  uint32_t delay_ms = 0;
+  /// kBitFlip: mask XORed into the triggered byte (must be nonzero).
+  uint8_t bit_mask = 0x01;
+  /// kShortIo: how many bytes move one-at-a-time.
+  uint64_t span_bytes = 64;
+};
+
+/// A whole schedule, plus the deterministic generator the chaos driver
+/// sweeps.
+struct FaultSchedule {
+  std::vector<FaultAction> actions;
+
+  /// Generates a small adversarial schedule from `seed` alone: 1–4
+  /// actions across both directions, offsets inside the first few
+  /// frames of a session (where the handshake and the first query
+  /// live), every op represented across the sweep. Identical seeds
+  /// yield identical schedules on every platform.
+  static FaultSchedule Random(uint64_t seed);
+
+  std::string ToString() const;
+};
+
+/// Counts of faults actually fired, for asserting a schedule drained.
+struct FaultCounters {
+  uint64_t delays = 0;
+  uint64_t bit_flips = 0;
+  uint64_t short_io_spans = 0;
+  uint64_t blackholes = 0;
+  uint64_t closes = 0;
+  uint64_t resets = 0;
+
+  uint64_t total() const {
+    return delays + bit_flips + short_io_spans + blackholes + closes +
+           resets;
+  }
+};
+
+/// What Socket must do to the connection after a non-OK BeforeIo.
+enum class FaultTermination : uint8_t { kNone, kClose, kReset };
+
+/// Plan for one I/O attempt, filled by BeforeIo.
+struct FaultIoPlan {
+  /// Cap on the attempt's byte count. 0 = make no syscall this round;
+  /// the socket burns one poll slice (deadline/abort still honored)
+  /// and asks again.
+  size_t max_bytes = 0;
+  /// Write only: report `max_bytes` as sent without touching the fd.
+  bool swallow = false;
+  /// Non-kNone iff BeforeIo returned non-OK: how to tear down the fd.
+  FaultTermination terminate = FaultTermination::kNone;
+};
+
+/// The armed fault plane. Thread-safe (a connection's reader and writer
+/// may run on different threads); one injector may outlive and span
+/// many sockets, and usually should — see the class comment above.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultSchedule schedule);
+
+  /// Consulted before every raw read(2)/send(2) attempt of up to `n`
+  /// bytes. May sleep (kDelay), cap or suppress the attempt
+  /// (kShortIo/kBlackhole), or order the connection torn down —
+  /// returning the typed status the caller surfaces and setting
+  /// plan->terminate.
+  Status BeforeIo(FaultDirection direction, size_t n, FaultIoPlan* plan);
+
+  /// Write staging: when a pending bit flip lands inside the next `n`
+  /// bytes, copies them into *scratch, applies the flip there, and
+  /// returns true (the socket sends the scratch bytes; the caller's
+  /// buffer stays intact). The flip is not marked fired until AfterIo
+  /// reports the flipped byte actually moved — a short write before
+  /// the flip offset re-stages it on the next attempt.
+  bool StageWrite(const char* data, size_t n, std::string* scratch);
+
+  /// Reports `n` bytes moved by a successful attempt. Read-side bit
+  /// flips mutate `data` in place (pass the buffer just filled); the
+  /// stream tracker parses frame headers from the moved bytes and
+  /// advances the direction's offsets, resolving frame-pinned
+  /// triggers. For swallowed writes pass the bytes that would have
+  /// been sent.
+  void AfterIo(FaultDirection direction, char* data, size_t n);
+
+  /// True once every scheduled action fired.
+  bool Drained() const;
+  FaultCounters counters() const;
+
+ private:
+  struct PendingAction {
+    FaultAction action;
+    /// Absolute byte offset once resolved (at_frame pins resolve when
+    /// their frame starts).
+    uint64_t offset = 0;
+    bool resolved = false;
+    bool fired = false;
+    /// kShortIo: span entered (counted once even if the stream ends
+    /// before the span does).
+    bool engaged = false;
+    /// kBlackhole: steady-clock ms when the hole opened (0 = not yet).
+    int64_t opened_ms = 0;
+  };
+
+  /// Per-direction stream tracker: cumulative offset plus a header
+  /// parser so frame-pinned triggers resolve to byte offsets.
+  struct StreamState {
+    uint64_t offset = 0;
+    uint64_t frame_index = 0;
+    size_t header_have = 0;
+    unsigned char header[8] = {0};
+    uint64_t payload_left = 0;
+    bool in_payload = false;
+  };
+
+  void ResolveFramePinsLocked(FaultDirection direction);
+  void AdvanceLocked(FaultDirection direction, const char* data, size_t n);
+
+  mutable std::mutex mu_;
+  std::vector<PendingAction> pending_;
+  StreamState streams_[2];
+  FaultCounters counters_;
+};
+
+}  // namespace net
+}  // namespace wireframe
+
+#endif  // WIREFRAME_NET_FAULT_INJECTION_H_

@@ -1,0 +1,216 @@
+#include "net/retry_client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <thread>
+#include <utility>
+
+namespace wireframe {
+namespace net {
+
+namespace {
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+RetryingClient::RetryingClient(std::string address, ClientOptions options,
+                               RetryPolicy policy)
+    : address_(std::move(address)), options_(std::move(options)),
+      policy_(std::move(policy)),
+      rng_(policy_.seed * 0x9e3779b97f4a7c15ULL + 1) {}
+
+RetryingClient::Budget RetryingClient::NewBudget() const {
+  Budget budget;
+  budget.attempts_left = std::max(1, policy_.max_attempts);
+  budget.deadline_ms =
+      policy_.retry_budget_seconds > 0
+          ? NowMs() + static_cast<int64_t>(policy_.retry_budget_seconds *
+                                           1000.0)
+          : std::numeric_limits<int64_t>::max();
+  budget.prev_backoff_ms = std::max(1, policy_.base_backoff_ms);
+  return budget;
+}
+
+bool RetryingClient::MayRetry(const Budget& budget) const {
+  return budget.attempts_left > 0 && NowMs() < budget.deadline_ms;
+}
+
+void RetryingClient::Backoff(Budget* budget, int min_sleep_ms) {
+  // Decorrelated jitter: draw from [base, prev * multiplier], cap, and
+  // remember the draw as the next round's upper-bound seed.
+  const int64_t lo = std::max(1, policy_.base_backoff_ms);
+  const int64_t hi = std::max(
+      lo, static_cast<int64_t>(budget->prev_backoff_ms *
+                               std::max(1.0, policy_.multiplier)));
+  int64_t sleep = rng_.UniformRange(lo, hi);
+  sleep = std::min<int64_t>(sleep, std::max(1, policy_.max_backoff_ms));
+  budget->prev_backoff_ms = static_cast<int>(sleep);
+  // A server retry-after hint floors the sleep (it may exceed the cap:
+  // the server knows its own drain rate better than our policy does).
+  sleep = std::max<int64_t>(sleep, min_sleep_ms);
+  // Never sleep past the deadline; the loop re-checks it right after.
+  if (budget->deadline_ms != std::numeric_limits<int64_t>::max()) {
+    sleep = std::min(sleep, std::max<int64_t>(0, budget->deadline_ms -
+                                                     NowMs()));
+  }
+  if (sleep > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep));
+    stats_.backoff_ms_total += static_cast<uint64_t>(sleep);
+  }
+}
+
+bool RetryingClient::RetryableTransport(const Status& status) {
+  // Transport-level losses where nothing about the caller's request was
+  // wrong: reconnecting gets a fresh, trustworthy stream. kTimedOut
+  // here is a client-side io stall (query-level timeouts come back
+  // inside a successful REPORT, not as a transport status).
+  return status.IsConnectionRefused() || status.IsConnectionReset() ||
+         status.IsFrameCorrupt() ||
+         status.code() == StatusCode::kIOError || status.IsTimedOut();
+}
+
+void RetryingClient::Disconnect() {
+  if (client_ != nullptr) {
+    client_->socket().Close();
+    client_.reset();
+  }
+}
+
+Status RetryingClient::EnsureConnected(Budget* budget) {
+  if (client_ != nullptr) return Status::OK();
+  Status last = Status::OK();
+  for (;;) {
+    if (!MayRetry(*budget)) {
+      return Status::RetryExhausted(
+          "connect retries exhausted after " +
+          std::to_string(policy_.max_attempts - budget->attempts_left) +
+          " attempt(s): " + last.message());
+    }
+    const int attempt = policy_.max_attempts - budget->attempts_left + 1;
+    if (connect_hook_) connect_hook_(attempt);
+    Result<std::unique_ptr<Client>> connected =
+        Client::Connect(address_, options_);
+    if (connected.ok()) {
+      client_ = std::move(connected).value();
+      ++stats_.connects;
+      return Status::OK();
+    }
+    // Only FAILED connects burn an attempt: the fault-free path keeps
+    // its full query-attempt budget.
+    --budget->attempts_left;
+    last = connected.status();
+    ++stats_.connect_failures;
+    if (!RetryableTransport(last)) return last;
+    if (MayRetry(*budget)) Backoff(budget, 0);
+  }
+}
+
+Result<QueryResult> RetryingClient::Run(const QueryFrame& query,
+                                        const Client::BatchHook& hook) {
+  Budget budget = NewBudget();
+  Status last = Status::OK();
+  for (;;) {
+    WF_RETURN_NOT_OK(EnsureConnected(&budget));
+    // Replay-safety sentinel: counts ROW-BATCH frames handed to the
+    // caller. Wrapped around the user hook so delivery is observed
+    // even when the caller passed none.
+    uint64_t delivered_batches = 0;
+    const Client::BatchHook counting =
+        [&](const RowBatchFrame& batch) {
+          ++delivered_batches;
+          if (hook) hook(batch);
+        };
+    --budget.attempts_left;
+    ++stats_.query_attempts;
+    Result<QueryResult> result = client_->Run(query, counting);
+    if (result.ok()) {
+      const runtime::QueryReport& report = result->report;
+      if (policy_.retry_rejections &&
+          report.status.code() == StatusCode::kOverloaded) {
+        // Brownout shed: nothing executed, so a rerun is always safe.
+        // The server's retry-after hint floors the backoff.
+        last = report.status;
+        if (!MayRetry(budget)) break;
+        ++stats_.rejection_retries;
+        Backoff(&budget, static_cast<int>(report.retry_after_ms));
+        continue;
+      }
+      return result;
+    }
+    last = result.status();
+    if (!RetryableTransport(last)) return last;
+    Disconnect();
+    if (delivered_batches > 0) {
+      // Retrying now could hand the caller duplicate rows through the
+      // hook — surface the break as typed, let the caller decide.
+      return Status::StreamBroken(
+          "result stream broken after " +
+          std::to_string(delivered_batches) +
+          " delivered batch(es): " + last.message());
+    }
+    if (!MayRetry(budget)) break;
+    ++stats_.transport_retries;
+    Backoff(&budget, 0);
+  }
+  return Status::RetryExhausted(
+      "retries exhausted after " +
+      std::to_string(policy_.max_attempts - budget.attempts_left) +
+      " attempt(s): " + last.message());
+}
+
+Status RetryingClient::Ping() {
+  Budget budget = NewBudget();
+  Status last = Status::OK();
+  for (;;) {
+    WF_RETURN_NOT_OK(EnsureConnected(&budget));
+    --budget.attempts_left;
+    last = client_->Ping();
+    if (last.ok() || !RetryableTransport(last)) return last;
+    Disconnect();
+    if (!MayRetry(budget)) {
+      return Status::RetryExhausted(
+          "ping retries exhausted after " +
+          std::to_string(policy_.max_attempts - budget.attempts_left) +
+          " attempt(s): " + last.message());
+    }
+    Backoff(&budget, 0);
+  }
+}
+
+Result<StatusFrame> RetryingClient::QueryStatus() {
+  Budget budget = NewBudget();
+  Status last = Status::OK();
+  for (;;) {
+    WF_RETURN_NOT_OK(EnsureConnected(&budget));
+    --budget.attempts_left;
+    Result<StatusFrame> status = client_->QueryStatus();
+    if (status.ok() || !RetryableTransport(status.status())) {
+      return status;
+    }
+    last = status.status();
+    Disconnect();
+    if (!MayRetry(budget)) {
+      return Status::RetryExhausted(
+          "status retries exhausted after " +
+          std::to_string(policy_.max_attempts - budget.attempts_left) +
+          " attempt(s): " + last.message());
+    }
+    Backoff(&budget, 0);
+  }
+}
+
+Status RetryingClient::Goodbye() {
+  if (client_ == nullptr) return Status::OK();
+  const Status status = client_->Goodbye();
+  client_.reset();
+  return status;
+}
+
+}  // namespace net
+}  // namespace wireframe

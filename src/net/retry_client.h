@@ -1,0 +1,142 @@
+#ifndef WIREFRAME_NET_RETRY_CLIENT_H_
+#define WIREFRAME_NET_RETRY_CLIENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "net/client.h"
+#include "util/random.h"
+
+namespace wireframe {
+namespace net {
+
+/// Retry/backoff policy of a RetryingClient. All sleeps are computed
+/// with decorrelated jitter: each backoff is drawn uniformly from
+/// [base_backoff_ms, previous * multiplier], capped at max_backoff_ms —
+/// herds of clients that failed together spread out instead of
+/// reconnecting in lockstep.
+struct RetryPolicy {
+  /// Attempts per logical operation: each QUERY send and each FAILED
+  /// connect burns one (a successful connect is free, so the fault-free
+  /// path keeps its full budget).
+  int max_attempts = 5;
+  int base_backoff_ms = 50;
+  int max_backoff_ms = 2'000;
+  double multiplier = 3.0;
+  /// Wall-clock budget across ALL attempts of one operation, sleeps
+  /// included. <= 0 means unlimited (attempts alone bound the loop).
+  /// Backoff sleeps are clipped to the remaining budget, and a retry
+  /// never starts once the budget is spent — the deadline wins over
+  /// the attempt count.
+  double retry_budget_seconds = 30.0;
+  /// Seed of the jitter stream; fixed seeds make retry schedules
+  /// reproducible in tests and in the chaos driver.
+  uint64_t seed = 1;
+  /// Also retry admission rejections (typed kOverloaded in the REPORT),
+  /// honoring the server's retry-after hint as a floor under the
+  /// backoff. Rejections never execute, so this is always replay-safe.
+  bool retry_rejections = true;
+};
+
+/// Counters of one RetryingClient, cumulative across operations.
+struct RetryStats {
+  uint64_t connects = 0;          ///< successful (re)connections
+  uint64_t connect_failures = 0;  ///< failed connection attempts
+  uint64_t query_attempts = 0;    ///< QUERY frames actually sent
+  uint64_t transport_retries = 0; ///< replay-safe reruns after transport loss
+  uint64_t rejection_retries = 0; ///< reruns after typed kOverloaded
+  uint64_t backoff_ms_total = 0;  ///< total time slept backing off
+};
+
+/// A Client wrapper that survives the network: it reconnects, backs off
+/// with decorrelated jitter, retries within a deadline budget, and —
+/// crucially — never silently duplicates results.
+///
+/// Replay-safety contract: a query is retried transparently ONLY while
+/// nothing of its result stream has been delivered (no ROW-BATCH and no
+/// AGGREGATE seen). Once the first result frame was handed to the
+/// caller's BatchHook, a transport failure surfaces as a typed
+/// kStreamBroken — re-running could deliver duplicate rows, so the
+/// caller must decide. When every retry avenue is spent the last error
+/// is wrapped in a typed kRetryExhausted. Both are errors a driver can
+/// branch on; neither ever yields a wrong or duplicated row.
+///
+/// Not thread-safe, mirroring Client: one operation at a time.
+class RetryingClient {
+ public:
+  /// Called just before each (re)connection attempt with the 1-based
+  /// attempt number. Tests use it to re-arm fault schedules or flip
+  /// a server back on.
+  using ConnectHook = std::function<void(int attempt)>;
+
+  RetryingClient(std::string address, ClientOptions options = {},
+                 RetryPolicy policy = {});
+
+  /// Runs one query with retries per the policy. Same result contract
+  /// as Client::Run, plus the typed kRetryExhausted / kStreamBroken
+  /// failure modes described above.
+  Result<QueryResult> Run(const QueryFrame& query,
+                          const Client::BatchHook& hook = nullptr);
+  Result<QueryResult> Run(const std::string& sparql,
+                          const Client::BatchHook& hook = nullptr) {
+    QueryFrame query;
+    query.sparql = sparql;
+    return Run(query, hook);
+  }
+
+  /// Liveness probe with reconnect-and-retry (idempotent, so always
+  /// replay-safe).
+  Status Ping();
+
+  /// Load snapshot with reconnect-and-retry (read-only, replay-safe).
+  Result<StatusFrame> QueryStatus();
+
+  /// Graceful close of the current connection, if any.
+  Status Goodbye();
+
+  const RetryStats& stats() const { return stats_; }
+
+  /// Currently-connected client, or nullptr between connections.
+  Client* client() { return client_.get(); }
+
+  void set_connect_hook(ConnectHook hook) {
+    connect_hook_ = std::move(hook);
+  }
+
+ private:
+  /// One retry loop's bookkeeping: attempt counter, deadline, and the
+  /// decorrelated-jitter state.
+  struct Budget {
+    int attempts_left;
+    int64_t deadline_ms;  ///< absolute; INT64_MAX when unlimited
+    int prev_backoff_ms;
+  };
+
+  Budget NewBudget() const;
+  /// True if another attempt may start; false when attempts or the
+  /// deadline ran out.
+  bool MayRetry(const Budget& budget) const;
+  /// Sleeps the next decorrelated-jitter backoff (floored at
+  /// `min_sleep_ms`, clipped to the remaining budget) and charges it.
+  void Backoff(Budget* budget, int min_sleep_ms);
+  /// Connects if not connected, burning attempts/backoff on failure.
+  /// Returns the last connect error when the budget ran out.
+  Status EnsureConnected(Budget* budget);
+  void Disconnect();
+  static bool RetryableTransport(const Status& status);
+
+  const std::string address_;
+  const ClientOptions options_;
+  const RetryPolicy policy_;
+  std::unique_ptr<Client> client_;
+  Rng rng_;
+  RetryStats stats_;
+  ConnectHook connect_hook_;
+};
+
+}  // namespace net
+}  // namespace wireframe
+
+#endif  // WIREFRAME_NET_RETRY_CLIENT_H_

@@ -22,7 +22,8 @@ constexpr int kIdleSliceMs = 50;
 constexpr auto kPushSlice = std::chrono::milliseconds(2);
 
 bool IsMalformed(const Status& status) {
-  return status.IsInvalidArgument() || status.IsParseError();
+  return status.IsInvalidArgument() || status.IsParseError() ||
+         status.IsFrameCorrupt();
 }
 
 }  // namespace
@@ -356,9 +357,16 @@ Result<Frame> SocketServer::ReadFrame(Connection& conn, int timeout_ms) {
   WF_RETURN_NOT_OK(conn.sock.ReadExact(header_bytes, kFrameHeaderBytes,
                                        options_.read_timeout_ms,
                                        &conn.abort));
-  WF_ASSIGN_OR_RETURN(
-      FrameHeader header,
-      DecodeFrameHeader(header_bytes, options_.max_frame_bytes));
+  Result<FrameHeader> decoded =
+      DecodeFrameHeader(header_bytes, options_.max_frame_bytes);
+  if (!decoded.ok()) {
+    // Our own client never emits an undecodable header, so one on the
+    // wire means the byte stream itself went bad (damaged or lost
+    // bytes) — typed, mirroring the client's mid-session rule.
+    return Status::FrameCorrupt("undecodable frame header (" +
+                                decoded.status().message() + ")");
+  }
+  const FrameHeader header = decoded.value();
   Frame frame;
   frame.type = header.type;
   frame.payload.resize(header.payload_length);
@@ -368,10 +376,39 @@ Result<Frame> SocketServer::ReadFrame(Connection& conn, int timeout_ms) {
                                          options_.read_timeout_ms,
                                          &conn.abort));
   }
+  // A bad checksum is typed kFrameCorrupt: a flipped bit in a QUERY
+  // must surface as corruption, never run as a different valid query.
+  WF_RETURN_NOT_OK(VerifyFramePayload(header, frame.payload));
   std::lock_guard<std::mutex> lock(conn.mu);
   conn.stats.bytes_in += kFrameHeaderBytes + header.payload_length;
   ++conn.stats.frames_in;
   return frame;
+}
+
+std::string SocketServer::EncodeStatusSnapshot() const {
+  const runtime::RuntimeStats rs = server_->runtime().stats();
+  const runtime::AdmissionControl& adm =
+      server_->runtime().options().admission;
+  StatusFrame status;
+  for (const runtime::TenantStats& ts : rs.tenants) {
+    status.running += ts.running;
+    status.queued += ts.queued;
+    TenantLoadFrame tenant;
+    tenant.name = ts.tenant;
+    tenant.weight = ts.weight;
+    tenant.running = ts.running;
+    tenant.queued = ts.queued;
+    tenant.completed = ts.completed;
+    tenant.shed = ts.rejected;
+    tenant.brownout_rejected = ts.brownout_rejected;
+    status.tenants.push_back(std::move(tenant));
+  }
+  status.max_inflight = adm.max_inflight;
+  status.max_queued = adm.max_queued;
+  status.overloaded = server_->runtime().overloaded() ? 1 : 0;
+  status.retry_after_ms =
+      status.overloaded != 0 ? adm.brownout_retry_after_ms : 0;
+  return EncodeStatus(status);
 }
 
 bool SocketServer::PushFrame(Connection& conn, FrameType type,
@@ -453,7 +490,7 @@ void SocketServer::ServeSession(Connection& conn) {
       break;
     }
     if (conn.abort.load(std::memory_order_relaxed)) break;
-    Result<Frame> frame = ReadFrame(conn, options_.read_timeout_ms);
+    Result<Frame> frame = ReadFrame(conn, options_.idle_timeout_ms);
     if (!frame.ok()) {
       const Status& status = frame.status();
       if (IsMalformed(status)) {
@@ -461,7 +498,8 @@ void SocketServer::ServeSession(Connection& conn) {
         reply_error(status);
       } else if (status.IsTimedOut()) {
         reply_error(Status::TimedOut(
-            "idle connection: no frame within the read timeout"));
+            "idle connection reaped: no frame (not even a PING) within "
+            "the idle timeout"));
       } else if (status.IsCancelled() &&
                  stopping_.load(std::memory_order_relaxed)) {
         want_goodbye = true;
@@ -482,6 +520,16 @@ void SocketServer::ServeSession(Connection& conn) {
       }
       case FrameType::kCancel:
         break;  // nothing in flight; harmless
+      case FrameType::kPing:
+        if (!PushFrame(conn, FrameType::kPong, std::string())) {
+          session_open = false;
+        }
+        break;
+      case FrameType::kStatus:
+        if (!PushFrame(conn, FrameType::kStatus, EncodeStatusSnapshot())) {
+          session_open = false;
+        }
+        break;
       case FrameType::kGoodbye:
         want_goodbye = true;
         session_open = false;
@@ -526,18 +574,22 @@ bool SocketServer::ServeQuery(Connection& conn, const QueryFrame& query) {
                             .admission.default_timeout_seconds;
   }
   StreamSink sink(options_, &conn, effective_timeout);
+  runtime::SubmitRejection rejection;
   Result<std::shared_ptr<runtime::QuerySession>> submitted =
       server_->Submit(query.sparql, &sink, conn.service_class,
-                      query.timeout_seconds, query.row_budget);
+                      query.timeout_seconds, query.row_budget, &rejection);
   if (!submitted.ok()) {
     // Rejected before a session existed (parse error or admission
     // shed): same report shape RunBatch produces — resolved class,
-    // admitted=false, the status saying why.
+    // admitted=false, the status saying why. A brownout rejection also
+    // carries its retry-after hint so well-behaved clients back off by
+    // at least that much.
     runtime::QueryReport report;
     report.index = sequence;
     report.admitted = false;
     report.outcome = runtime::QueryOutcome::kFailed;
     report.status = submitted.status();
+    report.retry_after_ms = rejection.retry_after_ms;
     report.service_class = server_->runtime().ResolveServiceClassName(
         conn.service_class.empty()
             ? server_->options().default_service_class
@@ -600,6 +652,14 @@ bool SocketServer::ServeQuery(Connection& conn, const QueryFrame& query) {
         conn.client_goodbye = true;
         session->Cancel();
         sink.RequestCancel();
+        break;
+      case FrameType::kPing:
+        // Answered even mid-query: PONG rides the same ordered stream,
+        // so a client waiting out a long query sees proof of life.
+        PushFrame(conn, FrameType::kPong, std::string());
+        break;
+      case FrameType::kStatus:
+        PushFrame(conn, FrameType::kStatus, EncodeStatusSnapshot());
         break;
       default:
         PushFrame(

@@ -43,9 +43,16 @@ struct SocketServerOptions {
   /// that want the back-pressure contract to bite at a known size) pin
   /// this to a small value.
   int kernel_send_buffer_bytes = 0;
-  /// Idle wait for the next frame of an established session; expiry
-  /// sends a typed ERROR and closes.
-  int read_timeout_ms = 300'000;
+  /// Bound on COMPLETING a frame whose first byte arrived (header +
+  /// payload). A peer that starts a frame and stalls mid-way is cut
+  /// here — this is a transfer bound, not the idle bound below.
+  int read_timeout_ms = 30'000;
+  /// Idle bound between frames of an established session. Clients ping
+  /// every ClientOptions::ping_interval_ms (5 s default) whenever they
+  /// are waiting, so 15 s ≈ three missed pings: a HELLO'd-then-silent
+  /// connection is reaped in seconds, not minutes, and a live-but-idle
+  /// client stays connected indefinitely just by pinging.
+  int idle_timeout_ms = 15'000;
   /// Bound on one blocked write. A client that stopped reading past the
   /// send buffer AND this long is declared dead: the connection aborts
   /// and its in-flight query is cancelled.
@@ -114,6 +121,9 @@ class SocketServer {
   /// buffer room. False when the connection aborted (frame dropped).
   bool PushFrame(Connection& conn, FrameType type,
                  const std::string& payload);
+  /// Encoded STATUS payload: point-in-time queue depths, per-tenant
+  /// load, and the overload flag.
+  std::string EncodeStatusSnapshot() const;
   static void Abort(Connection& conn);
 
   runtime::Server* server_;

@@ -1,5 +1,7 @@
 #include "net/socket.h"
 
+#include "net/fault_injection.h"
+
 #include <arpa/inet.h>
 #include <errno.h>
 #include <fcntl.h>
@@ -13,6 +15,7 @@
 
 #include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace wireframe {
 namespace net {
@@ -30,10 +33,19 @@ int64_t NowMs() {
       .count();
 }
 
-Status Errno(const char* what) {
-  return Status::IOError(std::string(what) + ": " +
-                         std::strerror(errno));
+/// Classifies errno into the typed transport statuses retry policy
+/// keys on: refused connects and reset/broken-pipe streams get their
+/// own codes; everything else stays a generic kIOError.
+Status ErrnoStatus(const char* what, int err) {
+  const std::string msg = std::string(what) + ": " + std::strerror(err);
+  if (err == ECONNREFUSED) return Status::ConnectionRefused(msg);
+  if (err == ECONNRESET || err == EPIPE) {
+    return Status::ConnectionReset(msg);
+  }
+  return Status::IOError(msg);
 }
+
+Status Errno(const char* what) { return ErrnoStatus(what, errno); }
 
 Status SetNonBlocking(int fd) {
   const int flags = fcntl(fd, F_GETFL, 0);
@@ -196,9 +208,8 @@ Result<Socket> Socket::Connect(const SocketAddress& address,
     socklen_t len = sizeof err;
     if (getsockopt(sock.fd(), SOL_SOCKET, SO_ERROR, &err, &len) < 0 ||
         err != 0) {
-      return Status::IOError(std::string("connect to ") +
-                             address.ToString() + ": " +
-                             std::strerror(err != 0 ? err : errno));
+      const std::string what = "connect to " + address.ToString();
+      return ErrnoStatus(what.c_str(), err != 0 ? err : errno);
     }
   }
   if (!address.is_unix) {
@@ -252,15 +263,50 @@ Status Socket::ReadExact(void* buffer, size_t n, int timeout_ms,
   size_t got = 0;
   const int64_t deadline = timeout_ms < 0 ? -1 : NowMs() + timeout_ms;
   while (got < n) {
-    const ssize_t rc = ::read(fd_, out + got, n - got);
+    size_t want = n - got;
+    if (fault_ != nullptr) {
+      FaultIoPlan plan;
+      Status injected =
+          fault_->BeforeIo(FaultDirection::kRead, want, &plan);
+      if (!injected.ok()) {
+        if (plan.terminate == FaultTermination::kReset) {
+          Reset();
+        } else {
+          Close();
+        }
+        return injected;
+      }
+      if (plan.max_bytes == 0) {
+        // Blackholed: deliver nothing this round, but keep honoring
+        // the caller's deadline and abort flag — a fault must never
+        // turn a bounded wait into a hang.
+        if (abort != nullptr && abort->load(std::memory_order_relaxed)) {
+          return Status::Cancelled("read aborted");
+        }
+        if (deadline >= 0 && NowMs() >= deadline) {
+          return Status::TimedOut("read timed out");
+        }
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(kPollSliceMs));
+        continue;
+      }
+      want = plan.max_bytes;
+    }
+    const ssize_t rc = ::read(fd_, out + got, want);
     if (rc > 0) {
+      if (fault_ != nullptr) {
+        fault_->AfterIo(FaultDirection::kRead, out + got,
+                        static_cast<size_t>(rc));
+      }
       got += static_cast<size_t>(rc);
       continue;
     }
     if (rc == 0) {
-      return Status::IOError(got == 0
-                                 ? "connection closed by peer"
-                                 : "connection closed mid-frame");
+      // Typed: an EOF here is the peer tearing the stream down, which
+      // retry policy must be able to tell apart from local I/O trouble.
+      return Status::ConnectionReset(got == 0
+                                         ? "connection closed by peer"
+                                         : "connection closed mid-frame");
     }
     if (errno == EINTR) continue;
     if (errno != EAGAIN && errno != EWOULDBLOCK) return Errno("read");
@@ -274,9 +320,40 @@ Status Socket::WriteAll(const void* buffer, size_t n, int timeout_ms,
   const char* in = static_cast<const char*>(buffer);
   size_t sent = 0;
   const int64_t deadline = timeout_ms < 0 ? -1 : NowMs() + timeout_ms;
+  std::string scratch;
   while (sent < n) {
-    const ssize_t rc = ::send(fd_, in + sent, n - sent, MSG_NOSIGNAL);
+    size_t chunk = n - sent;
+    const char* src = in + sent;
+    if (fault_ != nullptr) {
+      FaultIoPlan plan;
+      Status injected =
+          fault_->BeforeIo(FaultDirection::kWrite, chunk, &plan);
+      if (!injected.ok()) {
+        if (plan.terminate == FaultTermination::kReset) {
+          Reset();
+        } else {
+          Close();
+        }
+        return injected;
+      }
+      chunk = plan.max_bytes;
+      if (plan.swallow) {
+        // Blackholed: the bytes vanish from the wire but the caller
+        // sees success — the peer is now mid-frame forever, which is
+        // what liveness timeouts are for.
+        fault_->AfterIo(FaultDirection::kWrite, const_cast<char*>(src),
+                        chunk);
+        sent += chunk;
+        continue;
+      }
+      if (fault_->StageWrite(src, chunk, &scratch)) src = scratch.data();
+    }
+    const ssize_t rc = ::send(fd_, src, chunk, MSG_NOSIGNAL);
     if (rc > 0) {
+      if (fault_ != nullptr) {
+        fault_->AfterIo(FaultDirection::kWrite, const_cast<char*>(src),
+                        static_cast<size_t>(rc));
+      }
       sent += static_cast<size_t>(rc);
       continue;
     }

@@ -12,6 +12,8 @@
 namespace wireframe {
 namespace net {
 
+class FaultInjector;
+
 /// A listen/connect address. Two spellings:
 ///   "HOST:PORT"   TCP (HOST may be a dotted quad or "localhost"; PORT 0
 ///                 asks the kernel for a free port — read it back with
@@ -37,12 +39,17 @@ class Socket {
   explicit Socket(int fd) : fd_(fd) {}
   ~Socket() { Close(); }
 
-  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket(Socket&& other) noexcept : fd_(other.fd_), fault_(other.fault_) {
+    other.fd_ = -1;
+    other.fault_ = nullptr;
+  }
   Socket& operator=(Socket&& other) noexcept {
     if (this != &other) {
       Close();
       fd_ = other.fd_;
+      fault_ = other.fault_;
       other.fd_ = -1;
+      other.fault_ = nullptr;
     }
     return *this;
   }
@@ -99,6 +106,14 @@ class Socket {
   void Reset();
   void Close();
 
+  /// Arms a deterministic fault plane (net/fault_injection.h) on this
+  /// socket's read/write path; null disarms. The injector is borrowed
+  /// and must outlive the socket's I/O. An unarmed socket pays exactly
+  /// one pointer null check per I/O attempt — the fault plane is
+  /// compiled in always so tests and production run the same code.
+  void ArmFaults(FaultInjector* injector) { fault_ = injector; }
+  FaultInjector* armed_faults() const { return fault_; }
+
   /// Shrinks the kernel receive buffer (SO_RCVBUF). Only fully
   /// effective before the connection is established — prefer the
   /// Connect parameter for client sockets.
@@ -111,6 +126,7 @@ class Socket {
 
  private:
   int fd_ = -1;
+  FaultInjector* fault_ = nullptr;
 };
 
 /// Human-readable peer name of a connected socket ("1.2.3.4:5678" for

@@ -26,7 +26,11 @@ uint32_t LoadU32Le(const char* data) {
 
 bool KnownFrameType(uint8_t type) {
   return type >= static_cast<uint8_t>(FrameType::kHello) &&
-         type <= static_cast<uint8_t>(FrameType::kGoodbye);
+         type <= static_cast<uint8_t>(FrameType::kStatus);
+}
+
+bool KnownStatusCode(uint8_t code) {
+  return code <= static_cast<uint8_t>(StatusCode::kStreamBroken);
 }
 
 Status Malformed(const char* what) {
@@ -69,16 +73,93 @@ const char* FrameTypeName(FrameType type) {
       return "CANCEL";
     case FrameType::kGoodbye:
       return "GOODBYE";
+    case FrameType::kPing:
+      return "PING";
+    case FrameType::kPong:
+      return "PONG";
+    case FrameType::kStatus:
+      return "STATUS";
   }
   return "unknown";
+}
+
+namespace {
+
+/// Resumable Fletcher-16 with the customary 255 modulus, deferred so the
+/// inner loop is two adds per byte. Resumability lets the frame checksum
+/// chain the 6-byte header prefix and the payload without concatenating.
+struct Fletcher16 {
+  uint32_t sum1 = 0;
+  uint32_t sum2 = 0;
+
+  void Mix(const char* data, size_t n) {
+    size_t i = 0;
+    while (i < n) {
+      // 5802 iterations is the largest block that cannot overflow u32
+      // (both sums enter each block already reduced below 255).
+      const size_t block = n - i < 5802 ? n - i : 5802;
+      for (size_t end = i + block; i < end; ++i) {
+        sum1 += static_cast<unsigned char>(data[i]);
+        sum2 += sum1;
+      }
+      sum1 %= 255;
+      sum2 %= 255;
+    }
+  }
+
+  uint16_t Take() const {
+    return static_cast<uint16_t>((sum2 << 8) | sum1);
+  }
+};
+
+}  // namespace
+
+uint16_t FrameChecksum(const char* data, size_t n) {
+  Fletcher16 fletcher;
+  fletcher.Mix(data, n);
+  return fletcher.Take();
+}
+
+uint16_t FrameChecksum(FrameType type, const char* payload, size_t n) {
+  // The prefix is the header's six non-checksum bytes exactly as
+  // EncodeFrameHeader lays them out, so any flipped header bit — length,
+  // version, or type — breaks the checksum just like payload damage.
+  char prefix[6];
+  StoreU32Le(static_cast<uint32_t>(n), prefix);
+  prefix[4] = static_cast<char>(kWireVersion);
+  prefix[5] = static_cast<char>(type);
+  Fletcher16 fletcher;
+  fletcher.Mix(prefix, sizeof(prefix));
+  fletcher.Mix(payload, n);
+  return fletcher.Take();
+}
+
+Status VerifyFramePayload(const FrameHeader& header,
+                          const std::string& payload) {
+  // Reconstruct the prefix from the header EXACTLY as received (not
+  // from payload.size()): a flipped length or type bit then breaks the
+  // match even though the payload bytes themselves arrived intact.
+  char prefix[6];
+  StoreU32Le(header.payload_length, prefix);
+  prefix[4] = static_cast<char>(header.version);
+  prefix[5] = static_cast<char>(header.type);
+  Fletcher16 fletcher;
+  fletcher.Mix(prefix, sizeof(prefix));
+  fletcher.Mix(payload.data(), payload.size());
+  if (fletcher.Take() != header.checksum) {
+    return Status::FrameCorrupt(
+        std::string("corrupt ") + FrameTypeName(header.type) +
+        " frame: header/payload checksum mismatch");
+  }
+  return Status::OK();
 }
 
 void EncodeFrameHeader(const FrameHeader& header, char* out) {
   StoreU32Le(header.payload_length, out);
   out[4] = static_cast<char>(header.version);
   out[5] = static_cast<char>(header.type);
-  out[6] = 0;
-  out[7] = 0;
+  out[6] = static_cast<char>(header.checksum & 0xff);
+  out[7] = static_cast<char>((header.checksum >> 8) & 0xff);
 }
 
 Result<FrameHeader> DecodeFrameHeader(const char* data,
@@ -96,9 +177,9 @@ Result<FrameHeader> DecodeFrameHeader(const char* data,
     return Status::InvalidArgument("unknown frame type " +
                                    std::to_string(type));
   }
-  if (data[6] != 0 || data[7] != 0) {
-    return Status::InvalidArgument("nonzero reserved header bits");
-  }
+  header.checksum = static_cast<uint16_t>(
+      static_cast<unsigned char>(data[6]) |
+      static_cast<unsigned char>(data[7]) << 8);
   if (header.payload_length > max_frame_bytes) {
     return Status::InvalidArgument(
         "oversized frame: " + std::to_string(header.payload_length) +
@@ -113,7 +194,9 @@ void AppendFrame(FrameType type, const std::string& payload,
                  std::string* out) {
   char header[kFrameHeaderBytes];
   EncodeFrameHeader(
-      {static_cast<uint32_t>(payload.size()), kWireVersion, type}, header);
+      {static_cast<uint32_t>(payload.size()), kWireVersion, type,
+       FrameChecksum(type, payload.data(), payload.size())},
+      header);
   out->append(header, kFrameHeaderBytes);
   out->append(payload);
 }
@@ -247,6 +330,7 @@ std::string EncodeReport(const runtime::QueryReport& report) {
   w.U64(report.rows);
   w.F64(report.queue_seconds);
   w.F64(report.run_seconds);
+  w.U32(report.retry_after_ms);
   w.U64(report.stats.output_tuples);
   w.U64(report.stats.ag_pairs);
   w.U64(report.stats.edge_walks);
@@ -273,15 +357,14 @@ Result<runtime::QueryReport> DecodeReport(const std::string& payload) {
   report.cache_hit = r.U8() != 0;
   report.has_aggregate = r.U8() != 0;
   const uint8_t code = r.U8();
-  if (code > static_cast<uint8_t>(StatusCode::kResourceExhausted)) {
-    return Malformed("REPORT");
-  }
+  if (!KnownStatusCode(code)) return Malformed("REPORT");
   std::string message = r.String();
   report.status = Status(static_cast<StatusCode>(code), std::move(message));
   report.service_class = r.String();
   report.rows = r.U64();
   report.queue_seconds = r.F64();
   report.run_seconds = r.F64();
+  report.retry_after_ms = r.U32();
   report.stats.output_tuples = r.U64();
   report.stats.ag_pairs = r.U64();
   report.stats.edge_walks = r.U64();
@@ -296,6 +379,59 @@ Result<runtime::QueryReport> DecodeReport(const std::string& payload) {
   return report;
 }
 
+std::string EncodeStatus(const StatusFrame& status) {
+  WireWriter w;
+  w.U32(status.running);
+  w.U32(status.queued);
+  w.U32(status.max_inflight);
+  w.U32(status.max_queued);
+  w.U8(status.overloaded);
+  w.U32(status.retry_after_ms);
+  w.U32(static_cast<uint32_t>(status.tenants.size()));
+  for (const TenantLoadFrame& tenant : status.tenants) {
+    w.String(tenant.name);
+    w.U32(tenant.weight);
+    w.U32(tenant.running);
+    w.U32(tenant.queued);
+    w.U64(tenant.completed);
+    w.U64(tenant.shed);
+    w.U64(tenant.brownout_rejected);
+  }
+  return w.Take();
+}
+
+Result<StatusFrame> DecodeStatus(const std::string& payload) {
+  WireReader r(payload);
+  StatusFrame status;
+  status.running = r.U32();
+  status.queued = r.U32();
+  status.max_inflight = r.U32();
+  status.max_queued = r.U32();
+  status.overloaded = r.U8();
+  status.retry_after_ms = r.U32();
+  const uint32_t tenants = r.U32();
+  // Cap preflight, same discipline as DecodeAggregate: each tenant
+  // costs at least 40 payload bytes, so a hostile count cannot drive
+  // the reserve below past the actual payload size.
+  if (r.failed() || static_cast<uint64_t>(tenants) * 40 > payload.size()) {
+    return Malformed("STATUS");
+  }
+  status.tenants.reserve(tenants);
+  for (uint32_t i = 0; i < tenants; ++i) {
+    TenantLoadFrame tenant;
+    tenant.name = r.String();
+    tenant.weight = r.U32();
+    tenant.running = r.U32();
+    tenant.queued = r.U32();
+    tenant.completed = r.U64();
+    tenant.shed = r.U64();
+    tenant.brownout_rejected = r.U64();
+    status.tenants.push_back(std::move(tenant));
+  }
+  if (!r.Exhausted()) return Malformed("STATUS");
+  return status;
+}
+
 std::string EncodeError(const ErrorFrame& error) {
   WireWriter w;
   w.U8(static_cast<uint8_t>(error.code));
@@ -307,9 +443,7 @@ Result<ErrorFrame> DecodeError(const std::string& payload) {
   WireReader r(payload);
   ErrorFrame error;
   const uint8_t code = r.U8();
-  if (code > static_cast<uint8_t>(StatusCode::kResourceExhausted)) {
-    return Malformed("ERROR");
-  }
+  if (!KnownStatusCode(code)) return Malformed("ERROR");
   error.code = static_cast<StatusCode>(code);
   error.message = r.String();
   if (!r.Exhausted()) return Malformed("ERROR");

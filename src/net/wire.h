@@ -18,7 +18,9 @@ namespace net {
 /// Protocol version carried in every frame header. A server rejects any
 /// other value with a typed ERROR frame and closes the connection (no
 /// in-band negotiation: the handshake is one HELLO/HELLO-ACK exchange).
-inline constexpr uint8_t kWireVersion = 1;
+/// v2 repurposed the reserved header u16 as a payload checksum and added
+/// the PING/PONG/STATUS liveness frames.
+inline constexpr uint8_t kWireVersion = 2;
 
 /// Default cap on a single frame's payload. Anything larger is rejected
 /// as oversized BEFORE the payload is read, so a hostile length prefix
@@ -44,19 +46,54 @@ enum class FrameType : uint8_t {
   kError = 7,
   kCancel = 8,
   kGoodbye = 9,
+  // v2 liveness frames. PING/PONG carry empty payloads and may be sent
+  // by the client at any point after HELLO, including while a query
+  // streams; the server answers in stream order and resets its idle
+  // clock. STATUS (empty payload from the client) asks for a load
+  // snapshot; the server replies with an encoded StatusFrame.
+  kPing = 10,
+  kPong = 11,
+  kStatus = 12,
 };
 
 const char* FrameTypeName(FrameType type);
 
 /// Fixed 8-byte frame header, little-endian on the wire:
-///   u32 payload_length | u8 version | u8 type | u16 reserved (0)
+///   u32 payload_length | u8 version | u8 type | u16 checksum
+/// The checksum is Fletcher-16 over the six non-checksum header bytes
+/// (payload_length, version, type — exactly as laid out on the wire)
+/// followed by the payload bytes. It exists so a flipped bit in transit
+/// becomes a typed kFrameCorrupt error instead of a silently different —
+/// but still parseable — frame: covering the header too means a damaged
+/// type byte cannot turn one valid frame kind into another (a corrupted
+/// QUERY must never run as a valid query with wrong-but-plausible rows,
+/// and a HELLO must never arrive as an AGGREGATE).
 struct FrameHeader {
   uint32_t payload_length = 0;
   uint8_t version = kWireVersion;
   FrameType type = FrameType::kError;
+  uint16_t checksum = 0;
 };
 
 inline constexpr size_t kFrameHeaderBytes = 8;
+
+/// Fletcher-16 over `n` bytes. Cheap (two adds per byte), catches every
+/// single-bit flip and all but ~0.002% of random corruption — plenty for
+/// detecting fault-injected damage; this is not a cryptographic MAC.
+uint16_t FrameChecksum(const char* data, size_t n);
+
+/// The checksum a well-formed frame of `type` carrying `payload` must
+/// carry: Fletcher-16 over the reconstructed 6-byte header prefix
+/// (payload_length = n, version = kWireVersion, type) followed by the
+/// payload. Both AppendFrame and VerifyFramePayload use this, so header
+/// damage is caught with the same machinery as payload damage.
+uint16_t FrameChecksum(FrameType type, const char* payload, size_t n);
+
+/// Verifies `payload` against the checksum carried in `header`. Returns
+/// kFrameCorrupt on mismatch. Every frame-read site calls this after
+/// reading the payload bytes.
+Status VerifyFramePayload(const FrameHeader& header,
+                          const std::string& payload);
 
 /// One decoded frame: header plus raw payload bytes.
 struct Frame {
@@ -68,9 +105,10 @@ struct Frame {
 void EncodeFrameHeader(const FrameHeader& header, char* out);
 
 /// Parses a header from exactly kFrameHeaderBytes. Rejects bad version,
-/// unknown type, nonzero reserved bits, and payloads past
-/// `max_frame_bytes` (the oversized case names the limit so clients can
-/// tell it apart from corruption).
+/// unknown type, and payloads past `max_frame_bytes` (the oversized case
+/// names the limit so clients can tell it apart from corruption). The
+/// checksum is parsed but NOT verified here — the payload has not been
+/// read yet; callers verify with VerifyFramePayload.
 Result<FrameHeader> DecodeFrameHeader(const char* data,
                                       uint32_t max_frame_bytes);
 
@@ -215,6 +253,31 @@ Result<AggregateResult> DecodeAggregate(const std::string& payload);
 /// frame so huge GROUP BY answers do not bloat every report).
 std::string EncodeReport(const runtime::QueryReport& report);
 Result<runtime::QueryReport> DecodeReport(const std::string& payload);
+
+/// STATUS (server -> client): a point-in-time load snapshot so callers
+/// can observe pressure and back off before the brownout watermark
+/// sheds them. The client requests one with an empty-payload kStatus
+/// frame between queries.
+struct TenantLoadFrame {
+  std::string name;
+  uint32_t weight = 0;
+  uint32_t running = 0;
+  uint32_t queued = 0;
+  uint64_t completed = 0;
+  uint64_t shed = 0;
+  uint64_t brownout_rejected = 0;
+};
+struct StatusFrame {
+  uint32_t running = 0;
+  uint32_t queued = 0;
+  uint32_t max_inflight = 0;
+  uint32_t max_queued = 0;
+  uint8_t overloaded = 0;  // 1 iff the brownout watermark is exceeded
+  uint32_t retry_after_ms = 0;  // backoff hint when overloaded
+  std::vector<TenantLoadFrame> tenants;
+};
+std::string EncodeStatus(const StatusFrame& status);
+Result<StatusFrame> DecodeStatus(const std::string& payload);
 
 /// ERROR: a typed status for protocol-level failures (malformed frame,
 /// oversized frame, QUERY before HELLO, double HELLO, ...). Query-level

@@ -214,7 +214,7 @@ QueryRuntime::~QueryRuntime() {
 }
 
 Result<std::shared_ptr<QuerySession>> QueryRuntime::Submit(
-    QueryRequest request) {
+    QueryRequest request, SubmitRejection* rejection) {
   if (request.db == nullptr || request.catalog == nullptr) {
     return Status::InvalidArgument("QueryRequest needs a db and a catalog");
   }
@@ -258,6 +258,48 @@ Result<std::shared_ptr<QuerySession>> QueryRuntime::Submit(
           std::to_string(tenant.spec.max_inflight) + ")");
     };
     if (at_reject_quota()) return shed_at_quota();
+    // Overload brownout: past the queue-depth watermark, shed the
+    // lowest-weight tenants first — with a typed kOverloaded + backoff
+    // hint — so the queue never fills with low-priority work that would
+    // time the high-priority class out. The weight cutoff rises
+    // linearly with queue depth between the watermark and max_queued;
+    // the top-weight class is never brownout-shed, and uniform-weight
+    // deployments fall through to the ordinary saturation policy.
+    const uint32_t watermark = adm.brownout_queue_watermark;
+    if (watermark > 0 && queued_total_ >= watermark) {
+      uint32_t min_w = tenants_[0].spec.weight;
+      uint32_t max_w = min_w;
+      for (const Tenant& t : tenants_) {
+        min_w = std::min(min_w, t.spec.weight);
+        max_w = std::max(max_w, t.spec.weight);
+      }
+      const uint32_t my_w = tenant.spec.weight;
+      if (max_w > min_w && my_w < max_w) {
+        const double span = adm.max_queued > watermark
+                                ? static_cast<double>(adm.max_queued) -
+                                      watermark
+                                : 1.0;
+        double f =
+            (static_cast<double>(queued_total_) + 1.0 - watermark) / span;
+        if (f > 1.0) f = 1.0;
+        const double cutoff = min_w + f * (max_w - min_w);
+        if (static_cast<double>(my_w) <= cutoff) {
+          ++stats_.rejected;
+          ++tenant.rejected;
+          ++tenant.brownout_rejected;
+          if (rejection != nullptr) {
+            rejection->retry_after_ms = adm.brownout_retry_after_ms;
+          }
+          return Status::Overloaded(
+              "runtime overloaded (queue depth " +
+              std::to_string(queued_total_) + " >= watermark " +
+              std::to_string(watermark) + "): tenant '" +
+              tenant.spec.name + "' (weight " + std::to_string(my_w) +
+              ") browned out, retry after " +
+              std::to_string(adm.brownout_retry_after_ms) + " ms");
+        }
+      }
+    }
     // Admission counts queries in the system (queued + running) against
     // max_inflight + max_queued, so a full runtime sheds or blocks even
     // while an idle driver is mid-handoff.
@@ -348,8 +390,10 @@ RuntimeStats QueryRuntime::stats() const {
     const Tenant& tenant = tenants_[i];
     TenantStats ts;
     ts.tenant = tenant.spec.name;
+    ts.weight = tenant.spec.weight;
     ts.submitted = tenant.submitted;
     ts.rejected = tenant.rejected;
+    ts.brownout_rejected = tenant.brownout_rejected;
     ts.completed = tenant.completed;
     ts.running = tenant.running;
     ts.queued = static_cast<uint32_t>(tenant.queue.size());
@@ -370,6 +414,13 @@ RuntimeStats QueryRuntime::stats() const {
 uint32_t QueryRuntime::waiting_submitters() const {
   std::lock_guard<std::mutex> lock(mu_);
   return waiting_submitters_;
+}
+
+bool QueryRuntime::overloaded() const {
+  const uint32_t watermark = options_.admission.brownout_queue_watermark;
+  if (watermark == 0) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_total_ >= watermark;
 }
 
 void QueryRuntime::ReapCancelledLocked() {

@@ -91,6 +91,21 @@ struct AdmissionControl {
   /// TenantSpec::ag_cache_bytes). 0 — the default — disables the cache
   /// entirely and preserves the historic execution path bit for bit.
   uint64_t ag_cache_bytes = 0;
+  /// Overload brownout: once the global queue depth reaches this
+  /// watermark, Submits from low-weight tenants are shed with a typed
+  /// kOverloaded (plus a retry-after hint) BEFORE the queue fills, so
+  /// high-weight traffic keeps bounded latency instead of everyone
+  /// timing out together. The weight cutoff rises linearly from the
+  /// smallest tenant weight at the watermark to the largest as the
+  /// queue approaches max_queued; the top-weight class is never
+  /// brownout-shed (it still hits the ordinary saturation rejection at
+  /// a full queue), and a deployment where every tenant has the same
+  /// weight never browns out. 0 disables brownout.
+  uint32_t brownout_queue_watermark = 0;
+  /// Backoff hint carried in kOverloaded rejections (REPORT
+  /// retry_after_ms on the wire). Clients honoring it spread their
+  /// retries past the pressure spike.
+  uint32_t brownout_retry_after_ms = 250;
   /// Named service classes (weights + quotas). Empty keeps the historic
   /// single-class behavior: every query runs as the implicit "default"
   /// tenant and dispatch is plain FIFO.
@@ -219,6 +234,15 @@ class QuerySession {
   double run_seconds_ = 0.0;
 };
 
+/// Machine-usable detail of an admission rejection, filled by Submit
+/// alongside the non-OK status (messages are for humans; front-ends
+/// need the hint as a number to put in the REPORT frame).
+struct SubmitRejection {
+  /// Suggested client backoff before retrying, in milliseconds. 0 when
+  /// the rejection carried no hint (quota sheds, saturation).
+  uint32_t retry_after_ms = 0;
+};
+
 /// Side results of one engine run that EngineStats does not carry: the
 /// cache-hit verdict and, for aggregate queries, the scalar or grouped
 /// answer itself (engines deliver it out of band — no row ever reaches
@@ -232,9 +256,15 @@ struct EngineRunArtifacts {
 /// Per-tenant slice of RuntimeStats.
 struct TenantStats {
   std::string tenant;
+  /// Scheduler share (TenantSpec::weight; 1 for the implicit default).
+  uint32_t weight = 1;
   uint64_t submitted = 0;
-  /// Sheds: runtime-wide saturation plus this tenant's quota (kReject).
+  /// Sheds: runtime-wide saturation plus this tenant's quota (kReject)
+  /// plus brownout.
   uint64_t rejected = 0;
+  /// Of `rejected`, the sheds the overload brownout took (typed
+  /// kOverloaded with a retry-after hint).
+  uint64_t brownout_rejected = 0;
   uint64_t completed = 0;
   /// Point-in-time gauges at the stats() call.
   uint32_t running = 0;
@@ -321,10 +351,19 @@ class QueryRuntime {
   QueryRuntime(const QueryRuntime&) = delete;
   QueryRuntime& operator=(const QueryRuntime&) = delete;
 
-  /// Admits `request` (FIFO) or rejects it with ResourceExhausted when
-  /// the runtime is saturated and the policy is reject. The session is
-  /// live from the moment this returns.
-  Result<std::shared_ptr<QuerySession>> Submit(QueryRequest request);
+  /// Admits `request` (FIFO) or rejects it: ResourceExhausted when the
+  /// runtime is saturated (policy reject), kOverloaded when the
+  /// brownout watermark shed it. The session is live from the moment
+  /// this returns. `rejection`, when non-null, receives machine-usable
+  /// rejection detail (today: the retry-after hint) that a Status
+  /// message cannot carry.
+  Result<std::shared_ptr<QuerySession>> Submit(
+      QueryRequest request, SubmitRejection* rejection = nullptr);
+
+  /// True while the global queue depth is at or past the brownout
+  /// watermark (always false when brownout is disabled). The STATUS
+  /// frame exposes this so clients can back off before being shed.
+  bool overloaded() const;
 
   /// The shared worker pool (exposed so callers can co-schedule their own
   /// morsel loops with the runtime's queries).
@@ -356,6 +395,7 @@ class QueryRuntime {
     uint64_t pass = 0;
     uint64_t submitted = 0;
     uint64_t rejected = 0;
+    uint64_t brownout_rejected = 0;
     uint64_t completed = 0;
   };
 

@@ -37,7 +37,8 @@ Result<std::shared_ptr<QuerySession>> Server::Submit(
 
 Result<std::shared_ptr<QuerySession>> Server::Submit(
     std::string_view sparql, Sink* sink, std::string_view service_class,
-    double timeout_seconds, int64_t row_budget) {
+    double timeout_seconds, int64_t row_budget,
+    SubmitRejection* rejection) {
   WF_ASSIGN_OR_RETURN(QueryGraph query,
                       SparqlParser::ParseAndBind(sparql, *db_));
   QueryRequest request =
@@ -46,7 +47,7 @@ Result<std::shared_ptr<QuerySession>> Server::Submit(
   // is a real per-query value (0 = unlimited).
   if (timeout_seconds >= 0) request.timeout_seconds = timeout_seconds;
   if (row_budget >= 0) request.row_budget = row_budget;
-  return runtime_.Submit(std::move(request));
+  return runtime_.Submit(std::move(request), rejection);
 }
 
 Result<std::shared_ptr<QuerySession>> Server::Submit(

@@ -58,6 +58,10 @@ struct QueryReport {
   uint64_t rows = 0;
   double queue_seconds = 0.0;
   double run_seconds = 0.0;
+  /// Backoff hint in milliseconds for rejected queries (nonzero only on
+  /// brownout kOverloaded sheds). Clients should wait this long before
+  /// resubmitting.
+  uint32_t retry_after_ms = 0;
 };
 
 /// Front-end of the shared query runtime: accepts SPARQL text (or
@@ -83,10 +87,13 @@ class Server {
 
   /// Same, with per-query overrides of the server defaults (negative =
   /// inherit, 0 = unlimited — QueryRequest semantics). The network
-  /// front-end routes QUERY-frame overrides through here.
+  /// front-end routes QUERY-frame overrides through here. `rejection`,
+  /// when non-null, receives the retry-after hint of a brownout shed
+  /// (see QueryRuntime::Submit).
   Result<std::shared_ptr<QuerySession>> Submit(
       std::string_view sparql, Sink* sink, std::string_view service_class,
-      double timeout_seconds, int64_t row_budget);
+      double timeout_seconds, int64_t row_budget,
+      SubmitRejection* rejection = nullptr);
 
   /// Submits a pre-bound query graph (no parsing).
   Result<std::shared_ptr<QuerySession>> Submit(

@@ -28,6 +28,18 @@ std::string_view StatusCodeName(StatusCode code) {
       return "Cancelled";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kConnectionRefused:
+      return "ConnectionRefused";
+    case StatusCode::kConnectionReset:
+      return "ConnectionReset";
+    case StatusCode::kFrameCorrupt:
+      return "FrameCorrupt";
+    case StatusCode::kOverloaded:
+      return "Overloaded";
+    case StatusCode::kRetryExhausted:
+      return "RetryExhausted";
+    case StatusCode::kStreamBroken:
+      return "StreamBroken";
   }
   return "Unknown";
 }

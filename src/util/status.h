@@ -22,6 +22,14 @@ enum class StatusCode {
   kNotImplemented,
   kCancelled,
   kResourceExhausted,
+  // Transport-layer codes (src/net). Appended so existing numeric
+  // values stay stable on the wire.
+  kConnectionRefused,
+  kConnectionReset,
+  kFrameCorrupt,
+  kOverloaded,
+  kRetryExhausted,
+  kStreamBroken,
 };
 
 /// Returns the canonical name for a status code (e.g. "InvalidArgument").
@@ -69,6 +77,24 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status ConnectionRefused(std::string msg) {
+    return Status(StatusCode::kConnectionRefused, std::move(msg));
+  }
+  static Status ConnectionReset(std::string msg) {
+    return Status(StatusCode::kConnectionReset, std::move(msg));
+  }
+  static Status FrameCorrupt(std::string msg) {
+    return Status(StatusCode::kFrameCorrupt, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
+  static Status RetryExhausted(std::string msg) {
+    return Status(StatusCode::kRetryExhausted, std::move(msg));
+  }
+  static Status StreamBroken(std::string msg) {
+    return Status(StatusCode::kStreamBroken, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }
@@ -81,6 +107,18 @@ class Status {
   bool IsResourceExhausted() const {
     return code_ == StatusCode::kResourceExhausted;
   }
+  bool IsConnectionRefused() const {
+    return code_ == StatusCode::kConnectionRefused;
+  }
+  bool IsConnectionReset() const {
+    return code_ == StatusCode::kConnectionReset;
+  }
+  bool IsFrameCorrupt() const { return code_ == StatusCode::kFrameCorrupt; }
+  bool IsOverloaded() const { return code_ == StatusCode::kOverloaded; }
+  bool IsRetryExhausted() const {
+    return code_ == StatusCode::kRetryExhausted;
+  }
+  bool IsStreamBroken() const { return code_ == StatusCode::kStreamBroken; }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

@@ -171,7 +171,7 @@ TEST_F(SocketServerTest, MalformedFrameDrawsTypedErrorThenCloses) {
   ASSERT_EQ(reply->type, FrameType::kError);
   auto error = DecodeError(reply->payload);
   ASSERT_TRUE(error.ok());
-  EXPECT_EQ(error->code, StatusCode::kInvalidArgument);
+  EXPECT_EQ(error->code, StatusCode::kFrameCorrupt);
   // The byte stream is untrusted now: the server closes after the ERROR.
   char byte;
   EXPECT_FALSE(sock->ReadExact(&byte, 1, 5000).ok());
@@ -192,7 +192,7 @@ TEST_F(SocketServerTest, OversizedFrameDrawsTypedError) {
   ASSERT_TRUE(reply.ok()) << reply.status().ToString();
   ASSERT_EQ(reply->type, FrameType::kError);
   EXPECT_EQ(DecodeError(reply->payload)->code,
-            StatusCode::kInvalidArgument);
+            StatusCode::kFrameCorrupt);
 }
 
 TEST_F(SocketServerTest, QueryBeforeHelloIsAProtocolError) {

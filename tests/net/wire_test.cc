@@ -49,13 +49,66 @@ TEST(WireHeader, RejectsUnknownType) {
   EXPECT_FALSE(DecodeFrameHeader(bytes, kDefaultMaxFrameBytes).ok());
 }
 
-TEST(WireHeader, RejectsNonzeroReserved) {
-  FrameHeader header;
-  header.type = FrameType::kQuery;
-  char bytes[kFrameHeaderBytes];
-  EncodeFrameHeader(header, bytes);
-  bytes[6] = 1;
-  EXPECT_FALSE(DecodeFrameHeader(bytes, kDefaultMaxFrameBytes).ok());
+TEST(WireHeader, ChecksumDetectsAnySingleBitFlip) {
+  const std::string payload = "select * where { ?x p ?y . }";
+  std::string frame;
+  AppendFrame(FrameType::kQuery, payload, &frame);
+  auto header = DecodeFrameHeader(frame.data(), kDefaultMaxFrameBytes);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->checksum,
+            FrameChecksum(FrameType::kQuery, payload.data(),
+                          payload.size()));
+  EXPECT_TRUE(VerifyFramePayload(*header, payload).ok());
+  // Every single-bit corruption of the payload must be caught — this is
+  // what keeps a flipped bit in a QUERY from running as a different,
+  // still-valid query.
+  for (size_t byte = 0; byte < payload.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupt = payload;
+      corrupt[byte] = static_cast<char>(corrupt[byte] ^ (1 << bit));
+      const Status status = VerifyFramePayload(*header, corrupt);
+      ASSERT_FALSE(status.ok()) << "byte " << byte << " bit " << bit;
+      EXPECT_TRUE(status.IsFrameCorrupt());
+    }
+  }
+}
+
+TEST(WireHeader, ChecksumDetectsAnyHeaderBitFlip) {
+  // The checksum covers the six non-checksum header bytes too, so a
+  // flipped type/length/version bit can never turn one valid frame into
+  // a different valid one (HELLO must not arrive as AGGREGATE). Every
+  // header corruption must fail typed: either the decode rejects it
+  // outright (bad version / unknown type / oversize — readers wrap that
+  // as kFrameCorrupt) or the checksum verify does.
+  const std::string payload = "select * where { ?x p ?y . }";
+  std::string frame;
+  AppendFrame(FrameType::kHello, payload, &frame);
+  for (size_t byte = 0; byte < 6; ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupt = frame;
+      corrupt[byte] = static_cast<char>(corrupt[byte] ^ (1 << bit));
+      auto header = DecodeFrameHeader(corrupt.data(),
+                                      kDefaultMaxFrameBytes);
+      if (!header.ok()) continue;  // rejected before the payload: fine
+      const Status status = VerifyFramePayload(*header, payload);
+      ASSERT_FALSE(status.ok()) << "byte " << byte << " bit " << bit;
+      EXPECT_TRUE(status.IsFrameCorrupt());
+    }
+  }
+}
+
+TEST(WireHeader, EmptyPayloadStillChecksumsTheHeader) {
+  // Even a payload-less frame carries a nonzero checksum: the six
+  // header prefix bytes are covered, so a flipped PING type byte is
+  // caught too.
+  std::string frame;
+  AppendFrame(FrameType::kPing, std::string(), &frame);
+  auto header = DecodeFrameHeader(frame.data(), kDefaultMaxFrameBytes);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->checksum,
+            FrameChecksum(FrameType::kPing, nullptr, 0));
+  EXPECT_NE(header->checksum, 0u);
+  EXPECT_TRUE(VerifyFramePayload(*header, std::string()).ok());
 }
 
 TEST(WireHeader, RejectsOversizedPayloadBeforeReadingIt) {
@@ -185,6 +238,7 @@ TEST(WireFrames, ReportRoundTrip) {
   report.rows = 4242;
   report.queue_seconds = 0.25;
   report.run_seconds = 1.5;
+  report.retry_after_ms = 250;
   report.stats.output_tuples = 4242;
   report.stats.ag_pairs = 99;
   report.stats.phase1_seconds = 0.5;
@@ -200,6 +254,7 @@ TEST(WireFrames, ReportRoundTrip) {
   EXPECT_EQ(decoded->rows, 4242u);
   EXPECT_EQ(decoded->queue_seconds, 0.25);
   EXPECT_EQ(decoded->run_seconds, 1.5);
+  EXPECT_EQ(decoded->retry_after_ms, 250u);
   EXPECT_EQ(decoded->stats.output_tuples, 4242u);
   EXPECT_EQ(decoded->stats.ag_pairs, 99u);
   EXPECT_EQ(decoded->stats.phase1_seconds, 0.5);
@@ -216,6 +271,71 @@ TEST(WireFrames, ErrorRoundTrip) {
   EXPECT_EQ(decoded->ToStatus().message(), "runtime saturated");
 }
 
+TEST(WireFrames, StatusRoundTrip) {
+  StatusFrame status;
+  status.running = 3;
+  status.queued = 17;
+  status.max_inflight = 4;
+  status.max_queued = 32;
+  status.overloaded = 1;
+  status.retry_after_ms = 250;
+  TenantLoadFrame latency;
+  latency.name = "latency";
+  latency.weight = 8;
+  latency.running = 2;
+  latency.queued = 5;
+  latency.completed = 1000;
+  latency.shed = 7;
+  latency.brownout_rejected = 3;
+  status.tenants.push_back(latency);
+  status.tenants.push_back(TenantLoadFrame{});
+  auto decoded = DecodeStatus(EncodeStatus(status));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->running, 3u);
+  EXPECT_EQ(decoded->queued, 17u);
+  EXPECT_EQ(decoded->max_inflight, 4u);
+  EXPECT_EQ(decoded->max_queued, 32u);
+  EXPECT_EQ(decoded->overloaded, 1u);
+  EXPECT_EQ(decoded->retry_after_ms, 250u);
+  ASSERT_EQ(decoded->tenants.size(), 2u);
+  EXPECT_EQ(decoded->tenants[0].name, "latency");
+  EXPECT_EQ(decoded->tenants[0].weight, 8u);
+  EXPECT_EQ(decoded->tenants[0].running, 2u);
+  EXPECT_EQ(decoded->tenants[0].queued, 5u);
+  EXPECT_EQ(decoded->tenants[0].completed, 1000u);
+  EXPECT_EQ(decoded->tenants[0].shed, 7u);
+  EXPECT_EQ(decoded->tenants[0].brownout_rejected, 3u);
+  EXPECT_TRUE(decoded->tenants[1].name.empty());
+}
+
+TEST(WireFrames, StatusRejectsHostileTenantCount) {
+  StatusFrame status;
+  std::string payload = EncodeStatus(status);
+  // The tenant count is the last u32 before the (empty) tenant list.
+  payload[payload.size() - 4] = '\xff';
+  payload[payload.size() - 3] = '\xff';
+  payload[payload.size() - 2] = '\xff';
+  payload[payload.size() - 1] = '\x7f';
+  EXPECT_FALSE(DecodeStatus(payload).ok());
+}
+
+TEST(WireFrames, ErrorCarriesTransportStatusCodes) {
+  // The new transport-layer codes must survive the wire: a client that
+  // branches on kOverloaded / kFrameCorrupt needs the typed code back,
+  // not a collapsed kInternal.
+  for (StatusCode code :
+       {StatusCode::kConnectionRefused, StatusCode::kConnectionReset,
+        StatusCode::kFrameCorrupt, StatusCode::kOverloaded,
+        StatusCode::kRetryExhausted, StatusCode::kStreamBroken}) {
+    ErrorFrame error;
+    error.code = code;
+    error.message = "typed";
+    auto decoded = DecodeError(EncodeError(error));
+    ASSERT_TRUE(decoded.ok()) << StatusCodeName(code);
+    EXPECT_EQ(decoded->code, code);
+  }
+}
+
 TEST(WireFrames, TrailingGarbageIsMalformedEverywhere) {
   EXPECT_FALSE(DecodeHello(EncodeHello({"x"}) + "junk").ok());
   EXPECT_FALSE(DecodeHelloAck(EncodeHelloAck({}) + "j").ok());
@@ -227,6 +347,7 @@ TEST(WireFrames, TrailingGarbageIsMalformedEverywhere) {
   runtime::QueryReport report;
   EXPECT_FALSE(DecodeReport(EncodeReport(report) + "j").ok());
   EXPECT_FALSE(DecodeError(EncodeError({}) + "j").ok());
+  EXPECT_FALSE(DecodeStatus(EncodeStatus({}) + "j").ok());
 }
 
 TEST(WireFrames, TruncationIsMalformedEverywhere) {
